@@ -1,0 +1,83 @@
+package rockhopper
+
+import (
+	"fmt"
+
+	"github.com/rockhopper-db/rockhopper/internal/applevel"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+// QueryHistory is one query's tuning state used by app-level optimization:
+// its centroid (exploration anchor) and observation log from the completed
+// application run.
+type QueryHistory struct {
+	ID           string
+	Centroid     Config
+	Observations []Observation
+}
+
+// ArtifactID derives the stable identifier of a recurrent Spark application
+// from its artifact (e.g. notebook contents or a job definition), used as
+// the app_cache key.
+func ArtifactID(artifact []byte) string { return applevel.ArtifactID(artifact) }
+
+// AppTuner pre-computes application-level configurations (executor count,
+// memory, off-heap) for recurrent applications via the Algorithm 2 joint
+// optimizer (Section 4.4 of the paper). App-level parameters must be fixed
+// at startup, so the optimal setting is computed after each run completes
+// and cached under the application's artifact id for the next submission.
+type AppTuner struct {
+	space *Space
+	jo    *applevel.JointOptimizer
+	cache *applevel.Cache
+}
+
+// NewAppTuner builds an app-level tuner; the space must contain app-level
+// parameters (use FullSpace or a custom space with AppLevel params).
+func NewAppTuner(space *Space, seed uint64) (*AppTuner, error) {
+	if space == nil || len(space.AppParams()) == 0 {
+		return nil, fmt.Errorf("rockhopper: AppTuner requires a space with app-level parameters")
+	}
+	return &AppTuner{
+		space: space,
+		jo:    applevel.NewJointOptimizer(space, stats.NewRNG(seed)),
+		cache: applevel.NewCache(),
+	}, nil
+}
+
+// ComputeCache runs the joint optimization after an application run and
+// stores the winning app-level configuration under artifactID. It returns
+// the computed configuration.
+func (a *AppTuner) ComputeCache(artifactID string, current Config, queries []QueryHistory) (Config, error) {
+	if artifactID == "" {
+		return nil, fmt.Errorf("rockhopper: artifact id required")
+	}
+	states := make([]applevel.QueryState, 0, len(queries))
+	for _, qh := range queries {
+		qs, err := applevel.FitQueryState(a.space, qh.ID, qh.Centroid, qh.Observations)
+		if err != nil {
+			return nil, err
+		}
+		states = append(states, qs)
+	}
+	best, err := a.jo.Optimize(current, states)
+	if err != nil {
+		return nil, err
+	}
+	var score float64
+	for _, qs := range states {
+		score += qs.Predict(best, qs.DataSize)
+	}
+	a.cache.Put(artifactID, best, score)
+	return best, nil
+}
+
+// Cached returns the pre-computed app-level configuration for an artifact,
+// used at job submission to skip optimization on the critical path.
+func (a *AppTuner) Cached(artifactID string) (Config, bool) {
+	e, ok := a.cache.Get(artifactID)
+	if !ok {
+		return nil, false
+	}
+	return e.Config, true
+}

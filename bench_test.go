@@ -1,0 +1,241 @@
+package rockhopper
+
+// One testing.B benchmark per paper figure/table, as indexed in DESIGN.md.
+// Each benchmark regenerates its figure at a reduced budget per iteration
+// (cmd/rockbench -scale paper runs the full budgets) and reports a
+// figure-specific headline metric alongside ns/op so trends are visible in
+// benchstat output.
+
+import (
+	"io"
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/experiments"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+func BenchmarkFig01PartitionSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig01PartitionSweep(experiments.Fig01Params{})
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig02NoisyBaselines(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig02NoisyBaselines(experiments.Fig02Params{Runs: 6, Iters: 60})
+		bo := r.Bands["bo"]
+		gap = stats.Mean(bo.Median[48:]) / r.Optimal
+	}
+	b.ReportMetric(gap, "bo-final/optimal")
+}
+
+func BenchmarkFig03ManualVsBO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig03ManualVsBO(experiments.Fig03Params{Queries: []int{1, 2}, Users: 12, Iters: 25})
+		r.Print(io.Discard)
+	}
+}
+
+func BenchmarkFig08SyntheticFunction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Fig08SyntheticFunction(experiments.Fig08Params{}); len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig09SurrogateLevels(b *testing.B) {
+	var l1 float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig09SurrogateLevels(experiments.Fig09Params{Levels: []int{5, 1}, Runs: 5, Iters: 60})
+		l1 = stats.Mean(r.Bands[1].Median[48:]) / r.Optimal
+	}
+	b.ReportMetric(l1, "L1-final/optimal")
+}
+
+func BenchmarkFig10CLSVR(b *testing.B) {
+	var final float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig10CLSVR(experiments.Fig10Params{Runs: 5, Iters: 70})
+		final = stats.Mean(r.Band.Median[56:]) / r.Optimal
+	}
+	b.ReportMetric(final, "CL-final/optimal")
+}
+
+func BenchmarkFig11DynamicWorkloads(b *testing.B) {
+	var normed float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig11DynamicWorkloads(experiments.Fig11Params{Runs: 4, Iters: 70})
+		normed = stats.Mean(r.Normed["periodic"].Median[56:])
+	}
+	b.ReportMetric(normed, "periodic-final-normed")
+}
+
+func BenchmarkFig12TransferLearning(b *testing.B) {
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig12TransferLearning(experiments.Fig12Params{
+			TargetQueries: []int{1, 2, 3}, Iters: 15, FlightRuns: 30, SampleSizes: []int{100, 500},
+		})
+		sp = r.Speedup[500][14]
+	}
+	b.ReportMetric(sp, "n500-final-speedup")
+}
+
+func BenchmarkFig13CLvsBO(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig13CLvsBO(experiments.Fig13Params{Queries: []int{1, 2, 3}, Iters: 40})
+		ratio = stats.Mean(r.CBO[32:]) / stats.Mean(r.CL[32:])
+	}
+	b.ReportMetric(ratio, "bo/cl-final-ratio")
+}
+
+func BenchmarkFigEmbeddingAblation(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.EmbeddingAblation(experiments.EmbeddingAblationParams{
+			TargetQueries: []int{1, 2, 3, 5, 7, 11}, Iters: 15, FlightRuns: 20,
+		})
+		gain = r.MeanGainFromIter5
+	}
+	b.ReportMetric(gain, "virtual-gain-%")
+}
+
+func BenchmarkFig14TPCH(b *testing.B) {
+	var imp float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig14TPCH(experiments.Fig14Params{Iters: 25, FlightRuns: 12, DSQueries: []int{1, 2, 3, 5}})
+		imp = r.TotalImprovementPct
+	}
+	b.ReportMetric(imp, "total-improvement-%")
+}
+
+func BenchmarkFig15InternalFleet(b *testing.B) {
+	var imp float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.FleetStudy(experiments.FleetParams{Signatures: 15, Iters: 45})
+		imp = r.TotalImprovementPct
+	}
+	b.ReportMetric(imp, "total-improvement-%")
+}
+
+func BenchmarkFig16ExternalFleet(b *testing.B) {
+	var maintained float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.FleetStudy(experiments.FleetParams{Signatures: 20, Iters: 45, Guardrail: true})
+		maintained = float64(r.Maintained)
+	}
+	b.ReportMetric(maintained, "maintained-signatures")
+}
+
+func BenchmarkArchRoundTrip(b *testing.B) {
+	var imp float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.ArchRoundTrip(experiments.ArchParams{Iters: 20})
+		imp = r.ImprovementPct
+	}
+	b.ReportMetric(imp, "improvement-%")
+}
+
+func BenchmarkAppLevelJoint(b *testing.B) {
+	var imp float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.AppLevelJoint(experiments.AppLevelParams{})
+		imp = r.ImprovementPct
+	}
+	b.ReportMetric(imp, "improvement-%")
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Ablations(experiments.AblationParams{Runs: 4, Iters: 60})
+		if len(r.WindowN) == 0 {
+			b.Fatal("no ablation rows")
+		}
+	}
+}
+
+// Micro-benchmarks for the library hot paths: one tuner iteration
+// (Recommend + Report) and one simulator evaluation.
+
+func BenchmarkTunerIteration(b *testing.B) {
+	space := QuerySpace()
+	engine := NewEngine(space)
+	q, err := NewBenchmarkQuery("tpcds", 2, 99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tn, err := NewTuner(space, WithoutGuardrail())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := stats.NewRNG(1)
+	size := q.Plan.LeafInputBytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := tn.Recommend(i, size)
+		o := engine.Run(q, cfg, 1, r, nil)
+		if err := tn.Report(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineTrueTime(b *testing.B) {
+	space := QuerySpace()
+	engine := NewEngine(space)
+	q, err := NewBenchmarkQuery("tpcds", 2, 99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := space.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if engine.TrueTime(q, cfg, 1) <= 0 {
+			b.Fatal("non-positive time")
+		}
+	}
+}
+
+func BenchmarkGuardrailAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.GuardrailAblation(experiments.GuardrailAblationParams{
+			Signatures: 10, Iters: 45, Thresholds: []float64{-1, 0},
+		})
+		if len(r.Rows) != 2 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+func BenchmarkBaselinesTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Baselines(experiments.BaselinesParams{Runs: 4, Iters: 60})
+		if len(r.Rows) != 6 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+func BenchmarkCatalogStudy(b *testing.B) {
+	var imp float64
+	for i := 0; i < b.N; i++ {
+		r := experiments.CatalogStudy(experiments.CatalogParams{Queries: 4, Iters: 30})
+		imp = r.TotalImprovementPct
+	}
+	b.ReportMetric(imp, "total-improvement-%")
+}
+
+func BenchmarkAQEStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AQEStudy(experiments.AQEParams{Queries: []int{1, 2}, Iters: 25})
+		if len(r.Rows) != 2 {
+			b.Fatal("rows")
+		}
+	}
+}

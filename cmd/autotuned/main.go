@@ -1,0 +1,69 @@
+// Command autotuned runs the Autotune Backend (Section 5, Figure 7) as a
+// standalone HTTP daemon: token issuing, model storage, event ingestion with
+// streaming model retraining, and app-cache generation. Autotune Clients
+// (internal/client) point at its address.
+//
+// Usage:
+//
+//	autotuned [-addr :8080] [-secret cluster-secret] [-space query|full]
+//	          [-retention 720h]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/rockhopper-db/rockhopper/internal/backend"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	secret := flag.String("secret", "", "cluster shared secret (required)")
+	spaceName := flag.String("space", "query", "configuration space: query (3 params) or full (7 params)")
+	retention := flag.Duration("retention", 30*24*time.Hour, "event-file retention window (GDPR cleanup)")
+	signingKey := flag.String("signing-key", "", "token signing key (required)")
+	flag.Parse()
+
+	if *secret == "" || *signingKey == "" {
+		fmt.Fprintln(os.Stderr, "autotuned: -secret and -signing-key are required")
+		os.Exit(2)
+	}
+	var space *sparksim.Space
+	switch *spaceName {
+	case "query":
+		space = sparksim.QuerySpace()
+	case "full":
+		space = sparksim.FullSpace()
+	default:
+		fmt.Fprintf(os.Stderr, "autotuned: unknown space %q\n", *spaceName)
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "autotuned: ", log.LstdFlags)
+	st := store.New([]byte(*signingKey))
+	srv := backend.New(space, st, *secret, uint64(time.Now().UnixNano()))
+	srv.Logger = logger
+	defer srv.Close()
+
+	// Storage Manager retention sweep.
+	go func() {
+		tick := time.NewTicker(time.Hour)
+		defer tick.Stop()
+		for range tick.C {
+			if n := st.CleanupOlderThan(*retention); n > 0 {
+				logger.Printf("retention cleanup removed %d event files", n)
+			}
+		}
+	}()
+
+	logger.Printf("listening on %s (space=%s, retention=%v)", *addr, *spaceName, *retention)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		logger.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+// Command flighting runs Rockhopper's offline exploration pipeline (Section
+// 4.2): it executes a benchmark suite on the simulated Spark engine under
+// randomly generated configurations and writes the execution traces — the
+// baseline-model training data — as JSON lines.
+//
+// Usage:
+//
+//	flighting [-config file.json] [-suite tpcds|tpch] [-runs N]
+//	          [-scale F] [-seed N] [-out traces.jsonl]
+//
+// With -config, the JSON file supplies the full flighting configuration
+// (matching the production pipeline's config-file interface); the other
+// flags override individual fields.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/rockhopper-db/rockhopper/internal/flighting"
+	"github.com/rockhopper-db/rockhopper/internal/noise"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/workloads"
+)
+
+func main() {
+	configPath := flag.String("config", "", "JSON flighting configuration file")
+	suite := flag.String("suite", "tpcds", "benchmark suite: tpcds or tpch")
+	runs := flag.Int("runs", 20, "random configurations per query")
+	scale := flag.Float64("scale", 1, "benchmark scale factor")
+	seed := flag.Uint64("seed", 42, "pipeline seed")
+	out := flag.String("out", "", "output path (default stdout)")
+	flag.Parse()
+
+	cfg := flighting.Config{
+		Suite:        workloads.Suite(*suite),
+		RunsPerQuery: *runs,
+		ScaleFactor:  *scale,
+		Algorithm:    "random",
+		Seed:         *seed,
+		Noise:        noise.Low,
+	}
+	if *configPath != "" {
+		blob, err := os.ReadFile(*configPath)
+		if err != nil {
+			fatal("read config: %v", err)
+		}
+		if err := json.Unmarshal(blob, &cfg); err != nil {
+			fatal("parse config: %v", err)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal("%v", err)
+	}
+
+	pipe := flighting.NewPipeline(sparksim.NewEngine(sparksim.QuerySpace()))
+	traces, err := pipe.Run(cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("create output: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := flighting.WriteTraces(w, traces); err != nil {
+		fatal("write traces: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "flighting: wrote %d traces (%s, %d runs/query, SF %g)\n",
+		len(traces), cfg.Suite, cfg.RunsPerQuery, cfg.ScaleFactor)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "flighting: "+format+"\n", args...)
+	os.Exit(1)
+}

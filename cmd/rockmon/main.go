@@ -1,0 +1,93 @@
+// Command rockmon renders the monitoring dashboard (Section 6.3) from a
+// JSON-lines trace file: per-signature performance trends, configuration
+// traces, and root-cause attribution of performance changes.
+//
+// Usage:
+//
+//	rockmon -traces traces.jsonl [-signature sig] [-space query|full] [-every 5]
+//
+// Without -signature, every signature found in the file is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/rockhopper-db/rockhopper/internal/flighting"
+	"github.com/rockhopper-db/rockhopper/internal/monitor"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+)
+
+func main() {
+	path := flag.String("traces", "", "JSON-lines trace file (required)")
+	signature := flag.String("signature", "", "only report this query signature")
+	spaceName := flag.String("space", "query", "configuration space: query or full")
+	every := flag.Int("every", 5, "sample the configuration trace every N events")
+	flag.Parse()
+
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "rockmon: -traces is required")
+		os.Exit(2)
+	}
+	var space *sparksim.Space
+	switch *spaceName {
+	case "query":
+		space = sparksim.QuerySpace()
+	case "full":
+		space = sparksim.FullSpace()
+	default:
+		fmt.Fprintf(os.Stderr, "rockmon: unknown space %q\n", *spaceName)
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rockmon: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	traces, err := flighting.ReadTraces(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rockmon: %v\n", err)
+		os.Exit(1)
+	}
+
+	dashboards := map[string]*monitor.Dashboard{}
+	var order []string
+	counts := map[string]int{}
+	for _, tr := range traces {
+		if *signature != "" && tr.QueryID != *signature {
+			continue
+		}
+		if len(tr.Config) != space.Dim() {
+			fmt.Fprintf(os.Stderr, "rockmon: trace for %s has %d config values, space has %d — wrong -space?\n",
+				tr.QueryID, len(tr.Config), space.Dim())
+			os.Exit(1)
+		}
+		d, ok := dashboards[tr.QueryID]
+		if !ok {
+			d = monitor.New(space, tr.QueryID)
+			dashboards[tr.QueryID] = d
+			order = append(order, tr.QueryID)
+		}
+		d.Record(sparksim.Observation{
+			Config:    tr.Config,
+			DataSize:  tr.DataSize,
+			Time:      tr.TimeMs,
+			Iteration: counts[tr.QueryID],
+		}, nil)
+		counts[tr.QueryID]++
+	}
+	if len(order) == 0 {
+		fmt.Fprintln(os.Stderr, "rockmon: no matching traces")
+		os.Exit(1)
+	}
+	for _, sig := range order {
+		d := dashboards[sig]
+		d.Report(os.Stdout)
+		fmt.Println()
+		d.ConfigTrace(os.Stdout, *every)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,58 @@
+package rockhopper_test
+
+import (
+	"fmt"
+
+	"github.com/rockhopper-db/rockhopper"
+)
+
+// The minimal tuning loop: one tuner per recurrent query, driven by the
+// caller's own executions (here: the bundled simulator, noiselessly, so the
+// output is deterministic).
+func ExampleNewTuner() {
+	space := rockhopper.QuerySpace()
+	engine := rockhopper.NewEngine(space)
+	query, _ := rockhopper.NewBenchmarkQuery("tpcds", 2, 99)
+
+	tuner, _ := rockhopper.NewTuner(space, rockhopper.WithSeed(7), rockhopper.WithoutGuardrail())
+	size := query.Plan.LeafInputBytes()
+	first, last := 0.0, 0.0
+	for i := 0; i < 40; i++ {
+		cfg := tuner.Recommend(i, size)
+		obs := engine.Run(query, cfg, 1, nil, nil) // the user's execution
+		obs.Iteration = i
+		_ = tuner.Report(obs)
+		if i == 0 {
+			first = obs.Time
+		}
+		last = obs.Time
+	}
+	fmt.Printf("improved: %v\n", last < first)
+	// Output: improved: true
+}
+
+// Spaces are ordered parameter sets; configurations are plain float vectors
+// addressed by parameter name.
+func ExampleSpace() {
+	space := rockhopper.QuerySpace()
+	cfg := space.Default()
+	fmt.Printf("%s = %.0f\n", rockhopper.ShufflePartitions, space.Get(cfg, rockhopper.ShufflePartitions))
+	cfg = space.With(cfg, rockhopper.ShufflePartitions, 64)
+	fmt.Printf("tuned to %.0f\n", space.Get(cfg, rockhopper.ShufflePartitions))
+	// Output:
+	// spark.sql.shuffle.partitions = 200
+	// tuned to 64
+}
+
+// A Manager keeps one tuner per query signature, creating them on demand —
+// the per-query tuning model of the production deployment.
+func ExampleManager() {
+	m, _ := rockhopper.NewManager(rockhopper.QuerySpace())
+	q1, _ := rockhopper.NewBenchmarkQuery("tpch", 1, 5)
+	q2, _ := rockhopper.NewBenchmarkQuery("tpch", 2, 5)
+	a, _ := m.Tuner(rockhopper.SignatureOf(q1.Plan))
+	b, _ := m.Tuner(rockhopper.SignatureOf(q2.Plan))
+	again, _ := m.Tuner(rockhopper.SignatureOf(q1.Plan))
+	fmt.Println(m.Len(), a == again, a == b)
+	// Output: 2 true false
+}

@@ -1,0 +1,53 @@
+// Monitoring and root-cause analysis: tune a query while the dashboard
+// records every execution's configuration and runtime metrics (tasks,
+// spill, join strategy), then render the posterior analysis the production
+// system exposes to customers — configuration traces, performance trends,
+// and an attribution of the observed speedup to specific Spark parameters
+// (Section 6.3 of the paper).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/rockhopper-db/rockhopper"
+	"github.com/rockhopper-db/rockhopper/internal/noise"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+func main() {
+	space := rockhopper.QuerySpace()
+	engine := rockhopper.NewEngine(space)
+	query, err := rockhopper.NewBenchmarkQuery("tpcds", 2, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query signature: %s\n\n", rockhopper.SignatureOf(query.Plan))
+
+	tuner, err := rockhopper.NewTuner(space, rockhopper.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dash := rockhopper.NewDashboard(space, query.ID)
+
+	rng := stats.NewRNG(11)
+	production := noise.Model{FL: 0.3, SL: 0.3}
+	size := query.Plan.LeafInputBytes()
+	for i := 0; i < 60; i++ {
+		cfg := tuner.Recommend(i, size)
+		obs := engine.Run(query, cfg, 1, rng, production)
+		obs.Iteration = i
+		if err := tuner.Report(obs); err != nil {
+			log.Fatal(err)
+		}
+		// The query listener collects the stage metrics alongside the
+		// observation; on a real cluster these come from the Spark event log.
+		stages, _ := engine.Explain(query, cfg, 1)
+		dash.Record(obs, stages)
+	}
+
+	dash.ConfigTrace(os.Stdout, 10)
+	fmt.Println()
+	dash.Report(os.Stdout)
+}

@@ -1,0 +1,89 @@
+// Production conditions: a recurrent workload whose input size drifts and
+// cycles while observations suffer heavy fluctuation noise and 2× spikes —
+// the environment of the paper's Section 6.1 dynamic-workload study — tuned
+// with the conservative guardrail enabled. Demonstrates that Centroid
+// Learning keeps improving under drift and that the guardrail reverts a
+// pathological query to defaults instead of chasing noise.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/rockhopper-db/rockhopper"
+	"github.com/rockhopper-db/rockhopper/internal/noise"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+func main() {
+	space := rockhopper.QuerySpace()
+	engine := rockhopper.NewEngine(space)
+	rng := stats.NewRNG(5150)
+
+	fmt.Println("— part 1: dynamic recurrent workload under high noise —")
+	query, err := rockhopper.NewBenchmarkQuery("tpcds", 2, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuner, err := rockhopper.NewTuner(space, rockhopper.WithSeed(1),
+		rockhopper.WithGuardrail(30, 0.01, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	high := noise.High // FL=1, SL=1: the paper's worst case
+	var early, late []float64
+	for i := 0; i < 120; i++ {
+		// Periodic input sizes with jitter: scale cycles between 1× and 2×.
+		scale := 1 + float64(i%20)/20 + 0.1*rng.NormFloat64()
+		if scale < 0.2 {
+			scale = 0.2
+		}
+		size := query.Plan.LeafInputBytes() * scale
+		cfg := tuner.Recommend(i, size)
+		obs := engine.Run(query, cfg, scale, rng, high)
+		obs.Iteration = i
+		if err := tuner.Report(obs); err != nil {
+			log.Fatal(err)
+		}
+		normed := obs.TrueTime / scale
+		if i < 10 {
+			early = append(early, normed)
+		}
+		if i >= 100 {
+			late = append(late, normed)
+		}
+	}
+	fmt.Printf("size-normalized true time: first 10 iters median %.0f ms → last 20 median %.0f ms (%.1f%% better)\n",
+		stats.Median(early), stats.Median(late), 100*(1-stats.Median(late)/stats.Median(early)))
+	fmt.Printf("guardrail disabled autotuning: %v\n\n", tuner.Disabled())
+
+	fmt.Println("— part 2: the guardrail catches a pathological query —")
+	// Simulate a query whose performance degrades for reasons unrelated to
+	// configuration (e.g. upstream data blow-up the tuner cannot fix).
+	bad, err := rockhopper.NewTuner(space, rockhopper.WithSeed(2),
+		rockhopper.WithGuardrail(30, 0.01, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	disabledAt := -1
+	for i := 0; i < 80; i++ {
+		cfg := bad.Recommend(i, 1e9)
+		drift := 2000 * math.Pow(1.04, float64(i)) // 4% slower every run
+		observed := noise.Low.Inject(rng, drift)
+		if err := bad.Report(rockhopper.Observation{
+			Config: cfg, DataSize: 1e9, Time: observed, Iteration: i,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if bad.Disabled() {
+			disabledAt = i
+			break
+		}
+	}
+	if disabledAt >= 0 {
+		fmt.Printf("autotuning disabled at iteration %d; recommendations revert to the default config\n", disabledAt)
+	} else {
+		fmt.Println("guardrail did not trigger within 80 iterations")
+	}
+}

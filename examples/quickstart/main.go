@@ -1,0 +1,59 @@
+// Quickstart: tune a single recurrent query with Centroid Learning against
+// the bundled Spark simulator. This is the smallest complete Rockhopper
+// loop: recommend a configuration, "execute" it, report the outcome.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/rockhopper-db/rockhopper"
+	"github.com/rockhopper-db/rockhopper/internal/noise"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+func main() {
+	// The production tuning space: spark.sql.files.maxPartitionBytes,
+	// spark.sql.autoBroadcastJoinThreshold, spark.sql.shuffle.partitions.
+	space := rockhopper.QuerySpace()
+
+	// The bundled simulator plays the role of the Spark cluster. Query 2 of
+	// the synthetic TPC-DS-like suite has ~28% tuning headroom.
+	engine := rockhopper.NewEngine(space)
+	query, err := rockhopper.NewBenchmarkQuery("tpcds", 2, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tuner, err := rockhopper.NewTuner(space, rockhopper.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := stats.NewRNG(11)
+	production := noise.Model{FL: 0.3, SL: 0.3} // fluctuations + spikes
+	inputBytes := query.Plan.LeafInputBytes()
+
+	defaultMs := engine.TrueTime(query, space.Default(), 1)
+	fmt.Printf("query %s: default configuration runs in %.0f ms\n", query.ID, defaultMs)
+
+	var lastTrue float64
+	for i := 0; i < 60; i++ {
+		cfg := tuner.Recommend(i, inputBytes)
+		obs := engine.Run(query, cfg, 1, rng, production)
+		obs.Iteration = i
+		if err := tuner.Report(obs); err != nil {
+			log.Fatal(err)
+		}
+		lastTrue = obs.TrueTime
+		if i%10 == 0 {
+			fmt.Printf("iter %2d: observed %7.0f ms (true %7.0f) | partitions=%4.0f maxPartition=%3.0fMB broadcast=%3.0fMB\n",
+				i, obs.Time, obs.TrueTime,
+				space.Get(cfg, rockhopper.ShufflePartitions),
+				space.Get(cfg, rockhopper.MaxPartitionBytes)/(1<<20),
+				space.Get(cfg, rockhopper.AutoBroadcastJoinThr)/(1<<20))
+		}
+	}
+	fmt.Printf("final true time %.0f ms (%.1f%% faster than default); guardrail disabled: %v\n",
+		lastTrue, 100*(1-lastTrue/defaultMs), tuner.Disabled())
+}

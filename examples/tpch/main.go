@@ -1,0 +1,83 @@
+// TPC-H sweep with transfer learning: tune all 22 queries of the synthetic
+// TPC-H-like suite, warm-starting each tuner from offline observations
+// gathered on the TPC-DS-like suite — the deployment protocol behind the
+// paper's Figure 14. Prints a per-query improvement table.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/rockhopper-db/rockhopper"
+	"github.com/rockhopper-db/rockhopper/internal/noise"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+const (
+	iters      = 40
+	flightRuns = 25 // offline samples per TPC-DS query
+)
+
+func main() {
+	space := rockhopper.QuerySpace()
+	engine := rockhopper.NewEngine(space)
+	rng := stats.NewRNG(2024)
+
+	// Offline phase: random exploration on a handful of TPC-DS queries
+	// builds the warm-start pool (the flighting pipeline's job).
+	var warm []rockhopper.BaselinePoint
+	for _, dsIdx := range []int{1, 2, 3, 5, 7, 11} {
+		q, err := rockhopper.NewBenchmarkQuery("tpcds", dsIdx, 2024)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctx := rockhopper.EmbedPlan(q.Plan)
+		for i := 0; i < flightRuns; i++ {
+			cfg := space.Random(rng)
+			obs := engine.Run(q, cfg, 1, rng, noise.Low)
+			warm = append(warm, rockhopper.BaselinePoint{
+				Context: ctx, Config: obs.Config, DataSize: obs.DataSize, Time: obs.Time,
+			})
+		}
+	}
+	fmt.Printf("offline phase: %d warm-start observations from TPC-DS\n\n", len(warm))
+
+	// Online phase: per-query Centroid Learning on TPC-H under production
+	// noise, warm-started from the benchmark knowledge.
+	production := noise.Model{FL: 0.3, SL: 0.3}
+	fmt.Printf("%-10s %10s %10s %8s\n", "query", "default", "tuned", "gain %")
+	var defTotal, tunedTotal float64
+	for idx := 1; idx <= 22; idx++ {
+		q, err := rockhopper.NewBenchmarkQuery("tpch", idx, 2024)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tuner, err := rockhopper.NewTuner(space,
+			rockhopper.WithSeed(uint64(1000+idx)),
+			rockhopper.WithWarmStart(rockhopper.EmbedPlan(q.Plan), warm),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		size := q.Plan.LeafInputBytes()
+		var tail []float64
+		for i := 0; i < iters; i++ {
+			cfg := tuner.Recommend(i, size)
+			obs := engine.Run(q, cfg, 1, rng, production)
+			obs.Iteration = i
+			if err := tuner.Report(obs); err != nil {
+				log.Fatal(err)
+			}
+			if i >= iters-iters/5 {
+				tail = append(tail, obs.TrueTime)
+			}
+		}
+		def := engine.TrueTime(q, space.Default(), 1)
+		tuned := stats.Median(tail)
+		defTotal += def
+		tunedTotal += tuned
+		fmt.Printf("%-10s %10.0f %10.0f %8.1f\n", q.ID, def, tuned, 100*(1-tuned/def))
+	}
+	fmt.Printf("\ntotal: %.0f → %.0f ms (%.1f%% improvement)\n",
+		defTotal, tunedTotal, 100*(1-tunedTotal/defTotal))
+}

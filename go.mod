@@ -1,0 +1,3 @@
+module github.com/rockhopper-db/rockhopper
+
+go 1.22

@@ -1,0 +1,228 @@
+// Package applevel implements Section 4.4: application-level configuration
+// optimization. App-level parameters (executor count, executor memory,
+// off-heap settings) are fixed at Spark application startup, before any
+// query — and therefore any workload embedding — exists. Rockhopper solves
+// this with (1) a pre-computed app_cache keyed by artifact_id, filled in
+// after each application run when all query information is available, and
+// (2) the joint optimization of Algorithm 2, which scores app-level
+// candidates by the best query-level completion they admit.
+package applevel
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/rockhopper-db/rockhopper/internal/ml"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+	"github.com/rockhopper-db/rockhopper/internal/tuners"
+)
+
+// ArtifactID derives the stable identifier of a recurrent Spark application
+// from its artifact — "a hash of a PySpark notebook or a Spark job
+// description in JSON format".
+func ArtifactID(artifact []byte) string {
+	sum := sha256.Sum256(artifact)
+	return "artifact-" + hex.EncodeToString(sum[:8])
+}
+
+// QueryState is the per-query information Algorithm 2 consumes: the query's
+// current centroid (anchor for query-level candidates) and a predictor of
+// execution time as a function of the full configuration and input size.
+type QueryState struct {
+	// ID is the query signature.
+	ID string
+	// Centroid anchors query-level candidate generation.
+	Centroid sparksim.Config
+	// DataSize is the query's expected input bytes.
+	DataSize float64
+	// Predict estimates execution time (ms) for a full configuration;
+	// lower is better. This is the per-query surrogate model f_q.
+	Predict func(cfg sparksim.Config, dataSize float64) float64
+}
+
+// FitQueryState builds a QueryState from a query's observation history by
+// fitting the H(c, p) window model. It returns an error when the history is
+// too small for a stable fit.
+func FitQueryState(space *sparksim.Space, id string, centroid sparksim.Config, obs []sparksim.Observation) (QueryState, error) {
+	if len(obs) < 4 {
+		return QueryState{}, fmt.Errorf("applevel: %d observations for %q, need ≥ 4", len(obs), id)
+	}
+	x := make([][]float64, len(obs))
+	y := make([]float64, len(obs))
+	for i, o := range obs {
+		x[i] = tuners.ConfigFeatures(space, nil, o.Config, o.DataSize)
+		y[i] = math.Log1p(o.Time)
+	}
+	kr := ml.NewKernelRidge()
+	kr.Alpha = 0.3
+	if err := kr.Fit(x, y); err != nil {
+		return QueryState{}, fmt.Errorf("applevel: fit %q: %w", id, err)
+	}
+	size := obs[len(obs)-1].DataSize
+	return QueryState{
+		ID:       id,
+		Centroid: centroid.Clone(),
+		DataSize: size,
+		Predict: func(cfg sparksim.Config, p float64) float64 {
+			return math.Expm1(kr.Predict(tuners.ConfigFeatures(space, nil, cfg, p)))
+		},
+	}, nil
+}
+
+// JointOptimizer is Algorithm 2: generate M app-level candidates, complete
+// each with the best query-level candidates per query, and return the
+// app-level candidate with the best total predicted performance.
+type JointOptimizer struct {
+	Space *sparksim.Space
+	// M is the number of app-level candidates.
+	M int
+	// N is the number of query-level candidates per query.
+	N int
+	// Beta bounds candidate neighbourhoods, like Centroid Learning's β.
+	Beta float64
+	RNG  *stats.RNG
+}
+
+// NewJointOptimizer returns an optimizer with production-like budgets.
+func NewJointOptimizer(space *sparksim.Space, rng *stats.RNG) *JointOptimizer {
+	return &JointOptimizer{Space: space, M: 16, N: 12, Beta: 0.08, RNG: rng}
+}
+
+// combine overlays w's query-level values onto v's app-level values.
+func (jo *JointOptimizer) combine(v, w sparksim.Config) sparksim.Config {
+	out := v.Clone()
+	for _, i := range jo.Space.QueryParams() {
+		out[i] = w[i]
+	}
+	return out
+}
+
+// Optimize runs Algorithm 2 starting from the current app-level setting and
+// returns the best app-level configuration (query-level dimensions carry the
+// current values of `current` and are ignored by callers). It returns an
+// error when there are no queries or the space has no app-level parameters.
+func (jo *JointOptimizer) Optimize(current sparksim.Config, queries []QueryState) (sparksim.Config, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("applevel: no queries to optimize over")
+	}
+	appDims := jo.Space.AppParams()
+	if len(appDims) == 0 {
+		return nil, fmt.Errorf("applevel: space has no app-level parameters")
+	}
+	// V ← M app-level candidates around the current setting. Neighborhood
+	// perturbs every dimension; we then restore query-level dims so only
+	// app-level values vary across V.
+	raw := jo.Space.Neighborhood(current, jo.Beta, jo.M, jo.RNG)
+	v := make([]sparksim.Config, 0, jo.M+1)
+	v = append(v, current.Clone())
+	for _, cand := range raw {
+		c := current.Clone()
+		for _, i := range appDims {
+			c[i] = cand[i]
+		}
+		v = append(v, c)
+	}
+	// W_q ← N query-level candidates around each query's centroid.
+	wq := make([][]sparksim.Config, len(queries))
+	for qi, q := range queries {
+		wq[qi] = append(jo.Space.Neighborhood(q.Centroid, jo.Beta, jo.N, jo.RNG), q.Centroid.Clone())
+	}
+	bestIdx, bestScore := -1, math.Inf(1)
+	for vi, app := range v {
+		var total float64
+		for qi, q := range queries {
+			// c*_q(v): the best query-level completion under this app config.
+			best := math.Inf(1)
+			for _, w := range wq[qi] {
+				cfg := jo.combine(app, w)
+				if t := q.Predict(cfg, q.DataSize); t < best {
+					best = t
+				}
+			}
+			total += best
+		}
+		if total < bestScore {
+			bestIdx, bestScore = vi, total
+		}
+	}
+	if bestIdx < 0 {
+		return nil, fmt.Errorf("applevel: all candidates scored non-finite")
+	}
+	return v[bestIdx], nil
+}
+
+// CacheEntry is one pre-computed app-level configuration.
+type CacheEntry struct {
+	ArtifactID string          `json:"artifact_id"`
+	Config     sparksim.Config `json:"config"`
+	// Score is the total predicted time that selected this entry.
+	Score float64 `json:"score"`
+	// Runs counts how many application completions contributed.
+	Runs int `json:"runs"`
+}
+
+// Cache is the app_cache: pre-computed app-level configurations keyed by
+// artifact_id, retrieved at job submission to bypass joint optimization on
+// the critical path (Section 4.4 "Pre-compute app cache"). It is safe for
+// concurrent use; the backend's App Cache Generator writes while job
+// submissions read.
+type Cache struct {
+	mu sync.RWMutex
+	m  map[string]CacheEntry
+}
+
+// NewCache returns an empty app cache.
+func NewCache() *Cache { return &Cache{m: make(map[string]CacheEntry)} }
+
+// Get returns the cached entry for an artifact, if present.
+func (c *Cache) Get(artifactID string) (CacheEntry, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.m[artifactID]
+	return e, ok
+}
+
+// Put stores the optimal app-level configuration computed after an
+// application run, incrementing the run counter.
+func (c *Cache) Put(artifactID string, cfg sparksim.Config, score float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev := c.m[artifactID]
+	c.m[artifactID] = CacheEntry{
+		ArtifactID: artifactID,
+		Config:     cfg.Clone(),
+		Score:      score,
+		Runs:       prev.Runs + 1,
+	}
+}
+
+// Len returns the number of cached artifacts.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// MarshalJSON serializes the cache for persistence in the backend store.
+func (c *Cache) MarshalJSON() ([]byte, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return json.Marshal(c.m)
+}
+
+// UnmarshalJSON restores a serialized cache.
+func (c *Cache) UnmarshalJSON(data []byte) error {
+	m := make(map[string]CacheEntry)
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = m
+	return nil
+}

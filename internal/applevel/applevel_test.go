@@ -1,0 +1,181 @@
+package applevel
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+	"github.com/rockhopper-db/rockhopper/internal/workloads"
+)
+
+func TestArtifactIDStable(t *testing.T) {
+	a := ArtifactID([]byte("notebook-v1"))
+	b := ArtifactID([]byte("notebook-v1"))
+	c := ArtifactID([]byte("notebook-v2"))
+	if a != b {
+		t.Fatal("artifact id not deterministic")
+	}
+	if a == c {
+		t.Fatal("different artifacts must not collide")
+	}
+	if !strings.HasPrefix(a, "artifact-") || len(a) != len("artifact-")+16 {
+		t.Fatalf("unexpected id shape %q", a)
+	}
+}
+
+func TestFitQueryStateRequiresData(t *testing.T) {
+	space := sparksim.FullSpace()
+	if _, err := FitQueryState(space, "q", space.Default(), nil); err == nil {
+		t.Fatal("empty history should error")
+	}
+}
+
+func TestFitQueryStatePredicts(t *testing.T) {
+	space := sparksim.FullSpace()
+	e := sparksim.NewEngine(space)
+	q := workloads.NewGenerator(1).Query(workloads.TPCDS, 2)
+	r := stats.NewRNG(2)
+	var obs []sparksim.Observation
+	for i := 0; i < 40; i++ {
+		cfg := space.Random(r)
+		obs = append(obs, e.Run(q, cfg, 1, r, nil))
+	}
+	qs, err := FitQueryState(space, q.ID, space.Default(), obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions must rank a clearly bad configuration above a good one.
+	good, _ := e.OptimalConfig(q, 1, 10)
+	bad := space.With(space.Default(), sparksim.ShufflePartitions, 8)
+	bad = space.With(bad, sparksim.MaxPartitionBytes, 1<<20)
+	bad = space.With(bad, sparksim.ExecutorInstances, 1)
+	if qs.Predict(good, qs.DataSize) >= qs.Predict(bad, qs.DataSize) {
+		t.Fatal("query-state surrogate cannot rank good vs bad config")
+	}
+}
+
+func TestJointOptimizerImprovesAppConfig(t *testing.T) {
+	space := sparksim.FullSpace()
+	e := sparksim.NewEngine(space)
+	gen := workloads.NewGenerator(3)
+	app := gen.Notebook(1, 3)
+	r := stats.NewRNG(4)
+
+	// Start from an under-provisioned app config.
+	start := space.With(space.Default(), sparksim.ExecutorInstances, 2)
+
+	// Build query states from random exploration history (true times, so
+	// the test isolates Algorithm 2 from surrogate noise).
+	states := make([]QueryState, len(app.Queries))
+	for i, q := range app.Queries {
+		q := q
+		states[i] = QueryState{
+			ID:       q.ID,
+			Centroid: start.Clone(),
+			DataSize: q.Plan.LeafInputBytes(),
+			Predict: func(cfg sparksim.Config, _ float64) float64 {
+				return e.TrueTime(q, cfg, 1)
+			},
+		}
+	}
+	jo := NewJointOptimizer(space, r)
+	jo.Beta = 0.25 // allow reaching better executor counts in one call
+	best, err := jo.Optimize(start, states)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query-level dims of the result must equal the anchor's (only app dims vary).
+	for _, i := range space.QueryParams() {
+		if best[i] != start[i] {
+			t.Fatalf("query-level dim %d changed at app level", i)
+		}
+	}
+	totalAt := func(cfg sparksim.Config) float64 {
+		var s float64
+		for _, q := range app.Queries {
+			s += e.TrueTime(q, cfg, 1)
+		}
+		return s
+	}
+	if totalAt(best) > totalAt(start) {
+		t.Fatalf("joint optimization regressed: %g vs %g", totalAt(best), totalAt(start))
+	}
+}
+
+func TestJointOptimizerErrors(t *testing.T) {
+	full := sparksim.FullSpace()
+	jo := NewJointOptimizer(full, stats.NewRNG(1))
+	if _, err := jo.Optimize(full.Default(), nil); err == nil {
+		t.Fatal("no queries should error")
+	}
+	qOnly := sparksim.QuerySpace()
+	jo2 := NewJointOptimizer(qOnly, stats.NewRNG(1))
+	qs := QueryState{Centroid: qOnly.Default(), Predict: func(sparksim.Config, float64) float64 { return 1 }}
+	if _, err := jo2.Optimize(qOnly.Default(), []QueryState{qs}); err == nil {
+		t.Fatal("space without app params should error")
+	}
+}
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache()
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("empty cache should miss")
+	}
+	cfg := sparksim.FullSpace().Default()
+	c.Put("a1", cfg, 123)
+	c.Put("a1", cfg, 120)
+	e, ok := c.Get("a1")
+	if !ok || e.Score != 120 || e.Runs != 2 {
+		t.Fatalf("cache entry wrong: %+v", e)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	// Stored config must be a copy.
+	cfg[0] = -1
+	e, _ = c.Get("a1")
+	if e.Config[0] == -1 {
+		t.Fatal("cache must own its config copy")
+	}
+}
+
+func TestCacheJSONRoundTrip(t *testing.T) {
+	c := NewCache()
+	c.Put("a1", sparksim.FullSpace().Default(), 99)
+	blob, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := NewCache()
+	if err := json.Unmarshal(blob, back); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := back.Get("a1")
+	if !ok || e.Score != 99 {
+		t.Fatalf("round trip lost entry: %+v", e)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache()
+	cfg := sparksim.FullSpace().Default()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				c.Put("shared", cfg, float64(j))
+				c.Get("shared")
+				c.Len()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if e, ok := c.Get("shared"); !ok || e.Runs != 1600 {
+		t.Fatalf("concurrent puts lost updates: %+v", e)
+	}
+}

@@ -1,0 +1,448 @@
+// Package backend implements the Autotune Backend of Section 5 (Figure 7)
+// over net/http: it issues scoped access tokens (the SAS-URL analogue)
+// after authenticating callers against the cluster token service, serves
+// model files and the pre-computed app_cache, ingests Spark event files,
+// and hosts the two streaming jobs that close the loop — the Model Updater,
+// which retrains a query signature's surrogate whenever new events arrive,
+// and the App Cache Generator, which runs the Algorithm 2 joint optimizer
+// after an application completes.
+package backend
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/rockhopper-db/rockhopper/internal/applevel"
+	"github.com/rockhopper-db/rockhopper/internal/eventlog"
+	"github.com/rockhopper-db/rockhopper/internal/flighting"
+	"github.com/rockhopper-db/rockhopper/internal/ml"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+	"github.com/rockhopper-db/rockhopper/internal/store"
+	"github.com/rockhopper-db/rockhopper/internal/tuners"
+)
+
+// ClusterTokenHeader carries the Spark-cluster credential; the Autotune
+// Manager validates it against the Fabric token service (simulated by a
+// shared secret).
+const ClusterTokenHeader = "X-Cluster-Token"
+
+// SASTokenHeader carries a store-scoped access token on object requests.
+const SASTokenHeader = "X-Sas-Token"
+
+// TokenRequest asks for a scoped store token.
+type TokenRequest struct {
+	Prefix string           `json:"prefix"`
+	Perm   store.Permission `json:"perm"`
+}
+
+// TokenResponse returns the signed token.
+type TokenResponse struct {
+	Token string `json:"token"`
+	// TTLSeconds informs the client's refresh schedule.
+	TTLSeconds float64 `json:"ttl_seconds"`
+}
+
+// QueryHistory is one query's tuning state shipped to the App Cache
+// Generator after an application run.
+type QueryHistory struct {
+	ID           string                 `json:"id"`
+	Centroid     sparksim.Config        `json:"centroid"`
+	Observations []sparksim.Observation `json:"observations"`
+}
+
+// AppCacheRequest asks the backend to recompute an artifact's app-level
+// configuration from the run's per-query histories.
+type AppCacheRequest struct {
+	ArtifactID string          `json:"artifact_id"`
+	Current    sparksim.Config `json:"current"`
+	Queries    []QueryHistory  `json:"queries"`
+}
+
+// Server is the Autotune Backend.
+type Server struct {
+	Space *sparksim.Space
+	Store *store.Store
+	Cache *applevel.Cache
+	// ClusterSecret authenticates Spark clusters.
+	ClusterSecret string
+	// TokenTTL bounds issued tokens.
+	TokenTTL time.Duration
+	// Logger receives operational messages; nil silences them.
+	Logger *log.Logger
+
+	rng *stats.RNG
+
+	// Model Updater queue. pending counts enqueued-but-unprocessed updates
+	// so tests and shutdown can Flush deterministically.
+	updates chan updateJob
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending int
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type updateJob struct {
+	user      string
+	signature string
+}
+
+// New constructs a backend server and starts its streaming jobs.
+func New(space *sparksim.Space, st *store.Store, clusterSecret string, seed uint64) *Server {
+	s := &Server{
+		Space:         space,
+		Store:         st,
+		Cache:         applevel.NewCache(),
+		ClusterSecret: clusterSecret,
+		TokenTTL:      15 * time.Minute,
+		rng:           stats.NewRNG(seed),
+		updates:       make(chan updateJob, 256),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(1)
+	go s.modelUpdater()
+	return s
+}
+
+// Close stops the streaming jobs after draining the queue.
+func (s *Server) Close() {
+	s.Flush()
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.updates)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Flush blocks until every enqueued model update has been processed.
+func (s *Server) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.pending > 0 {
+		s.cond.Wait()
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logger != nil {
+		s.Logger.Printf(format, args...)
+	}
+}
+
+// Handler returns the backend's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/token", s.handleToken)
+	mux.HandleFunc("GET /api/object", s.handleGetObject)
+	mux.HandleFunc("PUT /api/object", s.handlePutObject)
+	mux.HandleFunc("POST /api/events", s.handleEvents)
+	mux.HandleFunc("POST /api/eventlog", s.handleEventLog)
+	mux.HandleFunc("GET /api/appcache", s.handleGetAppCache)
+	mux.HandleFunc("POST /api/appcache", s.handleComputeAppCache)
+	return mux
+}
+
+// authenticated validates the cluster credential.
+func (s *Server) authenticated(r *http.Request) bool {
+	return r.Header.Get(ClusterTokenHeader) == s.ClusterSecret
+}
+
+func (s *Server) handleToken(w http.ResponseWriter, r *http.Request) {
+	if !s.authenticated(r) {
+		http.Error(w, "cluster token rejected", http.StatusUnauthorized)
+		return
+	}
+	var req TokenRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Prefix == "" || (req.Perm != store.PermRead && req.Perm != store.PermWrite) {
+		http.Error(w, "prefix and perm required", http.StatusBadRequest)
+		return
+	}
+	tok := s.Store.Sign(req.Prefix, req.Perm, s.TokenTTL)
+	writeJSON(w, TokenResponse{Token: tok, TTLSeconds: s.TokenTTL.Seconds()})
+}
+
+func (s *Server) handleGetObject(w http.ResponseWriter, r *http.Request) {
+	p := r.URL.Query().Get("path")
+	blob, err := s.Store.Get(r.Header.Get(SASTokenHeader), p)
+	if err != nil {
+		http.Error(w, err.Error(), storeStatus(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(blob)
+}
+
+func (s *Server) handlePutObject(w http.ResponseWriter, r *http.Request) {
+	p := r.URL.Query().Get("path")
+	blob, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.Store.Put(r.Header.Get(SASTokenHeader), p, blob); err != nil {
+		http.Error(w, err.Error(), storeStatus(err))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleEvents ingests a JSON-lines batch of execution traces for one query
+// signature, persists it as an event file, and enqueues a model update —
+// the Event Hub trigger of Figure 7.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	user, signature, jobID := q.Get("user"), q.Get("signature"), q.Get("job_id")
+	if user == "" || signature == "" || jobID == "" {
+		http.Error(w, "user, signature, job_id required", http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Validate the payload parses before persisting.
+	if _, err := flighting.ReadTraces(bytesReader(body)); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	seq := len(s.Store.List("events/" + jobID + "/"))
+	p := store.EventPath(jobID, seq)
+	if err := s.Store.Put(r.Header.Get(SASTokenHeader), p, body); err != nil {
+		http.Error(w, err.Error(), storeStatus(err))
+		return
+	}
+	// Track signature → event files so the updater can find training data.
+	s.Store.PutInternal(signatureIndexPath(user, signature, jobID, seq), nil)
+	s.enqueue(updateJob{user: user, signature: signature})
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// handleEventLog ingests a RAW Spark event log: the Embedding ETL parses
+// the listener events, extracts plans/configs/durations, computes workload
+// embeddings, and persists the digested traces — then the Model Updater is
+// triggered exactly as for pre-digested events. The signature is derived
+// from each execution's plan, so one log may feed several signatures.
+func (s *Server) handleEventLog(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	user, jobID := q.Get("user"), q.Get("job_id")
+	if user == "" || jobID == "" {
+		http.Error(w, "user and job_id required", http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 256<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	runs, err := eventlog.Parse(bytesReader(body), s.Space)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(runs) == 0 {
+		http.Error(w, "event log contains no complete executions", http.StatusUnprocessableEntity)
+		return
+	}
+	// Group digested traces by plan signature.
+	bySig := map[string][]flighting.Trace{}
+	for _, run := range runs {
+		sig := sparksim.Signature(run.Plan)
+		tr := eventlog.ETL([]eventlog.Run{run}, nil)
+		if len(tr) == 0 {
+			continue
+		}
+		tr[0].QueryID = sig
+		bySig[sig] = append(bySig[sig], tr[0])
+	}
+	// Verify the write token covers this job's event folder, then persist
+	// one event file per signature batch.
+	tok := r.Header.Get(SASTokenHeader)
+	for sig, traces := range bySig {
+		var buf bytes.Buffer
+		if err := flighting.WriteTraces(&buf, traces); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		seq := len(s.Store.List("events/" + jobID + "/"))
+		p := store.EventPath(jobID, seq)
+		if err := s.Store.Put(tok, p, buf.Bytes()); err != nil {
+			http.Error(w, err.Error(), storeStatus(err))
+			return
+		}
+		s.Store.PutInternal(signatureIndexPath(user, sig, jobID, seq), nil)
+		s.enqueue(updateJob{user: user, signature: sig})
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func signatureIndexPath(user, signature, jobID string, seq int) string {
+	return fmt.Sprintf("index/%s/%s/%s-%06d", user, signature, jobID, seq)
+}
+
+func (s *Server) enqueue(j updateJob) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.pending++
+	s.mu.Unlock()
+	s.updates <- j
+}
+
+// modelUpdater is the streaming Model Updater: it retrains the signature's
+// surrogate from all of its event files and stores the serialized model.
+func (s *Server) modelUpdater() {
+	defer s.wg.Done()
+	for j := range s.updates {
+		s.retrain(j.user, j.signature)
+		s.mu.Lock()
+		s.pending--
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) retrain(user, signature string) {
+	var traces []flighting.Trace
+	for _, idx := range s.Store.List(fmt.Sprintf("index/%s/%s/", user, signature)) {
+		// index/<user>/<sig>/<jobID>-<seq>
+		var jobID string
+		var seq int
+		if _, err := fmt.Sscanf(idx[len(fmt.Sprintf("index/%s/%s/", user, signature)):], "%s", &jobID); err != nil {
+			continue
+		}
+		if n, err := fmt.Sscanf(jobID[len(jobID)-6:], "%06d", &seq); n != 1 || err != nil {
+			continue
+		}
+		jobID = jobID[:len(jobID)-7]
+		blob, err := s.Store.GetInternal(store.EventPath(jobID, seq))
+		if err != nil {
+			continue
+		}
+		ts, err := flighting.ReadTraces(bytesReader(blob))
+		if err != nil {
+			continue
+		}
+		traces = append(traces, ts...)
+	}
+	if len(traces) < 4 {
+		return // not enough data yet; the client keeps using the baseline
+	}
+	x := make([][]float64, len(traces))
+	y := make([]float64, len(traces))
+	for i, t := range traces {
+		x[i] = tuners.ConfigFeatures(s.Space, nil, t.Config, t.DataSize)
+		y[i] = math.Log1p(t.TimeMs)
+	}
+	kr := ml.NewKernelRidge()
+	kr.Alpha = 0.3
+	if err := kr.Fit(x, y); err != nil {
+		s.logf("backend: retrain %s/%s: %v", user, signature, err)
+		return
+	}
+	blob, err := ml.Marshal(kr)
+	if err != nil {
+		s.logf("backend: marshal %s/%s: %v", user, signature, err)
+		return
+	}
+	s.Store.PutInternal(store.ModelPath(user, signature), blob)
+	s.logf("backend: retrained %s/%s on %d traces", user, signature, len(traces))
+}
+
+func (s *Server) handleGetAppCache(w http.ResponseWriter, r *http.Request) {
+	if !s.authenticated(r) {
+		http.Error(w, "cluster token rejected", http.StatusUnauthorized)
+		return
+	}
+	artifact := r.URL.Query().Get("artifact_id")
+	entry, ok := s.Cache.Get(artifact)
+	if !ok {
+		http.Error(w, "no cached configuration", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, entry)
+}
+
+// handleComputeAppCache is the App Cache Generator: it fits per-query
+// surrogates from the submitted histories, runs Algorithm 2, and stores the
+// winning app-level configuration under the artifact id.
+func (s *Server) handleComputeAppCache(w http.ResponseWriter, r *http.Request) {
+	if !s.authenticated(r) {
+		http.Error(w, "cluster token rejected", http.StatusUnauthorized)
+		return
+	}
+	var req AppCacheRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.ArtifactID == "" || len(req.Queries) == 0 || len(req.Current) != s.Space.Dim() {
+		http.Error(w, "artifact_id, current config, and queries required", http.StatusBadRequest)
+		return
+	}
+	states := make([]applevel.QueryState, 0, len(req.Queries))
+	for _, qh := range req.Queries {
+		qs, err := applevel.FitQueryState(s.Space, qh.ID, qh.Centroid, qh.Observations)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		states = append(states, qs)
+	}
+	jo := applevel.NewJointOptimizer(s.Space, s.rng.Split())
+	best, err := jo.Optimize(req.Current, states)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	var score float64
+	for _, qs := range states {
+		score += qs.Predict(best, qs.DataSize)
+	}
+	s.Cache.Put(req.ArtifactID, best, score)
+	entry, _ := s.Cache.Get(req.ArtifactID)
+	writeJSON(w, entry)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func storeStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case isTokenErr(err):
+		return http.StatusForbidden
+	default:
+		return http.StatusNotFound
+	}
+}
+
+func isTokenErr(err error) bool {
+	return errors.Is(err, store.ErrTokenInvalid) ||
+		errors.Is(err, store.ErrTokenExpired) ||
+		errors.Is(err, store.ErrTokenScope)
+}
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }

@@ -1,0 +1,330 @@
+// Package client implements the Autotune Client of Section 5: the
+// components running on a customer's Spark cluster. The credential manager
+// retrieves and caches scoped access tokens (SAS URLs) from the Autotune
+// Manager, the model loader fetches per-signature surrogate models, the
+// query listener writes execution event files back to the backend, and the
+// config-inference module combines a remotely trained model with local
+// Centroid Learning state to pick the configuration applied before the
+// physical planning stage.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/rockhopper-db/rockhopper/internal/applevel"
+	"github.com/rockhopper-db/rockhopper/internal/backend"
+	"github.com/rockhopper-db/rockhopper/internal/core"
+	"github.com/rockhopper-db/rockhopper/internal/flighting"
+	"github.com/rockhopper-db/rockhopper/internal/ml"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/store"
+	"github.com/rockhopper-db/rockhopper/internal/tuners"
+)
+
+// Client talks to the Autotune Backend. It is safe for concurrent use.
+type Client struct {
+	// BaseURL is the Autotune Manager endpoint, provided as a Spark
+	// configuration at job submission.
+	BaseURL string
+	// ClusterSecret is the Fabric-token-service credential.
+	ClusterSecret string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+	// Logger records inference rationale ("the suggested configurations
+	// along with their rationale"); nil silences it.
+	Logger *log.Logger
+
+	mu     sync.Mutex
+	tokens map[string]cachedToken
+}
+
+type cachedToken struct {
+	token   string
+	expires time.Time
+}
+
+// New returns a client for the given backend endpoint.
+func New(baseURL, clusterSecret string) *Client {
+	return &Client{BaseURL: baseURL, ClusterSecret: clusterSecret, tokens: make(map[string]cachedToken)}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.Logger != nil {
+		c.Logger.Printf(format, args...)
+	}
+}
+
+// Token returns a (possibly cached) access token for prefix+perm — the
+// AutotuneCredentialManager: "SAS URLs being cached and refreshed as
+// needed".
+func (c *Client) Token(prefix string, perm store.Permission) (string, error) {
+	key := string(perm) + "|" + prefix
+	c.mu.Lock()
+	if t, ok := c.tokens[key]; ok && time.Now().Before(t.expires) {
+		c.mu.Unlock()
+		return t.token, nil
+	}
+	c.mu.Unlock()
+
+	body, _ := json.Marshal(backend.TokenRequest{Prefix: prefix, Perm: perm})
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/api/token", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set(backend.ClusterTokenHeader, c.ClusterSecret)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", fmt.Errorf("client: token request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return "", fmt.Errorf("client: token request: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var tr backend.TokenResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return "", fmt.Errorf("client: token decode: %w", err)
+	}
+	// Refresh two minutes before expiry (or at half-life for short TTLs).
+	ttl := time.Duration(tr.TTLSeconds * float64(time.Second))
+	margin := 2 * time.Minute
+	if ttl <= 2*margin {
+		margin = ttl / 2
+	}
+	c.mu.Lock()
+	c.tokens[key] = cachedToken{token: tr.Token, expires: time.Now().Add(ttl - margin)}
+	c.mu.Unlock()
+	return tr.Token, nil
+}
+
+// GetObject fetches a store object through a read token on its directory.
+func (c *Client) GetObject(p string) ([]byte, error) {
+	tok, err := c.Token(dirOf(p), store.PermRead)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/api/object?path="+p, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(backend.SASTokenHeader, tok)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: get %s: %w", p, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return nil, fmt.Errorf("client: get %s: %s: %s", p, resp.Status, bytes.TrimSpace(msg))
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// PutObject writes a store object through a write token on its directory.
+func (c *Client) PutObject(p string, data []byte) error {
+	tok, err := c.Token(dirOf(p), store.PermWrite)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, c.BaseURL+"/api/object?path="+p, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set(backend.SASTokenHeader, tok)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: put %s: %w", p, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("client: put %s: %s: %s", p, resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+func dirOf(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[:i+1]
+		}
+	}
+	return p
+}
+
+// FetchModel loads and deserializes the surrogate for a query signature —
+// the model loader. A missing model is not an error; it returns (nil, nil)
+// so callers fall back to the baseline.
+func (c *Client) FetchModel(user, signature string) (ml.Regressor, error) {
+	blob, err := c.GetObject(store.ModelPath(user, signature))
+	if err != nil {
+		// Missing model: backend hasn't trained yet.
+		return nil, nil
+	}
+	m, err := ml.Unmarshal(blob)
+	if err != nil {
+		return nil, fmt.Errorf("client: model %s/%s: %w", user, signature, err)
+	}
+	return m, nil
+}
+
+// PostEvents ships a batch of execution traces to the backend — the query
+// listener's event write (Step 6 of Figure 7).
+func (c *Client) PostEvents(user, signature, jobID string, traces []flighting.Trace) error {
+	tok, err := c.Token("events/"+jobID+"/", store.PermWrite)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := flighting.WriteTraces(&buf, traces); err != nil {
+		return err
+	}
+	url := fmt.Sprintf("%s/api/events?user=%s&signature=%s&job_id=%s", c.BaseURL, user, signature, jobID)
+	req, err := http.NewRequest(http.MethodPost, url, &buf)
+	if err != nil {
+		return err
+	}
+	req.Header.Set(backend.SASTokenHeader, tok)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: post events: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("client: post events: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// PostEventLog ships a RAW Spark event log to the backend, which runs the
+// Embedding ETL server-side and derives query signatures from the plans in
+// the log. Use this when the client cannot (or should not) digest events
+// itself.
+func (c *Client) PostEventLog(user, jobID string, log []byte) error {
+	tok, err := c.Token("events/"+jobID+"/", store.PermWrite)
+	if err != nil {
+		return err
+	}
+	url := fmt.Sprintf("%s/api/eventlog?user=%s&job_id=%s", c.BaseURL, user, jobID)
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(log))
+	if err != nil {
+		return err
+	}
+	req.Header.Set(backend.SASTokenHeader, tok)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: post event log: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("client: post event log: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return nil
+}
+
+// FetchAppCache retrieves the pre-computed app-level configuration for a
+// recurrent artifact (Step 3 of Figure 7). ok is false when none exists.
+func (c *Client) FetchAppCache(artifactID string) (applevel.CacheEntry, bool, error) {
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/api/appcache?artifact_id="+artifactID, nil)
+	if err != nil {
+		return applevel.CacheEntry{}, false, err
+	}
+	req.Header.Set(backend.ClusterTokenHeader, c.ClusterSecret)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return applevel.CacheEntry{}, false, fmt.Errorf("client: app cache: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return applevel.CacheEntry{}, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return applevel.CacheEntry{}, false, fmt.Errorf("client: app cache: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var e applevel.CacheEntry
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		return applevel.CacheEntry{}, false, err
+	}
+	return e, true, nil
+}
+
+// ComputeAppCache asks the backend's App Cache Generator to recompute the
+// artifact's app-level configuration after an application run.
+func (c *Client) ComputeAppCache(reqBody backend.AppCacheRequest) (applevel.CacheEntry, error) {
+	body, err := json.Marshal(reqBody)
+	if err != nil {
+		return applevel.CacheEntry{}, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/api/appcache", bytes.NewReader(body))
+	if err != nil {
+		return applevel.CacheEntry{}, err
+	}
+	req.Header.Set(backend.ClusterTokenHeader, c.ClusterSecret)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return applevel.CacheEntry{}, fmt.Errorf("client: compute app cache: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return applevel.CacheEntry{}, fmt.Errorf("client: compute app cache: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var e applevel.CacheEntry
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		return applevel.CacheEntry{}, err
+	}
+	return e, nil
+}
+
+// RemoteSelector is a core.Selector that ranks candidates with the
+// backend-trained model for this signature, falling back to the provided
+// selector when no model exists yet — the Autotune Config Inference module.
+type RemoteSelector struct {
+	Client    *Client
+	Space     *sparksim.Space
+	User      string
+	Signature string
+	// Fallback handles the cold start; must be non-nil.
+	Fallback core.Selector
+}
+
+// Select implements core.Selector.
+func (rs *RemoteSelector) Select(cands []sparksim.Config, window []sparksim.Observation, dataSize float64) int {
+	model, err := rs.Client.FetchModel(rs.User, rs.Signature)
+	if err != nil || model == nil {
+		return rs.Fallback.Select(cands, window, dataSize)
+	}
+	bestIdx, bestPred := -1, math.Inf(1)
+	for i, cand := range cands {
+		p := model.Predict(tuners.ConfigFeatures(rs.Space, nil, cand, dataSize))
+		if !math.IsNaN(p) && p < bestPred {
+			bestIdx, bestPred = i, p
+		}
+	}
+	if bestIdx < 0 {
+		return rs.Fallback.Select(cands, window, dataSize)
+	}
+	rs.Client.logf("client: %s/%s selected candidate %d (predicted log-time %.3f) among %d",
+		rs.User, rs.Signature, bestIdx, bestPred, len(cands))
+	return bestIdx
+}
+
+var _ core.Selector = (*RemoteSelector)(nil)

@@ -1,0 +1,107 @@
+package client
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/backend"
+	"github.com/rockhopper-db/rockhopper/internal/core"
+	"github.com/rockhopper-db/rockhopper/internal/flighting"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+	"github.com/rockhopper-db/rockhopper/internal/store"
+	"github.com/rockhopper-db/rockhopper/internal/workloads"
+)
+
+// flakyTransport fails every request whose ordinal matches failEvery.
+type flakyTransport struct {
+	inner     http.RoundTripper
+	counter   atomic.Int64
+	failEvery int64
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := f.counter.Add(1)
+	if f.failEvery > 0 && n%f.failEvery == 0 {
+		return nil, errors.New("injected network fault")
+	}
+	return f.inner.RoundTrip(req)
+}
+
+func TestClientSurvivesTransientNetworkFaults(t *testing.T) {
+	space := sparksim.QuerySpace()
+	st := store.New([]byte("key"))
+	srv := backend.New(space, st, secret, 1)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+
+	c := New(hs.URL, secret)
+	c.HTTP = &http.Client{Transport: &flakyTransport{inner: http.DefaultTransport, failEvery: 3}}
+	e := sparksim.NewEngine(space)
+	q := workloads.NewGenerator(1).Query(workloads.TPCDS, 2)
+	r := stats.NewRNG(2)
+
+	// Every third request dies at the transport. The caller's loop must see
+	// plain errors (no panics, no corrupted token cache) and succeed on
+	// other iterations.
+	okCount, errCount := 0, 0
+	for i := 0; i < 30; i++ {
+		o := e.Run(q, space.Random(r), 1, r, nil)
+		err := c.PostEvents("u1", q.ID, "job-flaky", []flighting.Trace{{
+			QueryID: q.ID, Config: o.Config, DataSize: o.DataSize, TimeMs: o.Time,
+		}})
+		if err != nil {
+			errCount++
+		} else {
+			okCount++
+		}
+	}
+	if okCount == 0 {
+		t.Fatal("no request survived the flaky transport")
+	}
+	if errCount == 0 {
+		t.Fatal("fault injection did not fire")
+	}
+	srv.Flush()
+	if n := len(st.List("events/job-flaky/")); n != okCount {
+		t.Fatalf("persisted %d event files, expected %d", n, okCount)
+	}
+}
+
+func TestRemoteSelectorFallsBackOnNetworkFault(t *testing.T) {
+	space := sparksim.QuerySpace()
+	// A backend that is entirely unreachable.
+	c := New("http://127.0.0.1:1", secret)
+	c.HTTP = &http.Client{Transport: &flakyTransport{inner: http.DefaultTransport, failEvery: 1}}
+	rs := &RemoteSelector{
+		Client: c, Space: space, User: "u", Signature: "s",
+		Fallback: core.RandomSelector{RNG: stats.NewRNG(1)},
+	}
+	cands := []sparksim.Config{space.Default(), space.Default()}
+	if idx := rs.Select(cands, nil, 0); idx < 0 || idx >= len(cands) {
+		t.Fatalf("selector must fall back when the backend is down, got %d", idx)
+	}
+}
+
+func TestSessionCompleteSurfacesBackendErrors(t *testing.T) {
+	space := sparksim.QuerySpace()
+	q := workloads.NewGenerator(1).Query(workloads.TPCDS, 2)
+	c := New("http://127.0.0.1:1", secret) // unreachable
+	sess, err := NewSession(c, space, "u", "j", q.Plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sess.Recommend(1e9)
+	err = sess.Complete(sparksim.Observation{Config: cfg, DataSize: 1e9, Time: 100}, nil)
+	if err == nil {
+		t.Fatal("Complete must surface the event-shipping failure")
+	}
+	// Local state still advanced: tuning continues even when the backend is
+	// down (production clients degrade to local-only tuning).
+	if sess.Iterations() != 1 || sess.Dashboard().Len() != 1 {
+		t.Fatal("local state should advance despite backend failure")
+	}
+}

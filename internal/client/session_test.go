@@ -1,0 +1,109 @@
+package client
+
+import (
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/noise"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+	"github.com/rockhopper-db/rockhopper/internal/store"
+	"github.com/rockhopper-db/rockhopper/internal/workloads"
+)
+
+func TestSessionValidation(t *testing.T) {
+	space := sparksim.QuerySpace()
+	q := workloads.NewGenerator(1).Query(workloads.TPCDS, 2)
+	_, c := newStack(t, space)
+	if _, err := NewSession(nil, space, "u", "j", q.Plan, 1); err == nil {
+		t.Fatal("nil client should error")
+	}
+	if _, err := NewSession(c, space, "", "j", q.Plan, 1); err == nil {
+		t.Fatal("empty user should error")
+	}
+	if _, err := NewSession(c, space, "u", "", q.Plan, 1); err == nil {
+		t.Fatal("empty job should error")
+	}
+	s, err := NewSession(c, space, "u", "j", q.Plan, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Signature != sparksim.Signature(q.Plan) {
+		t.Fatal("signature mismatch")
+	}
+}
+
+func TestSessionEndToEnd(t *testing.T) {
+	space := sparksim.QuerySpace()
+	srv, c := newStack(t, space)
+	e := sparksim.NewEngine(space)
+	q := workloads.NewGenerator(1).Query(workloads.TPCDS, 2)
+
+	sess, err := NewSession(c, space, "u1", "job-sess", q.Plan, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(8)
+	size := q.Plan.LeafInputBytes()
+	for i := 0; i < 20; i++ {
+		cfg := sess.Recommend(size)
+		o := e.Run(q, cfg, 1, r, noise.Low)
+		stages, _ := e.Explain(q, cfg, 1)
+		if err := sess.Complete(o, stages); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sess.Iterations() != 20 {
+		t.Fatalf("iterations = %d", sess.Iterations())
+	}
+	if sess.Dashboard().Len() != 20 {
+		t.Fatalf("dashboard events = %d", sess.Dashboard().Len())
+	}
+	srv.Flush()
+	// The backend must have received every event file and trained a model
+	// under the session's signature.
+	if n := len(srv.Store.List("events/job-sess/")); n != 20 {
+		t.Fatalf("event files = %d", n)
+	}
+	if _, err := srv.Store.GetInternal(store.ModelPath("u1", sess.Signature)); err != nil {
+		t.Fatal("backend did not train the per-signature model")
+	}
+	if len(sess.History()) != 20 {
+		t.Fatalf("history = %d", len(sess.History()))
+	}
+}
+
+func TestFinishAppPopulatesCache(t *testing.T) {
+	space := sparksim.FullSpace()
+	_, c := newStack(t, space)
+	e := sparksim.NewEngine(space)
+	nb := workloads.NewGenerator(2).Notebook(4, 2)
+	r := stats.NewRNG(9)
+
+	var sessions []*Session
+	for _, q := range nb.Queries {
+		sess, err := NewSession(c, space, "u1", "job-app", q.Plan, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 12; i++ {
+			cfg := sess.Recommend(q.Plan.LeafInputBytes())
+			if err := sess.Complete(e.Run(q, cfg, 1, r, noise.Low), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sessions = append(sessions, sess)
+	}
+	if err := FinishApp(c, nb.ArtifactID, space.Default(), sessions...); err != nil {
+		t.Fatal(err)
+	}
+	entry, ok, err := c.FetchAppCache(nb.ArtifactID)
+	if err != nil || !ok {
+		t.Fatalf("app cache miss after FinishApp: %v %v", ok, err)
+	}
+	if len(entry.Config) != space.Dim() {
+		t.Fatal("cached config malformed")
+	}
+	if err := FinishApp(c, "x", space.Default()); err == nil {
+		t.Fatal("FinishApp without sessions should error")
+	}
+}

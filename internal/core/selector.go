@@ -1,0 +1,218 @@
+// Package core implements Rockhopper's primary contribution: the Centroid
+// Learning (CL) algorithm of Section 4.3 (Algorithm 1), together with its
+// FIND_BEST and FIND_GRADIENT refinements, the candidate selectors backed by
+// surrogate models, and the production guardrail that disables tuning on
+// sustained regression.
+package core
+
+import (
+	"math"
+	"sort"
+
+	"github.com/rockhopper-db/rockhopper/internal/ml"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+	"github.com/rockhopper-db/rockhopper/internal/tuners"
+)
+
+// Selector picks the most promising candidate from the β-neighbourhood
+// (Step 2 of Figure 5): given the candidate set, the recent observation
+// window, and the expected input size of the upcoming run, it returns the
+// index of the candidate to execute.
+type Selector interface {
+	Select(cands []sparksim.Config, window []sparksim.Observation, dataSize float64) int
+}
+
+// SurrogateSelector ranks candidates with a surrogate trained on offline
+// warm-start data plus the query's own observations — the production
+// configuration of Figure 5: the baseline model provides iteration-0
+// guidance (Section 4.2) and fine-tunes as query-specific data accumulates.
+//
+// By default the surrogate is a Gaussian process and candidates are scored
+// with the Expected Improvement acquisition function ("the candidate with
+// the highest acquisition function score is selected"). The acquisition's
+// exploration term is what keeps the β-neighbourhood from collapsing onto a
+// single repeatedly-executed point. Setting NewModel switches to pure
+// predicted-mean selection with any Regressor (e.g. the kernel-ridge "SVR"
+// surrogate), which is how the Figure 10 variant operates.
+type SurrogateSelector struct {
+	Space *sparksim.Space
+	// Context is the query's workload embedding; may be nil.
+	Context []float64
+	// Warm holds offline benchmark observations (shared feature layout with
+	// tuners.BO).
+	Warm []tuners.BaselinePoint
+	// NewModel, when non-nil, constructs a fresh surrogate per fit and
+	// candidates are ranked by predicted mean instead of EI.
+	NewModel func() ml.Regressor
+	// Xi is the EI exploration margin (relative to the log-time scale).
+	Xi float64
+	// MaxRows caps the design matrix (inference-latency budget).
+	MaxRows int
+	// RNG subsamples warm-start rows when the cap binds.
+	RNG *stats.RNG
+}
+
+// NewSurrogateSelector returns a GP+EI selector, the production default.
+func NewSurrogateSelector(space *sparksim.Space, context []float64, warm []tuners.BaselinePoint, rng *stats.RNG) *SurrogateSelector {
+	return &SurrogateSelector{Space: space, Context: context, Warm: warm, Xi: 0.01, MaxRows: 250, RNG: rng}
+}
+
+// Select implements Selector. With insufficient data it falls back to the
+// candidate nearest the window's best observation (or index 0 when there is
+// no history at all).
+func (s *SurrogateSelector) Select(cands []sparksim.Config, window []sparksim.Observation, dataSize float64) int {
+	if len(cands) == 0 {
+		return -1
+	}
+	x, y := s.design(window)
+	if len(x) < 3 {
+		return s.fallback(cands, window)
+	}
+	if s.NewModel != nil {
+		model := s.NewModel()
+		if err := model.Fit(x, y); err != nil {
+			return s.fallback(cands, window)
+		}
+		bestIdx, bestPred := 0, math.Inf(1)
+		for i, c := range cands {
+			p := model.Predict(tuners.ConfigFeatures(s.Space, s.Context, c, dataSize))
+			if !math.IsNaN(p) && p < bestPred {
+				bestIdx, bestPred = i, p
+			}
+		}
+		return bestIdx
+	}
+	gp := ml.NewGP()
+	gp.Kernel.LengthScale = 0.6
+	gp.Noise = 0.15
+	if err := gp.Fit(x, y); err != nil {
+		return s.fallback(cands, window)
+	}
+	best := stats.Min(y)
+	bestIdx, bestEI := 0, math.Inf(-1)
+	for i, c := range cands {
+		ei := gp.ExpectedImprovement(tuners.ConfigFeatures(s.Space, s.Context, c, dataSize), best, s.Xi)
+		if ei > bestEI {
+			bestIdx, bestEI = i, ei
+		}
+	}
+	return bestIdx
+}
+
+// design assembles the (capped) training set: warm-start rows plus the
+// observation window, responses on the log1p scale.
+func (s *SurrogateSelector) design(window []sparksim.Observation) ([][]float64, []float64) {
+	maxRows := s.MaxRows
+	if maxRows <= 0 {
+		maxRows = 250
+	}
+	warm := s.Warm
+	if len(warm)+len(window) > maxRows && len(window) < maxRows {
+		keep := maxRows - len(window)
+		if s.RNG != nil {
+			idx := s.RNG.Perm(len(warm))[:keep]
+			sub := make([]tuners.BaselinePoint, 0, keep)
+			for _, i := range idx {
+				sub = append(sub, warm[i])
+			}
+			warm = sub
+		} else {
+			warm = warm[:keep]
+		}
+	}
+	x := make([][]float64, 0, len(warm)+len(window))
+	y := make([]float64, 0, len(warm)+len(window))
+	for _, w := range warm {
+		ctx := w.Context
+		if s.Context == nil {
+			ctx = nil
+		}
+		x = append(x, tuners.ConfigFeatures(s.Space, ctx, w.Config, w.DataSize))
+		y = append(y, math.Log1p(w.Time))
+	}
+	for _, o := range window {
+		x = append(x, tuners.ConfigFeatures(s.Space, s.Context, o.Config, o.DataSize))
+		y = append(y, math.Log1p(o.Time))
+	}
+	return x, y
+}
+
+func (s *SurrogateSelector) fallback(cands []sparksim.Config, window []sparksim.Observation) int {
+	if len(window) == 0 {
+		return 0
+	}
+	best := window[0]
+	for _, o := range window[1:] {
+		if o.Time < best.Time {
+			best = o
+		}
+	}
+	target := s.Space.Normalize(best.Config)
+	bestIdx, bestDist := 0, math.Inf(1)
+	for i, c := range cands {
+		u := s.Space.Normalize(c)
+		var d float64
+		for j := range u {
+			dd := u[j] - target[j]
+			d += dd * dd
+		}
+		if d < bestDist {
+			bestIdx, bestDist = i, d
+		}
+	}
+	return bestIdx
+}
+
+// TrueTimeFunc is an oracle returning the noiseless performance of a
+// configuration at the current data size. It exists only for the
+// pseudo-surrogate experiments of Section 6.1; production selectors never
+// see the truth.
+type TrueTimeFunc func(c sparksim.Config) float64
+
+// LevelSelector is the pseudo-surrogate of Figure 9: a "Level X" model
+// selects the candidate ranked at the 10·X-th percentile of *true*
+// performance within the candidate set, simulating surrogates of varying
+// accuracy (Level 1 near-perfect, Level 9 near-worst).
+type LevelSelector struct {
+	Level int
+	True  TrueTimeFunc
+}
+
+// Select implements Selector.
+func (l LevelSelector) Select(cands []sparksim.Config, _ []sparksim.Observation, _ float64) int {
+	if len(cands) == 0 {
+		return -1
+	}
+	type scored struct {
+		idx int
+		t   float64
+	}
+	xs := make([]scored, len(cands))
+	for i, c := range cands {
+		xs[i] = scored{idx: i, t: l.True(c)}
+	}
+	sort.Slice(xs, func(a, b int) bool { return xs[a].t < xs[b].t })
+	pos := int(math.Round(float64(l.Level) / 10 * float64(len(xs)-1)))
+	pos = int(stats.Clamp(float64(pos), 0, float64(len(xs)-1)))
+	return xs[pos].idx
+}
+
+// RandomSelector picks a uniformly random candidate; the ablation floor.
+type RandomSelector struct {
+	RNG *stats.RNG
+}
+
+// Select implements Selector.
+func (r RandomSelector) Select(cands []sparksim.Config, _ []sparksim.Observation, _ float64) int {
+	if len(cands) == 0 {
+		return -1
+	}
+	return r.RNG.Intn(len(cands))
+}
+
+var (
+	_ Selector = (*SurrogateSelector)(nil)
+	_ Selector = LevelSelector{}
+	_ Selector = RandomSelector{}
+)

@@ -1,0 +1,192 @@
+package embedding
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/workloads"
+)
+
+// bigSmallFilterPlans builds two plans identical except for filter
+// selectivity: one filter keeps almost everything, the other collapses its
+// input. Plain embeddings cannot tell them apart; virtual embeddings can
+// (the Figure 4 scenario).
+func bigSmallFilterPlans() (*sparksim.Plan, *sparksim.Plan) {
+	mk := func(sel float64) *sparksim.Plan {
+		scan := sparksim.Scan(50e6, 100)
+		f := sparksim.Unary(sparksim.OpFilter, scan, sel)
+		agg := sparksim.Unary(sparksim.OpHashAggregate, sparksim.Unary(sparksim.OpExchange, f, 1), 0.001)
+		return &sparksim.Plan{Root: agg}
+	}
+	return mk(0.99), mk(0.00001)
+}
+
+func TestDims(t *testing.T) {
+	p := NewPlain()
+	if p.Dim() != 2+sparksim.NumOps {
+		t.Fatalf("plain dim = %d", p.Dim())
+	}
+	v := NewVirtual()
+	want := 2 + sparksim.NumOps*3*3
+	if v.Dim() != want {
+		t.Fatalf("virtual dim = %d; want %d", v.Dim(), want)
+	}
+}
+
+func TestEmbedWidthsMatchDim(t *testing.T) {
+	g := workloads.NewGenerator(1)
+	q := g.Query(workloads.TPCDS, 7)
+	for _, e := range []*Embedder{NewPlain(), NewVirtual()} {
+		vec := e.Embed(q.Plan)
+		if len(vec) != e.Dim() {
+			t.Fatalf("%v: len=%d dim=%d", e.Scheme, len(vec), e.Dim())
+		}
+	}
+}
+
+func TestPlainCountsOperators(t *testing.T) {
+	g := workloads.NewGenerator(2)
+	q := g.Query(workloads.TPCH, 3)
+	vec := NewPlain().Embed(q.Plan)
+	counts := q.Plan.OperatorCounts()
+	for i, c := range counts {
+		if vec[2+i] != float64(c) {
+			t.Fatalf("plain count mismatch at op %d: %g vs %d", i, vec[2+i], c)
+		}
+	}
+	if vec[0] != math.Log1p(q.Plan.RootCardinality()) {
+		t.Fatal("root cardinality feature wrong")
+	}
+	if vec[1] != math.Log1p(q.Plan.LeafInputCardinality()) {
+		t.Fatal("leaf cardinality feature wrong")
+	}
+}
+
+func TestVirtualPreservesTotalCounts(t *testing.T) {
+	// Summing over the virtual buckets of an operator must recover the
+	// plain count.
+	g := workloads.NewGenerator(3)
+	q := g.Query(workloads.TPCDS, 42)
+	v := NewVirtual()
+	vec := v.Embed(q.Plan)
+	counts := q.Plan.OperatorCounts()
+	nIn, nOut := 3, 3
+	for op := 0; op < sparksim.NumOps; op++ {
+		var sum float64
+		for bi := 0; bi < nIn; bi++ {
+			for bo := 0; bo < nOut; bo++ {
+				sum += vec[2+(op*nIn+bi)*nOut+bo]
+			}
+		}
+		if sum != float64(counts[op]) {
+			t.Fatalf("op %d: virtual sum %g != plain count %d", op, sum, counts[op])
+		}
+	}
+}
+
+func TestVirtualDistinguishesSelectivity(t *testing.T) {
+	a, b := bigSmallFilterPlans()
+	plain := NewPlain()
+	virt := NewVirtual()
+	// The two plans have identical operator multisets; only cardinalities
+	// differ, which the plain scheme sees solely through the two cardinality
+	// features. Zero those out and the plain embeddings collide while the
+	// virtual ones differ.
+	pa, pb := plain.Embed(a), plain.Embed(b)
+	va, vb := virt.Embed(a), virt.Embed(b)
+	pa[0], pa[1], pb[0], pb[1] = 0, 0, 0, 0
+	va[0], va[1], vb[0], vb[1] = 0, 0, 0, 0
+	if Distance(pa, pb) != 0 {
+		t.Fatalf("plain count block should collide: dist=%g", Distance(pa, pb))
+	}
+	if Distance(va, vb) == 0 {
+		t.Fatal("virtual embedding should distinguish selectivity regimes")
+	}
+}
+
+func TestBucketBoundaries(t *testing.T) {
+	thr := []float64{10, 100}
+	cases := []struct {
+		v    float64
+		want int
+	}{{0, 0}, {9.99, 0}, {10, 1}, {50, 1}, {100, 2}, {1e9, 2}}
+	for _, c := range cases {
+		if got := bucket(c.v, thr); got != c.want {
+			t.Fatalf("bucket(%g) = %d; want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestVirtualOpName(t *testing.T) {
+	v := NewVirtual()
+	name := v.VirtualOpName(sparksim.OpFilter, 5e7, 100)
+	if name != "Filter[in:2,out:0]" {
+		t.Fatalf("virtual name = %q", name)
+	}
+	p := NewPlain()
+	if p.VirtualOpName(sparksim.OpScan, 1, 1) != "Scan" {
+		t.Fatal("plain name should be the bare operator")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	if Distance([]float64{0, 0}, []float64{3, 4}) != 5 {
+		t.Fatal("distance wrong")
+	}
+	if !math.IsInf(Distance([]float64{1}, []float64{1, 2}), 1) {
+		t.Fatal("length mismatch should be +Inf")
+	}
+}
+
+func TestSimilarPlansAreClose(t *testing.T) {
+	// The same query at two nearby scale factors should embed closer
+	// together than two structurally different queries.
+	gA := workloads.NewGenerator(5)
+	gB := workloads.NewGenerator(5)
+	gB.ScaleFactor = 1.2
+	v := NewVirtual()
+	q1a := v.Embed(gA.Query(workloads.TPCDS, 11).Plan)
+	q1b := v.Embed(gB.Query(workloads.TPCDS, 11).Plan)
+	q2 := v.Embed(gA.Query(workloads.TPCDS, 14).Plan)
+	if Distance(q1a, q1b) >= Distance(q1a, q2) {
+		t.Fatalf("same query at nearby scale should be closer: %g vs %g",
+			Distance(q1a, q1b), Distance(q1a, q2))
+	}
+}
+
+func TestStructuralFeatures(t *testing.T) {
+	g := workloads.NewGenerator(4)
+	q := g.Query(workloads.TPCDS, 3)
+	base := NewVirtual()
+	st := NewVirtual()
+	st.Structural = true
+	if st.Dim() != base.Dim()+3 {
+		t.Fatalf("structural dim = %d; want %d", st.Dim(), base.Dim()+3)
+	}
+	vec := st.Embed(q.Plan)
+	if len(vec) != st.Dim() {
+		t.Fatal("structural embed width wrong")
+	}
+	depth := vec[len(vec)-3]
+	chain := vec[len(vec)-2]
+	leaves := vec[len(vec)-1]
+	if depth < 2 {
+		t.Fatalf("depth = %g", depth)
+	}
+	counts := q.Plan.OperatorCounts()
+	if int(leaves) != counts[sparksim.OpScan] {
+		t.Fatalf("leaves = %g; want %d scans", leaves, counts[sparksim.OpScan])
+	}
+	joins := counts[sparksim.OpSortMergeJoin] + counts[sparksim.OpBroadcastHashJoin]
+	if int(chain) > joins {
+		t.Fatalf("join chain %g exceeds total joins %d", chain, joins)
+	}
+	// The non-structural prefix must be identical.
+	pre := base.Embed(q.Plan)
+	for i := range pre {
+		if pre[i] != vec[i] {
+			t.Fatal("structural flag must not perturb base features")
+		}
+	}
+}

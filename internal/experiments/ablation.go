@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/rockhopper-db/rockhopper/internal/core"
+	"github.com/rockhopper-db/rockhopper/internal/ml"
+	"github.com/rockhopper-db/rockhopper/internal/noise"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+	"github.com/rockhopper-db/rockhopper/internal/workloads"
+)
+
+// AblationParams configures the Centroid Learning design-choice ablations
+// called out in DESIGN.md: FIND_BEST variants, gradient modes, window sizes
+// N, and the momentum step α.
+type AblationParams struct {
+	Runs  int
+	Iters int
+	Noise noise.Model
+	Seed  uint64
+	// Ns are the window sizes to sweep (paper recommends 10–20 under noise).
+	Ns []int
+	// Alphas are the momentum steps to sweep.
+	Alphas []float64
+}
+
+func (p *AblationParams) defaults() {
+	if p.Runs == 0 {
+		p.Runs = 20
+	}
+	if p.Iters == 0 {
+		p.Iters = 150
+	}
+	if p.Noise == (noise.Model{}) {
+		p.Noise = noise.High
+	}
+	if p.Seed == 0 {
+		p.Seed = 4242
+	}
+	if len(p.Ns) == 0 {
+		p.Ns = []int{2, 5, 10, 20}
+	}
+	if len(p.Alphas) == 0 {
+		p.Alphas = []float64{0.02, 0.05, 0.08, 0.15, 0.3}
+	}
+}
+
+// AblationRow is one configuration's outcome: the median final performance
+// (mean of the last fifth of iterations, medianed across runs).
+type AblationRow struct {
+	Label   string
+	FinalMs float64
+}
+
+// AblationResult groups the sweeps.
+type AblationResult struct {
+	Params   AblationParams
+	Optimal  float64
+	FindBest []AblationRow
+	Gradient []AblationRow
+	WindowN  []AblationRow
+	Alpha    []AblationRow
+}
+
+// Ablations sweeps the CL design choices on the synthetic objective under
+// high noise with varying data sizes (so FIND_BEST's size handling matters).
+func Ablations(p AblationParams) *AblationResult {
+	p.defaults()
+	obj := NewSyntheticObjective()
+	root := stats.NewRNG(p.Seed)
+	res := &AblationResult{Params: p, Optimal: obj.OptimalTime(1)}
+
+	run := func(label string, mutate func(cl *core.CentroidLearner)) AblationRow {
+		lblRNG := root.SplitNamed(label)
+		finals := make([]float64, 0, p.Runs)
+		for i := 0; i < p.Runs; i++ {
+			seedRNG := lblRNG.Split()
+			sel := core.NewSurrogateSelector(obj.Space, nil, nil, seedRNG.Split())
+			sel.NewModel = func() ml.Regressor { return ml.NewKernelRidge() }
+			cl := core.New(obj.Space, sel, seedRNG.Split())
+			cl.Guardrail = nil
+			mutate(cl)
+			sizes := workloads.Jittered{Inner: workloads.Constant{}, Sigma: 0.25, RNG: seedRNG.Split()}
+			recs := RunLoop(obj.Space, obj, cl, p.Iters, p.Noise, sizes, seedRNG.Split())
+			normed := NormedTimes(recs, obj.OptimalTime)
+			tailN := p.Iters / 5
+			if tailN < 1 {
+				tailN = 1
+			}
+			finals = append(finals, stats.Mean(normed[len(normed)-tailN:])*obj.OptimalTime(1))
+		}
+		return AblationRow{Label: label, FinalMs: stats.Median(finals)}
+	}
+
+	for _, mode := range []core.FindBestMode{core.FindBestRaw, core.FindBestNormalized, core.FindBestModel} {
+		mode := mode
+		res.FindBest = append(res.FindBest, run("find_best="+mode.String(), func(cl *core.CentroidLearner) {
+			cl.Params.FindBest = mode
+		}))
+	}
+	for _, mode := range []core.GradientMode{core.GradientLinear, core.GradientModelProbe} {
+		mode := mode
+		res.Gradient = append(res.Gradient, run("gradient="+mode.String(), func(cl *core.CentroidLearner) {
+			cl.Params.Gradient = mode
+		}))
+	}
+	for _, n := range p.Ns {
+		n := n
+		res.WindowN = append(res.WindowN, run(fmt.Sprintf("N=%d", n), func(cl *core.CentroidLearner) {
+			cl.Params.N = n
+		}))
+	}
+	for _, a := range p.Alphas {
+		a := a
+		res.Alpha = append(res.Alpha, run(fmt.Sprintf("alpha=%g", a), func(cl *core.CentroidLearner) {
+			cl.Params.Alpha = a
+		}))
+	}
+	return res
+}
+
+// Print renders the ablation tables.
+func (r *AblationResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "=== Centroid Learning ablations (median final ms; optimal=%.0f) ===\n", r.Optimal)
+	section := func(title string, rows []AblationRow) {
+		fmt.Fprintf(w, "%s\n", title)
+		for _, row := range rows {
+			fmt.Fprintf(w, "  %-24s %10.0f\n", row.Label, row.FinalMs)
+		}
+	}
+	section("FIND_BEST variant:", r.FindBest)
+	section("FIND_GRADIENT mode:", r.Gradient)
+	section("window size N:", r.WindowN)
+	section("momentum alpha:", r.Alpha)
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/rockhopper-db/rockhopper/internal/core"
+	"github.com/rockhopper-db/rockhopper/internal/noise"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+	"github.com/rockhopper-db/rockhopper/internal/workloads"
+)
+
+// AQEParams configures the adaptive-query-execution interaction study:
+// how much of the tuning headroom survives when the engine itself coalesces
+// oversized shuffle partitions at runtime. Fabric runs Spark 3.x with AQE
+// on, which is part of why the production team tuned maxPartitionBytes and
+// the broadcast threshold alongside shuffle partitions.
+type AQEParams struct {
+	Queries []int
+	Iters   int
+	Noise   noise.Model
+	Seed    uint64
+}
+
+func (p *AQEParams) defaults() {
+	if len(p.Queries) == 0 {
+		p.Queries = []int{1, 2, 3, 5, 17}
+	}
+	if p.Iters == 0 {
+		p.Iters = 50
+	}
+	if p.Noise == (noise.Model{}) {
+		p.Noise = noise.Model{FL: 0.3, SL: 0.3}
+	}
+	if p.Seed == 0 {
+		p.Seed = 3131
+	}
+}
+
+// AQERow is one query's outcome under both engine modes.
+type AQERow struct {
+	QueryID string
+	// HeadroomOffPct / HeadroomOnPct: oracle improvement available.
+	HeadroomOffPct, HeadroomOnPct float64
+	// GainOffPct / GainOnPct: what Centroid Learning captured.
+	GainOffPct, GainOnPct float64
+}
+
+// AQEResult is the study outcome.
+type AQEResult struct {
+	Params AQEParams
+	Rows   []AQERow
+}
+
+// AQEStudy tunes each query with AQE off and on.
+func AQEStudy(p AQEParams) *AQEResult {
+	p.defaults()
+	space := sparksim.QuerySpace()
+	gen := workloads.NewGenerator(p.Seed)
+	root := stats.NewRNG(p.Seed)
+	res := &AQEResult{Params: p}
+	for _, qi := range p.Queries {
+		q := gen.Query(workloads.TPCDS, qi)
+		row := AQERow{QueryID: q.ID}
+		for _, aqe := range []bool{false, true} {
+			e := sparksim.NewEngine(space)
+			e.AQE = aqe
+			def := e.TrueTime(q, space.Default(), 1)
+			_, opt := e.OptimalConfig(q, 1, 12)
+			headroom := PercentImprovement(def, opt)
+			qr := root.SplitNamed(fmt.Sprintf("%s-aqe-%v", q.ID, aqe))
+			sel := core.NewSurrogateSelector(space, nil, nil, qr.Split())
+			cl := core.New(space, sel, qr.Split())
+			cl.Guardrail = nil
+			recs := RunLoop(space, QueryEvaluator{E: e, Q: q}, cl, p.Iters, p.Noise, workloads.Constant{}, qr.Split())
+			gain := PercentImprovement(def, tailMedian(recs, p.Iters/5))
+			if aqe {
+				row.HeadroomOnPct, row.GainOnPct = headroom, gain
+			} else {
+				row.HeadroomOffPct, row.GainOffPct = headroom, gain
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Print renders the study.
+func (r *AQEResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "=== AQE interaction: tuning headroom and CL gain with/without runtime coalescing ===\n")
+	fmt.Fprintf(w, "%-12s %14s %14s %12s %12s\n", "query", "headroom off%", "headroom on%", "gain off%", "gain on%")
+	var hOff, hOn float64
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12s %14.1f %14.1f %12.1f %12.1f\n",
+			row.QueryID, row.HeadroomOffPct, row.HeadroomOnPct, row.GainOffPct, row.GainOnPct)
+		hOff += row.HeadroomOffPct
+		hOn += row.HeadroomOnPct
+	}
+	n := float64(len(r.Rows))
+	fmt.Fprintf(w, "mean headroom: %.1f%% without AQE → %.1f%% with AQE (runtime adaptivity absorbs part of the tuning value)\n",
+		hOff/n, hOn/n)
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/rockhopper-db/rockhopper/internal/core"
+	"github.com/rockhopper-db/rockhopper/internal/noise"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+	"github.com/rockhopper-db/rockhopper/internal/tuners"
+	"github.com/rockhopper-db/rockhopper/internal/workloads"
+)
+
+// BaselinesParams configures the cross-algorithm summary: every tuner in
+// the repository on the same benchmark query under increasing noise. This
+// condenses the paper's thesis into one table — model-guided and
+// single-observation methods all work noiselessly; only Centroid Learning
+// degrades gracefully as production noise grows.
+type BaselinesParams struct {
+	QueryIdx int
+	Runs     int
+	Iters    int
+	Seed     uint64
+	Noises   []noise.Model
+}
+
+func (p *BaselinesParams) defaults() {
+	if p.QueryIdx == 0 {
+		p.QueryIdx = 2
+	}
+	if p.Runs == 0 {
+		p.Runs = 10
+	}
+	if p.Iters == 0 {
+		p.Iters = 100
+	}
+	if p.Seed == 0 {
+		p.Seed = 9191
+	}
+	if len(p.Noises) == 0 {
+		p.Noises = []noise.Model{noise.None, {FL: 0.3, SL: 0.3}, noise.High}
+	}
+}
+
+// BaselinesRow is one algorithm's median final improvement per noise level.
+type BaselinesRow struct {
+	Algorithm string
+	// ImprovementPct[i] corresponds to Params.Noises[i]; measured as the
+	// median (across runs) of the final-fifth median true time vs default.
+	ImprovementPct []float64
+}
+
+// BaselinesResult is the summary table.
+type BaselinesResult struct {
+	Params BaselinesParams
+	// HeadroomPct is the oracle improvement available on this query.
+	HeadroomPct float64
+	Rows        []BaselinesRow
+}
+
+// Baselines runs the comparison.
+func Baselines(p BaselinesParams) *BaselinesResult {
+	p.defaults()
+	space := sparksim.QuerySpace()
+	e := sparksim.NewEngine(space)
+	q := workloads.NewGenerator(99).Query(workloads.TPCDS, p.QueryIdx)
+	def := e.TrueTime(q, space.Default(), 1)
+	_, opt := e.OptimalConfig(q, 1, 14)
+	res := &BaselinesResult{Params: p, HeadroomPct: PercentImprovement(def, opt)}
+
+	algs := []string{"centroid", "bo", "flow2", "hillclimb", "oppertune", "random"}
+	root := stats.NewRNG(p.Seed)
+	for _, alg := range algs {
+		alg := alg
+		row := BaselinesRow{Algorithm: alg}
+		for _, nm := range p.Noises {
+			nm := nm
+			algRNG := root.SplitNamed(fmt.Sprintf("%s-%v", alg, nm))
+			finals := make([]float64, 0, p.Runs)
+			for run := 0; run < p.Runs; run++ {
+				seedRNG := algRNG.Split()
+				var tn tuners.Tuner
+				switch alg {
+				case "centroid":
+					sel := core.NewSurrogateSelector(space, nil, nil, seedRNG.Split())
+					cl := core.New(space, sel, seedRNG.Split())
+					cl.Guardrail = nil
+					tn = cl
+				case "bo":
+					tn = tuners.NewBO(space, seedRNG.Split())
+				case "flow2":
+					tn = tuners.NewFLOW2(space, seedRNG.Split())
+				case "hillclimb":
+					tn = tuners.NewHillClimb(space, seedRNG.Split())
+				case "oppertune":
+					tn = tuners.NewOPPerTune(space, seedRNG.Split())
+				default:
+					tn = tuners.NewRandomSearch(space, seedRNG.Split())
+				}
+				recs := RunLoop(space, QueryEvaluator{E: e, Q: q}, tn, p.Iters, nm, workloads.Constant{}, seedRNG.Split())
+				finals = append(finals, tailMedian(recs, p.Iters/5))
+			}
+			row.ImprovementPct = append(row.ImprovementPct, PercentImprovement(def, stats.Median(finals)))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Print renders the table.
+func (r *BaselinesResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "=== All tuners on tpcds-q%d (oracle headroom %.1f%%), median final improvement %% ===\n",
+		r.Params.QueryIdx, r.HeadroomPct)
+	fmt.Fprintf(w, "%-12s", "algorithm")
+	for _, nm := range r.Params.Noises {
+		fmt.Fprintf(w, " %18v", nm)
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-12s", row.Algorithm)
+		for _, v := range row.ImprovementPct {
+			fmt.Fprintf(w, " %18.1f", v)
+		}
+		fmt.Fprintln(w)
+	}
+}

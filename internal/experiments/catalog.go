@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/rockhopper-db/rockhopper/internal/core"
+	"github.com/rockhopper-db/rockhopper/internal/noise"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+	"github.com/rockhopper-db/rockhopper/internal/workloads"
+)
+
+// CatalogParams configures the catalog-workload study: Centroid Learning on
+// star-join queries built over the spec-accurate TPC-H/TPC-DS schemas
+// (real table names, cardinalities, and scaling rules) rather than the
+// synthetic plan generator.
+type CatalogParams struct {
+	// Suite selects the catalog ("tpch" or "tpcds").
+	Suite string
+	// Queries is the number of catalog queries.
+	Queries int
+	// SF is the benchmark scale factor.
+	SF    float64
+	Iters int
+	Noise noise.Model
+	Seed  uint64
+}
+
+func (p *CatalogParams) defaults() {
+	if p.Suite == "" {
+		p.Suite = "tpch"
+	}
+	if p.Queries == 0 {
+		p.Queries = 8
+	}
+	if p.SF == 0 {
+		p.SF = 20
+	}
+	if p.Iters == 0 {
+		p.Iters = 50
+	}
+	if p.Noise == (noise.Model{}) {
+		p.Noise = noise.Model{FL: 0.3, SL: 0.3}
+	}
+	if p.Seed == 0 {
+		p.Seed = 2121
+	}
+}
+
+// CatalogRow is one catalog query's outcome.
+type CatalogRow struct {
+	QueryID        string
+	FactTable      string
+	DefaultMs      float64
+	FinalMs        float64
+	ImprovementPct float64
+}
+
+// CatalogResult summarizes the study.
+type CatalogResult struct {
+	Params              CatalogParams
+	Rows                []CatalogRow
+	TotalImprovementPct float64
+}
+
+// CatalogStudy tunes each catalog query independently under production
+// noise and reports per-query improvements.
+func CatalogStudy(p CatalogParams) *CatalogResult {
+	p.defaults()
+	var cat *workloads.Catalog
+	if p.Suite == "tpcds" {
+		cat = workloads.TPCDSCatalog()
+	} else {
+		cat = workloads.TPCHCatalog()
+	}
+	space := sparksim.QuerySpace()
+	e := sparksim.NewEngine(space)
+	root := stats.NewRNG(p.Seed)
+	res := &CatalogResult{Params: p}
+	var defTotal, finalTotal float64
+	for i := 1; i <= p.Queries; i++ {
+		q, err := cat.CatalogQuery(i, p.SF, p.Seed)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: catalog query: %v", err))
+		}
+		qr := root.SplitNamed(q.ID)
+		sel := core.NewSurrogateSelector(space, nil, nil, qr.Split())
+		cl := core.New(space, sel, qr.Split())
+		recs := RunLoop(space, QueryEvaluator{E: e, Q: q}, cl, p.Iters, p.Noise,
+			workloads.Jittered{Inner: workloads.Constant{}, Sigma: 0.1, RNG: qr.Split()}, qr.Split())
+		def := e.TrueTime(q, space.Default(), 1)
+		final := tailMedian(recs, p.Iters/5)
+		// The fact table name is the ID suffix after the last '-'.
+		fact := q.ID
+		for j := len(q.ID) - 1; j >= 0; j-- {
+			if q.ID[j] == '-' {
+				fact = q.ID[j+1:]
+				break
+			}
+		}
+		res.Rows = append(res.Rows, CatalogRow{
+			QueryID: q.ID, FactTable: fact,
+			DefaultMs: def, FinalMs: final,
+			ImprovementPct: PercentImprovement(def, final),
+		})
+		defTotal += def
+		finalTotal += final
+	}
+	res.TotalImprovementPct = PercentImprovement(defTotal, finalTotal)
+	return res
+}
+
+// Print renders the study.
+func (r *CatalogResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "=== Catalog workloads: %s schema at SF %g ===\n", r.Params.Suite, r.Params.SF)
+	fmt.Fprintf(w, "%-28s %-14s %12s %12s %8s\n", "query", "fact table", "default", "tuned", "gain %")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-28s %-14s %12.0f %12.0f %8.1f\n",
+			row.QueryID, row.FactTable, row.DefaultMs, row.FinalMs, row.ImprovementPct)
+	}
+	fmt.Fprintf(w, "total improvement: %.1f%%\n", r.TotalImprovementPct)
+}

@@ -1,0 +1,204 @@
+// Package experiments reproduces every measured artifact in the paper: the
+// motivating figures (1–3), the synthetic-function studies (Figures 2 and
+// 8–11), the benchmark-workload ablations (Figures 12–13 and the embedding
+// ablation of Section 6.2), the deployment analyses (Figures 14–16), the
+// architecture round trip (Figures 5 and 7), and the Algorithm 2 joint
+// optimization. Each experiment has a Params struct whose zero value runs at
+// a scaled-down budget suitable for tests and benchmarks; cmd/rockbench runs
+// them at paper scale. All experiments are deterministic given their seed.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/rockhopper-db/rockhopper/internal/noise"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+	"github.com/rockhopper-db/rockhopper/internal/tuners"
+	"github.com/rockhopper-db/rockhopper/internal/workloads"
+)
+
+// Evaluator abstracts "something that executes a configuration": either the
+// Spark simulator on a real query or the synthetic convex objective of
+// Section 6.1.
+type Evaluator interface {
+	// TrueTime is the noiseless execution time at the given data scale.
+	TrueTime(cfg sparksim.Config, scale float64) float64
+	// DataBytes is the input size observed at the given scale.
+	DataBytes(scale float64) float64
+}
+
+// QueryEvaluator adapts an engine/query pair to the Evaluator interface.
+type QueryEvaluator struct {
+	E *sparksim.Engine
+	Q *sparksim.Query
+}
+
+// TrueTime implements Evaluator.
+func (qe QueryEvaluator) TrueTime(cfg sparksim.Config, scale float64) float64 {
+	return qe.E.TrueTime(qe.Q, cfg, scale)
+}
+
+// DataBytes implements Evaluator.
+func (qe QueryEvaluator) DataBytes(scale float64) float64 {
+	return qe.Q.Plan.LeafInputBytes() * scale
+}
+
+// SyntheticObjective is the convex synthetic function of Section 6.1: a
+// bowl over the normalized configuration space whose height scales linearly
+// with data size. Figure 8 plots one slice of it before and after noise.
+type SyntheticObjective struct {
+	Space *sparksim.Space
+	// Opt is the optimum in normalized coordinates.
+	Opt []float64
+	// Curv is the per-dimension curvature (bowl steepness).
+	Curv []float64
+	// BaseMs is the execution time at the optimum for scale 1.
+	BaseMs float64
+	// BytesPerScale converts scale to input bytes.
+	BytesPerScale float64
+}
+
+// NewSyntheticObjective returns the canonical 3-dimensional problem used by
+// Figures 2 and 8–11: optimum off-centre so the default config is
+// suboptimal, moderate curvature so the bowl spans about a 4× range.
+func NewSyntheticObjective() *SyntheticObjective {
+	return &SyntheticObjective{
+		Space:         sparksim.QuerySpace(),
+		Opt:           []float64{0.35, 0.6, 0.45},
+		Curv:          []float64{3.0, 1.2, 4.0},
+		BaseMs:        10000,
+		BytesPerScale: 10e9,
+	}
+}
+
+// TrueTime implements Evaluator.
+func (s *SyntheticObjective) TrueTime(cfg sparksim.Config, scale float64) float64 {
+	u := s.Space.Normalize(cfg)
+	v := 1.0
+	for j := range u {
+		d := u[j] - s.Opt[j]
+		v += s.Curv[j] * d * d
+	}
+	return s.BaseMs * v * scale
+}
+
+// DataBytes implements Evaluator.
+func (s *SyntheticObjective) DataBytes(scale float64) float64 { return s.BytesPerScale * scale }
+
+// OptimalTime is the noiseless minimum at the given scale.
+func (s *SyntheticObjective) OptimalTime(scale float64) float64 { return s.BaseMs * scale }
+
+// OptimalConfig returns the optimum as a configuration.
+func (s *SyntheticObjective) OptimalConfig() sparksim.Config { return s.Space.Denormalize(s.Opt) }
+
+// Record is one tuning-loop iteration as the experiment harness sees it.
+type Record struct {
+	Iteration int
+	Config    sparksim.Config
+	Scale     float64
+	TrueTime  float64
+	Observed  float64
+}
+
+// RunLoop drives a tuner against an evaluator for iters iterations, with
+// data sizes drawn from the size process and observations perturbed by the
+// injector. The tuner sees only observed values; Record keeps the truth for
+// measurement.
+func RunLoop(space *sparksim.Space, eval Evaluator, tn tuners.Tuner, iters int, inj noise.Injector, sizes workloads.SizeProcess, r *stats.RNG) []Record {
+	if sizes == nil {
+		sizes = workloads.Constant{}
+	}
+	out := make([]Record, iters)
+	for i := 0; i < iters; i++ {
+		scale := sizes.Scale(i)
+		bytes := eval.DataBytes(scale)
+		cfg := tn.Propose(i, bytes)
+		truth := eval.TrueTime(cfg, scale)
+		obs := truth
+		if inj != nil {
+			obs = inj.Inject(r, truth)
+		}
+		tn.Observe(sparksim.Observation{
+			Config: cfg.Clone(), DataSize: bytes, Time: obs, TrueTime: truth, Iteration: i,
+		})
+		out[i] = Record{Iteration: i, Config: cfg, Scale: scale, TrueTime: truth, Observed: obs}
+	}
+	return out
+}
+
+// TrueTimes extracts the noiseless trajectory from records.
+func TrueTimes(recs []Record) []float64 {
+	out := make([]float64, len(recs))
+	for i, r := range recs {
+		out[i] = r.TrueTime
+	}
+	return out
+}
+
+// NormedTimes divides each record's true time by the per-iteration optimum,
+// producing the "normed performance" series of Figure 11 (1.0 = optimal).
+func NormedTimes(recs []Record, optimalAt func(scale float64) float64) []float64 {
+	out := make([]float64, len(recs))
+	for i, r := range recs {
+		out[i] = r.TrueTime / optimalAt(r.Scale)
+	}
+	return out
+}
+
+// OptimalityGap extracts |config_dim − opt_dim| in normalized coordinates
+// per iteration, the Figure 10b/11d metric.
+func OptimalityGap(space *sparksim.Space, recs []Record, dim int, opt float64) []float64 {
+	out := make([]float64, len(recs))
+	for i, r := range recs {
+		u := space.Normalize(r.Config)
+		out[i] = math.Abs(u[dim] - opt)
+	}
+	return out
+}
+
+// BandStudy repeats a tuning loop `runs` times with independent seeds and
+// returns the per-iteration median and P5–P95 band of the noiseless
+// trajectory — the presentation used by Figures 2 and 9–11.
+func BandStudy(runs int, build func(run int) (tuners.Tuner, func() []Record)) stats.Band {
+	trajs := make([][]float64, 0, runs)
+	for i := 0; i < runs; i++ {
+		_, loop := build(i)
+		trajs = append(trajs, TrueTimes(loop()))
+	}
+	return stats.ConvergenceBand(trajs)
+}
+
+// PrintBand renders a convergence band as aligned rows, sampling every
+// `every` iterations.
+func PrintBand(w io.Writer, title string, b stats.Band, every int) {
+	fmt.Fprintf(w, "%s\n%6s %12s %12s %12s\n", title, "iter", "p5", "median", "p95")
+	if every < 1 {
+		every = 1
+	}
+	for i := 0; i < len(b.Median); i += every {
+		fmt.Fprintf(w, "%6d %12.1f %12.1f %12.1f\n", i, b.Lo[i], b.Median[i], b.Hi[i])
+	}
+	if n := len(b.Median); n > 0 && (n-1)%every != 0 {
+		fmt.Fprintf(w, "%6d %12.1f %12.1f %12.1f\n", n-1, b.Lo[n-1], b.Median[n-1], b.Hi[n-1])
+	}
+}
+
+// Speedup is the paper's improvement metric: reference time over measured
+// time (1.0 = parity, 1.2 = 20% faster... expressed as time ratio).
+func Speedup(reference, measured float64) float64 {
+	if measured <= 0 {
+		return math.NaN()
+	}
+	return reference / measured
+}
+
+// PercentImprovement is (ref − measured)/ref × 100.
+func PercentImprovement(reference, measured float64) float64 {
+	if reference <= 0 {
+		return math.NaN()
+	}
+	return (reference - measured) / reference * 100
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/rockhopper-db/rockhopper/internal/core"
+	"github.com/rockhopper-db/rockhopper/internal/noise"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+	"github.com/rockhopper-db/rockhopper/internal/workloads"
+)
+
+// GuardrailAblationParams configures the guardrail on/off study: how the
+// safety mechanism trades tail-risk for average gain, the design choice
+// Section 4.3 calls "sacrificing some potential performance gains" for
+// stability.
+type GuardrailAblationParams struct {
+	Signatures int
+	Iters      int
+	Noise      noise.Model
+	Seed       uint64
+	// Thresholds sweeps the breach threshold; −1 encodes "guardrail off".
+	Thresholds []float64
+}
+
+func (p *GuardrailAblationParams) defaults() {
+	if p.Signatures == 0 {
+		p.Signatures = 30
+	}
+	if p.Iters == 0 {
+		p.Iters = 60
+	}
+	if p.Noise == (noise.Model{}) {
+		p.Noise = noise.Model{FL: 0.5, SL: 0.5}
+	}
+	if p.Seed == 0 {
+		p.Seed = 7777
+	}
+	if len(p.Thresholds) == 0 {
+		p.Thresholds = []float64{-1, 0, 0.01, 0.05}
+	}
+}
+
+// GuardrailAblationRow is one policy's fleet outcome.
+type GuardrailAblationRow struct {
+	// Threshold is the policy (−1 = off).
+	Threshold float64
+	// MeanImprovementPct and WorstPct summarize the per-signature final
+	// improvements.
+	MeanImprovementPct float64
+	WorstPct           float64
+	// Disabled counts guardrail reversions.
+	Disabled int
+}
+
+// GuardrailAblationResult is the sweep outcome.
+type GuardrailAblationResult struct {
+	Params GuardrailAblationParams
+	Rows   []GuardrailAblationRow
+}
+
+// GuardrailAblation runs the same noisy fleet under each guardrail policy.
+// The expected shape: tightening the guardrail (lower threshold) truncates
+// the regression tail (WorstPct rises toward 0) at some cost in mean gain.
+func GuardrailAblation(p GuardrailAblationParams) *GuardrailAblationResult {
+	p.defaults()
+	space := sparksim.QuerySpace()
+	e := sparksim.NewEngine(space)
+	gen := workloads.NewGenerator(p.Seed)
+	res := &GuardrailAblationResult{Params: p}
+	for _, thr := range p.Thresholds {
+		root := stats.NewRNG(p.Seed) // identical fleet per policy
+		row := GuardrailAblationRow{Threshold: thr}
+		var imps []float64
+		for s := 0; s < p.Signatures; s++ {
+			q := gen.Notebook(s, 1).Queries[0]
+			qr := root.SplitNamed(q.ID)
+			sel := core.NewSurrogateSelector(space, nil, nil, qr.Split())
+			cl := core.New(space, sel, qr.Split())
+			if thr < 0 {
+				cl.Guardrail = nil
+			} else {
+				cl.Guardrail.Threshold = thr
+			}
+			recs := RunLoop(space, QueryEvaluator{E: e, Q: q}, cl, p.Iters, p.Noise,
+				workloads.Jittered{Inner: workloads.Constant{}, Sigma: 0.15, RNG: qr.Split()}, qr.Split())
+			def := e.TrueTime(q, space.Default(), 1)
+			imps = append(imps, PercentImprovement(def, tailMedian(recs, p.Iters/5)))
+			if cl.Disabled() {
+				row.Disabled++
+			}
+		}
+		row.MeanImprovementPct = stats.Mean(imps)
+		row.WorstPct = stats.Min(imps)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Print renders the sweep.
+func (r *GuardrailAblationResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "=== Guardrail ablation (%d signatures, %v) ===\n", r.Params.Signatures, r.Params.Noise)
+	fmt.Fprintf(w, "%12s %10s %10s %10s\n", "policy", "mean %", "worst %", "disabled")
+	for _, row := range r.Rows {
+		policy := fmt.Sprintf("thr=%g", row.Threshold)
+		if row.Threshold < 0 {
+			policy = "off"
+		}
+		fmt.Fprintf(w, "%12s %10.1f %10.1f %10d\n", policy, row.MeanImprovementPct, row.WorstPct, row.Disabled)
+	}
+}

@@ -1,0 +1,362 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/rockhopper-db/rockhopper/internal/core"
+	"github.com/rockhopper-db/rockhopper/internal/ml"
+	"github.com/rockhopper-db/rockhopper/internal/noise"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+	"github.com/rockhopper-db/rockhopper/internal/tuners"
+	"github.com/rockhopper-db/rockhopper/internal/workloads"
+)
+
+// Fig02Params configures the noisy-baselines study (Figure 2): vanilla BO
+// and FLOW2 on the synthetic convex function under high noise.
+type Fig02Params struct {
+	Runs  int // paper: 200
+	Iters int // paper: 500
+	Noise noise.Model
+	Seed  uint64
+	// Algorithms selects the baselines; default {"bo", "flow2"} (the
+	// figure's pair). "hillclimb", "oppertune", and "random" extend the
+	// comparison to every single-observation method in the repository.
+	Algorithms []string
+}
+
+func (p *Fig02Params) defaults() {
+	if p.Runs == 0 {
+		p.Runs = 200
+	}
+	if p.Iters == 0 {
+		p.Iters = 500
+	}
+	if p.Noise == (noise.Model{}) {
+		p.Noise = noise.High
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	if len(p.Algorithms) == 0 {
+		p.Algorithms = []string{"bo", "flow2"}
+	}
+}
+
+// Fig02Result holds one convergence band per baseline algorithm.
+type Fig02Result struct {
+	Params  Fig02Params
+	Optimal float64
+	Bands   map[string]stats.Band
+}
+
+// Fig02NoisyBaselines runs Figure 2.
+func Fig02NoisyBaselines(p Fig02Params) *Fig02Result {
+	p.defaults()
+	obj := NewSyntheticObjective()
+	res := &Fig02Result{Params: p, Optimal: obj.OptimalTime(1), Bands: map[string]stats.Band{}}
+	root := stats.NewRNG(p.Seed)
+	for _, alg := range p.Algorithms {
+		alg := alg
+		algRNG := root.SplitNamed(alg)
+		res.Bands[alg] = BandStudy(p.Runs, func(run int) (tuners.Tuner, func() []Record) {
+			seedRNG := algRNG.Split()
+			var tn tuners.Tuner
+			switch alg {
+			case "bo":
+				tn = tuners.NewBO(obj.Space, seedRNG.Split())
+			case "hillclimb":
+				tn = tuners.NewHillClimb(obj.Space, seedRNG.Split())
+			case "oppertune":
+				tn = tuners.NewOPPerTune(obj.Space, seedRNG.Split())
+			case "random":
+				tn = tuners.NewRandomSearch(obj.Space, seedRNG.Split())
+			default:
+				tn = tuners.NewFLOW2(obj.Space, seedRNG.Split())
+			}
+			noiseRNG := seedRNG.Split()
+			return tn, func() []Record {
+				return RunLoop(obj.Space, obj, tn, p.Iters, p.Noise, workloads.Constant{}, noiseRNG)
+			}
+		})
+	}
+	return res
+}
+
+// Print renders the result.
+func (r *Fig02Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "=== Figure 2: baseline convergence under %v (optimal=%.0f ms) ===\n", r.Params.Noise, r.Optimal)
+	every := r.Params.Iters / 10
+	for _, alg := range r.Params.Algorithms {
+		PrintBand(w, "algorithm: "+alg, r.Bands[alg], every)
+	}
+}
+
+// Fig08Params configures the synthetic-function illustration (Figure 8).
+type Fig08Params struct {
+	Points int
+	Seed   uint64
+}
+
+// Fig08Row is one sampled x-position of the Figure 8 slice.
+type Fig08Row struct {
+	X         float64 // normalized position along dimension 0
+	True      float64
+	NoisyHigh float64
+	NoisyLow  float64
+}
+
+// Fig08SyntheticFunction samples the objective along dimension 0 with the
+// other dimensions held at the optimum, before and after noise injection at
+// the high and low settings.
+func Fig08SyntheticFunction(p Fig08Params) []Fig08Row {
+	if p.Points == 0 {
+		p.Points = 41
+	}
+	if p.Seed == 0 {
+		p.Seed = 7
+	}
+	obj := NewSyntheticObjective()
+	rHigh := stats.NewRNG(p.Seed)
+	rLow := stats.NewRNG(p.Seed + 1)
+	rows := make([]Fig08Row, p.Points)
+	for i := range rows {
+		x := float64(i) / float64(p.Points-1)
+		u := append([]float64(nil), obj.Opt...)
+		u[0] = x
+		cfg := obj.Space.Denormalize(u)
+		truth := obj.TrueTime(cfg, 1)
+		rows[i] = Fig08Row{
+			X:         x,
+			True:      truth,
+			NoisyHigh: noise.High.Inject(rHigh, truth),
+			NoisyLow:  noise.Low.Inject(rLow, truth),
+		}
+	}
+	return rows
+}
+
+// PrintFig08 renders the Figure 8 table.
+func PrintFig08(w io.Writer, rows []Fig08Row) {
+	fmt.Fprintf(w, "=== Figure 8: synthetic objective before/after noise ===\n")
+	fmt.Fprintf(w, "%8s %12s %12s %12s\n", "x", "true", "high-noise", "low-noise")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8.3f %12.1f %12.1f %12.1f\n", r.X, r.True, r.NoisyHigh, r.NoisyLow)
+	}
+}
+
+// Fig09Params configures the pseudo-surrogate accuracy study (Figure 9).
+type Fig09Params struct {
+	Levels []int // paper: 9, 7, 5, 3, 1
+	Runs   int   // paper: 100
+	Iters  int   // paper: 500
+	Noise  noise.Model
+	Seed   uint64
+}
+
+func (p *Fig09Params) defaults() {
+	if len(p.Levels) == 0 {
+		p.Levels = []int{9, 7, 5, 3, 1}
+	}
+	if p.Runs == 0 {
+		p.Runs = 100
+	}
+	if p.Iters == 0 {
+		p.Iters = 500
+	}
+	if p.Noise == (noise.Model{}) {
+		p.Noise = noise.High
+	}
+	if p.Seed == 0 {
+		p.Seed = 99
+	}
+}
+
+// Fig09Result maps pseudo-surrogate level to its convergence band.
+type Fig09Result struct {
+	Params  Fig09Params
+	Optimal float64
+	Bands   map[int]stats.Band
+}
+
+// Fig09SurrogateLevels runs Centroid Learning with Level-X pseudo-surrogates
+// that pick the candidate at the 10·X-th true-performance percentile.
+func Fig09SurrogateLevels(p Fig09Params) *Fig09Result {
+	p.defaults()
+	obj := NewSyntheticObjective()
+	res := &Fig09Result{Params: p, Optimal: obj.OptimalTime(1), Bands: map[int]stats.Band{}}
+	root := stats.NewRNG(p.Seed)
+	for _, level := range p.Levels {
+		level := level
+		lvlRNG := root.SplitNamed(fmt.Sprintf("level-%d", level))
+		res.Bands[level] = BandStudy(p.Runs, func(run int) (tuners.Tuner, func() []Record) {
+			seedRNG := lvlRNG.Split()
+			sel := core.LevelSelector{
+				Level: level,
+				True:  func(c sparksim.Config) float64 { return obj.TrueTime(c, 1) },
+			}
+			cl := core.New(obj.Space, sel, seedRNG.Split())
+			cl.Guardrail = nil
+			noiseRNG := seedRNG.Split()
+			return cl, func() []Record {
+				return RunLoop(obj.Space, obj, cl, p.Iters, p.Noise, workloads.Constant{}, noiseRNG)
+			}
+		})
+	}
+	return res
+}
+
+// Print renders the result.
+func (r *Fig09Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "=== Figure 9: CL convergence vs surrogate accuracy (optimal=%.0f ms) ===\n", r.Optimal)
+	every := r.Params.Iters / 10
+	for _, level := range r.Params.Levels {
+		PrintBand(w, fmt.Sprintf("pseudo-surrogate level %d (picks %d0th pct)", level, level), r.Bands[level], every)
+	}
+}
+
+// Fig10Params configures the real-surrogate study (Figure 10): CL with a
+// kernel-ridge ("SVR") surrogate trained on noisy observations.
+type Fig10Params struct {
+	Runs  int
+	Iters int
+	Noise noise.Model
+	Seed  uint64
+}
+
+func (p *Fig10Params) defaults() {
+	if p.Runs == 0 {
+		p.Runs = 100
+	}
+	if p.Iters == 0 {
+		p.Iters = 500
+	}
+	if p.Noise == (noise.Model{}) {
+		p.Noise = noise.High
+	}
+	if p.Seed == 0 {
+		p.Seed = 1010
+	}
+}
+
+// Fig10Result carries the normed-performance band and the optimality gap of
+// the most impactful configuration dimension.
+type Fig10Result struct {
+	Params  Fig10Params
+	Optimal float64
+	Band    stats.Band
+	// GapBand is the per-iteration |u₀ − opt₀| band (Figure 10b analogue,
+	// dimension 0 = spark.sql.files.maxPartitionBytes).
+	GapBand stats.Band
+}
+
+// Fig10CLSVR runs Figure 10.
+func Fig10CLSVR(p Fig10Params) *Fig10Result {
+	p.defaults()
+	obj := NewSyntheticObjective()
+	root := stats.NewRNG(p.Seed)
+	trajs := make([][]float64, 0, p.Runs)
+	gaps := make([][]float64, 0, p.Runs)
+	for run := 0; run < p.Runs; run++ {
+		seedRNG := root.Split()
+		sel := core.NewSurrogateSelector(obj.Space, nil, nil, seedRNG.Split())
+		sel.NewModel = func() ml.Regressor { return ml.NewKernelRidge() }
+		cl := core.New(obj.Space, sel, seedRNG.Split())
+		cl.Guardrail = nil
+		recs := RunLoop(obj.Space, obj, cl, p.Iters, p.Noise, workloads.Constant{}, seedRNG.Split())
+		trajs = append(trajs, TrueTimes(recs))
+		gaps = append(gaps, OptimalityGap(obj.Space, recs, 0, obj.Opt[0]))
+	}
+	return &Fig10Result{
+		Params:  p,
+		Optimal: obj.OptimalTime(1),
+		Band:    stats.ConvergenceBand(trajs),
+		GapBand: stats.ConvergenceBand(gaps),
+	}
+}
+
+// Print renders the result.
+func (r *Fig10Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "=== Figure 10: CL with SVR surrogate under %v (optimal=%.0f ms) ===\n", r.Params.Noise, r.Optimal)
+	every := r.Params.Iters / 10
+	PrintBand(w, "(a) true performance", r.Band, every)
+	PrintBand(w, "(b) optimality gap, maxPartitionBytes (normalized)", r.GapBand, every)
+}
+
+// Fig11Params configures the dynamic-workload study (Figure 11).
+type Fig11Params struct {
+	Runs  int
+	Iters int
+	Noise noise.Model
+	Seed  uint64
+	// PeriodK is the periodic process's period.
+	PeriodK int
+}
+
+func (p *Fig11Params) defaults() {
+	if p.Runs == 0 {
+		p.Runs = 100
+	}
+	if p.Iters == 0 {
+		p.Iters = 500
+	}
+	if p.Noise == (noise.Model{}) {
+		p.Noise = noise.High
+	}
+	if p.Seed == 0 {
+		p.Seed = 1111
+	}
+	if p.PeriodK == 0 {
+		p.PeriodK = 20
+	}
+}
+
+// Fig11Result holds normed-performance and optimality-gap bands per
+// dynamic-workload shape.
+type Fig11Result struct {
+	Params Fig11Params
+	Normed map[string]stats.Band
+	Gaps   map[string]stats.Band
+}
+
+// Fig11DynamicWorkloads runs CL under linearly growing and periodic data
+// sizes; performance is normalized by the per-iteration optimum so growth
+// itself does not read as regression.
+func Fig11DynamicWorkloads(p Fig11Params) *Fig11Result {
+	p.defaults()
+	obj := NewSyntheticObjective()
+	shapes := map[string]func() workloads.SizeProcess{
+		"linear":   func() workloads.SizeProcess { return workloads.Linear{Base: 1, Slope: 0.02} },
+		"periodic": func() workloads.SizeProcess { return workloads.Periodic{Base: 1, Amplitude: 1, K: p.PeriodK} },
+	}
+	res := &Fig11Result{Params: p, Normed: map[string]stats.Band{}, Gaps: map[string]stats.Band{}}
+	root := stats.NewRNG(p.Seed)
+	for name, mk := range shapes {
+		shapeRNG := root.SplitNamed(name)
+		var normed, gaps [][]float64
+		for run := 0; run < p.Runs; run++ {
+			seedRNG := shapeRNG.Split()
+			sel := core.NewSurrogateSelector(obj.Space, nil, nil, seedRNG.Split())
+			sel.NewModel = func() ml.Regressor { return ml.NewKernelRidge() }
+			cl := core.New(obj.Space, sel, seedRNG.Split())
+			cl.Guardrail = nil
+			recs := RunLoop(obj.Space, obj, cl, p.Iters, p.Noise, mk(), seedRNG.Split())
+			normed = append(normed, NormedTimes(recs, obj.OptimalTime))
+			gaps = append(gaps, OptimalityGap(obj.Space, recs, 0, obj.Opt[0]))
+		}
+		res.Normed[name] = stats.ConvergenceBand(normed)
+		res.Gaps[name] = stats.ConvergenceBand(gaps)
+	}
+	return res
+}
+
+// Print renders the result.
+func (r *Fig11Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "=== Figure 11: CL under dynamic workloads (%v) ===\n", r.Params.Noise)
+	every := r.Params.Iters / 10
+	for _, name := range []string{"linear", "periodic"} {
+		PrintBand(w, name+": normed performance (1.0 = optimal)", r.Normed[name], every)
+		PrintBand(w, name+": optimality gap, maxPartitionBytes", r.Gaps[name], every)
+	}
+}

@@ -1,0 +1,424 @@
+// Package mat implements the dense linear algebra needed by Rockhopper's
+// machine-learning substrate: dense matrices and vectors, Cholesky and QR
+// factorizations, triangular and symmetric positive-definite solves, and
+// least-squares solvers.
+//
+// The package is deliberately small and allocation-conscious rather than a
+// general BLAS replacement: every routine exists because a surrogate model in
+// internal/ml needs it. Matrices are stored row-major in a single backing
+// slice.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShape is returned when operand dimensions are incompatible.
+var ErrShape = errors.New("mat: dimension mismatch")
+
+// ErrSingular is returned when a factorization or solve encounters a matrix
+// that is singular (or not positive definite, for Cholesky) to working
+// precision.
+var ErrSingular = errors.New("mat: matrix is singular to working precision")
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense allocates an r×c zero matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic("mat: negative dimension")
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewDenseData wraps data (row-major, length r*c) without copying.
+func NewDenseData(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic("mat: data length does not match dimensions")
+	}
+	return &Dense{rows: r, cols: c, data: data}
+}
+
+// Dims returns the number of rows and columns.
+func (m *Dense) Dims() (r, c int) { return m.rows, m.cols }
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns a view of row i (shared backing storage).
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Data returns the backing slice (row-major, shared).
+func (m *Dense) Data() []float64 { return m.data }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	d := make([]float64, len(m.data))
+	copy(d, m.data)
+	return &Dense{rows: m.rows, cols: m.cols, data: d}
+}
+
+// T returns a newly allocated transpose of m.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.data[j*t.cols+i] = v
+		}
+	}
+	return t
+}
+
+// String renders a small matrix for debugging.
+func (m *Dense) String() string {
+	s := fmt.Sprintf("Dense(%dx%d)[", m.rows, m.cols)
+	for i := 0; i < m.rows && i < 6; i++ {
+		s += fmt.Sprintf("%v", m.Row(i))
+		if i < m.rows-1 {
+			s += "; "
+		}
+	}
+	if m.rows > 6 {
+		s += "..."
+	}
+	return s + "]"
+}
+
+// Mul returns a*b.
+func Mul(a, b *Dense) (*Dense, error) {
+	if a.cols != b.rows {
+		return nil, fmt.Errorf("%w: (%dx%d)*(%dx%d)", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := NewDense(a.rows, b.cols)
+	for i := 0; i < a.rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns a*x as a new vector.
+func MulVec(a *Dense, x []float64) ([]float64, error) {
+	if a.cols != len(x) {
+		return nil, fmt.Errorf("%w: (%dx%d)*vec(%d)", ErrShape, a.rows, a.cols, len(x))
+	}
+	out := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		out[i] = Dot(a.Row(i), x)
+	}
+	return out, nil
+}
+
+// AtA returns aᵀa, the (cols×cols) Gram matrix of a. Only the result's upper
+// triangle is computed directly; the lower triangle is mirrored.
+func AtA(a *Dense) *Dense {
+	n := a.cols
+	out := NewDense(n, n)
+	for i := 0; i < a.rows; i++ {
+		row := a.Row(i)
+		for p := 0; p < n; p++ {
+			rp := row[p]
+			if rp == 0 {
+				continue
+			}
+			orow := out.Row(p)
+			for q := p; q < n; q++ {
+				orow[q] += rp * row[q]
+			}
+		}
+	}
+	for p := 0; p < n; p++ {
+		for q := p + 1; q < n; q++ {
+			out.Set(q, p, out.At(p, q))
+		}
+	}
+	return out
+}
+
+// AtVec returns aᵀy.
+func AtVec(a *Dense, y []float64) ([]float64, error) {
+	if a.rows != len(y) {
+		return nil, fmt.Errorf("%w: (%dx%d)ᵀ*vec(%d)", ErrShape, a.rows, a.cols, len(y))
+	}
+	out := make([]float64, a.cols)
+	for i := 0; i < a.rows; i++ {
+		yi := y[i]
+		if yi == 0 {
+			continue
+		}
+		row := a.Row(i)
+		for j, v := range row {
+			out[j] += v * yi
+		}
+	}
+	return out, nil
+}
+
+// Dot returns the inner product of x and y, which must be the same length.
+func Dot(x, y []float64) float64 {
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}
+
+// AddDiag adds v to every diagonal element of the square matrix m in place.
+func AddDiag(m *Dense, v float64) {
+	if m.rows != m.cols {
+		panic("mat: AddDiag on non-square matrix")
+	}
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+i] += v
+	}
+}
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L Lᵀ.
+type Cholesky struct {
+	l *Dense
+}
+
+// NewCholesky factors the symmetric positive definite matrix a. Only the
+// lower triangle of a is read. It returns ErrSingular if a is not positive
+// definite to working precision.
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("%w: Cholesky of %dx%d", ErrShape, a.rows, a.cols)
+	}
+	n := a.rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		var d float64 = a.At(j, j)
+		lrow := l.Row(j)
+		for k := 0; k < j; k++ {
+			d -= lrow[k] * lrow[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("%w: pivot %d = %g", ErrSingular, j, d)
+		}
+		dj := math.Sqrt(d)
+		lrow[j] = dj
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			irow := l.Row(i)
+			for k := 0; k < j; k++ {
+				s -= irow[k] * lrow[k]
+			}
+			irow[j] = s / dj
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// L returns the lower-triangular factor (shared storage).
+func (c *Cholesky) L() *Dense { return c.l }
+
+// LogDet returns log det(A) = 2 Σ log L_ii.
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	n := c.l.rows
+	for i := 0; i < n; i++ {
+		s += math.Log(c.l.At(i, i))
+	}
+	return 2 * s
+}
+
+// SolveVec solves A x = b in place of a fresh vector, using the factorization.
+func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
+	n := c.l.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: solve %d with rhs %d", ErrShape, n, len(b))
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	// Forward substitution: L y = b.
+	for i := 0; i < n; i++ {
+		row := c.l.Row(i)
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * x[k]
+		}
+		x[i] = s / row[i]
+	}
+	// Back substitution: Lᵀ x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l.At(k, i) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x, nil
+}
+
+// SolveTriLower solves L y = b for lower-triangular L.
+func (c *Cholesky) SolveTriLower(b []float64) ([]float64, error) {
+	n := c.l.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: solve %d with rhs %d", ErrShape, n, len(b))
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := c.l.Row(i)
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+	return y, nil
+}
+
+// SolveRidge solves (XᵀX + λI) β = Xᵀy, the ridge-regression normal
+// equations. λ must be ≥ 0; with λ = 0 this is ordinary least squares via the
+// normal equations, suitable for the small, well-conditioned systems used by
+// Rockhopper's trend regressions. For rank-deficient systems a small ridge is
+// added automatically, growing geometrically until the factorization
+// succeeds.
+func SolveRidge(x *Dense, y []float64, lambda float64) ([]float64, error) {
+	if x.rows != len(y) {
+		return nil, fmt.Errorf("%w: design %dx%d, response %d", ErrShape, x.rows, x.cols, len(y))
+	}
+	g := AtA(x)
+	rhs, err := AtVec(x, y)
+	if err != nil {
+		return nil, err
+	}
+	if lambda > 0 {
+		AddDiag(g, lambda)
+	}
+	// Retry with growing jitter if not SPD (collinear features are common in
+	// small tuning windows where a config dimension barely moves).
+	jitter := 0.0
+	for attempt := 0; attempt < 8; attempt++ {
+		work := g
+		if jitter > 0 {
+			work = g.Clone()
+			AddDiag(work, jitter)
+		}
+		ch, err := NewCholesky(work)
+		if err == nil {
+			return ch.SolveVec(rhs)
+		}
+		if jitter == 0 {
+			jitter = 1e-10 * (1 + traceAbs(g))
+		} else {
+			jitter *= 100
+		}
+	}
+	return nil, ErrSingular
+}
+
+func traceAbs(m *Dense) float64 {
+	var s float64
+	for i := 0; i < m.rows; i++ {
+		s += math.Abs(m.At(i, i))
+	}
+	return s
+}
+
+// LeastSquares solves min ‖Xβ − y‖₂ by QR factorization with Householder
+// reflections. X must have at least as many rows as columns.
+func LeastSquares(x *Dense, y []float64) ([]float64, error) {
+	m, n := x.rows, x.cols
+	if m < n {
+		return nil, fmt.Errorf("%w: underdetermined %dx%d", ErrShape, m, n)
+	}
+	if m != len(y) {
+		return nil, fmt.Errorf("%w: design %dx%d, response %d", ErrShape, m, n, len(y))
+	}
+	a := x.Clone()
+	b := make([]float64, m)
+	copy(b, y)
+	// Householder QR, applying reflectors to b as we go.
+	for k := 0; k < n; k++ {
+		// Compute the norm of column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			v := a.At(i, k)
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm < 1e-300 {
+			return nil, ErrSingular
+		}
+		alpha := -math.Copysign(norm, a.At(k, k))
+		// v = column − alpha*e_k, stored in the column itself.
+		akk := a.At(k, k) - alpha
+		a.Set(k, k, akk)
+		vnorm2 := 0.0
+		for i := k; i < m; i++ {
+			v := a.At(i, k)
+			vnorm2 += v * v
+		}
+		if vnorm2 < 1e-300 {
+			return nil, ErrSingular
+		}
+		// Apply H = I − 2 v vᵀ / ‖v‖² to remaining columns and to b.
+		for j := k + 1; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += a.At(i, k) * a.At(i, j)
+			}
+			f := 2 * dot / vnorm2
+			for i := k; i < m; i++ {
+				a.Set(i, j, a.At(i, j)-f*a.At(i, k))
+			}
+		}
+		var dotb float64
+		for i := k; i < m; i++ {
+			dotb += a.At(i, k) * b[i]
+		}
+		fb := 2 * dotb / vnorm2
+		for i := k; i < m; i++ {
+			b[i] -= fb * a.At(i, k)
+		}
+		// Store R's diagonal entry; zero below-diagonal is implicit.
+		a.Set(k, k, alpha)
+	}
+	// Back-substitute R β = b[:n].
+	beta := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= a.At(i, j) * beta[j]
+		}
+		d := a.At(i, i)
+		if math.Abs(d) < 1e-300 {
+			return nil, ErrSingular
+		}
+		beta[i] = s / d
+	}
+	return beta, nil
+}

@@ -1,0 +1,105 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+// CrossValidate estimates a model family's out-of-sample MSE by k-fold
+// cross-validation: build constructs a fresh model per fold. Folds are
+// assigned by a deterministic shuffle of the provided RNG, so results are
+// reproducible.
+func CrossValidate(build func() Regressor, x [][]float64, y []float64, k int, r *stats.RNG) (float64, error) {
+	if _, err := checkXY(x, y); err != nil {
+		return 0, err
+	}
+	n := len(x)
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	perm := r.Perm(n)
+	var sse float64
+	count := 0
+	for fold := 0; fold < k; fold++ {
+		var trX [][]float64
+		var trY []float64
+		var teX [][]float64
+		var teY []float64
+		for i, idx := range perm {
+			if i%k == fold {
+				teX = append(teX, x[idx])
+				teY = append(teY, y[idx])
+			} else {
+				trX = append(trX, x[idx])
+				trY = append(trY, y[idx])
+			}
+		}
+		if len(trX) == 0 || len(teX) == 0 {
+			continue
+		}
+		m := build()
+		if err := m.Fit(trX, trY); err != nil {
+			return 0, fmt.Errorf("ml: cross-validation fold %d: %w", fold, err)
+		}
+		for i, xv := range teX {
+			p := m.Predict(xv)
+			if math.IsNaN(p) {
+				return 0, fmt.Errorf("ml: cross-validation fold %d produced NaN", fold)
+			}
+			d := p - teY[i]
+			sse += d * d
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("ml: cross-validation had no test points")
+	}
+	return sse / float64(count), nil
+}
+
+// AutoKernelRidge fits a kernel-ridge regressor whose length scale and ridge
+// penalty are chosen by k-fold cross-validation over a small grid — the
+// surrogate "fine-tuning" step of the paper's training pipeline. The grid is
+// deliberately small: surrogate refits sit on the job-submission critical
+// path.
+func AutoKernelRidge(x [][]float64, y []float64, r *stats.RNG) (*KernelRidge, error) {
+	if _, err := checkXY(x, y); err != nil {
+		return nil, err
+	}
+	lengthScales := []float64{0.5, 1, 2}
+	alphas := []float64{0.05, 0.3, 1}
+	bestMSE := math.Inf(1)
+	var bestLS, bestAlpha float64
+	for _, ls := range lengthScales {
+		for _, a := range alphas {
+			ls, a := ls, a
+			mse, err := CrossValidate(func() Regressor {
+				kr := NewKernelRidge()
+				kr.Kernel.LengthScale = ls
+				kr.Alpha = a
+				return kr
+			}, x, y, 4, r.Split())
+			if err != nil {
+				continue
+			}
+			if mse < bestMSE {
+				bestMSE, bestLS, bestAlpha = mse, ls, a
+			}
+		}
+	}
+	if math.IsInf(bestMSE, 1) {
+		return nil, fmt.Errorf("ml: no kernel-ridge configuration survived cross-validation")
+	}
+	kr := NewKernelRidge()
+	kr.Kernel.LengthScale = bestLS
+	kr.Alpha = bestAlpha
+	if err := kr.Fit(x, y); err != nil {
+		return nil, err
+	}
+	return kr, nil
+}

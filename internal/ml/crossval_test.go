@@ -1,0 +1,91 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+func smoothData(r *stats.RNG, n int, noiseSD float64) ([][]float64, []float64) {
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := r.Uniform(-2, 2), r.Uniform(-2, 2)
+		x[i] = []float64{a, b}
+		y[i] = math.Sin(a) + 0.3*b*b + r.Normal(0, noiseSD)
+	}
+	return x, y
+}
+
+func TestCrossValidateRanksModels(t *testing.T) {
+	r := stats.NewRNG(1)
+	x, y := smoothData(r, 150, 0.05)
+	// A sensible kernel ridge must beat an absurdly over-regularized one.
+	good, err := CrossValidate(func() Regressor {
+		kr := NewKernelRidge()
+		kr.Alpha = 0.05
+		return kr
+	}, x, y, 4, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := CrossValidate(func() Regressor {
+		kr := NewKernelRidge()
+		kr.Alpha = 1e6
+		return kr
+	}, x, y, 4, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good >= bad {
+		t.Fatalf("CV failed to rank: good=%g bad=%g", good, bad)
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	r := stats.NewRNG(3)
+	x, y := smoothData(r, 80, 0.1)
+	mk := func() Regressor { return NewKernelRidge() }
+	a, err := CrossValidate(mk, x, y, 5, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidate(mk, x, y, 5, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("CV not deterministic: %g vs %g", a, b)
+	}
+}
+
+func TestCrossValidateValidation(t *testing.T) {
+	mk := func() Regressor { return NewLinear(0) }
+	if _, err := CrossValidate(mk, nil, nil, 4, stats.NewRNG(1)); err == nil {
+		t.Fatal("empty data should error")
+	}
+}
+
+func TestAutoKernelRidge(t *testing.T) {
+	r := stats.NewRNG(4)
+	x, y := smoothData(r, 180, 0.1)
+	kr, err := AutoKernelRidge(x, y, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Held-out accuracy must be decent.
+	var preds, truths []float64
+	for i := 0; i < 60; i++ {
+		a, b := r.Uniform(-1.5, 1.5), r.Uniform(-1.5, 1.5)
+		preds = append(preds, kr.Predict([]float64{a, b}))
+		truths = append(truths, math.Sin(a)+0.3*b*b)
+	}
+	if r2 := R2(preds, truths); r2 < 0.85 {
+		t.Fatalf("auto kernel ridge R² = %g", r2)
+	}
+	// The tuned Alpha must not be the over-smoothed extreme for clean data.
+	if kr.Alpha >= 1 {
+		t.Fatalf("auto-tuning picked alpha=%g for low-noise data", kr.Alpha)
+	}
+}

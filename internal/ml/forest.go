@@ -1,0 +1,251 @@
+package ml
+
+import (
+	"math"
+	"sort"
+
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+// treeNode is one node of a regression tree, stored in a flat slice.
+// Leaves have Feature = −1.
+type treeNode struct {
+	Feature     int // split feature, −1 for leaves
+	Threshold   float64
+	Left, Right int32 // child indices
+	Value       float64
+}
+
+// Tree is a CART regression tree grown by variance reduction.
+type Tree struct {
+	Nodes []treeNode
+	// MaxDepth bounds tree growth (≤ 0 means 12).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (≤ 0 means 2).
+	MinLeaf int
+	fitted  bool
+}
+
+// NewTree returns a tree with defaults suitable for small tuning datasets.
+func NewTree() *Tree { return &Tree{MaxDepth: 12, MinLeaf: 2} }
+
+func (t *Tree) maxDepth() int {
+	if t.MaxDepth <= 0 {
+		return 12
+	}
+	return t.MaxDepth
+}
+
+func (t *Tree) minLeaf() int {
+	if t.MinLeaf <= 0 {
+		return 2
+	}
+	return t.MinLeaf
+}
+
+// Fit grows the tree on x, y.
+func (t *Tree) Fit(x [][]float64, y []float64) error {
+	if _, err := checkXY(x, y); err != nil {
+		return err
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.Nodes = t.Nodes[:0]
+	t.grow(x, y, idx, 0, nil)
+	t.fitted = true
+	return nil
+}
+
+// grow builds the subtree over idx and returns its node index.
+func (t *Tree) grow(x [][]float64, y []float64, idx []int, depth int, features []int) int32 {
+	node := treeNode{Feature: -1, Value: meanAt(y, idx)}
+	self := int32(len(t.Nodes))
+	t.Nodes = append(t.Nodes, node)
+	if depth >= t.maxDepth() || len(idx) < 2*t.minLeaf() {
+		return self
+	}
+	feat, thr, ok := t.bestSplit(x, y, idx, features)
+	if !ok {
+		return self
+	}
+	var left, right []int
+	for _, i := range idx {
+		if x[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.minLeaf() || len(right) < t.minLeaf() {
+		return self
+	}
+	l := t.grow(x, y, left, depth+1, features)
+	r := t.grow(x, y, right, depth+1, features)
+	t.Nodes[self].Feature = feat
+	t.Nodes[self].Threshold = thr
+	t.Nodes[self].Left = l
+	t.Nodes[self].Right = r
+	return self
+}
+
+// bestSplit finds the variance-minimizing split over the allowed features
+// (nil = all).
+func (t *Tree) bestSplit(x [][]float64, y []float64, idx []int, features []int) (feat int, thr float64, ok bool) {
+	p := len(x[0])
+	if features == nil {
+		features = make([]int, p)
+		for j := range features {
+			features[j] = j
+		}
+	}
+	bestScore := math.Inf(1)
+	order := make([]int, len(idx))
+	for _, j := range features {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][j] < x[order[b]][j] })
+		// Prefix sums enable O(1) variance of each split.
+		var sumL, sumSqL float64
+		sumR, sumSqR := 0.0, 0.0
+		for _, i := range order {
+			sumR += y[i]
+			sumSqR += y[i] * y[i]
+		}
+		n := float64(len(order))
+		for k := 0; k < len(order)-1; k++ {
+			yi := y[order[k]]
+			sumL += yi
+			sumSqL += yi * yi
+			sumR -= yi
+			sumSqR -= yi * yi
+			if x[order[k]][j] == x[order[k+1]][j] {
+				continue // cannot split between equal values
+			}
+			nl := float64(k + 1)
+			nr := n - nl
+			if int(nl) < t.minLeaf() || int(nr) < t.minLeaf() {
+				continue
+			}
+			// Total within-group sum of squares.
+			score := (sumSqL - sumL*sumL/nl) + (sumSqR - sumR*sumR/nr)
+			if score < bestScore {
+				bestScore = score
+				feat = j
+				thr = (x[order[k]][j] + x[order[k+1]][j]) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+// Predict descends the tree.
+func (t *Tree) Predict(x []float64) float64 {
+	if !t.fitted || len(t.Nodes) == 0 {
+		return math.NaN()
+	}
+	i := int32(0)
+	for {
+		n := t.Nodes[i]
+		if n.Feature < 0 {
+			return n.Value
+		}
+		if x[n.Feature] <= n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+func meanAt(y []float64, idx []int) float64 {
+	var s float64
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+// Forest is a bagged ensemble of regression trees with per-tree bootstrap
+// resampling and random feature subsets — the random-forest surrogate used
+// by prior auto-tuning work (RFHOC) and a robust alternative to kernel
+// methods on larger offline datasets.
+type Forest struct {
+	// Trees is the ensemble size (≤ 0 means 50).
+	Trees int
+	// MaxDepth and MinLeaf configure each tree.
+	MaxDepth int
+	MinLeaf  int
+	// FeatureFraction is the share of features each tree may split on
+	// (≤ 0 means 1/3, the regression default).
+	FeatureFraction float64
+	// Seed drives bootstrap and feature sampling.
+	Seed uint64
+
+	ensemble []*Tree
+	fitted   bool
+}
+
+// NewForest returns a 50-tree forest.
+func NewForest(seed uint64) *Forest {
+	return &Forest{Trees: 50, MaxDepth: 12, MinLeaf: 2, Seed: seed}
+}
+
+// Fit trains the ensemble.
+func (f *Forest) Fit(x [][]float64, y []float64) error {
+	p, err := checkXY(x, y)
+	if err != nil {
+		return err
+	}
+	nTrees := f.Trees
+	if nTrees <= 0 {
+		nTrees = 50
+	}
+	frac := f.FeatureFraction
+	if frac <= 0 {
+		frac = 1.0 / 3
+	}
+	nFeat := int(math.Ceil(frac * float64(p)))
+	if nFeat < 1 {
+		nFeat = 1
+	}
+	if nFeat > p {
+		nFeat = p
+	}
+	r := stats.NewRNG(f.Seed)
+	f.ensemble = make([]*Tree, 0, nTrees)
+	n := len(x)
+	for k := 0; k < nTrees; k++ {
+		// Bootstrap sample.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = r.Intn(n)
+		}
+		feats := r.Perm(p)[:nFeat]
+		tree := &Tree{MaxDepth: f.MaxDepth, MinLeaf: f.MinLeaf}
+		tree.Nodes = tree.Nodes[:0]
+		tree.grow(x, y, idx, 0, feats)
+		tree.fitted = true
+		f.ensemble = append(f.ensemble, tree)
+	}
+	f.fitted = true
+	return nil
+}
+
+// Predict averages the ensemble.
+func (f *Forest) Predict(x []float64) float64 {
+	if !f.fitted || len(f.ensemble) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, t := range f.ensemble {
+		s += t.Predict(x)
+	}
+	return s / float64(len(f.ensemble))
+}
+
+var (
+	_ Regressor = (*Tree)(nil)
+	_ Regressor = (*Forest)(nil)
+)

@@ -1,0 +1,146 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+func stepData(r *stats.RNG, n int) ([][]float64, []float64) {
+	// Piecewise-constant target: trees should nail this, linear models not.
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := r.Uniform(0, 1), r.Uniform(0, 1)
+		x[i] = []float64{a, b}
+		switch {
+		case a < 0.5 && b < 0.5:
+			y[i] = 10
+		case a < 0.5:
+			y[i] = 20
+		case b < 0.5:
+			y[i] = 30
+		default:
+			y[i] = 40
+		}
+	}
+	return x, y
+}
+
+func TestTreeFitsPiecewiseConstant(t *testing.T) {
+	r := stats.NewRNG(1)
+	x, y := stepData(r, 300)
+	tr := NewTree()
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][3]float64{{0.2, 0.2, 10}, {0.2, 0.8, 20}, {0.8, 0.2, 30}, {0.8, 0.8, 40}}
+	for _, c := range cases {
+		if p := tr.Predict([]float64{c[0], c[1]}); math.Abs(p-c[2]) > 0.5 {
+			t.Fatalf("tree(%g,%g) = %g; want %g", c[0], c[1], p, c[2])
+		}
+	}
+}
+
+func TestTreeRespectsMinLeaf(t *testing.T) {
+	r := stats.NewRNG(2)
+	x, y := stepData(r, 60)
+	tr := NewTree()
+	tr.MinLeaf = 30
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// With MinLeaf = half the data, at most one split is possible.
+	splits := 0
+	for _, n := range tr.Nodes {
+		if n.Feature >= 0 {
+			splits++
+		}
+	}
+	if splits > 1 {
+		t.Fatalf("min-leaf violated: %d splits", splits)
+	}
+}
+
+func TestTreeConstantTarget(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{7, 7, 7, 7}
+	tr := NewTree()
+	if err := tr.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if p := tr.Predict([]float64{2.5}); p != 7 {
+		t.Fatalf("constant tree predicts %g", p)
+	}
+}
+
+func TestTreeUnfitted(t *testing.T) {
+	if !math.IsNaN(NewTree().Predict([]float64{1})) {
+		t.Fatal("unfitted tree should be NaN")
+	}
+	if err := NewTree().Fit(nil, nil); err == nil {
+		t.Fatal("empty fit should error")
+	}
+}
+
+func TestForestBeatsSingleNoisyTree(t *testing.T) {
+	r := stats.NewRNG(3)
+	mk := func(n int) ([][]float64, []float64) {
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			a, b, c := r.Uniform(-2, 2), r.Uniform(-2, 2), r.Uniform(-2, 2)
+			x[i] = []float64{a, b, c}
+			y[i] = a*a + math.Sin(b) + 0.5*c + r.Normal(0, 0.4)
+		}
+		return x, y
+	}
+	xTr, yTr := mk(400)
+	xTe, yTe := mk(150)
+	truth := func(v []float64) float64 { return v[0]*v[0] + math.Sin(v[1]) + 0.5*v[2] }
+
+	tree := NewTree()
+	if err := tree.Fit(xTr, yTr); err != nil {
+		t.Fatal(err)
+	}
+	forest := NewForest(11)
+	forest.FeatureFraction = 1 // all features: isolate bagging benefit
+	if err := forest.Fit(xTr, yTr); err != nil {
+		t.Fatal(err)
+	}
+	var mseTree, mseForest float64
+	for i, v := range xTe {
+		_ = yTe[i]
+		dt := tree.Predict(v) - truth(v)
+		df := forest.Predict(v) - truth(v)
+		mseTree += dt * dt
+		mseForest += df * df
+	}
+	if mseForest >= mseTree {
+		t.Fatalf("bagging should reduce variance: forest %g vs tree %g", mseForest, mseTree)
+	}
+}
+
+func TestForestDeterministicBySeed(t *testing.T) {
+	r := stats.NewRNG(4)
+	x, y := stepData(r, 150)
+	f1 := NewForest(9)
+	f2 := NewForest(9)
+	if err := f1.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.3, 0.7}
+	if f1.Predict(probe) != f2.Predict(probe) {
+		t.Fatal("same seed should give identical forests")
+	}
+}
+
+func TestForestUnfitted(t *testing.T) {
+	if !math.IsNaN(NewForest(1).Predict([]float64{1})) {
+		t.Fatal("unfitted forest should be NaN")
+	}
+}

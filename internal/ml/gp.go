@@ -1,0 +1,156 @@
+package ml
+
+import (
+	"math"
+
+	"github.com/rockhopper-db/rockhopper/internal/mat"
+)
+
+// GP is Gaussian-process regression with an RBF kernel and homoscedastic
+// observation noise. It is the surrogate behind the vanilla and contextual
+// Bayesian Optimization baselines (Sections 2.2, 4.1, 6.2): the posterior
+// mean and variance feed the Expected Improvement acquisition function.
+type GP struct {
+	Kernel RBFKernel
+	// Noise is the observation-noise variance added to the kernel diagonal.
+	Noise float64
+	// Standardize scales inputs to zero mean / unit variance before the
+	// kernel is applied.
+	Standardize bool
+
+	xTrain [][]float64
+	alpha  []float64 // (K+σ²I)⁻¹ (y−ȳ)
+	chol   *mat.Cholesky
+	yMean  float64
+	scaler *Scaler
+	fitted bool
+}
+
+// NewGP returns a GP with unit RBF kernel and noise 0.1, standardized inputs.
+func NewGP() *GP {
+	return &GP{
+		Kernel:      RBFKernel{LengthScale: 1, Variance: 1},
+		Noise:       0.1,
+		Standardize: true,
+	}
+}
+
+// Fit conditions the GP on observations (x, y).
+func (g *GP) Fit(x [][]float64, y []float64) error {
+	if _, err := checkXY(x, y); err != nil {
+		return err
+	}
+	rows := x
+	if g.Standardize {
+		sc, err := FitScaler(x)
+		if err != nil {
+			return err
+		}
+		g.scaler = sc
+		rows = sc.TransformAll(x)
+	} else {
+		g.scaler = nil
+		rows = make([][]float64, len(x))
+		for i, r := range x {
+			rows[i] = append([]float64(nil), r...)
+		}
+	}
+	n := len(rows)
+	g.yMean = 0
+	for _, v := range y {
+		g.yMean += v
+	}
+	g.yMean /= float64(n)
+	centred := make([]float64, n)
+	for i, v := range y {
+		centred[i] = v - g.yMean
+	}
+	gram := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := g.Kernel.Eval(rows[i], rows[j])
+			gram.Set(i, j, v)
+			gram.Set(j, i, v)
+		}
+	}
+	mat.AddDiag(gram, g.Noise+1e-10)
+	ch, err := mat.NewCholesky(gram)
+	if err != nil {
+		return err
+	}
+	alpha, err := ch.SolveVec(centred)
+	if err != nil {
+		return err
+	}
+	g.xTrain = rows
+	g.alpha = alpha
+	g.chol = ch
+	g.fitted = true
+	return nil
+}
+
+// Predict returns the posterior mean at x.
+func (g *GP) Predict(x []float64) float64 {
+	m, _ := g.PredictVar(x)
+	return m
+}
+
+// PredictVar returns the posterior mean and variance at x.
+func (g *GP) PredictVar(x []float64) (mean, variance float64) {
+	if !g.fitted {
+		return math.NaN(), math.NaN()
+	}
+	row := x
+	if g.scaler != nil {
+		row = g.scaler.Transform(x)
+	}
+	n := len(g.xTrain)
+	kstar := make([]float64, n)
+	for i, xi := range g.xTrain {
+		kstar[i] = g.Kernel.Eval(xi, row)
+	}
+	mean = g.yMean + mat.Dot(kstar, g.alpha)
+	// variance = k(x,x) − k*ᵀ (K+σ²I)⁻¹ k* computed via v = L⁻¹ k*.
+	v, err := g.chol.SolveTriLower(kstar)
+	if err != nil {
+		return mean, math.NaN()
+	}
+	variance = g.Kernel.Eval(row, row) - mat.Dot(v, v)
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}
+
+// normalPDF is the standard normal density.
+func normalPDF(z float64) float64 {
+	return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+}
+
+// normalCDF is the standard normal distribution function.
+func normalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// ExpectedImprovement returns the EI acquisition value at x for a
+// minimization problem with incumbent best observed value best. Larger is
+// better. xi is the exploration margin (commonly 0.01 of the response scale).
+func (g *GP) ExpectedImprovement(x []float64, best, xi float64) float64 {
+	mean, variance := g.PredictVar(x)
+	sd := math.Sqrt(variance)
+	if sd < 1e-12 {
+		if imp := best - xi - mean; imp > 0 {
+			return imp
+		}
+		return 0
+	}
+	z := (best - xi - mean) / sd
+	return (best-xi-mean)*normalCDF(z) + sd*normalPDF(z)
+}
+
+// LowerConfidenceBound returns mean − kappa·sd at x; for minimization the
+// candidate with the smallest LCB is the most promising.
+func (g *GP) LowerConfidenceBound(x []float64, kappa float64) float64 {
+	mean, variance := g.PredictVar(x)
+	return mean - kappa*math.Sqrt(variance)
+}

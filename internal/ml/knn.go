@@ -1,0 +1,93 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// KNN is a k-nearest-neighbour regressor with inverse-distance weighting on
+// standardized features. It serves as a model-free sanity baseline when
+// validating surrogate accuracy in the flighting pipeline.
+type KNN struct {
+	// K is the number of neighbours consulted; values ≤ 0 default to 5.
+	K int
+	// Standardize scales features before distances are computed.
+	Standardize bool
+
+	xTrain [][]float64
+	yTrain []float64
+	scaler *Scaler
+	fitted bool
+}
+
+// NewKNN returns a 5-NN regressor with standardization enabled.
+func NewKNN() *KNN { return &KNN{K: 5, Standardize: true} }
+
+// Fit stores a copy of the training set.
+func (k *KNN) Fit(x [][]float64, y []float64) error {
+	if _, err := checkXY(x, y); err != nil {
+		return err
+	}
+	rows := x
+	if k.Standardize {
+		sc, err := FitScaler(x)
+		if err != nil {
+			return err
+		}
+		k.scaler = sc
+		rows = sc.TransformAll(x)
+	} else {
+		k.scaler = nil
+		rows = make([][]float64, len(x))
+		for i, r := range x {
+			rows[i] = append([]float64(nil), r...)
+		}
+	}
+	k.xTrain = rows
+	k.yTrain = append([]float64(nil), y...)
+	k.fitted = true
+	return nil
+}
+
+// Predict returns the inverse-distance-weighted mean of the K nearest
+// training responses. An exact feature match returns that response directly.
+func (k *KNN) Predict(x []float64) float64 {
+	if !k.fitted {
+		return math.NaN()
+	}
+	row := x
+	if k.scaler != nil {
+		row = k.scaler.Transform(x)
+	}
+	type nd struct {
+		d float64
+		y float64
+	}
+	ds := make([]nd, len(k.xTrain))
+	for i, xi := range k.xTrain {
+		var d2 float64
+		for j := range xi {
+			d := xi[j] - row[j]
+			d2 += d * d
+		}
+		ds[i] = nd{d: math.Sqrt(d2), y: k.yTrain[i]}
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a].d < ds[b].d })
+	kk := k.K
+	if kk <= 0 {
+		kk = 5
+	}
+	if kk > len(ds) {
+		kk = len(ds)
+	}
+	var wsum, ysum float64
+	for _, n := range ds[:kk] {
+		if n.d < 1e-12 {
+			return n.y
+		}
+		w := 1 / n.d
+		wsum += w
+		ysum += w * n.y
+	}
+	return ysum / wsum
+}

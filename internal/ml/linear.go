@@ -1,0 +1,111 @@
+package ml
+
+import (
+	"math"
+
+	"github.com/rockhopper-db/rockhopper/internal/mat"
+)
+
+// Linear is an ordinary/ridge least-squares regressor with optional feature
+// standardization and expansion. It is the workhorse behind Rockhopper's
+// FIND_GRADIENT trend regression and the guardrail's iteration-vs-runtime
+// model; both need robust coefficient signs from small, noisy windows of
+// observations rather than maximal predictive accuracy.
+type Linear struct {
+	// Lambda is the ridge penalty; 0 gives ordinary least squares. Small
+	// positive values stabilise the near-collinear designs that occur when a
+	// tuning window barely moves a config dimension.
+	Lambda float64
+	// Expand configures optional interaction/square/bias features. A bias
+	// term is always added internally regardless of Expand.Bias.
+	Expand FeatureExpander
+	// Standardize enables per-feature scaling before fitting.
+	Standardize bool
+
+	Coef      []float64 // coefficients in expanded feature space
+	Intercept float64
+	scaler    *Scaler
+	fitted    bool
+}
+
+// NewLinear returns a ridge regressor with standardization enabled.
+func NewLinear(lambda float64) *Linear {
+	return &Linear{Lambda: lambda, Standardize: true}
+}
+
+// Fit trains the model on x (rows = observations) and responses y.
+func (l *Linear) Fit(x [][]float64, y []float64) error {
+	if _, err := checkXY(x, y); err != nil {
+		return err
+	}
+	rows := x
+	if l.Standardize {
+		sc, err := FitScaler(x)
+		if err != nil {
+			return err
+		}
+		l.scaler = sc
+		rows = sc.TransformAll(x)
+	} else {
+		l.scaler = nil
+	}
+	rows = l.Expand.ExpandAll(rows)
+	p := len(rows[0])
+	design := mat.NewDense(len(rows), p+1)
+	for i, row := range rows {
+		design.Set(i, 0, 1)
+		for j, v := range row {
+			design.Set(i, j+1, v)
+		}
+	}
+	beta, err := mat.SolveRidge(design, y, l.Lambda)
+	if err != nil {
+		return err
+	}
+	l.Intercept = beta[0]
+	l.Coef = beta[1:]
+	l.fitted = true
+	return nil
+}
+
+// Predict returns the fitted response at x, or NaN if unfitted.
+func (l *Linear) Predict(x []float64) float64 {
+	if !l.fitted {
+		return math.NaN()
+	}
+	row := x
+	if l.scaler != nil {
+		row = l.scaler.Transform(x)
+	}
+	row = l.Expand.Expand(row)
+	return l.Intercept + mat.Dot(l.Coef, row)
+}
+
+// RawSlope returns the sign-preserving slope of the fitted model with respect
+// to raw input dimension j, evaluated at the scaler's centre. For a purely
+// linear expansion this is coef_j / scale_j; with squares/interactions the
+// derivative is evaluated at the training mean (where standardized features
+// are zero), so cross terms vanish and the linear coefficient dominates.
+// This is exactly what FIND_GRADIENT needs: a direction, not a magnitude.
+func (l *Linear) RawSlope(j int) float64 {
+	if !l.fitted || j < 0 {
+		return math.NaN()
+	}
+	// Locate the linear coefficient for raw dimension j within the expanded
+	// coefficient vector.
+	idx := j
+	if l.Expand.Bias {
+		idx++
+	}
+	if idx >= len(l.Coef) {
+		return math.NaN()
+	}
+	s := 1.0
+	if l.scaler != nil {
+		if j >= len(l.scaler.Scale) {
+			return math.NaN()
+		}
+		s = l.scaler.Scale[j]
+	}
+	return l.Coef[idx] / s
+}

@@ -1,0 +1,132 @@
+package ml
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// The production system serializes models to ONNX so they can be trained in
+// Python and loaded in Scala (Section 3.1). This reproduction uses
+// encoding/gob as the interchange format between the autotune backend and
+// clients; the snapshot types below expose the fitted state that gob needs
+// (gob cannot see unexported fields).
+
+// linearSnapshot mirrors Linear's fitted state.
+type linearSnapshot struct {
+	Lambda      float64
+	Expand      FeatureExpander
+	Standardize bool
+	Coef        []float64
+	Intercept   float64
+	Scaler      *Scaler
+	Fitted      bool
+}
+
+// kernelRidgeSnapshot mirrors KernelRidge's fitted state.
+type kernelRidgeSnapshot struct {
+	Kernel      RBFKernel
+	Alpha       float64
+	Standardize bool
+	XTrain      [][]float64
+	Dual        []float64
+	YMean       float64
+	Scaler      *Scaler
+	Fitted      bool
+}
+
+// knnSnapshot mirrors KNN's fitted state.
+type knnSnapshot struct {
+	K           int
+	Standardize bool
+	XTrain      [][]float64
+	YTrain      []float64
+	Scaler      *Scaler
+	Fitted      bool
+}
+
+// envelope tags the concrete model kind for decoding.
+type envelope struct {
+	Kind string
+	Blob []byte
+}
+
+// Marshal serializes a fitted (or unfitted) model to bytes. Supported
+// concrete types: *Linear, *KernelRidge, *KNN. The GP is intentionally not
+// serialized: like the paper's system, GP surrogates are rebuilt from the
+// observation log rather than shipped.
+func Marshal(r Regressor) ([]byte, error) {
+	var kind string
+	var payload any
+	switch m := r.(type) {
+	case *Linear:
+		kind = "linear"
+		payload = linearSnapshot{
+			Lambda: m.Lambda, Expand: m.Expand, Standardize: m.Standardize,
+			Coef: m.Coef, Intercept: m.Intercept, Scaler: m.scaler, Fitted: m.fitted,
+		}
+	case *KernelRidge:
+		kind = "kernelridge"
+		payload = kernelRidgeSnapshot{
+			Kernel: m.Kernel, Alpha: m.Alpha, Standardize: m.Standardize,
+			XTrain: m.xTrain, Dual: m.dual, YMean: m.yMean, Scaler: m.scaler, Fitted: m.fitted,
+		}
+	case *KNN:
+		kind = "knn"
+		payload = knnSnapshot{
+			K: m.K, Standardize: m.Standardize,
+			XTrain: m.xTrain, YTrain: m.yTrain, Scaler: m.scaler, Fitted: m.fitted,
+		}
+	default:
+		return nil, fmt.Errorf("ml: cannot marshal model of type %T", r)
+	}
+	var blob bytes.Buffer
+	if err := gob.NewEncoder(&blob).Encode(payload); err != nil {
+		return nil, fmt.Errorf("ml: encode %s: %w", kind, err)
+	}
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(envelope{Kind: kind, Blob: blob.Bytes()}); err != nil {
+		return nil, fmt.Errorf("ml: encode envelope: %w", err)
+	}
+	return out.Bytes(), nil
+}
+
+// Unmarshal reconstructs a model serialized by Marshal.
+func Unmarshal(data []byte) (Regressor, error) {
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("ml: decode envelope: %w", err)
+	}
+	dec := gob.NewDecoder(bytes.NewReader(env.Blob))
+	switch env.Kind {
+	case "linear":
+		var s linearSnapshot
+		if err := dec.Decode(&s); err != nil {
+			return nil, fmt.Errorf("ml: decode linear: %w", err)
+		}
+		return &Linear{
+			Lambda: s.Lambda, Expand: s.Expand, Standardize: s.Standardize,
+			Coef: s.Coef, Intercept: s.Intercept, scaler: s.Scaler, fitted: s.Fitted,
+		}, nil
+	case "kernelridge":
+		var s kernelRidgeSnapshot
+		if err := dec.Decode(&s); err != nil {
+			return nil, fmt.Errorf("ml: decode kernelridge: %w", err)
+		}
+		return &KernelRidge{
+			Kernel: s.Kernel, Alpha: s.Alpha, Standardize: s.Standardize,
+			xTrain: s.XTrain, dual: s.Dual, yMean: s.YMean, scaler: s.Scaler, fitted: s.Fitted,
+		}, nil
+	case "knn":
+		var s knnSnapshot
+		if err := dec.Decode(&s); err != nil {
+			return nil, fmt.Errorf("ml: decode knn: %w", err)
+		}
+		return &KNN{
+			K: s.K, Standardize: s.Standardize,
+			xTrain: s.XTrain, yTrain: s.YTrain, scaler: s.Scaler, fitted: s.Fitted,
+		}, nil
+	default:
+		return nil, fmt.Errorf("ml: unknown model kind %q", env.Kind)
+	}
+}

@@ -1,0 +1,90 @@
+// Package noise implements the observational-noise model of Rockhopper's
+// synthetic evaluation (Section 6.1, Equation 8). Production Spark telemetry
+// exhibits two distinct noise modes the paper identifies in the Microsoft
+// Fabric environment:
+//
+//   - fluctuation noise — frequent, small, Gaussian-distributed slowdowns
+//     parameterised by a fluctuation level FL, and
+//   - performance spikes — rare severe slowdowns that double the execution
+//     time, occurring with probability SL/10.
+//
+// Given a noiseless baseline time g₀, a draw p ~ U[0,1), and ε ~ N(0, FL):
+//
+//	g = g₀·(1+|ε|)      if p > SL/10
+//	g = g₀·(1+|ε|)·2    otherwise
+//
+// Noise is always a slowdown (|ε| ≥ 0), matching the paper's framing that
+// interference only ever makes queries slower.
+package noise
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+// Injector perturbs a noiseless execution time. Implementations must be safe
+// to call repeatedly with the same RNG; every call consumes randomness.
+type Injector interface {
+	// Inject returns the observed time for noiseless baseline g0.
+	Inject(r *stats.RNG, g0 float64) float64
+}
+
+// Model is the paper's Equation (8) noise model.
+type Model struct {
+	// FL is the fluctuation level: the standard deviation of the Gaussian
+	// slowdown term ε. FL = 1 is the paper's "high noise"; 0.1 is "low".
+	FL float64
+	// SL is the spike level: spikes occur with probability SL/10, doubling
+	// execution time. SL = 1 is high (10% spike rate); 0.1 is low (1%).
+	SL float64
+}
+
+// High is the paper's high-noise setting (Figure 8a): FL = 1, SL = 1.
+var High = Model{FL: 1, SL: 1}
+
+// Low is the paper's low-noise setting (Figure 8b): FL = 0.1, SL = 0.1.
+var Low = Model{FL: 0.1, SL: 0.1}
+
+// None performs no perturbation; it is used when evaluating "true"
+// performance during convergence measurement.
+var None = Model{}
+
+// Inject applies Equation (8) to g0.
+func (m Model) Inject(r *stats.RNG, g0 float64) float64 {
+	if m.FL == 0 && m.SL == 0 {
+		return g0
+	}
+	eps := math.Abs(r.Normal(0, m.FL))
+	g := g0 * (1 + eps)
+	if r.Float64() <= m.SL/10 {
+		g *= 2
+	}
+	return g
+}
+
+// SpikeProb returns the per-observation spike probability SL/10.
+func (m Model) SpikeProb() float64 { return m.SL / 10 }
+
+// String renders the model for experiment logs.
+func (m Model) String() string { return fmt.Sprintf("noise(FL=%g, SL=%g)", m.FL, m.SL) }
+
+// Scaled is an Injector wrapper that additionally multiplies the observed
+// time by a per-signature heterogeneity factor, used by the fleet simulation
+// where some customer workloads are inherently noisier than others.
+type Scaled struct {
+	Base   Model
+	Factor float64 // multiplies FL and SL; 1 means Base unchanged
+}
+
+// Inject applies the scaled model.
+func (s Scaled) Inject(r *stats.RNG, g0 float64) float64 {
+	m := Model{FL: s.Base.FL * s.Factor, SL: stats.Clamp(s.Base.SL*s.Factor, 0, 10)}
+	return m.Inject(r, g0)
+}
+
+var (
+	_ Injector = Model{}
+	_ Injector = Scaled{}
+)

@@ -1,0 +1,116 @@
+package noise
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+func TestNoneIsIdentity(t *testing.T) {
+	r := stats.NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if g := None.Inject(r, 42); g != 42 {
+			t.Fatalf("None injected noise: %g", g)
+		}
+	}
+}
+
+func TestNoiseOnlySlowsDown(t *testing.T) {
+	r := stats.NewRNG(2)
+	for i := 0; i < 10000; i++ {
+		if g := High.Inject(r, 100); g < 100 {
+			t.Fatalf("noise sped query up: %g", g)
+		}
+	}
+}
+
+func TestSpikeFrequency(t *testing.T) {
+	// With FL = 0 every non-spike observation equals g0 exactly, so spikes
+	// are identifiable as g = 2·g0.
+	m := Model{FL: 0, SL: 1}
+	r := stats.NewRNG(3)
+	n := 50000
+	spikes := 0
+	for i := 0; i < n; i++ {
+		g := m.Inject(r, 10)
+		switch g {
+		case 10:
+		case 20:
+			spikes++
+		default:
+			t.Fatalf("unexpected observation %g", g)
+		}
+	}
+	p := float64(spikes) / float64(n)
+	if p < 0.08 || p > 0.12 {
+		t.Fatalf("spike rate = %g; want ≈ 0.10", p)
+	}
+}
+
+func TestFluctuationMagnitude(t *testing.T) {
+	// E[|ε|] for ε~N(0,σ) is σ·√(2/π) ≈ 0.7979σ. With SL = 0, the mean
+	// slowdown factor is 1 + 0.798·FL.
+	m := Model{FL: 0.5, SL: 0}
+	r := stats.NewRNG(4)
+	n := 50000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += m.Inject(r, 1)
+	}
+	mean := sum / float64(n)
+	want := 1 + 0.7979*0.5
+	if mean < want-0.02 || mean > want+0.02 {
+		t.Fatalf("mean slowdown = %g; want ≈ %g", mean, want)
+	}
+}
+
+func TestHighLowPresets(t *testing.T) {
+	if High.FL != 1 || High.SL != 1 || Low.FL != 0.1 || Low.SL != 0.1 {
+		t.Fatal("preset constants drifted from the paper")
+	}
+	if High.SpikeProb() != 0.1 || Low.SpikeProb() != 0.01 {
+		t.Fatal("SpikeProb wrong")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	r := stats.NewRNG(5)
+	s := Scaled{Base: Model{FL: 0.2, SL: 0.5}, Factor: 0}
+	// Zero factor disables all noise.
+	if g := s.Inject(r, 7); g != 7 {
+		t.Fatalf("zero-factor Scaled should be identity, got %g", g)
+	}
+	s2 := Scaled{Base: High, Factor: 2}
+	var sum1, sum2 float64
+	r1, r2 := stats.NewRNG(6), stats.NewRNG(6)
+	for i := 0; i < 20000; i++ {
+		sum1 += High.Inject(r1, 1)
+		sum2 += s2.Inject(r2, 1)
+	}
+	if sum2 <= sum1 {
+		t.Fatalf("doubled factor should add more noise: %g vs %g", sum1, sum2)
+	}
+}
+
+// Property: injected time scales linearly with g0 in distribution; check the
+// trivially true pointwise property g(k·g0) uses the same multiplier family,
+// i.e. output is ≥ input and finite for any positive baseline.
+func TestPropInjectBounds(t *testing.T) {
+	f := func(seed uint64, flTenths, slTenths uint8) bool {
+		m := Model{FL: float64(flTenths%20) / 10, SL: float64(slTenths % 10)}
+		r := stats.NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			g0 := 1 + r.Float64()*1000
+			g := m.Inject(r, g0)
+			if g < g0 || g != g || g > g0*(1+10*m.FL+1)*2 {
+				// |ε| beyond 10σ is effectively impossible; treat as failure.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

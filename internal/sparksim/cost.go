@@ -1,0 +1,418 @@
+package sparksim
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/rockhopper-db/rockhopper/internal/noise"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+// Cluster describes the simulated executor hardware.
+type Cluster struct {
+	// CoresPerExecutor is the number of concurrent task slots per executor.
+	CoresPerExecutor int
+	// DiskMBps is the per-core scan/shuffle bandwidth in MB/s.
+	DiskMBps float64
+	// NetMBps is the per-executor network bandwidth in MB/s used for
+	// broadcasts.
+	NetMBps float64
+	// RowsPerMsPerCore is the per-core CPU row-processing rate.
+	RowsPerMsPerCore float64
+}
+
+// DefaultCluster mirrors a mid-size Fabric pool node.
+func DefaultCluster() Cluster {
+	return Cluster{
+		CoresPerExecutor: 4,
+		DiskMBps:         150,
+		NetMBps:          400,
+		RowsPerMsPerCore: 5000,
+	}
+}
+
+// CostTweak diversifies per-query response surfaces: two queries with similar
+// plans still peak at different configurations because their CPU/IO balance,
+// scheduling overheads, and data skew differ. Zero values are replaced by 1.
+type CostTweak struct {
+	CPU      float64 // multiplies CPU costs
+	IO       float64 // multiplies scan/shuffle IO costs
+	Overhead float64 // multiplies per-task scheduling overhead
+	Skew     float64 // relative size of the largest partition vs the mean
+}
+
+func (t CostTweak) norm() CostTweak {
+	if t.CPU == 0 {
+		t.CPU = 1
+	}
+	if t.IO == 0 {
+		t.IO = 1
+	}
+	if t.Overhead == 0 {
+		t.Overhead = 1
+	}
+	return t
+}
+
+// Query is one recurrent query signature: a plan plus its cost personality.
+type Query struct {
+	// ID is the query signature (distinct execution plan), e.g. "ds-q17".
+	ID string
+	// Plan is the compile-time physical plan at the default configuration.
+	Plan *Plan
+	// Tweak adjusts the cost model for this query.
+	Tweak CostTweak
+}
+
+// Observation is one execution record: the tuple (config, data size,
+// observed performance) that drives Centroid Learning, plus the noiseless
+// time used only for experiment measurement (never visible to tuners in
+// production mode).
+type Observation struct {
+	Config    Config
+	DataSize  float64 // input bytes actually scanned
+	Time      float64 // observed execution time, ms (noisy)
+	TrueTime  float64 // noiseless execution time, ms
+	Iteration int
+}
+
+// Engine evaluates queries against the analytic cost model.
+type Engine struct {
+	Space   *Space
+	Cluster Cluster
+	// TaskOverheadMs is the scheduling + serialization cost per task.
+	TaskOverheadMs float64
+	// MemFraction is the fraction of executor memory available to tasks.
+	MemFraction float64
+	// SpillPenalty multiplies the excess IO incurred when a task's working
+	// set exceeds its memory share.
+	SpillPenalty float64
+	// DriverBroadcastLimitBytes is the build-side size beyond which a
+	// broadcast join risks driver pressure and is heavily penalised.
+	DriverBroadcastLimitBytes float64
+	// AQE enables adaptive query execution: at runtime, shuffle reads
+	// coalesce small partitions up to AdvisoryPartitionBytes, so an
+	// oversized spark.sql.shuffle.partitions setting costs much less than
+	// it does statically. This is the Spark 3.x behaviour Fabric runs with;
+	// it dampens (but does not remove) the value of partition tuning.
+	AQE bool
+	// AdvisoryPartitionBytes is AQE's coalescing target (default 64 MB).
+	AdvisoryPartitionBytes float64
+}
+
+// NewEngine returns an engine over the given configuration space with
+// default cluster characteristics.
+func NewEngine(space *Space) *Engine {
+	return &Engine{
+		Space:                     space,
+		Cluster:                   DefaultCluster(),
+		TaskOverheadMs:            80,
+		MemFraction:               0.6,
+		SpillPenalty:              2.5,
+		DriverBroadcastLimitBytes: 512 << 20,
+		AdvisoryPartitionBytes:    64 << 20,
+	}
+}
+
+// knobs extracts the effective configuration, substituting production
+// defaults for parameters absent from the space (QuerySpace has no app-level
+// parameters, so executor sizing falls back to the pool default).
+type knobs struct {
+	maxPartitionBytes float64
+	broadcastThr      float64
+	shufflePartitions float64
+	executors         float64
+	memGB             float64
+	offHeap           bool
+	offHeapGB         float64
+}
+
+func (e *Engine) knobs(cfg Config) knobs {
+	get := func(name string, def float64) float64 {
+		v := e.Space.Get(cfg, name)
+		if math.IsNaN(v) {
+			return def
+		}
+		return v
+	}
+	k := knobs{
+		maxPartitionBytes: get(MaxPartitionBytes, 128<<20),
+		broadcastThr:      get(AutoBroadcastJoinThr, 10<<20),
+		shufflePartitions: get(ShufflePartitions, 200),
+		executors:         get(ExecutorInstances, 8),
+		memGB:             get(ExecutorMemoryGB, 8),
+		offHeapGB:         get(OffHeapSizeGB, 0),
+	}
+	if v := e.Space.Get(cfg, OffHeapEnabled); !math.IsNaN(v) && v >= 0.5 {
+		k.offHeap = true
+	}
+	return k
+}
+
+// TrueTime returns the noiseless execution time in milliseconds of q at the
+// given configuration and data-size scale (scale multiplies every
+// cardinality in the plan; scale 1 is the plan's nominal size).
+func (e *Engine) TrueTime(q *Query, cfg Config, scale float64) float64 {
+	k := e.knobs(cfg)
+	tw := q.Tweak.norm()
+	cores := k.executors * float64(e.Cluster.CoresPerExecutor)
+	if cores < 1 {
+		cores = 1
+	}
+	taskMem := k.memGB * float64(1<<30) / float64(e.Cluster.CoresPerExecutor) * e.MemFraction
+	if k.offHeap {
+		// Off-heap memory expands the per-task working budget but charges a
+		// fixed serialization overhead.
+		taskMem += k.offHeapGB * float64(1<<30) / float64(e.Cluster.CoresPerExecutor) * 0.8
+	}
+
+	var total float64
+	q.Plan.Walk(func(n *Node) {
+		total += e.opTime(n, k, tw, scale, cores, taskMem)
+	})
+	if k.offHeap {
+		total *= 1.03 // constant serialization tax
+	}
+	return total
+}
+
+// stageTime models a wave-scheduled stage: nTasks tasks, each moving
+// bytesPerTask through the per-core disk bandwidth and spending cpuMs of
+// compute, with per-task scheduling overhead, a data-skew straggler tail,
+// and spill penalties when the working set exceeds task memory.
+//
+// Skew modelling: hash partitioning averages key skew out as the partition
+// count grows, so the largest partition carries bytesPerTask·(1 +
+// skew·√(200/nTasks)) — large relative inflation with few partitions,
+// vanishing with many. This is what makes the optimal partition count
+// query-specific (Figure 1): overhead pushes the optimum down, skew and
+// spill push it up, and the balance depends on shuffle volume and the
+// query's skew personality.
+func (e *Engine) stageTime(nTasks, bytesPerTask, cpuMsPerTask, cores, taskMem, skew, ovhFactor, ioFactor float64) float64 {
+	if nTasks < 1 {
+		nTasks = 1
+	}
+	waves := nTasks / cores
+	if waves < 1 {
+		waves = 1
+	}
+	bytesPerMs := e.Cluster.DiskMBps * 1e3 // MB/s → bytes/ms
+	meanIo := bytesPerTask / bytesPerMs * ioFactor
+	maxBytes := bytesPerTask * (1 + skew*math.Sqrt(200/nTasks))
+	stragglerIo := (maxBytes - bytesPerTask) / bytesPerMs * ioFactor
+	spill := 0.0
+	if maxBytes > taskMem && taskMem > 0 {
+		spill = (maxBytes - taskMem) / bytesPerMs * e.SpillPenalty * ioFactor
+	}
+	return waves*(meanIo+cpuMsPerTask+e.TaskOverheadMs*ovhFactor) + stragglerIo + spill
+}
+
+// opTime charges one operator.
+func (e *Engine) opTime(n *Node, k knobs, tw CostTweak, scale, cores, taskMem float64) float64 {
+	inRows := n.InRows * scale
+	outRows := n.OutRows * scale
+	inBytes := inRows * n.RowBytes
+	cpuRate := e.Cluster.RowsPerMsPerCore / tw.CPU
+
+	switch n.Op {
+	case OpScan:
+		nTasks := math.Ceil(inBytes / k.maxPartitionBytes)
+		if nTasks < 1 {
+			nTasks = 1
+		}
+		bytesPerTask := inBytes / nTasks
+		cpuMs := (inRows / nTasks) / cpuRate * 0.2 // decode cost
+		return e.stageTime(nTasks, bytesPerTask, cpuMs, cores, taskMem, tw.Skew, tw.Overhead, tw.IO)
+
+	case OpExchange:
+		// Shuffle write (map side) + shuffle read (reduce side with P tasks).
+		p := e.effectivePartitions(k.shufflePartitions, inBytes)
+		writeMs := inBytes / (e.Cluster.DiskMBps * 1e6 / 1e3) / cores * tw.IO
+		bytesPerPart := inBytes / p
+		cpuMs := (inRows / p) / cpuRate * 0.1
+		readMs := e.stageTime(p, bytesPerPart, cpuMs, cores, taskMem, tw.Skew, tw.Overhead, tw.IO)
+		return writeMs + readMs
+
+	case OpSort:
+		if inRows < 2 {
+			return 0
+		}
+		cpuMs := inRows * math.Log2(inRows+2) / cpuRate / cores * 0.15
+		spill := 0.0
+		perTaskBytes := inBytes / math.Max(k.shufflePartitions, 1)
+		if perTaskBytes > taskMem && taskMem > 0 {
+			spill = (perTaskBytes - taskMem) * math.Max(k.shufflePartitions, 1) /
+				(e.Cluster.DiskMBps * 1e6 / 1e3) / cores * e.SpillPenalty * tw.IO
+		}
+		return cpuMs + spill
+
+	case OpHashAggregate:
+		cpuMs := inRows / cpuRate / cores
+		// Hash tables live in task memory; large groups spill.
+		perTaskBytes := outRows * n.RowBytes / math.Max(k.shufflePartitions, 1)
+		spill := 0.0
+		if perTaskBytes > taskMem && taskMem > 0 {
+			spill = (perTaskBytes - taskMem) * math.Max(k.shufflePartitions, 1) /
+				(e.Cluster.DiskMBps * 1e6 / 1e3) / cores * e.SpillPenalty * tw.IO
+		}
+		return cpuMs + spill
+
+	case OpSortMergeJoin, OpBroadcastHashJoin:
+		return e.joinTime(n, k, tw, scale, cores, taskMem, cpuRate)
+
+	case OpFilter, OpProject, OpLimit:
+		return inRows / cpuRate / cores * 0.3
+
+	case OpWindow:
+		if inRows < 2 {
+			return 0
+		}
+		return inRows * math.Log2(inRows+2) / cpuRate / cores * 0.25
+
+	case OpUnion:
+		return inRows / cpuRate / cores * 0.05
+	}
+	return 0
+}
+
+// joinTime picks the physical join strategy at run time from the broadcast
+// threshold, exactly as Spark's planner does: if the smaller side's
+// estimated bytes fall under spark.sql.autoBroadcastJoinThreshold the join
+// broadcasts, otherwise it shuffles both sides and sort-merges.
+func (e *Engine) joinTime(n *Node, k knobs, tw CostTweak, scale, cores, taskMem, cpuRate float64) float64 {
+	left, right := n.Children[0], n.Children[1]
+	lBytes := left.OutRows * scale * left.RowBytes
+	rBytes := right.OutRows * scale * right.RowBytes
+	buildBytes := math.Min(lBytes, rBytes)
+	probeRows := math.Max(left.OutRows, right.OutRows) * scale
+	buildRows := math.Min(left.OutRows, right.OutRows) * scale
+
+	if buildBytes <= k.broadcastThr {
+		// Broadcast path: ship the build side to every executor, then a
+		// single streaming probe pass with no shuffle.
+		bcastMs := buildBytes * k.executors / (e.Cluster.NetMBps * 1e6 / 1e3) * tw.IO
+		probeMs := probeRows / cpuRate / cores * 0.8
+		penalty := 0.0
+		if buildBytes > e.DriverBroadcastLimitBytes {
+			// Driver memory pressure: sharply superlinear penalty.
+			penalty = (buildBytes/e.DriverBroadcastLimitBytes - 1) * 30000
+		}
+		return bcastMs + probeMs + penalty
+	}
+	// Sort-merge path: both sides shuffle into P partitions and merge.
+	shuffleBytes := lBytes + rBytes
+	p := e.effectivePartitions(k.shufflePartitions, shuffleBytes)
+	writeMs := shuffleBytes / (e.Cluster.DiskMBps * 1e6 / 1e3) / cores * tw.IO
+	bytesPerPart := shuffleBytes / p
+	cpuMs := (probeRows + buildRows) / p / cpuRate * 1.2
+	mergeMs := e.stageTime(p, bytesPerPart, cpuMs, cores, taskMem, tw.Skew, tw.Overhead, tw.IO)
+	return writeMs + mergeMs
+}
+
+// effectivePartitions applies AQE coalescing: the runtime merges partitions
+// smaller than the advisory size, capping the effective reduce-side
+// parallelism at ceil(bytes / advisory).
+func (e *Engine) effectivePartitions(p, bytes float64) float64 {
+	if p < 1 {
+		p = 1
+	}
+	if !e.AQE {
+		return p
+	}
+	advisory := e.AdvisoryPartitionBytes
+	if advisory <= 0 {
+		advisory = 64 << 20
+	}
+	target := math.Ceil(bytes / advisory)
+	if target < 1 {
+		target = 1
+	}
+	if p > target {
+		return target
+	}
+	return p
+}
+
+// Run executes q once: it computes the noiseless time, perturbs it with the
+// injector, and returns the full observation. The RNG drives only the noise.
+func (e *Engine) Run(q *Query, cfg Config, scale float64, r *stats.RNG, inj noise.Injector) Observation {
+	truth := e.TrueTime(q, cfg, scale)
+	observed := truth
+	if inj != nil {
+		observed = inj.Inject(r, truth)
+	}
+	return Observation{
+		Config:   cfg.Clone(),
+		DataSize: q.Plan.LeafInputBytes() * scale,
+		Time:     observed,
+		TrueTime: truth,
+	}
+}
+
+// App is a Spark application: an ordered set of queries sharing app-level
+// configuration (Section 4.4).
+type App struct {
+	// ArtifactID identifies the recurrent application (a hash of the
+	// notebook or job definition in production).
+	ArtifactID string
+	Queries    []*Query
+}
+
+// AppStartupMs models executor provisioning cost: a fixed base plus a
+// per-executor charge, so over-provisioning app-level resources is not free.
+func (e *Engine) AppStartupMs(cfg Config) float64 {
+	k := e.knobs(cfg)
+	return 2000 + 120*k.executors + 15*k.executors*k.memGB
+}
+
+// RunApp executes every query in the app under a shared configuration and
+// returns per-query observations plus the total wall time including startup.
+func (e *Engine) RunApp(a *App, cfg Config, scale float64, r *stats.RNG, inj noise.Injector) ([]Observation, float64) {
+	obs := make([]Observation, 0, len(a.Queries))
+	total := e.AppStartupMs(cfg)
+	for _, q := range a.Queries {
+		o := e.Run(q, cfg, scale, r, inj)
+		obs = append(obs, o)
+		total += o.Time
+	}
+	return obs, total
+}
+
+// OptimalConfig grid-searches the true optimum of q at the given scale with
+// the provided per-dimension resolution. It is an oracle used only by the
+// experiment harness to measure optimality gaps; tuners never see it.
+func (e *Engine) OptimalConfig(q *Query, scale float64, steps int) (Config, float64) {
+	if steps < 2 {
+		steps = 2
+	}
+	dim := e.Space.Dim()
+	best := e.Space.Default()
+	bestTime := e.TrueTime(q, best, scale)
+	// Coordinate-wise iterated grid refinement: cheap and adequate for the
+	// near-separable response surfaces of the cost model.
+	for sweep := 0; sweep < 4; sweep++ {
+		improved := false
+		for d := 0; d < dim; d++ {
+			u := e.Space.Normalize(best)
+			for s := 0; s <= steps; s++ {
+				u[d] = float64(s) / float64(steps)
+				cand := e.Space.Denormalize(u)
+				t := e.TrueTime(q, cand, scale)
+				if t < bestTime {
+					best, bestTime = cand, t
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return best, bestTime
+}
+
+// String renders the engine's cluster for logs.
+func (c Cluster) String() string {
+	return fmt.Sprintf("cluster(cores/executor=%d, disk=%gMB/s, net=%gMB/s)",
+		c.CoresPerExecutor, c.DiskMBps, c.NetMBps)
+}

@@ -1,0 +1,137 @@
+package sparksim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// StageStat is the per-operator execution breakdown of one simulated run:
+// the metrics the production monitoring dashboard collects to explain
+// performance changes — partitions/tasks, input sizes, spill, and the join
+// strategy actually chosen at run time (Section 6.3's posterior analysis).
+type StageStat struct {
+	// Op is the operator; Label distinguishes multiple instances.
+	Op    Op
+	Label string
+	// Tasks is the number of tasks the stage scheduled (scan splits or
+	// shuffle partitions); 0 for pipelined operators.
+	Tasks int
+	// InputBytes is the bytes consumed by the stage at the run's scale.
+	InputBytes float64
+	// SpillBytes estimates bytes spilled when the working set exceeded the
+	// task memory budget.
+	SpillBytes float64
+	// Broadcast reports whether a join executed as a broadcast join.
+	Broadcast bool
+	// TimeMs is the operator's contribution to the total.
+	TimeMs float64
+}
+
+// Explain runs the cost model and returns the per-operator breakdown plus
+// the total time. The sum of stage times equals TrueTime up to the off-heap
+// serialization tax.
+func (e *Engine) Explain(q *Query, cfg Config, scale float64) ([]StageStat, float64) {
+	k := e.knobs(cfg)
+	tw := q.Tweak.norm()
+	cores := k.executors * float64(e.Cluster.CoresPerExecutor)
+	if cores < 1 {
+		cores = 1
+	}
+	taskMem := k.memGB * float64(1<<30) / float64(e.Cluster.CoresPerExecutor) * e.MemFraction
+	if k.offHeap {
+		taskMem += k.offHeapGB * float64(1<<30) / float64(e.Cluster.CoresPerExecutor) * 0.8
+	}
+
+	var stages []StageStat
+	counts := map[Op]int{}
+	q.Plan.Walk(func(n *Node) {
+		counts[n.Op]++
+		st := StageStat{
+			Op:         n.Op,
+			Label:      fmt.Sprintf("%s#%d", n.Op, counts[n.Op]),
+			InputBytes: n.InRows * scale * n.RowBytes,
+			TimeMs:     e.opTime(n, k, tw, scale, cores, taskMem),
+		}
+		switch n.Op {
+		case OpScan:
+			st.Tasks = int(math.Max(1, math.Ceil(st.InputBytes/k.maxPartitionBytes)))
+			perTask := st.InputBytes / float64(st.Tasks) * (1 + tw.Skew*math.Sqrt(200/float64(st.Tasks)))
+			if perTask > taskMem {
+				st.SpillBytes = (perTask - taskMem) * float64(st.Tasks)
+			}
+		case OpExchange, OpSortMergeJoin:
+			st.Tasks = int(math.Max(1, k.shufflePartitions))
+			perTask := st.InputBytes / float64(st.Tasks) * (1 + tw.Skew*math.Sqrt(200/float64(st.Tasks)))
+			if perTask > taskMem {
+				st.SpillBytes = (perTask - taskMem) * float64(st.Tasks)
+			}
+		case OpBroadcastHashJoin:
+			st.Broadcast = true
+		}
+		if n.Op == OpSortMergeJoin || n.Op == OpBroadcastHashJoin {
+			// Report the strategy the engine actually picks at this
+			// threshold, which can differ from the compile-time plan.
+			left, right := n.Children[0], n.Children[1]
+			build := math.Min(left.OutRows*scale*left.RowBytes, right.OutRows*scale*right.RowBytes)
+			st.Broadcast = build <= k.broadcastThr
+			if st.Broadcast {
+				st.Tasks = 0
+				st.SpillBytes = 0
+			}
+		}
+		stages = append(stages, st)
+	})
+	var total float64
+	for _, s := range stages {
+		total += s.TimeMs
+	}
+	if k.offHeap {
+		total *= 1.03
+	}
+	return stages, total
+}
+
+// TotalTasks sums the task counts across stages, one of the dashboard's
+// config-sensitive metrics.
+func TotalTasks(stages []StageStat) int {
+	n := 0
+	for _, s := range stages {
+		n += s.Tasks
+	}
+	return n
+}
+
+// TotalSpill sums estimated spill bytes across stages.
+func TotalSpill(stages []StageStat) float64 {
+	var v float64
+	for _, s := range stages {
+		v += s.SpillBytes
+	}
+	return v
+}
+
+// BroadcastJoins counts joins executed via broadcast.
+func BroadcastJoins(stages []StageStat) int {
+	n := 0
+	for _, s := range stages {
+		if (s.Op == OpSortMergeJoin || s.Op == OpBroadcastHashJoin) && s.Broadcast {
+			n++
+		}
+	}
+	return n
+}
+
+// FormatStages renders the breakdown sorted by time, largest first.
+func FormatStages(stages []StageStat) string {
+	sorted := append([]StageStat(nil), stages...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].TimeMs > sorted[j].TimeMs })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %8s %12s %12s %6s %10s\n", "stage", "tasks", "input", "spill", "bcast", "time ms")
+	for _, s := range sorted {
+		fmt.Fprintf(&b, "%-22s %8d %12.0f %12.0f %6v %10.0f\n",
+			s.Label, s.Tasks, s.InputBytes, s.SpillBytes, s.Broadcast, s.TimeMs)
+	}
+	return b.String()
+}

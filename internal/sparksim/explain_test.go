@@ -1,0 +1,84 @@
+package sparksim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExplainMatchesTrueTime(t *testing.T) {
+	e := NewEngine(QuerySpace())
+	q := testQuery()
+	cfg := e.Space.Default()
+	stages, total := e.Explain(q, cfg, 1)
+	if len(stages) != q.Plan.NodeCount() {
+		t.Fatalf("stages = %d; want %d", len(stages), q.Plan.NodeCount())
+	}
+	if tt := e.TrueTime(q, cfg, 1); math.Abs(total-tt) > 1e-6*tt {
+		t.Fatalf("Explain total %g != TrueTime %g", total, tt)
+	}
+}
+
+func TestExplainMatchesTrueTimeFullSpace(t *testing.T) {
+	e := NewEngine(FullSpace())
+	q := testQuery()
+	cfg := e.Space.With(e.Space.Default(), OffHeapEnabled, 1)
+	_, total := e.Explain(q, cfg, 2)
+	if tt := e.TrueTime(q, cfg, 2); math.Abs(total-tt) > 1e-6*tt {
+		t.Fatalf("off-heap Explain total %g != TrueTime %g", total, tt)
+	}
+}
+
+func TestExplainTaskCountsFollowConfig(t *testing.T) {
+	e := NewEngine(QuerySpace())
+	q := testQuery()
+	small := e.Space.With(e.Space.Default(), ShufflePartitions, 16)
+	big := e.Space.With(e.Space.Default(), ShufflePartitions, 1000)
+	sSmall, _ := e.Explain(q, small, 1)
+	sBig, _ := e.Explain(q, big, 1)
+	if TotalTasks(sBig) <= TotalTasks(sSmall) {
+		t.Fatalf("more partitions should mean more tasks: %d vs %d", TotalTasks(sSmall), TotalTasks(sBig))
+	}
+}
+
+func TestExplainSpillAtLowPartitions(t *testing.T) {
+	e := NewEngine(QuerySpace())
+	q := testQuery()
+	low := e.Space.With(e.Space.Default(), ShufflePartitions, 8)
+	high := e.Space.With(e.Space.Default(), ShufflePartitions, 800)
+	sLow, _ := e.Explain(q, low, 2)
+	sHigh, _ := e.Explain(q, high, 2)
+	if TotalSpill(sLow) <= TotalSpill(sHigh) {
+		t.Fatalf("tiny partition counts should spill more: %g vs %g", TotalSpill(sLow), TotalSpill(sHigh))
+	}
+}
+
+func TestExplainBroadcastDecision(t *testing.T) {
+	e := NewEngine(QuerySpace())
+	q := smallBroadcastQuery() // 50 MB build side
+	smj := e.Space.With(e.Space.Default(), AutoBroadcastJoinThr, 1<<20)
+	bhj := e.Space.With(e.Space.Default(), AutoBroadcastJoinThr, 128<<20)
+	s1, _ := e.Explain(q, smj, 1)
+	s2, _ := e.Explain(q, bhj, 1)
+	if BroadcastJoins(s1) != 0 {
+		t.Fatal("1MB threshold should not broadcast a 50MB build side")
+	}
+	if BroadcastJoins(s2) != 1 {
+		t.Fatal("128MB threshold should broadcast")
+	}
+}
+
+func TestFormatStages(t *testing.T) {
+	e := NewEngine(QuerySpace())
+	q := testQuery()
+	stages, _ := e.Explain(q, e.Space.Default(), 1)
+	out := FormatStages(stages)
+	if !strings.Contains(out, "Scan#1") || !strings.Contains(out, "time ms") {
+		t.Fatalf("format output incomplete:\n%s", out)
+	}
+	// Sorted by time descending.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(stages)+1 {
+		t.Fatalf("line count %d", len(lines))
+	}
+}

@@ -1,0 +1,225 @@
+package sparksim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op identifies a physical operator kind in a simulated Spark plan. The set
+// mirrors the operators that dominate TPC-DS/TPC-H physical plans and that
+// the workload embedding counts (Section 4.1).
+type Op int
+
+// Physical operator kinds.
+const (
+	OpScan Op = iota
+	OpFilter
+	OpProject
+	OpExchange // shuffle boundary
+	OpSort
+	OpHashAggregate
+	OpSortMergeJoin
+	OpBroadcastHashJoin
+	OpWindow
+	OpLimit
+	OpUnion
+	numOps
+)
+
+var opNames = [...]string{
+	"Scan", "Filter", "Project", "Exchange", "Sort", "HashAggregate",
+	"SortMergeJoin", "BroadcastHashJoin", "Window", "Limit", "Union",
+}
+
+func (o Op) String() string {
+	if o < 0 || int(o) >= len(opNames) {
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// NumOps is the number of distinct operator kinds, exported for embedding
+// vectors.
+const NumOps = int(numOps)
+
+// Node is one operator in a plan tree, annotated with the query optimizer's
+// compile-time cardinality estimates. Estimates — not true runtime counts —
+// feed the workload embedding, exactly as in the paper (the information
+// "available at compile time, without requiring additional training").
+type Node struct {
+	Op       Op
+	Children []*Node
+	// InRows and OutRows are the optimizer's estimated input and output row
+	// counts at scale factor 1. Actual cardinalities scale with the query's
+	// data-size multiplier at run time.
+	InRows  float64
+	OutRows float64
+	// RowBytes is the estimated width of one row in bytes.
+	RowBytes float64
+}
+
+// Plan is a rooted operator tree.
+type Plan struct {
+	Root *Node
+}
+
+// Walk visits every node of the plan in pre-order.
+func (p *Plan) Walk(visit func(*Node)) {
+	var rec func(*Node)
+	rec = func(n *Node) {
+		if n == nil {
+			return
+		}
+		visit(n)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(p.Root)
+}
+
+// RootCardinality returns the estimated output rows of the root operator,
+// component (1) of the workload embedding.
+func (p *Plan) RootCardinality() float64 {
+	if p.Root == nil {
+		return 0
+	}
+	return p.Root.OutRows
+}
+
+// LeafInputCardinality returns the total estimated input rows across all
+// leaf (scan) operators, component (2) of the workload embedding.
+func (p *Plan) LeafInputCardinality() float64 {
+	var total float64
+	p.Walk(func(n *Node) {
+		if len(n.Children) == 0 {
+			total += n.InRows
+		}
+	})
+	return total
+}
+
+// LeafInputBytes returns total estimated scan bytes at scale factor 1.
+func (p *Plan) LeafInputBytes() float64 {
+	var total float64
+	p.Walk(func(n *Node) {
+		if len(n.Children) == 0 {
+			total += n.InRows * n.RowBytes
+		}
+	})
+	return total
+}
+
+// OperatorCounts returns the frequency of each operator kind in the plan,
+// component (3) of the workload embedding.
+func (p *Plan) OperatorCounts() [NumOps]int {
+	var counts [NumOps]int
+	p.Walk(func(n *Node) {
+		counts[n.Op]++
+	})
+	return counts
+}
+
+// NodeCount returns the total number of operators.
+func (p *Plan) NodeCount() int {
+	c := 0
+	p.Walk(func(*Node) { c++ })
+	return c
+}
+
+// String renders the plan as an indented tree for debugging and logs.
+func (p *Plan) String() string {
+	var b strings.Builder
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		if n == nil {
+			return
+		}
+		fmt.Fprintf(&b, "%s%s(in=%.3g, out=%.3g)\n", strings.Repeat("  ", depth), n.Op, n.InRows, n.OutRows)
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(p.Root, 0)
+	return b.String()
+}
+
+// Validate checks structural invariants: operator kinds in range,
+// non-negative cardinalities, leaves are scans, and join nodes binary.
+func (p *Plan) Validate() error {
+	if p.Root == nil {
+		return fmt.Errorf("sparksim: plan has no root")
+	}
+	var err error
+	p.Walk(func(n *Node) {
+		if err != nil {
+			return
+		}
+		if n.Op < 0 || int(n.Op) >= NumOps {
+			err = fmt.Errorf("sparksim: invalid op %d", int(n.Op))
+			return
+		}
+		if n.InRows < 0 || n.OutRows < 0 || n.RowBytes <= 0 {
+			err = fmt.Errorf("sparksim: %s has invalid cardinalities in=%g out=%g width=%g",
+				n.Op, n.InRows, n.OutRows, n.RowBytes)
+			return
+		}
+		switch n.Op {
+		case OpScan:
+			if len(n.Children) != 0 {
+				err = fmt.Errorf("sparksim: scan with children")
+			}
+		case OpSortMergeJoin, OpBroadcastHashJoin:
+			if len(n.Children) != 2 {
+				err = fmt.Errorf("sparksim: %s with %d children", n.Op, len(n.Children))
+			}
+		case OpUnion:
+			if len(n.Children) < 2 {
+				err = fmt.Errorf("sparksim: union with %d children", len(n.Children))
+			}
+		default:
+			if len(n.Children) != 1 {
+				err = fmt.Errorf("sparksim: %s with %d children", n.Op, len(n.Children))
+			}
+		}
+	})
+	return err
+}
+
+// Scan constructs a leaf scan node.
+func Scan(rows, rowBytes float64) *Node {
+	return &Node{Op: OpScan, InRows: rows, OutRows: rows, RowBytes: rowBytes}
+}
+
+// Unary wraps child in a single-input operator with the given selectivity
+// (output rows = selectivity × input rows).
+func Unary(op Op, child *Node, selectivity float64) *Node {
+	return &Node{
+		Op:       op,
+		Children: []*Node{child},
+		InRows:   child.OutRows,
+		OutRows:  child.OutRows * selectivity,
+		RowBytes: child.RowBytes,
+	}
+}
+
+// Join constructs a binary join whose output cardinality is fanout × max of
+// the input cardinalities.
+func Join(op Op, left, right *Node, fanout float64) *Node {
+	in := left.OutRows + right.OutRows
+	out := fanout * maxf(left.OutRows, right.OutRows)
+	return &Node{
+		Op:       op,
+		Children: []*Node{left, right},
+		InRows:   in,
+		OutRows:  out,
+		RowBytes: left.RowBytes + right.RowBytes,
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,49 @@
+package sparksim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Signature computes the query signature of a plan: a stable hash of the
+// plan's *structure* — operator kinds, tree shape, and coarse cardinality
+// magnitudes — such that recurrent runs of the same query map to the same
+// signature even as exact input sizes drift, while structurally different
+// plans (or plans whose data changed by orders of magnitude) get distinct
+// signatures. This mirrors the SparkCruise-style signatures the paper keys
+// its per-query models on: "each corresponds to a distinct query execution
+// plan".
+//
+// Cardinalities participate only through their order of magnitude
+// (log10 bucket), so day-to-day variation in row counts does not fragment a
+// recurrent query across signatures, but a 10× data change — which the
+// paper treats as a different tuning problem — does.
+func Signature(p *Plan) string {
+	var b strings.Builder
+	encodeNode(&b, p.Root)
+	sum := sha256.Sum256([]byte(b.String()))
+	return "sig-" + hex.EncodeToString(sum[:8])
+}
+
+func encodeNode(b *strings.Builder, n *Node) {
+	if n == nil {
+		b.WriteString("()")
+		return
+	}
+	fmt.Fprintf(b, "(%d:%d:%d", int(n.Op), magnitude(n.InRows), magnitude(n.OutRows))
+	for _, c := range n.Children {
+		encodeNode(b, c)
+	}
+	b.WriteByte(')')
+}
+
+// magnitude buckets a cardinality by order of magnitude.
+func magnitude(rows float64) int {
+	if rows < 1 {
+		return 0
+	}
+	return int(math.Floor(math.Log10(rows)))
+}

@@ -1,0 +1,499 @@
+package sparksim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/rockhopper-db/rockhopper/internal/noise"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+// testQuery builds a shuffle-heavy join query with ~10 GB of scan input at
+// scale 1: two scans feeding a join through exchanges, then aggregation.
+func testQuery() *Query {
+	left := Scan(50e6, 160)  // 8 GB fact table
+	right := Scan(20e6, 120) // 2.4 GB dimension-ish table
+	lx := Unary(OpExchange, Unary(OpFilter, left, 0.5), 1)
+	rx := Unary(OpExchange, right, 1)
+	j := Join(OpSortMergeJoin, lx, rx, 1.0)
+	agg := Unary(OpHashAggregate, Unary(OpExchange, j, 1), 0.01)
+	return &Query{ID: "test-q1", Plan: &Plan{Root: agg}}
+}
+
+// smallBroadcastQuery has a 50 MB build side so the broadcast threshold
+// matters.
+func smallBroadcastQuery() *Query {
+	fact := Scan(100e6, 100) // 10 GB
+	dim := Scan(500e3, 100)  // 50 MB
+	j := Join(OpSortMergeJoin, Unary(OpExchange, fact, 1), Unary(OpExchange, dim, 1), 0.9)
+	return &Query{ID: "test-bcast", Plan: &Plan{Root: Unary(OpProject, j, 1)}}
+}
+
+func TestSpaceValidation(t *testing.T) {
+	if _, err := NewSpace(Param{Name: "x", Min: 2, Max: 1, Default: 1.5}); err == nil {
+		t.Fatal("inverted range should fail")
+	}
+	if _, err := NewSpace(Param{Name: "x", Min: 0, Max: 1, Default: 5}); err == nil {
+		t.Fatal("default outside range should fail")
+	}
+	if _, err := NewSpace(Param{Name: "x", Min: 0, Max: 1, Default: 0.5, Log: true}); err == nil {
+		t.Fatal("log param with min 0 should fail")
+	}
+	if _, err := NewSpace(
+		Param{Name: "x", Min: 0, Max: 1, Default: 0},
+		Param{Name: "x", Min: 0, Max: 1, Default: 0},
+	); err == nil {
+		t.Fatal("duplicate names should fail")
+	}
+}
+
+func TestQuerySpaceDefaults(t *testing.T) {
+	s := QuerySpace()
+	c := s.Default()
+	if s.Get(c, MaxPartitionBytes) != 128<<20 {
+		t.Fatal("maxPartitionBytes default wrong")
+	}
+	if s.Get(c, ShufflePartitions) != 200 {
+		t.Fatal("shuffle partitions default wrong")
+	}
+	if s.Get(c, AutoBroadcastJoinThr) != 10<<20 {
+		t.Fatal("broadcast threshold default wrong")
+	}
+	if len(s.QueryParams()) != 3 || len(s.AppParams()) != 0 {
+		t.Fatal("query space level partition wrong")
+	}
+}
+
+func TestFullSpaceLevels(t *testing.T) {
+	s := FullSpace()
+	if len(s.QueryParams()) != 3 || len(s.AppParams()) != 4 {
+		t.Fatalf("full space levels: %d query, %d app", len(s.QueryParams()), len(s.AppParams()))
+	}
+}
+
+func TestSnapQuantum(t *testing.T) {
+	s := QuerySpace()
+	c := s.With(s.Default(), ShufflePartitions, 123.7)
+	if v := s.Get(c, ShufflePartitions); v != 124 {
+		t.Fatalf("snap = %g; want 124", v)
+	}
+	c = s.With(s.Default(), ShufflePartitions, 1e9)
+	if v := s.Get(c, ShufflePartitions); v != 2000 {
+		t.Fatalf("clamp = %g; want 2000", v)
+	}
+}
+
+func TestNormalizeRoundTrip(t *testing.T) {
+	s := QuerySpace()
+	r := stats.NewRNG(1)
+	for i := 0; i < 50; i++ {
+		c := s.Random(r)
+		back := s.Denormalize(s.Normalize(c))
+		for j := range c {
+			// Round trip must agree up to quantum snapping.
+			if math.Abs(back[j]-c[j]) > s.Params[j].Quantum+1e-9 {
+				t.Fatalf("round trip drift at %d: %g vs %g", j, c[j], back[j])
+			}
+		}
+	}
+}
+
+func TestRandomInBounds(t *testing.T) {
+	s := FullSpace()
+	r := stats.NewRNG(2)
+	for i := 0; i < 200; i++ {
+		c := s.Random(r)
+		for j, p := range s.Params {
+			if c[j] < p.Min || c[j] > p.Max {
+				t.Fatalf("random config out of bounds: %s = %g", p.Name, c[j])
+			}
+		}
+	}
+}
+
+func TestNeighborhoodLocality(t *testing.T) {
+	s := QuerySpace()
+	r := stats.NewRNG(3)
+	center := s.Default()
+	for _, c := range s.Neighborhood(center, 0.05, 50, r) {
+		u0 := s.Normalize(center)
+		u := s.Normalize(c)
+		for j := range u {
+			if math.Abs(u[j]-u0[j]) > 0.05+0.01 {
+				t.Fatalf("neighbour strayed beyond beta on dim %d: |%g−%g|", j, u[j], u0[j])
+			}
+		}
+	}
+}
+
+func TestAxisNeighbors(t *testing.T) {
+	s := QuerySpace()
+	ns := s.AxisNeighbors(s.Default(), 0.1)
+	if len(ns) != 2*s.Dim() {
+		t.Fatalf("axis neighbours = %d; want %d", len(ns), 2*s.Dim())
+	}
+}
+
+func TestPlanAccounting(t *testing.T) {
+	q := testQuery()
+	if err := q.Plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rc := q.Plan.RootCardinality(); rc <= 0 {
+		t.Fatalf("root cardinality = %g", rc)
+	}
+	if lc := q.Plan.LeafInputCardinality(); lc != 70e6 {
+		t.Fatalf("leaf cardinality = %g; want 7e7", lc)
+	}
+	counts := q.Plan.OperatorCounts()
+	if counts[OpScan] != 2 || counts[OpExchange] != 3 || counts[OpSortMergeJoin] != 1 {
+		t.Fatalf("operator counts wrong: %v", counts)
+	}
+	if q.Plan.NodeCount() != 8 {
+		t.Fatalf("node count = %d", q.Plan.NodeCount())
+	}
+}
+
+func TestPlanValidateCatchesCorruption(t *testing.T) {
+	bad := &Plan{Root: &Node{Op: OpSortMergeJoin, Children: []*Node{Scan(1, 1)}, InRows: 1, OutRows: 1, RowBytes: 1}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unary join should fail validation")
+	}
+	bad2 := &Plan{Root: &Node{Op: OpScan, InRows: -1, OutRows: 1, RowBytes: 1}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("negative cardinality should fail validation")
+	}
+}
+
+func TestShufflePartitionsHasInteriorOptimum(t *testing.T) {
+	// Figure 1's core observation: execution time is convex-ish in
+	// spark.sql.shuffle.partitions with an interior optimum.
+	e := NewEngine(QuerySpace())
+	q := testQuery()
+	base := e.Space.Default()
+	timeAt := func(p float64) float64 {
+		return e.TrueTime(q, e.Space.With(base, ShufflePartitions, p), 1)
+	}
+	lo, mid, hi := timeAt(8), timeAt(64), timeAt(2000)
+	if !(mid < lo && mid < hi) {
+		t.Fatalf("no interior optimum: t(8)=%g t(64)=%g t(2000)=%g", lo, mid, hi)
+	}
+}
+
+func TestMaxPartitionBytesTradeoff(t *testing.T) {
+	e := NewEngine(QuerySpace())
+	q := testQuery()
+	base := e.Space.Default()
+	timeAt := func(m float64) float64 {
+		return e.TrueTime(q, e.Space.With(base, MaxPartitionBytes, m), 1)
+	}
+	tiny, def, huge := timeAt(1<<20), timeAt(128<<20), timeAt(1<<30)
+	if !(def < tiny) {
+		t.Fatalf("tiny partitions should be slow: t(1MB)=%g t(128MB)=%g", tiny, def)
+	}
+	if !(def <= huge) {
+		t.Fatalf("huge partitions should not beat default here: t(128MB)=%g t(1GB)=%g", def, huge)
+	}
+}
+
+func TestBroadcastThresholdSwitchesJoinStrategy(t *testing.T) {
+	e := NewEngine(QuerySpace())
+	q := smallBroadcastQuery()
+	base := e.Space.Default()
+	// Build side is 50 MB: threshold 10 MB forces sort-merge, 128 MB
+	// enables the cheaper broadcast.
+	smj := e.TrueTime(q, e.Space.With(base, AutoBroadcastJoinThr, 10<<20), 1)
+	bhj := e.TrueTime(q, e.Space.With(base, AutoBroadcastJoinThr, 128<<20), 1)
+	if bhj >= smj {
+		t.Fatalf("broadcast should win for a 50 MB build side: bhj=%g smj=%g", bhj, smj)
+	}
+}
+
+func TestTimeScalesWithData(t *testing.T) {
+	e := NewEngine(QuerySpace())
+	q := testQuery()
+	cfg := e.Space.Default()
+	t1 := e.TrueTime(q, cfg, 1)
+	t4 := e.TrueTime(q, cfg, 4)
+	if t4 <= t1 {
+		t.Fatalf("4x data should be slower: %g vs %g", t1, t4)
+	}
+}
+
+func TestRunInjectsNoise(t *testing.T) {
+	e := NewEngine(QuerySpace())
+	q := testQuery()
+	r := stats.NewRNG(7)
+	cfg := e.Space.Default()
+	o := e.Run(q, cfg, 1, r, noise.High)
+	if o.Time < o.TrueTime {
+		t.Fatalf("noise should slow down: observed=%g true=%g", o.Time, o.TrueTime)
+	}
+	if o.DataSize != q.Plan.LeafInputBytes() {
+		t.Fatalf("data size = %g; want %g", o.DataSize, q.Plan.LeafInputBytes())
+	}
+	clean := e.Run(q, cfg, 1, r, nil)
+	if clean.Time != clean.TrueTime {
+		t.Fatal("nil injector should be noiseless")
+	}
+}
+
+func TestRunCopiesConfig(t *testing.T) {
+	e := NewEngine(QuerySpace())
+	q := testQuery()
+	cfg := e.Space.Default()
+	o := e.Run(q, cfg, 1, stats.NewRNG(1), nil)
+	cfg[0] = 999
+	if o.Config[0] == 999 {
+		t.Fatal("observation must own a copy of the config")
+	}
+}
+
+func TestExecutorScalingInFullSpace(t *testing.T) {
+	e := NewEngine(FullSpace())
+	q := testQuery()
+	base := e.Space.Default()
+	few := e.TrueTime(q, e.Space.With(base, ExecutorInstances, 2), 1)
+	many := e.TrueTime(q, e.Space.With(base, ExecutorInstances, 32), 1)
+	if many >= few {
+		t.Fatalf("more executors should speed up this query: 2→%g 32→%g", few, many)
+	}
+}
+
+func TestAppStartupChargesExecutors(t *testing.T) {
+	e := NewEngine(FullSpace())
+	small := e.AppStartupMs(e.Space.With(e.Space.Default(), ExecutorInstances, 2))
+	big := e.AppStartupMs(e.Space.With(e.Space.Default(), ExecutorInstances, 64))
+	if big <= small {
+		t.Fatal("startup should grow with executor count")
+	}
+}
+
+func TestRunApp(t *testing.T) {
+	e := NewEngine(FullSpace())
+	app := &App{ArtifactID: "nb-1", Queries: []*Query{testQuery(), smallBroadcastQuery()}}
+	obs, total := e.RunApp(app, e.Space.Default(), 1, stats.NewRNG(5), nil)
+	if len(obs) != 2 {
+		t.Fatalf("observations = %d", len(obs))
+	}
+	sum := e.AppStartupMs(e.Space.Default())
+	for _, o := range obs {
+		sum += o.Time
+	}
+	if math.Abs(sum-total) > 1e-9 {
+		t.Fatalf("total %g != startup+queries %g", total, sum)
+	}
+}
+
+func TestOptimalConfigBeatsDefault(t *testing.T) {
+	e := NewEngine(QuerySpace())
+	q := testQuery()
+	_, best := e.OptimalConfig(q, 1, 16)
+	def := e.TrueTime(q, e.Space.Default(), 1)
+	if best > def {
+		t.Fatalf("oracle optimum %g worse than default %g", best, def)
+	}
+}
+
+// Property: TrueTime is strictly positive and finite for any legal config.
+func TestPropTrueTimePositive(t *testing.T) {
+	e := NewEngine(FullSpace())
+	q := testQuery()
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		cfg := e.Space.Random(r)
+		scale := 0.1 + r.Float64()*10
+		tt := e.TrueTime(q, cfg, scale)
+		return tt > 0 && !math.IsInf(tt, 0) && !math.IsNaN(tt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TrueTime is monotone in data scale for a fixed config.
+func TestPropMonotoneInScale(t *testing.T) {
+	e := NewEngine(QuerySpace())
+	q := testQuery()
+	f := func(seed uint64) bool {
+		r := stats.NewRNG(seed)
+		cfg := e.Space.Random(r)
+		s1 := 0.5 + r.Float64()*2
+		s2 := s1 * (1.5 + r.Float64())
+		return e.TrueTime(q, cfg, s2) >= e.TrueTime(q, cfg, s1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatinHypercubeCoverage(t *testing.T) {
+	s := QuerySpace()
+	r := stats.NewRNG(17)
+	n := 40
+	cfgs := s.LatinHypercube(n, r)
+	if len(cfgs) != n {
+		t.Fatalf("lhs returned %d configs", len(cfgs))
+	}
+	// Stratification: each dimension's normalized samples must land in
+	// distinct strata, so every decile contains ≈ n/10 samples.
+	for j := 0; j < s.Dim(); j++ {
+		var deciles [10]int
+		for _, c := range cfgs {
+			u := s.Normalize(c)[j]
+			d := int(u * 10)
+			if d > 9 {
+				d = 9
+			}
+			if d < 0 {
+				d = 0
+			}
+			deciles[d]++
+		}
+		for d, cnt := range deciles {
+			if cnt < 2 || cnt > 6 {
+				t.Fatalf("dim %d decile %d has %d samples; LHS stratification broken", j, d, cnt)
+			}
+		}
+	}
+	if s.LatinHypercube(0, r) != nil {
+		t.Fatal("n=0 should return nil")
+	}
+}
+
+func TestLatinHypercubeInBounds(t *testing.T) {
+	s := FullSpace()
+	r := stats.NewRNG(19)
+	for _, c := range s.LatinHypercube(25, r) {
+		for j, p := range s.Params {
+			if c[j] < p.Min || c[j] > p.Max {
+				t.Fatalf("lhs out of bounds: %s = %g", p.Name, c[j])
+			}
+		}
+	}
+}
+
+func TestSignatureStableUnderSmallDrift(t *testing.T) {
+	mk := func(rows float64) *Plan {
+		scan := Scan(rows, 100)
+		return &Plan{Root: Unary(OpHashAggregate, Unary(OpExchange, scan, 1), 0.01)}
+	}
+	a := Signature(mk(50e6))
+	b := Signature(mk(55e6)) // +10%: same magnitude bucket
+	if a != b {
+		t.Fatal("small data drift must not change the signature")
+	}
+	c := Signature(mk(600e6)) // 12×: different magnitude
+	if a == c {
+		t.Fatal("order-of-magnitude data change should change the signature")
+	}
+}
+
+func TestSignatureDistinguishesStructure(t *testing.T) {
+	s1 := &Plan{Root: Unary(OpFilter, Scan(1e6, 100), 0.5)}
+	s2 := &Plan{Root: Unary(OpProject, Scan(1e6, 100), 0.5)}
+	if Signature(s1) == Signature(s2) {
+		t.Fatal("different operators should give different signatures")
+	}
+	j1 := &Plan{Root: Join(OpSortMergeJoin, Scan(1e6, 100), Scan(1e3, 50), 1)}
+	j2 := &Plan{Root: Join(OpSortMergeJoin, Scan(1e3, 50), Scan(1e6, 100), 1)}
+	if Signature(j1) == Signature(j2) {
+		t.Fatal("child order is structural and should matter")
+	}
+}
+
+func TestSignatureDeterministicAcrossProcessShape(t *testing.T) {
+	q := testQuery()
+	if Signature(q.Plan) != Signature(q.Plan) {
+		t.Fatal("signature not deterministic")
+	}
+	if len(Signature(q.Plan)) != len("sig-")+16 {
+		t.Fatalf("unexpected signature shape %q", Signature(q.Plan))
+	}
+}
+
+func TestAQECoalescesOversizedPartitions(t *testing.T) {
+	q := testQuery()
+	base := QuerySpace().Default()
+	off := NewEngine(QuerySpace())
+	on := NewEngine(QuerySpace())
+	on.AQE = true
+	huge := off.Space.With(base, ShufflePartitions, 2000)
+	// With AQE, an absurd partition count is largely forgiven at runtime.
+	tOff := off.TrueTime(q, huge, 1)
+	tOn := on.TrueTime(q, huge, 1)
+	if tOn >= tOff {
+		t.Fatalf("AQE should dampen the oversized-P penalty: on=%g off=%g", tOn, tOff)
+	}
+	// With a sane partition count, AQE should be nearly neutral.
+	sane := off.Space.With(base, ShufflePartitions, 64)
+	a, b := off.TrueTime(q, sane, 1), on.TrueTime(q, sane, 1)
+	if math.Abs(a-b) > 0.02*a {
+		t.Fatalf("AQE changed a sane config's time: %g vs %g", a, b)
+	}
+}
+
+func TestAQEShrinksPartitionHeadroom(t *testing.T) {
+	// The tuning consequence: the spread of TrueTime across partition
+	// settings is narrower with AQE on.
+	q := testQuery()
+	spread := func(aqe bool) float64 {
+		e := NewEngine(QuerySpace())
+		e.AQE = aqe
+		base := e.Space.Default()
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, p := range []float64{64, 200, 800, 2000} {
+			tt := e.TrueTime(q, e.Space.With(base, ShufflePartitions, p), 1)
+			if tt < lo {
+				lo = tt
+			}
+			if tt > hi {
+				hi = tt
+			}
+		}
+		return hi / lo
+	}
+	if spread(true) >= spread(false) {
+		t.Fatalf("AQE should narrow the partition response: on=%g off=%g", spread(true), spread(false))
+	}
+}
+
+func TestSpaceAccessorEdges(t *testing.T) {
+	s := QuerySpace()
+	c := s.Default()
+	if !math.IsNaN(s.Get(c, "spark.unknown.param")) {
+		t.Fatal("unknown param should read NaN")
+	}
+	// With on an unknown name returns an unchanged copy.
+	out := s.With(c, "spark.unknown.param", 42)
+	for i := range c {
+		if out[i] != c[i] {
+			t.Fatal("unknown With should be identity")
+		}
+	}
+	out[0] = -1
+	if c[0] == -1 {
+		t.Fatal("With must return a copy")
+	}
+	clone := c.Clone()
+	clone[1] = -2
+	if c[1] == -2 {
+		t.Fatal("Clone must copy")
+	}
+	if s.Index("nope") != -1 {
+		t.Fatal("Index of unknown should be -1")
+	}
+}
+
+func TestEngineStringers(t *testing.T) {
+	if DefaultCluster().String() == "" {
+		t.Fatal("cluster stringer empty")
+	}
+	if OpScan.String() != "Scan" || Op(99).String() == "" {
+		t.Fatal("op stringer wrong")
+	}
+	if QueryLevel.String() != "query" || AppLevel.String() != "app" {
+		t.Fatal("level stringer wrong")
+	}
+}

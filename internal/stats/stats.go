@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the numpy/R default).
+// It panics on an empty slice and does not modify xs.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %g out of [0,1]", q))
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	n := len(s)
+	if n == 1 {
+		return s[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Quantiles returns several quantiles of xs with a single sort.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantiles of empty slice")
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = quantileSorted(s, q)
+	}
+	return out
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Mean returns the arithmetic mean of xs; 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// Variance returns the unbiased sample variance of xs; 0 when len < 2.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, v := range xs {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs; +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, v := range xs {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs; −Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, v := range xs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMin returns the index of the smallest element; −1 for an empty slice.
+func ArgMin(xs []float64) int {
+	idx, best := -1, math.Inf(1)
+	for i, v := range xs {
+		if v < best {
+			idx, best = i, v
+		}
+	}
+	return idx
+}
+
+// Summary is a five-number-plus-mean description of a sample.
+type Summary struct {
+	N               int
+	Mean, Std       float64
+	Min, P5, Median float64
+	P95, Max        float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	qs := Quantiles(xs, 0, 0.05, 0.5, 0.95, 1)
+	return Summary{
+		N:    len(xs),
+		Mean: Mean(xs), Std: StdDev(xs),
+		Min: qs[0], P5: qs[1], Median: qs[2], P95: qs[3], Max: qs[4],
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g p5=%.4g med=%.4g p95=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Min, s.P5, s.Median, s.P95, s.Max)
+}
+
+// Band holds per-iteration convergence statistics across repeated runs: the
+// median trajectory with a 5th–95th percentile confidence band, matching the
+// solid-line-plus-shaded-region presentation used throughout the paper's
+// figures.
+type Band struct {
+	Median, Lo, Hi []float64
+}
+
+// ConvergenceBand computes a Band from runs[run][iteration].
+func ConvergenceBand(runs [][]float64) Band {
+	if len(runs) == 0 {
+		return Band{}
+	}
+	iters := len(runs[0])
+	b := Band{
+		Median: make([]float64, iters),
+		Lo:     make([]float64, iters),
+		Hi:     make([]float64, iters),
+	}
+	col := make([]float64, len(runs))
+	for t := 0; t < iters; t++ {
+		for i, r := range runs {
+			col[i] = r[t]
+		}
+		qs := Quantiles(col, 0.05, 0.5, 0.95)
+		b.Lo[t], b.Median[t], b.Hi[t] = qs[0], qs[1], qs[2]
+	}
+	return b
+}
+
+// HistogramBin is one bucket of a Histogram.
+type HistogramBin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Histogram buckets xs into n equal-width bins spanning [min, max].
+func Histogram(xs []float64, n int) []HistogramBin {
+	if n <= 0 || len(xs) == 0 {
+		return nil
+	}
+	lo, hi := Min(xs), Max(xs)
+	if hi == lo {
+		hi = lo + 1
+	}
+	w := (hi - lo) / float64(n)
+	bins := make([]HistogramBin, n)
+	for i := range bins {
+		bins[i] = HistogramBin{Lo: lo + float64(i)*w, Hi: lo + float64(i+1)*w}
+	}
+	for _, v := range xs {
+		idx := int((v - lo) / w)
+		if idx >= n {
+			idx = n - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		bins[idx].Count++
+	}
+	return bins
+}
+
+// Clamp bounds v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

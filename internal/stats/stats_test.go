@@ -1,0 +1,289 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed should produce identical streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(1)
+	c1 := r.Split()
+	c2 := r.Split()
+	collisions := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			collisions++
+		}
+	}
+	if collisions > 2 {
+		t.Fatalf("split children look correlated: %d collisions", collisions)
+	}
+}
+
+func TestRNGSplitNamedStable(t *testing.T) {
+	r1 := NewRNG(9)
+	r2 := NewRNG(9)
+	// Drawing other named streams first must not perturb "q17".
+	_ = r2.SplitNamed("q01")
+	a := r1.SplitNamed("q17").Uint64()
+	b := r2.SplitNamed("q17").Uint64()
+	if a != b {
+		t.Fatal("SplitNamed should be stable regardless of other streams")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(7)
+	n := 50000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Normal(10, 2)
+	}
+	if m := Mean(xs); math.Abs(m-10) > 0.1 {
+		t.Fatalf("normal mean = %g; want ≈10", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-2) > 0.1 {
+		t.Fatalf("normal sd = %g; want ≈2", sd)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := NewRNG(13)
+	hits := 0
+	for i := 0; i < 20000; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / 20000
+	if math.Abs(p-0.3) > 0.02 {
+		t.Fatalf("Bernoulli(0.3) frequency = %g", p)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(21)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestQuantileKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Median(xs) != 3 {
+		t.Fatalf("median = %g", Median(xs))
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Fatalf("q25 = %g; want 2", q)
+	}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %g; want 1", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Fatalf("q1 = %g; want 5", q)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	_ = Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 100})
+	if s.N != 5 || s.Min != 1 || s.Max != 100 || s.Median != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 22 {
+		t.Fatalf("mean = %g", s.Mean)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Fatal("empty summary should be zero")
+	}
+}
+
+func TestConvergenceBand(t *testing.T) {
+	runs := [][]float64{
+		{10, 8, 6},
+		{12, 9, 7},
+		{11, 7, 5},
+	}
+	b := ConvergenceBand(runs)
+	if len(b.Median) != 3 {
+		t.Fatalf("band length = %d", len(b.Median))
+	}
+	if b.Median[0] != 11 {
+		t.Fatalf("median[0] = %g; want 11", b.Median[0])
+	}
+	for t2 := 0; t2 < 3; t2++ {
+		if !(b.Lo[t2] <= b.Median[t2] && b.Median[t2] <= b.Hi[t2]) {
+			t.Fatalf("band ordering violated at %d", t2)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.1, 0.5, 0.9, 1.0}
+	bins := Histogram(xs, 2)
+	if len(bins) != 2 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != len(xs) {
+		t.Fatalf("histogram lost values: %d/%d", total, len(xs))
+	}
+}
+
+func TestMinMaxArgMin(t *testing.T) {
+	xs := []float64{4, -2, 9}
+	if Min(xs) != -2 || Max(xs) != 9 || ArgMin(xs) != 1 {
+		t.Fatal("min/max/argmin wrong")
+	}
+	if ArgMin(nil) != -1 {
+		t.Fatal("ArgMin(nil) should be -1")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp wrong")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestPropQuantileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Normal(0, 10)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 || v < Min(xs)-1e-12 || v > Max(xs)+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: variance is non-negative and zero for constant samples.
+func TestPropVariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 2 + r.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Normal(0, 1)
+		}
+		if Variance(xs) < 0 {
+			return false
+		}
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = 7.5
+		}
+		return Variance(c) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramConstantValues(t *testing.T) {
+	bins := Histogram([]float64{5, 5, 5, 5}, 4)
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 4 {
+		t.Fatalf("constant histogram lost values: %d", total)
+	}
+	if Histogram(nil, 3) != nil || Histogram([]float64{1}, 0) != nil {
+		t.Fatal("degenerate inputs should return nil")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	assertPanics := func(f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		f()
+	}
+	assertPanics(func() { Quantile(nil, 0.5) })
+	assertPanics(func() { Quantile([]float64{1}, 1.5) })
+	assertPanics(func() { Quantiles(nil, 0.5) })
+}
+
+func TestExponentialAndLogNormal(t *testing.T) {
+	r := NewRNG(77)
+	n := 40000
+	var sumExp, sumLog float64
+	for i := 0; i < n; i++ {
+		e := r.Exponential(2)
+		if e < 0 {
+			t.Fatal("exponential negative")
+		}
+		sumExp += e
+		sumLog += math.Log(r.LogNormal(1, 0.5))
+	}
+	if m := sumExp / float64(n); math.Abs(m-0.5) > 0.02 {
+		t.Fatalf("exponential mean = %g; want ≈0.5", m)
+	}
+	if m := sumLog / float64(n); math.Abs(m-1) > 0.02 {
+		t.Fatalf("lognormal log-mean = %g; want ≈1", m)
+	}
+}

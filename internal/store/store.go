@@ -1,0 +1,231 @@
+// Package store is the Autotune Backend's storage manager (Section 5): it
+// keeps event files and model blobs in per-application folders, enforces
+// restricted access through expiring HMAC-signed tokens (the stand-in for
+// Azure SAS URLs), and runs the GDPR-compliance retention cleanup that
+// removes outdated event files.
+//
+// Folder conventions mirror the paper: each Spark application gets a folder
+// for its event files keyed by job ID, plus a folder keyed by artifact_id
+// shared across runs of the same Spark definition, and models live under the
+// owning user and query signature so that "models are trained exclusively
+// with baseline data and query traces originating from the same user and
+// query signature".
+package store
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Permission is the access mode a token grants.
+type Permission string
+
+// Token permissions.
+const (
+	PermRead  Permission = "r"
+	PermWrite Permission = "w"
+)
+
+// Errors returned by token verification and object access.
+var (
+	ErrTokenInvalid = errors.New("store: token signature invalid")
+	ErrTokenExpired = errors.New("store: token expired")
+	ErrTokenScope   = errors.New("store: token does not cover this path or permission")
+	ErrNotFound     = errors.New("store: object not found")
+)
+
+// Path helpers encode the backend's folder conventions.
+
+// EventPath returns the event-file path for one run of a job.
+func EventPath(jobID string, seq int) string {
+	return path.Join("events", jobID, fmt.Sprintf("run-%06d.jsonl", seq))
+}
+
+// ArtifactPath returns the shared folder path for an artifact-scoped object.
+func ArtifactPath(artifactID, name string) string {
+	return path.Join("artifacts", artifactID, name)
+}
+
+// ModelPath returns the model-blob path for a user's query signature.
+func ModelPath(user, signature string) string {
+	return path.Join("models", user, signature+".model")
+}
+
+// AppCachePath is the singleton app_cache object path.
+const AppCachePath = "appcache/app_cache.json"
+
+// token is the wire format of a signed access grant.
+type token struct {
+	// Prefix is the path prefix the token covers.
+	Prefix string `json:"p"`
+	// Perm is the granted permission.
+	Perm Permission `json:"m"`
+	// Expires is the Unix-nano expiry.
+	Expires int64 `json:"e"`
+	// Sig is the HMAC-SHA256 over "prefix|perm|expires".
+	Sig []byte `json:"s"`
+}
+
+// Store is an in-memory object store with token-gated access. All methods
+// are safe for concurrent use. The clock is injectable for tests.
+type Store struct {
+	secret []byte
+	now    func() time.Time
+
+	mu      sync.RWMutex
+	objects map[string]object
+}
+
+type object struct {
+	data    []byte
+	created time.Time
+}
+
+// New returns a store signing tokens with the given secret.
+func New(secret []byte) *Store {
+	return &Store{
+		secret:  append([]byte(nil), secret...),
+		now:     time.Now,
+		objects: make(map[string]object),
+	}
+}
+
+// SetClock overrides the store's clock (tests and simulations).
+func (s *Store) SetClock(now func() time.Time) { s.now = now }
+
+func (s *Store) sign(prefix string, perm Permission, expires int64) []byte {
+	mac := hmac.New(sha256.New, s.secret)
+	fmt.Fprintf(mac, "%s|%s|%d", prefix, perm, expires)
+	return mac.Sum(nil)
+}
+
+// Sign issues a token granting perm on every path under prefix until ttl
+// elapses — the analogue of generating a SAS URL.
+func (s *Store) Sign(prefix string, perm Permission, ttl time.Duration) string {
+	exp := s.now().Add(ttl).UnixNano()
+	t := token{Prefix: prefix, Perm: perm, Expires: exp, Sig: s.sign(prefix, perm, exp)}
+	blob, _ := json.Marshal(t) // marshal of this struct cannot fail
+	return base64.URLEncoding.EncodeToString(blob)
+}
+
+// Verify checks that tok grants perm on p.
+func (s *Store) Verify(tok, p string, perm Permission) error {
+	raw, err := base64.URLEncoding.DecodeString(tok)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrTokenInvalid, err)
+	}
+	var t token
+	if err := json.Unmarshal(raw, &t); err != nil {
+		return fmt.Errorf("%w: %v", ErrTokenInvalid, err)
+	}
+	if !hmac.Equal(t.Sig, s.sign(t.Prefix, t.Perm, t.Expires)) {
+		return ErrTokenInvalid
+	}
+	if s.now().UnixNano() > t.Expires {
+		return ErrTokenExpired
+	}
+	if t.Perm != perm {
+		return ErrTokenScope
+	}
+	if !strings.HasPrefix(p, t.Prefix) {
+		return ErrTokenScope
+	}
+	return nil
+}
+
+// Put writes an object after verifying the write token.
+func (s *Store) Put(tok, p string, data []byte) error {
+	if err := s.Verify(tok, p, PermWrite); err != nil {
+		return err
+	}
+	s.putUnchecked(p, data)
+	return nil
+}
+
+// Get reads an object after verifying the read token.
+func (s *Store) Get(tok, p string) ([]byte, error) {
+	if err := s.Verify(tok, p, PermRead); err != nil {
+		return nil, err
+	}
+	return s.getUnchecked(p)
+}
+
+// putUnchecked bypasses token checks; for backend-internal writers.
+func (s *Store) putUnchecked(p string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects[p] = object{data: append([]byte(nil), data...), created: s.now()}
+}
+
+// getUnchecked bypasses token checks; for backend-internal readers.
+func (s *Store) getUnchecked(p string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objects[p]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, p)
+	}
+	return append([]byte(nil), o.data...), nil
+}
+
+// PutInternal writes without a token; only backend components hold the
+// store directly, mirroring the admin-workspace trust boundary.
+func (s *Store) PutInternal(p string, data []byte) { s.putUnchecked(p, data) }
+
+// GetInternal reads without a token.
+func (s *Store) GetInternal(p string) ([]byte, error) { return s.getUnchecked(p) }
+
+// List returns the paths under prefix, sorted.
+func (s *Store) List(prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for p := range s.objects {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Delete removes an object; deleting a missing object is a no-op.
+func (s *Store) Delete(p string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.objects, p)
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// CleanupOlderThan removes event files older than the retention window and
+// returns how many were deleted — the Storage Manager's GDPR cleanup. Only
+// objects under "events/" are subject to retention; models and caches are
+// derived artifacts.
+func (s *Store) CleanupOlderThan(retention time.Duration) int {
+	cutoff := s.now().Add(-retention)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for p, o := range s.objects {
+		if strings.HasPrefix(p, "events/") && o.created.Before(cutoff) {
+			delete(s.objects, p)
+			n++
+		}
+	}
+	return n
+}

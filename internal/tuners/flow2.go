@@ -1,0 +1,203 @@
+package tuners
+
+import (
+	"math"
+
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+// FLOW2 is the frugal gradientless descent of Wu, Wang & Huang (AAAI'21),
+// the optimizer inside FLAML and one of the paper's greedy baselines
+// (Figure 2b). It keeps an incumbent configuration and a step size; each
+// iteration probes the incumbent displaced by a random unit direction in the
+// normalized space (then the opposite direction if the first fails), moving
+// on improvement and shrinking the step after both directions fail.
+//
+// Its defining weakness in production — the reason Centroid Learning exists —
+// is that accept/reject decisions compare exactly two noisy observations, so
+// a single fluctuation or spike can move the incumbent the wrong way.
+type FLOW2 struct {
+	Space *sparksim.Space
+	RNG   *stats.RNG
+	// Step0 is the initial relative step size in normalized space.
+	Step0 float64
+	// MinStep stops step shrinking (FLOW2's lower bound).
+	MinStep float64
+	// Start is the initial incumbent; nil means the space default.
+	Start sparksim.Config
+
+	incumbent     sparksim.Config
+	incumbentCost float64
+	step          float64
+	dir           []float64 // current probe direction
+	triedOpposite bool
+	pending       sparksim.Config
+	havePending   bool
+	hist          History
+}
+
+// NewFLOW2 returns a FLOW2 tuner with the canonical step schedule.
+func NewFLOW2(space *sparksim.Space, rng *stats.RNG) *FLOW2 {
+	return &FLOW2{Space: space, RNG: rng, Step0: 0.1, MinStep: 0.005}
+}
+
+// Name implements Tuner.
+func (f *FLOW2) Name() string { return "flow2" }
+
+// Propose implements Tuner.
+func (f *FLOW2) Propose(t int, _ float64) sparksim.Config {
+	if t == 0 || f.incumbent == nil {
+		start := f.Start
+		if start == nil {
+			start = f.Space.Default()
+		}
+		f.pending = start.Clone()
+		f.havePending = true
+		return f.pending
+	}
+	if f.step == 0 {
+		f.step = f.Step0
+	}
+	var probe []float64
+	u := f.Space.Normalize(f.incumbent)
+	if f.dir != nil && !f.triedOpposite {
+		// Second leg: probe the opposite direction.
+		probe = addScaled(u, f.dir, -f.step)
+		f.triedOpposite = true
+	} else {
+		f.dir = f.randomUnit(len(u))
+		f.triedOpposite = false
+		probe = addScaled(u, f.dir, +f.step)
+	}
+	f.pending = f.Space.Denormalize(probe)
+	f.havePending = true
+	return f.pending
+}
+
+// Observe implements Tuner.
+func (f *FLOW2) Observe(o sparksim.Observation) {
+	f.hist.Add(o)
+	if !f.havePending {
+		return
+	}
+	f.havePending = false
+	if f.incumbent == nil {
+		f.incumbent = o.Config.Clone()
+		f.incumbentCost = o.Time
+		return
+	}
+	if o.Time < f.incumbentCost {
+		// Improvement: move and keep exploring fresh directions.
+		f.incumbent = o.Config.Clone()
+		f.incumbentCost = o.Time
+		f.dir = nil
+		f.triedOpposite = false
+		return
+	}
+	if f.triedOpposite {
+		// Both directions failed: shrink the step, bounded below.
+		f.step *= 0.7
+		if f.step < f.MinStep {
+			f.step = f.MinStep
+		}
+		f.dir = nil
+		f.triedOpposite = false
+	}
+}
+
+// Incumbent exposes the current best-known configuration (for tests and the
+// monitoring dashboard).
+func (f *FLOW2) Incumbent() sparksim.Config { return f.incumbent }
+
+func (f *FLOW2) randomUnit(dim int) []float64 {
+	v := make([]float64, dim)
+	var norm float64
+	for norm < 1e-9 {
+		norm = 0
+		for i := range v {
+			v[i] = f.RNG.NormFloat64()
+			norm += v[i] * v[i]
+		}
+	}
+	inv := 1 / math.Sqrt(norm)
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+func addScaled(u, d []float64, s float64) []float64 {
+	out := make([]float64, len(u))
+	for i := range u {
+		out[i] = stats.Clamp(u[i]+s*d[i], 0, 1)
+	}
+	return out
+}
+
+// HillClimb greedily evaluates axis-aligned neighbours of the incumbent,
+// moving whenever the observed time improves — the classic manual-tuning
+// strategy (Section 4.3's "hill-climbing" reference). Like FLOW2 it trusts
+// single observations, so noise derails it.
+type HillClimb struct {
+	Space *sparksim.Space
+	RNG   *stats.RNG
+	// Step is the relative axis step in normalized space.
+	Step float64
+	// Start is the initial incumbent; nil means the space default.
+	Start sparksim.Config
+
+	incumbent     sparksim.Config
+	incumbentCost float64
+	queue         []sparksim.Config
+	hist          History
+}
+
+// NewHillClimb returns a hill-climbing tuner.
+func NewHillClimb(space *sparksim.Space, rng *stats.RNG) *HillClimb {
+	return &HillClimb{Space: space, RNG: rng, Step: 0.08}
+}
+
+// Name implements Tuner.
+func (h *HillClimb) Name() string { return "hillclimb" }
+
+// Propose implements Tuner.
+func (h *HillClimb) Propose(t int, _ float64) sparksim.Config {
+	if t == 0 || h.incumbent == nil {
+		start := h.Start
+		if start == nil {
+			start = h.Space.Default()
+		}
+		return start.Clone()
+	}
+	if len(h.queue) == 0 {
+		h.queue = h.Space.AxisNeighbors(h.incumbent, h.Step)
+		h.RNG.Shuffle(len(h.queue), func(i, j int) { h.queue[i], h.queue[j] = h.queue[j], h.queue[i] })
+	}
+	next := h.queue[0]
+	h.queue = h.queue[1:]
+	return next
+}
+
+// Observe implements Tuner.
+func (h *HillClimb) Observe(o sparksim.Observation) {
+	h.hist.Add(o)
+	if h.incumbent == nil {
+		h.incumbent = o.Config.Clone()
+		h.incumbentCost = o.Time
+		return
+	}
+	if o.Time < h.incumbentCost {
+		h.incumbent = o.Config.Clone()
+		h.incumbentCost = o.Time
+		h.queue = nil // re-centre the neighbourhood
+	}
+}
+
+// Incumbent exposes the current best-known configuration.
+func (h *HillClimb) Incumbent() sparksim.Config { return h.incumbent }
+
+var (
+	_ Tuner = (*FLOW2)(nil)
+	_ Tuner = (*HillClimb)(nil)
+)

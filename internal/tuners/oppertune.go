@@ -1,0 +1,131 @@
+package tuners
+
+import (
+	"math"
+
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+// OPPerTune is a simplified reimplementation of the bandit-style
+// post-deployment tuner the paper groups with hill climbing and FLOW2
+// (Section 4.3): a two-point bandit gradient descent (the Bluefin scheme).
+// The tuner keeps a center w and alternates mirrored perturbations
+// w ± δ·u with a random unit direction u; after observing both rewards it
+// takes the one-step gradient estimate
+//
+//	ĝ = (dim/(2δ)) · (f(w+δu) − f(w−δu)) · u
+//
+// and descends w ← w − η·ĝ. Like the other single-observation methods, the
+// gradient estimate is built from exactly two noisy runs, which is what
+// Centroid Learning's windowed statistics are designed to fix.
+type OPPerTune struct {
+	Space *sparksim.Space
+	RNG   *stats.RNG
+	// Delta is the perturbation radius in normalized space.
+	Delta float64
+	// Eta is the descent step size applied to the normalized gradient.
+	Eta float64
+	// Start is the initial center; nil means the space default.
+	Start sparksim.Config
+
+	center []float64
+	dir    []float64
+	// plusTime holds the first leg's observation while the mirrored leg
+	// runs; NaN marks "no pending first leg".
+	plusTime float64
+	phase    int // 0 = propose +δ next, 1 = propose −δ next
+	hist     History
+}
+
+// NewOPPerTune returns a tuner with the reference hyperparameters.
+func NewOPPerTune(space *sparksim.Space, rng *stats.RNG) *OPPerTune {
+	return &OPPerTune{Space: space, RNG: rng, Delta: 0.08, Eta: 0.02, plusTime: math.NaN()}
+}
+
+// Name implements Tuner.
+func (o *OPPerTune) Name() string { return "oppertune" }
+
+// Propose implements Tuner.
+func (o *OPPerTune) Propose(t int, _ float64) sparksim.Config {
+	if t == 0 || o.center == nil {
+		start := o.Start
+		if start == nil {
+			start = o.Space.Default()
+		}
+		o.center = o.Space.Normalize(start)
+		return start.Clone()
+	}
+	if o.phase == 0 {
+		o.dir = o.randomUnit(len(o.center))
+	}
+	sign := 1.0
+	if o.phase == 1 {
+		sign = -1
+	}
+	probe := make([]float64, len(o.center))
+	for j := range probe {
+		probe[j] = stats.Clamp(o.center[j]+sign*o.Delta*o.dir[j], 0, 1)
+	}
+	return o.Space.Denormalize(probe)
+}
+
+// Observe implements Tuner.
+func (o *OPPerTune) Observe(obs sparksim.Observation) {
+	o.hist.Add(obs)
+	if o.center == nil || o.dir == nil {
+		return // iteration 0: center just initialized
+	}
+	if o.phase == 0 {
+		o.plusTime = obs.Time
+		o.phase = 1
+		return
+	}
+	// Mirrored leg complete: gradient step.
+	minusTime := obs.Time
+	o.phase = 0
+	if math.IsNaN(o.plusTime) {
+		return
+	}
+	dim := float64(len(o.center))
+	// Normalize the reward difference by its level so η is scale-free.
+	level := (o.plusTime + minusTime) / 2
+	if level <= 0 {
+		return
+	}
+	g := dim / (2 * o.Delta) * (o.plusTime - minusTime) / level
+	for j := range o.center {
+		o.center[j] = stats.Clamp(o.center[j]-o.Eta*g*o.dir[j], 0, 1)
+	}
+	o.plusTime = math.NaN()
+}
+
+// Center exposes the current descent center (tests, dashboards).
+func (o *OPPerTune) Center() sparksim.Config {
+	if o.center == nil {
+		if o.Start != nil {
+			return o.Start.Clone()
+		}
+		return o.Space.Default()
+	}
+	return o.Space.Denormalize(o.center)
+}
+
+func (o *OPPerTune) randomUnit(dim int) []float64 {
+	v := make([]float64, dim)
+	var norm float64
+	for norm < 1e-9 {
+		norm = 0
+		for i := range v {
+			v[i] = o.RNG.NormFloat64()
+			norm += v[i] * v[i]
+		}
+	}
+	inv := 1 / math.Sqrt(norm)
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+var _ Tuner = (*OPPerTune)(nil)

@@ -1,0 +1,191 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+// Table is one benchmark base table with its published statistics at scale
+// factor 1: cardinality and average row width. TPC table cardinalities are
+// defined by the specifications (lineitem = 6,001,215 rows at SF 1 etc.);
+// widths approximate the schemas' average tuple sizes in bytes.
+type Table struct {
+	Name string
+	// Rows is the cardinality at SF 1.
+	Rows float64
+	// RowBytes is the average tuple width.
+	RowBytes float64
+	// Fact marks large scaling tables (facts scale linearly with SF; most
+	// dimensions scale sublinearly, which Scan approximates by scaling
+	// facts fully and dimensions by √SF, mirroring TPC-DS's scaling model).
+	Fact bool
+}
+
+// Catalog is a named set of benchmark tables.
+type Catalog struct {
+	Name   string
+	tables map[string]Table
+}
+
+// TPCHCatalog returns the 8-table TPC-H schema with SF-1 cardinalities from
+// the specification.
+func TPCHCatalog() *Catalog {
+	return newCatalog("tpch",
+		Table{Name: "lineitem", Rows: 6_001_215, RowBytes: 112, Fact: true},
+		Table{Name: "orders", Rows: 1_500_000, RowBytes: 104, Fact: true},
+		Table{Name: "partsupp", Rows: 800_000, RowBytes: 144, Fact: true},
+		Table{Name: "part", Rows: 200_000, RowBytes: 128},
+		Table{Name: "customer", Rows: 150_000, RowBytes: 160},
+		Table{Name: "supplier", Rows: 10_000, RowBytes: 144},
+		Table{Name: "nation", Rows: 25, RowBytes: 112},
+		Table{Name: "region", Rows: 5, RowBytes: 120},
+	)
+}
+
+// TPCDSCatalog returns the core TPC-DS schema (the 7 fact tables and the
+// dimensions the query set touches most) with SF-1 cardinalities from the
+// specification.
+func TPCDSCatalog() *Catalog {
+	return newCatalog("tpcds",
+		Table{Name: "store_sales", Rows: 2_880_404, RowBytes: 164, Fact: true},
+		Table{Name: "catalog_sales", Rows: 1_441_548, RowBytes: 226, Fact: true},
+		Table{Name: "web_sales", Rows: 719_384, RowBytes: 226, Fact: true},
+		Table{Name: "store_returns", Rows: 287_514, RowBytes: 134, Fact: true},
+		Table{Name: "catalog_returns", Rows: 144_067, RowBytes: 166, Fact: true},
+		Table{Name: "web_returns", Rows: 71_763, RowBytes: 162, Fact: true},
+		Table{Name: "inventory", Rows: 11_745_000, RowBytes: 16, Fact: true},
+		Table{Name: "item", Rows: 18_000, RowBytes: 281},
+		Table{Name: "customer", Rows: 100_000, RowBytes: 132},
+		Table{Name: "customer_address", Rows: 50_000, RowBytes: 110},
+		Table{Name: "customer_demographics", Rows: 1_920_800, RowBytes: 42},
+		Table{Name: "date_dim", Rows: 73_049, RowBytes: 141},
+		Table{Name: "time_dim", Rows: 86_400, RowBytes: 59},
+		Table{Name: "store", Rows: 12, RowBytes: 263},
+		Table{Name: "warehouse", Rows: 5, RowBytes: 117},
+		Table{Name: "web_site", Rows: 30, RowBytes: 292},
+		Table{Name: "household_demographics", Rows: 7_200, RowBytes: 21},
+		Table{Name: "promotion", Rows: 300, RowBytes: 124},
+	)
+}
+
+func newCatalog(name string, tables ...Table) *Catalog {
+	c := &Catalog{Name: name, tables: make(map[string]Table, len(tables))}
+	for _, t := range tables {
+		c.tables[t.Name] = t
+	}
+	return c
+}
+
+// Table returns a table by name.
+func (c *Catalog) Table(name string) (Table, bool) {
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// Tables returns every table, sorted by name.
+func (c *Catalog) Tables() []Table {
+	out := make([]Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Facts returns the fact tables, sorted by descending cardinality.
+func (c *Catalog) Facts() []Table {
+	var out []Table
+	for _, t := range c.tables {
+		if t.Fact {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rows > out[j].Rows })
+	return out
+}
+
+// Dimensions returns the non-fact tables, sorted by descending cardinality.
+func (c *Catalog) Dimensions() []Table {
+	var out []Table
+	for _, t := range c.tables {
+		if !t.Fact {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rows > out[j].Rows })
+	return out
+}
+
+// Scan builds a scan node over the named table at the given scale factor,
+// applying TPC-style scaling: fact tables scale linearly, dimensions by
+// √SF (TPC-DS scales most dimensions sublinearly; √SF is the conventional
+// approximation).
+func (c *Catalog) Scan(name string, sf float64) (*sparksim.Node, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: catalog %s has no table %q", c.Name, name)
+	}
+	if sf <= 0 {
+		sf = 1
+	}
+	rows := t.Rows * sf
+	if !t.Fact {
+		rows = t.Rows * math.Sqrt(sf)
+	}
+	return sparksim.Scan(rows, t.RowBytes), nil
+}
+
+// CatalogQuery builds query idx over the catalog's real schema: a star join
+// of one fact table with 1–4 dimension tables, filtered and aggregated, at
+// the given scale factor. It complements the synthetic Generator with
+// workloads whose table names, cardinalities, and join shapes match the
+// published benchmarks. Deterministic in (catalog, idx, seed).
+func (c *Catalog) CatalogQuery(idx int, sf float64, seed uint64) (*sparksim.Query, error) {
+	if idx < 1 {
+		return nil, fmt.Errorf("workloads: catalog query index must be ≥ 1, got %d", idx)
+	}
+	facts := c.Facts()
+	dims := c.Dimensions()
+	if len(facts) == 0 || len(dims) == 0 {
+		return nil, fmt.Errorf("workloads: catalog %s lacks facts or dimensions", c.Name)
+	}
+	r := stats.NewRNG(seed).SplitNamed(fmt.Sprintf("%s-cat-q%d", c.Name, idx))
+	fact := facts[idx%len(facts)]
+	factScan, err := c.Scan(fact.Name, sf)
+	if err != nil {
+		return nil, err
+	}
+	node := sparksim.Unary(sparksim.OpFilter, factScan, r.Uniform(0.1, 0.8))
+	nDims := 1 + r.Intn(4)
+	used := map[string]bool{}
+	for d := 0; d < nDims; d++ {
+		dim := dims[r.Intn(len(dims))]
+		if used[dim.Name] {
+			continue
+		}
+		used[dim.Name] = true
+		dimScan, err := c.Scan(dim.Name, sf)
+		if err != nil {
+			return nil, err
+		}
+		node = sparksim.Join(sparksim.OpSortMergeJoin,
+			sparksim.Unary(sparksim.OpExchange, node, 1),
+			sparksim.Unary(sparksim.OpExchange, dimScan, 1),
+			r.Uniform(0.7, 1.05))
+	}
+	agg := sparksim.Unary(sparksim.OpHashAggregate,
+		sparksim.Unary(sparksim.OpExchange, node, 1), r.Uniform(0.001, 0.05))
+	plan := &sparksim.Plan{Root: sparksim.Unary(sparksim.OpSort, agg, 1)}
+	return &sparksim.Query{
+		ID:   fmt.Sprintf("%s-cat-q%d-%s", c.Name, idx, fact.Name),
+		Plan: plan,
+		Tweak: sparksim.CostTweak{
+			CPU: r.LogNormal(0, 0.3), IO: r.LogNormal(0, 0.3),
+			Overhead: r.LogNormal(0, 0.3), Skew: r.Exponential(4),
+		},
+	}, nil
+}

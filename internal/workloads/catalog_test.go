@@ -1,0 +1,102 @@
+package workloads
+
+import (
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+)
+
+func TestCatalogSpecCardinalities(t *testing.T) {
+	h := TPCHCatalog()
+	li, ok := h.Table("lineitem")
+	if !ok || li.Rows != 6_001_215 || !li.Fact {
+		t.Fatalf("lineitem stats wrong: %+v", li)
+	}
+	if _, ok := h.Table("store_sales"); ok {
+		t.Fatal("TPC-H catalog must not contain DS tables")
+	}
+	ds := TPCDSCatalog()
+	ss, ok := ds.Table("store_sales")
+	if !ok || ss.Rows != 2_880_404 {
+		t.Fatalf("store_sales stats wrong: %+v", ss)
+	}
+	if len(h.Tables()) != 8 {
+		t.Fatalf("TPC-H has %d tables", len(h.Tables()))
+	}
+}
+
+func TestCatalogFactsAndDimensions(t *testing.T) {
+	h := TPCHCatalog()
+	facts := h.Facts()
+	if len(facts) != 3 || facts[0].Name != "lineitem" {
+		t.Fatalf("facts = %v", facts)
+	}
+	dims := h.Dimensions()
+	if len(dims) != 5 {
+		t.Fatalf("dims = %d", len(dims))
+	}
+	for _, d := range dims {
+		if d.Fact {
+			t.Fatal("dimension marked as fact")
+		}
+	}
+}
+
+func TestCatalogScanScaling(t *testing.T) {
+	h := TPCHCatalog()
+	li1, err := h.Scan("lineitem", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li100, _ := h.Scan("lineitem", 100)
+	if li100.InRows != li1.InRows*100 {
+		t.Fatal("fact tables must scale linearly")
+	}
+	cust1, _ := h.Scan("customer", 1)
+	cust100, _ := h.Scan("customer", 100)
+	ratio := cust100.InRows / cust1.InRows
+	if ratio < 9.9 || ratio > 10.1 {
+		t.Fatalf("dimensions should scale by sqrt(SF): ratio = %g", ratio)
+	}
+	if _, err := h.Scan("nope", 1); err == nil {
+		t.Fatal("unknown table should error")
+	}
+}
+
+func TestCatalogQuery(t *testing.T) {
+	for _, cat := range []*Catalog{TPCHCatalog(), TPCDSCatalog()} {
+		for idx := 1; idx <= 6; idx++ {
+			q, err := cat.CatalogQuery(idx, 10, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := q.Plan.Validate(); err != nil {
+				t.Fatalf("%s: %v", q.ID, err)
+			}
+			again, _ := cat.CatalogQuery(idx, 10, 7)
+			if again.ID != q.ID || again.Plan.LeafInputCardinality() != q.Plan.LeafInputCardinality() {
+				t.Fatalf("%s: not deterministic", q.ID)
+			}
+		}
+	}
+	if _, err := TPCHCatalog().CatalogQuery(0, 1, 1); err == nil {
+		t.Fatal("index 0 should error")
+	}
+}
+
+func TestCatalogQueriesTunable(t *testing.T) {
+	// Catalog queries must present the same kind of tunable surfaces as the
+	// synthetic generator: interior optimum in shuffle partitions.
+	e := sparksim.NewEngine(sparksim.QuerySpace())
+	q, err := TPCHCatalog().CatalogQuery(1, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(p float64) float64 {
+		return e.TrueTime(q, e.Space.With(e.Space.Default(), sparksim.ShufflePartitions, p), 1)
+	}
+	lo, mid, hi := at(8), at(128), at(2000)
+	if !(mid < lo && mid < hi) {
+		t.Fatalf("no interior optimum: %g %g %g", lo, mid, hi)
+	}
+}

@@ -1,0 +1,281 @@
+// Package workloads generates the benchmark query populations used by the
+// experiments: a TPC-DS-like suite of 99 query signatures and a TPC-H-like
+// suite of 22, plus the recurrent-workload data-size processes (constant,
+// linearly growing, periodic) from Section 6.1.
+//
+// The real paper runs the actual TPC-DS/TPC-H SQL on Spark. What the tuning
+// experiments consume, however, is only (a) a physical plan per query for
+// the workload embedding and (b) a response surface mapping (config, data
+// size) → execution time. This package synthesizes both: deterministic plan
+// generators produce operator trees with realistic shapes (star joins over a
+// large fact table, multi-way joins with aggregation, window analytics), and
+// per-query cost tweaks give every signature its own optimum — the property
+// Figure 1 demonstrates and every experiment depends on.
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+// Suite identifies a benchmark family.
+type Suite string
+
+// Supported benchmark suites.
+const (
+	TPCDS Suite = "tpcds"
+	TPCH  Suite = "tpch"
+)
+
+// QueryCount returns the number of queries in the suite (99 for TPC-DS, 22
+// for TPC-H).
+func (s Suite) QueryCount() int {
+	if s == TPCH {
+		return 22
+	}
+	return 99
+}
+
+// Generator builds deterministic query populations. The same (seed, suite,
+// scale) always produces identical queries, so offline-trained models remain
+// valid across process restarts — the property the flighting pipeline needs.
+type Generator struct {
+	// Seed namespaces the whole population.
+	Seed uint64
+	// ScaleFactor multiplies base table sizes; 1 corresponds to roughly
+	// 1–30 GB of scan input per query, mirroring SF≈100 behaviour of the
+	// simulated cluster.
+	ScaleFactor float64
+}
+
+// NewGenerator returns a generator with scale factor 1.
+func NewGenerator(seed uint64) *Generator {
+	return &Generator{Seed: seed, ScaleFactor: 1}
+}
+
+// Query builds query number idx (1-based) of the suite.
+func (g *Generator) Query(suite Suite, idx int) *sparksim.Query {
+	if idx < 1 || idx > suite.QueryCount() {
+		panic(fmt.Sprintf("workloads: %s has no query %d", suite, idx))
+	}
+	r := stats.NewRNG(g.Seed).SplitNamed(fmt.Sprintf("%s-q%d", suite, idx))
+	sf := g.ScaleFactor
+	if sf <= 0 {
+		sf = 1
+	}
+
+	// Query archetypes: the mix loosely follows the benchmark families.
+	// TPC-H skews to large scans with few joins; TPC-DS has deeper trees,
+	// more joins, and window analytics.
+	var archetype int
+	if suite == TPCH {
+		archetype = []int{0, 0, 1, 1, 2, 0, 1, 2, 1, 0}[idx%10]
+	} else {
+		archetype = []int{0, 1, 1, 2, 2, 3, 1, 2, 3, 1}[idx%10]
+	}
+
+	plan := g.buildPlan(r, archetype, sf)
+	tweak := sparksim.CostTweak{
+		CPU:      r.LogNormal(0, 0.35),
+		IO:       r.LogNormal(0, 0.35),
+		Overhead: r.LogNormal(0, 0.4),
+		Skew:     r.Exponential(4), // mean 0.25, occasionally heavy
+	}
+	return &sparksim.Query{
+		ID:    fmt.Sprintf("%s-q%d", suite, idx),
+		Plan:  plan,
+		Tweak: tweak,
+	}
+}
+
+// Queries builds the full suite.
+func (g *Generator) Queries(suite Suite) []*sparksim.Query {
+	out := make([]*sparksim.Query, 0, suite.QueryCount())
+	for i := 1; i <= suite.QueryCount(); i++ {
+		out = append(out, g.Query(suite, i))
+	}
+	return out
+}
+
+// buildPlan assembles one of four archetypes:
+//
+//	0: scan → filter → exchange → aggregate            (reporting scan)
+//	1: star join: fact ⋈ 2–4 dimensions → aggregate    (classic DS/H join)
+//	2: two large tables sort-merge joined → sort/limit (heavy shuffle)
+//	3: windowed analytics over a joined stream         (DS analytics)
+func (g *Generator) buildPlan(r *stats.RNG, archetype int, sf float64) *sparksim.Plan {
+	factRows := r.Uniform(30e6, 150e6) * sf
+	factWidth := r.Uniform(80, 240)
+	fact := sparksim.Scan(factRows, factWidth)
+
+	dim := func() *sparksim.Node {
+		rows := r.Uniform(50e3, 5e6) * sf
+		return sparksim.Scan(rows, r.Uniform(40, 160))
+	}
+
+	switch archetype {
+	case 0:
+		sel := r.Uniform(0.05, 0.6)
+		filtered := sparksim.Unary(sparksim.OpFilter, fact, sel)
+		ex := sparksim.Unary(sparksim.OpExchange, filtered, 1)
+		agg := sparksim.Unary(sparksim.OpHashAggregate, ex, r.Uniform(0.001, 0.05))
+		return &sparksim.Plan{Root: sparksim.Unary(sparksim.OpProject, agg, 1)}
+
+	case 1:
+		node := sparksim.Unary(sparksim.OpFilter, fact, r.Uniform(0.1, 0.8))
+		nDims := 2 + r.Intn(3)
+		for d := 0; d < nDims; d++ {
+			node = sparksim.Join(sparksim.OpSortMergeJoin,
+				sparksim.Unary(sparksim.OpExchange, node, 1),
+				sparksim.Unary(sparksim.OpExchange, dim(), 1),
+				r.Uniform(0.6, 1.1))
+		}
+		agg := sparksim.Unary(sparksim.OpHashAggregate,
+			sparksim.Unary(sparksim.OpExchange, node, 1), r.Uniform(0.0005, 0.02))
+		return &sparksim.Plan{Root: sparksim.Unary(sparksim.OpSort, agg, 1)}
+
+	case 2:
+		other := sparksim.Scan(r.Uniform(20e6, 80e6)*sf, r.Uniform(60, 180))
+		j := sparksim.Join(sparksim.OpSortMergeJoin,
+			sparksim.Unary(sparksim.OpExchange, sparksim.Unary(sparksim.OpFilter, fact, r.Uniform(0.2, 0.9)), 1),
+			sparksim.Unary(sparksim.OpExchange, other, 1),
+			r.Uniform(0.3, 1.0))
+		s := sparksim.Unary(sparksim.OpSort, sparksim.Unary(sparksim.OpExchange, j, 1), 1)
+		return &sparksim.Plan{Root: sparksim.Unary(sparksim.OpLimit, s, r.Uniform(1e-6, 1e-4))}
+
+	default: // 3
+		j := sparksim.Join(sparksim.OpSortMergeJoin,
+			sparksim.Unary(sparksim.OpExchange, fact, 1),
+			sparksim.Unary(sparksim.OpExchange, dim(), 1),
+			r.Uniform(0.7, 1.0))
+		w := sparksim.Unary(sparksim.OpWindow, sparksim.Unary(sparksim.OpExchange, j, 1), 1)
+		agg := sparksim.Unary(sparksim.OpHashAggregate, w, r.Uniform(0.001, 0.1))
+		return &sparksim.Plan{Root: agg}
+	}
+}
+
+// Notebook builds a synthetic customer application: 1–6 queries whose plans
+// are drawn from the same archetypes, used by the fleet-deployment
+// experiments (Figures 15–16).
+func (g *Generator) Notebook(id int, nQueries int) *sparksim.App {
+	r := stats.NewRNG(g.Seed).SplitNamed(fmt.Sprintf("notebook-%d", id))
+	if nQueries <= 0 {
+		nQueries = 1 + r.Intn(6)
+	}
+	qs := make([]*sparksim.Query, nQueries)
+	for i := range qs {
+		arch := r.Intn(4)
+		plan := g.buildPlan(r.Split(), arch, g.scaleOr1())
+		qs[i] = &sparksim.Query{
+			ID:   fmt.Sprintf("nb%d-q%d", id, i+1),
+			Plan: plan,
+			Tweak: sparksim.CostTweak{
+				CPU: r.LogNormal(0, 0.3), IO: r.LogNormal(0, 0.3),
+				Overhead: r.LogNormal(0, 0.3), Skew: r.Exponential(4),
+			},
+		}
+	}
+	return &sparksim.App{ArtifactID: fmt.Sprintf("artifact-%08x", stats.NewRNG(uint64(id)).Uint64()), Queries: qs}
+}
+
+func (g *Generator) scaleOr1() float64 {
+	if g.ScaleFactor <= 0 {
+		return 1
+	}
+	return g.ScaleFactor
+}
+
+// SizeProcess yields the data-size multiplier for iteration t of a recurrent
+// workload. The three shapes come from Section 6.1's dynamic-workload
+// experiments.
+type SizeProcess interface {
+	// Scale returns the multiplier applied to the query's nominal size at
+	// iteration t (t starts at 0).
+	Scale(t int) float64
+	fmt.Stringer
+}
+
+// Constant holds the data size fixed.
+type Constant struct {
+	// Value is the multiplier; 0 means 1.
+	Value float64
+}
+
+// Scale implements SizeProcess.
+func (c Constant) Scale(int) float64 {
+	if c.Value == 0 {
+		return 1
+	}
+	return c.Value
+}
+
+func (c Constant) String() string { return fmt.Sprintf("constant(%g)", c.Scale(0)) }
+
+// Linear grows the data size linearly: scale(t) = Base + Slope·t.
+type Linear struct {
+	Base  float64
+	Slope float64
+}
+
+// Scale implements SizeProcess.
+func (l Linear) Scale(t int) float64 {
+	base := l.Base
+	if base == 0 {
+		base = 1
+	}
+	return base + l.Slope*float64(t)
+}
+
+func (l Linear) String() string { return fmt.Sprintf("linear(base=%g, slope=%g)", l.Base, l.Slope) }
+
+// Periodic cycles the data size with period K: scale(t) = Base·(1 +
+// Amplitude·(t mod K)/K), the f(t) = t %% K process of Section 6.1.
+type Periodic struct {
+	Base      float64
+	Amplitude float64
+	K         int
+}
+
+// Scale implements SizeProcess.
+func (p Periodic) Scale(t int) float64 {
+	base := p.Base
+	if base == 0 {
+		base = 1
+	}
+	k := p.K
+	if k <= 0 {
+		k = 10
+	}
+	return base * (1 + p.Amplitude*float64(t%k)/float64(k))
+}
+
+func (p Periodic) String() string {
+	return fmt.Sprintf("periodic(base=%g, amp=%g, K=%d)", p.Base, p.Amplitude, p.K)
+}
+
+// Jittered wraps a SizeProcess with multiplicative log-normal jitter,
+// modelling the run-to-run input variation of production recurrent jobs.
+type Jittered struct {
+	Inner SizeProcess
+	Sigma float64
+	// RNG supplies the jitter stream; it must be non-nil.
+	RNG *stats.RNG
+}
+
+// Scale implements SizeProcess.
+func (j Jittered) Scale(t int) float64 {
+	s := j.Inner.Scale(t)
+	return s * math.Exp(j.RNG.Normal(0, j.Sigma))
+}
+
+func (j Jittered) String() string { return fmt.Sprintf("jittered(%v, σ=%g)", j.Inner, j.Sigma) }
+
+var (
+	_ SizeProcess = Constant{}
+	_ SizeProcess = Linear{}
+	_ SizeProcess = Periodic{}
+	_ SizeProcess = Jittered{}
+)

@@ -1,0 +1,152 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+func TestSuiteCounts(t *testing.T) {
+	if TPCDS.QueryCount() != 99 || TPCH.QueryCount() != 22 {
+		t.Fatal("suite counts drifted from the benchmarks")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1 := NewGenerator(42)
+	g2 := NewGenerator(42)
+	for _, idx := range []int{1, 17, 99} {
+		a := g1.Query(TPCDS, idx)
+		b := g2.Query(TPCDS, idx)
+		if a.ID != b.ID || a.Plan.NodeCount() != b.Plan.NodeCount() {
+			t.Fatalf("q%d not deterministic", idx)
+		}
+		if a.Plan.LeafInputCardinality() != b.Plan.LeafInputCardinality() {
+			t.Fatalf("q%d cardinalities differ", idx)
+		}
+		if a.Tweak != b.Tweak {
+			t.Fatalf("q%d tweaks differ", idx)
+		}
+	}
+}
+
+func TestGeneratorSeedMatters(t *testing.T) {
+	a := NewGenerator(1).Query(TPCH, 5)
+	b := NewGenerator(2).Query(TPCH, 5)
+	if a.Plan.LeafInputCardinality() == b.Plan.LeafInputCardinality() {
+		t.Fatal("different seeds should produce different populations")
+	}
+}
+
+func TestQueriesValidateAndDiffer(t *testing.T) {
+	g := NewGenerator(7)
+	for _, suite := range []Suite{TPCDS, TPCH} {
+		qs := g.Queries(suite)
+		if len(qs) != suite.QueryCount() {
+			t.Fatalf("%s: %d queries", suite, len(qs))
+		}
+		seen := map[float64]int{}
+		for _, q := range qs {
+			if err := q.Plan.Validate(); err != nil {
+				t.Fatalf("%s invalid: %v", q.ID, err)
+			}
+			seen[q.Plan.LeafInputCardinality()]++
+		}
+		if len(seen) < len(qs)*9/10 {
+			t.Fatalf("%s: queries insufficiently diverse (%d distinct sizes)", suite, len(seen))
+		}
+	}
+}
+
+func TestQueryOptimaDiffer(t *testing.T) {
+	// The Figure 1 property: different queries peak at different
+	// shuffle.partitions values.
+	g := NewGenerator(11)
+	e := sparksim.NewEngine(sparksim.QuerySpace())
+	optima := map[float64]bool{}
+	for _, idx := range []int{1, 2, 3, 4, 5, 6} {
+		q := g.Query(TPCDS, idx)
+		best, _ := e.OptimalConfig(q, 1, 12)
+		optima[e.Space.Get(best, sparksim.ShufflePartitions)] = true
+	}
+	if len(optima) < 3 {
+		t.Fatalf("per-query optima too uniform: %v", optima)
+	}
+}
+
+func TestQueryPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for query 0")
+		}
+	}()
+	NewGenerator(1).Query(TPCH, 0)
+}
+
+func TestScaleFactorGrowsInput(t *testing.T) {
+	g1 := NewGenerator(3)
+	g10 := NewGenerator(3)
+	g10.ScaleFactor = 10
+	a := g1.Query(TPCDS, 10)
+	b := g10.Query(TPCDS, 10)
+	ratio := b.Plan.LeafInputBytes() / a.Plan.LeafInputBytes()
+	if math.Abs(ratio-10) > 1e-6 {
+		t.Fatalf("scale factor ratio = %g; want 10", ratio)
+	}
+}
+
+func TestNotebook(t *testing.T) {
+	g := NewGenerator(5)
+	nb := g.Notebook(3, 0)
+	if len(nb.Queries) < 1 || len(nb.Queries) > 6 {
+		t.Fatalf("notebook has %d queries", len(nb.Queries))
+	}
+	if nb.ArtifactID == "" {
+		t.Fatal("artifact id empty")
+	}
+	for _, q := range nb.Queries {
+		if err := q.Plan.Validate(); err != nil {
+			t.Fatalf("notebook query invalid: %v", err)
+		}
+	}
+	nb2 := g.Notebook(3, 0)
+	if nb2.ArtifactID != nb.ArtifactID || len(nb2.Queries) != len(nb.Queries) {
+		t.Fatal("notebooks not deterministic")
+	}
+	fixed := g.Notebook(4, 3)
+	if len(fixed.Queries) != 3 {
+		t.Fatalf("explicit query count ignored: %d", len(fixed.Queries))
+	}
+}
+
+func TestSizeProcesses(t *testing.T) {
+	if (Constant{}).Scale(99) != 1 {
+		t.Fatal("zero-value Constant should be 1")
+	}
+	if (Constant{Value: 2.5}).Scale(0) != 2.5 {
+		t.Fatal("Constant value ignored")
+	}
+	l := Linear{Base: 1, Slope: 0.1}
+	if l.Scale(0) != 1 || math.Abs(l.Scale(10)-2) > 1e-12 {
+		t.Fatalf("Linear wrong: %g, %g", l.Scale(0), l.Scale(10))
+	}
+	p := Periodic{Base: 1, Amplitude: 1, K: 4}
+	if p.Scale(0) != 1 || p.Scale(2) != 1.5 || p.Scale(4) != 1 {
+		t.Fatalf("Periodic wrong: %g %g %g", p.Scale(0), p.Scale(2), p.Scale(4))
+	}
+	j := Jittered{Inner: Constant{}, Sigma: 0.2, RNG: stats.NewRNG(1)}
+	var sum float64
+	n := 5000
+	for i := 0; i < n; i++ {
+		v := j.Scale(i)
+		if v <= 0 {
+			t.Fatalf("jittered scale non-positive: %g", v)
+		}
+		sum += math.Log(v)
+	}
+	if math.Abs(sum/float64(n)) > 0.02 {
+		t.Fatalf("jitter not centred: mean log = %g", sum/float64(n))
+	}
+}

@@ -1,0 +1,136 @@
+package rockhopper
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestManagerValidation(t *testing.T) {
+	if _, err := NewManager(nil); err == nil {
+		t.Fatal("nil space should error")
+	}
+	if _, err := NewManager(QuerySpace(), WithStart(Config{1})); err == nil {
+		t.Fatal("bad default options should be caught at construction")
+	}
+	m, err := NewManager(QuerySpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Tuner(""); err == nil {
+		t.Fatal("empty signature should error")
+	}
+}
+
+func TestManagerReturnsSameTunerPerSignature(t *testing.T) {
+	m, err := NewManager(QuerySpace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.Tuner("sig-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Tuner("sig-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same signature should share a tuner")
+	}
+	c, _ := m.Tuner("sig-2")
+	if c == a {
+		t.Fatal("different signatures must not share tuners")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("len = %d", m.Len())
+	}
+	sigs := m.Signatures()
+	if len(sigs) != 2 || sigs[0] != "sig-1" || sigs[1] != "sig-2" {
+		t.Fatalf("signatures = %v", sigs)
+	}
+}
+
+func TestManagerSignatureSeedsDiffer(t *testing.T) {
+	m, _ := NewManager(QuerySpace(), WithoutGuardrail())
+	a, _ := m.Tuner("alpha")
+	b, _ := m.Tuner("beta")
+	// Feed identical histories; proposals at iteration 1 should diverge
+	// because the candidate streams are independent.
+	def := QuerySpace().Default()
+	for _, tn := range []*Tuner{a, b} {
+		for i := 0; i < 6; i++ {
+			if err := tn.Report(Observation{Config: def, DataSize: 1e9, Time: 1000 + float64(i), Iteration: i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ca := a.Recommend(6, 1e9)
+	cb := b.Recommend(6, 1e9)
+	same := true
+	for i := range ca {
+		if ca[i] != cb[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("per-signature random streams should differ")
+	}
+}
+
+func TestManagerForget(t *testing.T) {
+	m, _ := NewManager(QuerySpace())
+	first, _ := m.Tuner("sig")
+	m.Forget("sig")
+	second, _ := m.Tuner("sig")
+	if first == second {
+		t.Fatal("forget should drop the tuner")
+	}
+	m.Forget("never-existed") // no-op
+}
+
+func TestManagerDisabledView(t *testing.T) {
+	m, _ := NewManager(QuerySpace(), WithGuardrail(5, 0.005, 2))
+	tn, _ := m.Tuner("regressing")
+	for i := 0; i < 60 && !tn.Disabled(); i++ {
+		cfg := tn.Recommend(i, 1e9)
+		growth := 1000.0
+		for k := 0; k < i; k++ {
+			growth *= 1.12
+		}
+		if err := tn.Report(Observation{Config: cfg, DataSize: 1e9, Time: growth, Iteration: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _ = m.Tuner("healthy")
+	disabled := m.Disabled()
+	if len(disabled) != 1 || disabled[0] != "regressing" {
+		t.Fatalf("disabled = %v", disabled)
+	}
+}
+
+func TestManagerConcurrentAccess(t *testing.T) {
+	m, _ := NewManager(QuerySpace(), WithoutGuardrail())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				sig := fmt.Sprintf("sig-%d", (g+i)%5)
+				tn, err := m.Tuner(sig)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_ = tn
+				m.Len()
+				m.Signatures()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Len() != 5 {
+		t.Fatalf("len = %d", m.Len())
+	}
+}

@@ -1,0 +1,29 @@
+package rockhopper
+
+import (
+	"github.com/rockhopper-db/rockhopper/internal/monitor"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+)
+
+// Monitoring types re-exported for library users (Section 6.3's dashboard).
+type (
+	// Dashboard records tuned executions for one query signature and
+	// provides trend analysis, configuration traces, and root-cause
+	// attribution of performance changes.
+	Dashboard = monitor.Dashboard
+	// Attribution is one configuration dimension's estimated contribution
+	// to a performance change.
+	Attribution = monitor.Attribution
+	// StageStat is the per-operator execution breakdown from the simulator.
+	StageStat = sparksim.StageStat
+)
+
+// NewDashboard returns an empty monitoring dashboard for a query signature.
+func NewDashboard(space *Space, signature string) *Dashboard {
+	return monitor.New(space, signature)
+}
+
+// SignatureOf computes the stable query signature of a plan: structurally
+// identical plans at similar data magnitudes share a signature, which is the
+// key production models and tuners are partitioned by.
+func SignatureOf(p *Plan) string { return sparksim.Signature(p) }

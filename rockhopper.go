@@ -1,0 +1,261 @@
+// Package rockhopper is a from-scratch reproduction of "Rockhopper: A Robust
+// Optimizer for Spark Configuration Tuning in Production Environment"
+// (SIGMOD-Companion '25): a noise-robust online configuration tuner for
+// recurrent Spark queries built around the Centroid Learning algorithm, with
+// workload-embedding transfer learning, an offline flighting phase, an
+// app-level joint optimizer, and a production guardrail.
+//
+// The package is the library façade. A downstream user creates one Tuner per
+// recurrent query signature and drives a simple loop:
+//
+//	tuner, _ := rockhopper.NewTuner(rockhopper.QuerySpace())
+//	for i := 0; ; i++ {
+//	    cfg := tuner.Recommend(i, expectedInputBytes)
+//	    elapsed := runSparkQuery(cfg) // the user's own execution
+//	    tuner.Report(rockhopper.Observation{
+//	        Config: cfg, DataSize: actualInputBytes, Time: elapsed,
+//	    })
+//	}
+//
+// Everything the paper's evaluation needs beyond the tuner — the simulated
+// Spark engine, benchmark workload generators, baseline optimizers, and the
+// experiment harness — lives in internal packages and is exposed through
+// cmd/rockbench and the examples.
+package rockhopper
+
+import (
+	"fmt"
+
+	"github.com/rockhopper-db/rockhopper/internal/core"
+	"github.com/rockhopper-db/rockhopper/internal/embedding"
+	"github.com/rockhopper-db/rockhopper/internal/ml"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+	"github.com/rockhopper-db/rockhopper/internal/tuners"
+	"github.com/rockhopper-db/rockhopper/internal/workloads"
+)
+
+// Core types re-exported for library users.
+type (
+	// Config is a point in a configuration Space: one float per parameter.
+	Config = sparksim.Config
+	// Space is an ordered set of tunable Spark parameters.
+	Space = sparksim.Space
+	// Param describes a single tunable parameter.
+	Param = sparksim.Param
+	// Observation is one execution record fed back to the tuner.
+	Observation = sparksim.Observation
+	// BaselinePoint is one offline benchmark observation used for
+	// warm-starting (transfer learning, Section 4.2 of the paper).
+	BaselinePoint = tuners.BaselinePoint
+	// Plan is a simulated Spark physical plan (for embeddings and the
+	// bundled simulator).
+	Plan = sparksim.Plan
+	// Query is a recurrent query signature in the bundled simulator.
+	Query = sparksim.Query
+	// Engine is the bundled analytic Spark cost-model simulator.
+	Engine = sparksim.Engine
+)
+
+// Spark parameter names tuned in production (Section 6.3).
+const (
+	MaxPartitionBytes    = sparksim.MaxPartitionBytes
+	AutoBroadcastJoinThr = sparksim.AutoBroadcastJoinThr
+	ShufflePartitions    = sparksim.ShufflePartitions
+	ExecutorInstances    = sparksim.ExecutorInstances
+	ExecutorMemoryGB     = sparksim.ExecutorMemoryGB
+)
+
+// QuerySpace returns the three query-level parameters Rockhopper tunes in
+// production: spark.sql.files.maxPartitionBytes,
+// spark.sql.autoBroadcastJoinThreshold, and spark.sql.shuffle.partitions.
+func QuerySpace() *Space { return sparksim.QuerySpace() }
+
+// FullSpace returns the seven-parameter space of the paper's manual-tuning
+// study, adding executor sizing and off-heap memory at application level.
+func FullSpace() *Space { return sparksim.FullSpace() }
+
+// NewEngine returns the bundled Spark simulator over the given space; use it
+// to experiment without a cluster.
+func NewEngine(space *Space) *Engine { return sparksim.NewEngine(space) }
+
+// NewBenchmarkQuery generates query idx of the synthetic TPC-DS-like (suite
+// "tpcds", 99 queries) or TPC-H-like ("tpch", 22 queries) populations used
+// throughout the evaluation.
+func NewBenchmarkQuery(suite string, idx int, seed uint64) (*Query, error) {
+	var s workloads.Suite
+	switch suite {
+	case "tpcds":
+		s = workloads.TPCDS
+	case "tpch":
+		s = workloads.TPCH
+	default:
+		return nil, fmt.Errorf("rockhopper: unknown suite %q (want tpcds or tpch)", suite)
+	}
+	if idx < 1 || idx > s.QueryCount() {
+		return nil, fmt.Errorf("rockhopper: %s has queries 1..%d, got %d", suite, s.QueryCount(), idx)
+	}
+	return workloads.NewGenerator(seed).Query(s, idx), nil
+}
+
+// EmbedPlan computes the virtual-operator workload embedding of a plan
+// (Section 4.1), the context vector used for transfer learning.
+func EmbedPlan(p *Plan) []float64 { return embedding.NewVirtual().Embed(p) }
+
+// Params are the Centroid Learning hyperparameters (Algorithm 1).
+type Params = core.Params
+
+// DefaultParams mirrors the production configuration: α=0.08 overshoot,
+// β=0.08 neighbourhood, window N=20, model-based FIND_BEST and
+// model-probe FIND_GRADIENT.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// Tuner tunes one recurrent query signature with Centroid Learning.
+type Tuner struct {
+	space *Space
+	cl    *core.CentroidLearner
+}
+
+// Option customizes a Tuner.
+type Option func(*tunerConfig)
+
+type tunerConfig struct {
+	seed      uint64
+	params    *Params
+	start     Config
+	context   []float64
+	warm      []BaselinePoint
+	guardrail *core.Guardrail
+	noGuard   bool
+	svr       bool
+}
+
+// WithSeed fixes the tuner's random stream (default 1).
+func WithSeed(seed uint64) Option { return func(c *tunerConfig) { c.seed = seed } }
+
+// WithParams overrides the Centroid Learning hyperparameters.
+func WithParams(p Params) Option { return func(c *tunerConfig) { c.params = &p } }
+
+// WithStart sets the initial centroid (default: the space default). Use the
+// customer's current configuration so iteration 0 cannot regress.
+func WithStart(cfg Config) Option { return func(c *tunerConfig) { c.start = cfg.Clone() } }
+
+// WithWarmStart supplies offline benchmark observations and the query's
+// workload embedding for transfer learning (Section 4.2).
+func WithWarmStart(context []float64, warm []BaselinePoint) Option {
+	return func(c *tunerConfig) {
+		c.context = append([]float64(nil), context...)
+		c.warm = warm
+	}
+}
+
+// WithGuardrail tunes the regression guardrail: monitoring starts at
+// minIterations, and autotuning is disabled after `consecutive` checks whose
+// predicted per-iteration growth exceeds threshold. Threshold 0 is the
+// "extremely conservative" production policy.
+func WithGuardrail(minIterations int, threshold float64, consecutive int) Option {
+	return func(c *tunerConfig) {
+		c.guardrail = &core.Guardrail{
+			MinIterations: minIterations, Threshold: threshold,
+			Consecutive: consecutive, Window: 40,
+		}
+	}
+}
+
+// WithoutGuardrail disables regression monitoring entirely.
+func WithoutGuardrail() Option { return func(c *tunerConfig) { c.noGuard = true } }
+
+// WithSVRSurrogate switches candidate selection from the default GP +
+// Expected Improvement to the kernel-ridge ("SVR") predicted-mean surrogate
+// of the paper's Figure 10 variant.
+func WithSVRSurrogate() Option { return func(c *tunerConfig) { c.svr = true } }
+
+// NewTuner builds a Centroid Learning tuner over the given space.
+func NewTuner(space *Space, opts ...Option) (*Tuner, error) {
+	if space == nil || space.Dim() == 0 {
+		return nil, fmt.Errorf("rockhopper: a non-empty Space is required")
+	}
+	cfg := tunerConfig{seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	root := stats.NewRNG(cfg.seed)
+	sel := core.NewSurrogateSelector(space, cfg.context, cfg.warm, root.Split())
+	if cfg.svr {
+		sel.NewModel = func() ml.Regressor { return ml.NewKernelRidge() }
+	}
+	cl := core.New(space, sel, root.Split())
+	if cfg.params != nil {
+		cl.Params = *cfg.params
+	}
+	if cfg.start != nil {
+		if len(cfg.start) != space.Dim() {
+			return nil, fmt.Errorf("rockhopper: start config has %d values, space has %d", len(cfg.start), space.Dim())
+		}
+		cl.Start = cfg.start
+	}
+	if cfg.noGuard {
+		cl.Guardrail = nil
+	} else if cfg.guardrail != nil {
+		cl.Guardrail = cfg.guardrail
+	}
+	return &Tuner{space: space, cl: cl}, nil
+}
+
+// Recommend returns the configuration to apply at iteration t (0-based).
+// expectedInputBytes is the anticipated input size of the upcoming run; pass
+// 0 when unknown.
+func (t *Tuner) Recommend(iteration int, expectedInputBytes float64) Config {
+	return t.cl.Propose(iteration, expectedInputBytes)
+}
+
+// Report feeds an execution outcome back to the tuner. Config and Time are
+// required; DataSize enables the size-aware FIND_BEST refinement.
+func (t *Tuner) Report(o Observation) error {
+	if len(o.Config) != t.space.Dim() {
+		return fmt.Errorf("rockhopper: observation config has %d values, space has %d", len(o.Config), t.space.Dim())
+	}
+	if o.Time <= 0 {
+		return fmt.Errorf("rockhopper: observation time must be positive, got %g", o.Time)
+	}
+	t.cl.Observe(o)
+	return nil
+}
+
+// Disabled reports whether the guardrail has reverted this query to the
+// default configuration.
+func (t *Tuner) Disabled() bool { return t.cl.Disabled() }
+
+// Centroid exposes the current exploration anchor (monitoring/debugging).
+func (t *Tuner) Centroid() Config { return t.cl.Centroid() }
+
+// Space returns the tuner's configuration space.
+func (t *Tuner) Space() *Space { return t.space }
+
+// Save serializes the tuner's full state (centroid, observation history,
+// guardrail trend, hyperparameters) so tuning can resume across process
+// restarts. Warm-start data and the configuration space are not included;
+// supply them again on Load.
+func (t *Tuner) Save() ([]byte, error) {
+	return core.EncodeSnapshot(t.cl.Snapshot())
+}
+
+// Load restores state saved by Save into a tuner built over an identical
+// space (same parameters in the same order). Options given at construction
+// (warm start, surrogate choice) are preserved; hyperparameters, history,
+// and guardrail state come from the snapshot.
+func (t *Tuner) Load(blob []byte) error {
+	snap, err := core.DecodeSnapshot(blob)
+	if err != nil {
+		return err
+	}
+	if len(snap.Centroid) != 0 && len(snap.Centroid) != t.space.Dim() {
+		return fmt.Errorf("rockhopper: snapshot is for a %d-dim space, tuner has %d", len(snap.Centroid), t.space.Dim())
+	}
+	t.cl.Restore(snap)
+	return nil
+}
+
+// Iterations returns the number of observations reported so far — the
+// iteration index to continue from after a Load.
+func (t *Tuner) Iterations() int { return t.cl.Iterations() }

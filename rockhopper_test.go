@@ -1,0 +1,299 @@
+package rockhopper
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/noise"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+func TestNewTunerValidation(t *testing.T) {
+	if _, err := NewTuner(nil); err == nil {
+		t.Fatal("nil space should error")
+	}
+	space := QuerySpace()
+	if _, err := NewTuner(space, WithStart(Config{1})); err == nil {
+		t.Fatal("bad start dimension should error")
+	}
+	if _, err := NewTuner(space); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTunerFirstRecommendationIsStart(t *testing.T) {
+	space := QuerySpace()
+	tn, err := NewTuner(space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tn.Recommend(0, 0)
+	def := space.Default()
+	for i := range cfg {
+		if cfg[i] != def[i] {
+			t.Fatal("iteration 0 should be the default configuration")
+		}
+	}
+	start := space.With(def, ShufflePartitions, 999)
+	tn2, err := NewTuner(space, WithStart(start))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.Get(tn2.Recommend(0, 0), ShufflePartitions) != 999 {
+		t.Fatal("WithStart ignored")
+	}
+}
+
+func TestTunerReportValidation(t *testing.T) {
+	tn, _ := NewTuner(QuerySpace())
+	if err := tn.Report(Observation{Config: Config{1}, Time: 5}); err == nil {
+		t.Fatal("bad config dim should error")
+	}
+	if err := tn.Report(Observation{Config: QuerySpace().Default(), Time: 0}); err == nil {
+		t.Fatal("non-positive time should error")
+	}
+	if err := tn.Report(Observation{Config: QuerySpace().Default(), Time: 5, DataSize: 1e9}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndToEndTuningImproves(t *testing.T) {
+	// The full public-API loop on the bundled simulator under noise.
+	space := QuerySpace()
+	engine := NewEngine(space)
+	q, err := NewBenchmarkQuery("tpcds", 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, err := NewTuner(space, WithSeed(7), WithoutGuardrail())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(11)
+	nm := noise.Model{FL: 0.3, SL: 0.3}
+	var first, tail []float64
+	for i := 0; i < 80; i++ {
+		cfg := tn.Recommend(i, q.Plan.LeafInputBytes())
+		o := engine.Run(q, cfg, 1, r, nm)
+		o.Iteration = i
+		if err := tn.Report(o); err != nil {
+			t.Fatal(err)
+		}
+		if i < 5 {
+			first = append(first, o.TrueTime)
+		}
+		if i >= 65 {
+			tail = append(tail, o.TrueTime)
+		}
+	}
+	if stats.Median(tail) >= stats.Median(first) {
+		t.Fatalf("tuning should improve: first=%g tail=%g", stats.Median(first), stats.Median(tail))
+	}
+}
+
+func TestNewBenchmarkQuery(t *testing.T) {
+	if _, err := NewBenchmarkQuery("oops", 1, 1); err == nil {
+		t.Fatal("unknown suite should error")
+	}
+	if _, err := NewBenchmarkQuery("tpch", 23, 1); err == nil {
+		t.Fatal("out-of-range query should error")
+	}
+	q, err := NewBenchmarkQuery("tpch", 22, 1)
+	if err != nil || q == nil {
+		t.Fatal(err)
+	}
+	if q.ID != "tpch-q22" {
+		t.Fatalf("id = %s", q.ID)
+	}
+}
+
+func TestEmbedPlan(t *testing.T) {
+	q, _ := NewBenchmarkQuery("tpcds", 7, 1)
+	vec := EmbedPlan(q.Plan)
+	if len(vec) == 0 {
+		t.Fatal("empty embedding")
+	}
+	for _, v := range vec {
+		if math.IsNaN(v) || v < 0 {
+			t.Fatalf("bad embedding value %g", v)
+		}
+	}
+}
+
+func TestWarmStartOption(t *testing.T) {
+	space := QuerySpace()
+	engine := NewEngine(space)
+	q, _ := NewBenchmarkQuery("tpcds", 2, 99)
+	r := stats.NewRNG(3)
+	var warm []BaselinePoint
+	ctx := EmbedPlan(q.Plan)
+	for i := 0; i < 80; i++ {
+		cfg := space.Random(r)
+		warm = append(warm, BaselinePoint{
+			Context: ctx, Config: cfg,
+			DataSize: q.Plan.LeafInputBytes(),
+			Time:     engine.TrueTime(q, cfg, 1),
+		})
+	}
+	tn, err := NewTuner(space, WithWarmStart(ctx, warm), WithoutGuardrail(), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-started selection should beat the default within few iterations
+	// noiselessly.
+	var best float64 = math.Inf(1)
+	for i := 0; i < 10; i++ {
+		cfg := tn.Recommend(i, q.Plan.LeafInputBytes())
+		tt := engine.TrueTime(q, cfg, 1)
+		if tt < best {
+			best = tt
+		}
+		if err := tn.Report(Observation{Config: cfg, DataSize: q.Plan.LeafInputBytes(), Time: tt}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	def := engine.TrueTime(q, space.Default(), 1)
+	if best >= def {
+		t.Fatalf("warm start should find something better than default quickly: %g vs %g", best, def)
+	}
+}
+
+func TestGuardrailOptionDisables(t *testing.T) {
+	space := QuerySpace()
+	tn, err := NewTuner(space, WithGuardrail(10, 0.005, 2), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50 && !tn.Disabled(); i++ {
+		cfg := tn.Recommend(i, 1e9)
+		// Steeply regressing synthetic feedback.
+		if err := tn.Report(Observation{Config: cfg, DataSize: 1e9, Time: 1000 * math.Pow(1.15, float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !tn.Disabled() {
+		t.Fatal("guardrail should have disabled the tuner")
+	}
+	def := space.Default()
+	cfg := tn.Recommend(99, 0)
+	for i := range cfg {
+		if cfg[i] != def[i] {
+			t.Fatal("disabled tuner must recommend the default")
+		}
+	}
+}
+
+func TestSVRSurrogateOption(t *testing.T) {
+	tn, err := NewTuner(QuerySpace(), WithSVRSurrogate(), WithoutGuardrail())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smoke: the SVR-backed tuner runs a few iterations without error.
+	for i := 0; i < 8; i++ {
+		cfg := tn.Recommend(i, 1e9)
+		if err := tn.Report(Observation{Config: cfg, DataSize: 1e9, Time: 1000 + float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestParamsRoundTrip(t *testing.T) {
+	p := DefaultParams()
+	p.N = 7
+	tn, err := NewTuner(QuerySpace(), WithParams(p), WithoutGuardrail())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tn.Centroid()
+	if tn.Space().Dim() != 3 {
+		t.Fatal("space accessor wrong")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	space := QuerySpace()
+	engine := NewEngine(space)
+	q, _ := NewBenchmarkQuery("tpcds", 2, 99)
+	tn, err := NewTuner(space, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := stats.NewRNG(4)
+	for i := 0; i < 25; i++ {
+		cfg := tn.Recommend(i, q.Plan.LeafInputBytes())
+		o := engine.Run(q, cfg, 1, r, noise.Low)
+		o.Iteration = i
+		if err := tn.Report(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := tn.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewTuner(space, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Load(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Iterations() != 25 {
+		t.Fatalf("iterations = %d; want 25", restored.Iterations())
+	}
+	a := restored.Centroid()
+	b := tn.Centroid()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("centroid drift after restore: %v vs %v", a, b)
+		}
+	}
+	// The restored tuner must keep working.
+	cfg := restored.Recommend(25, q.Plan.LeafInputBytes())
+	if err := restored.Report(engine.Run(q, cfg, 1, r, noise.Low)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsWrongSpace(t *testing.T) {
+	tn, _ := NewTuner(FullSpace())
+	def := FullSpace().Default()
+	for i := 0; i < 5; i++ {
+		_ = tn.Recommend(i, 1e9)
+		if err := tn.Report(Observation{Config: def, DataSize: 1e9, Time: 100}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := tn.Save()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, _ := NewTuner(QuerySpace())
+	if err := other.Load(blob); err == nil {
+		t.Fatal("loading a 7-dim snapshot into a 3-dim tuner should fail")
+	}
+	if err := other.Load([]byte("junk")); err == nil {
+		t.Fatal("garbage snapshot should fail")
+	}
+}
+
+func TestSaveLoadPreservesDisabled(t *testing.T) {
+	tn, _ := NewTuner(QuerySpace(), WithGuardrail(5, 0.005, 2))
+	for i := 0; i < 60 && !tn.Disabled(); i++ {
+		cfg := tn.Recommend(i, 1e9)
+		if err := tn.Report(Observation{Config: cfg, DataSize: 1e9, Time: 1000 * math.Pow(1.15, float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !tn.Disabled() {
+		t.Fatal("setup: tuner should be disabled")
+	}
+	blob, _ := tn.Save()
+	back, _ := NewTuner(QuerySpace(), WithGuardrail(5, 0.005, 2))
+	if err := back.Load(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Disabled() {
+		t.Fatal("disabled flag lost in round trip")
+	}
+}
