@@ -7,10 +7,13 @@ package rockhopper
 // benchstat output.
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"github.com/rockhopper-db/rockhopper/internal/experiments"
+	"github.com/rockhopper-db/rockhopper/internal/parallel"
 	"github.com/rockhopper-db/rockhopper/internal/stats"
 )
 
@@ -31,6 +34,45 @@ func BenchmarkFig02NoisyBaselines(b *testing.B) {
 		gap = stats.Mean(bo.Median[48:]) / r.Optimal
 	}
 	b.ReportMetric(gap, "bo-final/optimal")
+}
+
+// BenchmarkFig02Workers measures the parallel experiment engine: the same
+// Figure 2 study at one worker versus the machine's core count. The output is
+// byte-identical across sub-benchmarks (see TestParallelGoldenEquivalence);
+// only wall time and pool occupancy change. On a multi-core runner the NumCPU
+// variant should show a >2x ns/op reduction at ~full occupancy.
+func BenchmarkFig02Workers(b *testing.B) {
+	for _, w := range []int{1, runtime.NumCPU()} {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			before := parallel.GlobalCounters()
+			for i := 0; i < b.N; i++ {
+				r := experiments.Fig02NoisyBaselines(experiments.Fig02Params{Runs: 6, Iters: 60, Workers: w})
+				if len(r.Bands) == 0 {
+					b.Fatal("no bands")
+				}
+			}
+			d := parallel.GlobalCounters().Sub(before)
+			b.ReportMetric(float64(d.Finished)/float64(b.N), "runs/op")
+			b.ReportMetric(float64(d.Busy.Nanoseconds())/float64(b.Elapsed().Nanoseconds()+1), "speedup")
+		})
+	}
+}
+
+// BenchmarkFig15Workers is the fleet-scale counterpart: signatures fan out
+// across the pool, so speedup tracks min(workers, signatures).
+func BenchmarkFig15Workers(b *testing.B) {
+	for _, w := range []int{1, runtime.NumCPU()} {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := experiments.FleetStudy(experiments.FleetParams{Signatures: 12, Iters: 40, Workers: w})
+				if len(r.ImprovementsPct) != 12 {
+					b.Fatal("signatures")
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkFig03ManualVsBO(b *testing.B) {

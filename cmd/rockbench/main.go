@@ -6,10 +6,12 @@
 // Usage:
 //
 //	rockbench [-fig all|1|2|3|8|9|10|11|12|13|14|15|16|embedding|arch|applevel|ablations|guardrail|baselines|catalog|aqe]
-//	          [-scale quick|paper] [-seed N]
+//	          [-scale quick|paper] [-seed N] [-workers N]
 //
 // -scale quick (the default) runs reduced budgets suitable for a laptop
-// minute; -scale paper uses the paper's run counts and horizons.
+// minute; -scale paper uses the paper's run counts and horizons. -workers
+// bounds the per-experiment worker pool (0 = NumCPU); results are
+// byte-identical for any value.
 package main
 
 import (
@@ -20,12 +22,14 @@ import (
 	"time"
 
 	"github.com/rockhopper-db/rockhopper/internal/experiments"
+	"github.com/rockhopper-db/rockhopper/internal/parallel"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate (comma-separated list or 'all')")
 	scale := flag.String("scale", "quick", "experiment scale: quick or paper")
 	seed := flag.Uint64("seed", 0, "override the experiment seed (0 = per-figure default)")
+	workers := flag.Int("workers", 0, "experiment worker pool size (0 = NumCPU; output identical for any value; values above NumCPU oversubscribe the cores and inflate the printed speedup estimate)")
 	flag.Parse()
 
 	paper := false
@@ -50,8 +54,17 @@ func main() {
 		}
 		ran++
 		start := time.Now()
+		before := parallel.GlobalCounters()
 		fn()
-		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		delta := parallel.GlobalCounters().Sub(before)
+		if delta.Finished > 0 {
+			fmt.Printf("[%s done in %v; %d parallel runs, ~%.2fx estimated speedup over sequential]\n\n",
+				name, wall.Round(time.Millisecond), delta.Finished,
+				float64(delta.Busy)/float64(wall))
+		} else {
+			fmt.Printf("[%s done in %v]\n\n", name, wall.Round(time.Millisecond))
+		}
 	}
 
 	// Budget helpers: quick scale divides the paper budgets.
@@ -68,7 +81,7 @@ func main() {
 	})
 	run("2", func() {
 		experiments.Fig02NoisyBaselines(experiments.Fig02Params{
-			Runs: div(200, 30), Iters: div(500, 120), Seed: *seed,
+			Runs: div(200, 30), Iters: div(500, 120), Seed: *seed, Workers: *workers,
 		}).Print(os.Stdout)
 	})
 	run("3", func() {
@@ -81,17 +94,17 @@ func main() {
 	})
 	run("9", func() {
 		experiments.Fig09SurrogateLevels(experiments.Fig09Params{
-			Runs: div(100, 20), Iters: div(500, 150), Seed: *seed,
+			Runs: div(100, 20), Iters: div(500, 150), Seed: *seed, Workers: *workers,
 		}).Print(os.Stdout)
 	})
 	run("10", func() {
 		experiments.Fig10CLSVR(experiments.Fig10Params{
-			Runs: div(100, 20), Iters: div(500, 150), Seed: *seed,
+			Runs: div(100, 20), Iters: div(500, 150), Seed: *seed, Workers: *workers,
 		}).Print(os.Stdout)
 	})
 	run("11", func() {
 		experiments.Fig11DynamicWorkloads(experiments.Fig11Params{
-			Runs: div(100, 15), Iters: div(500, 150), Seed: *seed,
+			Runs: div(100, 15), Iters: div(500, 150), Seed: *seed, Workers: *workers,
 		}).Print(os.Stdout)
 	})
 	run("12", func() {
@@ -119,19 +132,19 @@ func main() {
 	})
 	run("14", func() {
 		experiments.Fig14TPCH(experiments.Fig14Params{
-			Iters: div(80, 40), FlightRuns: div(40, 20), Seed: *seed,
+			Iters: div(80, 40), FlightRuns: div(40, 20), Seed: *seed, Workers: *workers,
 		}).Print(os.Stdout)
 	})
 	run("15", func() {
 		experiments.FleetStudy(experiments.FleetParams{
-			Signatures: div(60, 25), Iters: div(120, 50), Seed: *seed,
+			Signatures: div(60, 25), Iters: div(120, 50), Seed: *seed, Workers: *workers,
 		}).Print(os.Stdout)
 	})
 	run("16", func() {
 		// Production signatures ran "more than 30 iterations"; 45 keeps the
 		// conservative guardrail's post-30 observation window faithful.
 		experiments.FleetStudy(experiments.FleetParams{
-			Signatures: div(416, 60), Iters: 45, Guardrail: true, Seed: *seed,
+			Signatures: div(416, 60), Iters: 45, Guardrail: true, Seed: *seed, Workers: *workers,
 		}).Print(os.Stdout)
 	})
 	run("arch", func() {
@@ -150,17 +163,17 @@ func main() {
 	})
 	run("baselines", func() {
 		experiments.Baselines(experiments.BaselinesParams{
-			Runs: div(20, 8), Iters: div(150, 80), Seed: *seed,
+			Runs: div(20, 8), Iters: div(150, 80), Seed: *seed, Workers: *workers,
 		}).Print(os.Stdout)
 	})
 	run("guardrail", func() {
 		experiments.GuardrailAblation(experiments.GuardrailAblationParams{
-			Signatures: div(60, 20), Iters: div(90, 50), Seed: *seed,
+			Signatures: div(60, 20), Iters: div(90, 50), Seed: *seed, Workers: *workers,
 		}).Print(os.Stdout)
 	})
 	run("ablations", func() {
 		experiments.Ablations(experiments.AblationParams{
-			Runs: div(50, 10), Iters: div(300, 100), Seed: *seed,
+			Runs: div(50, 10), Iters: div(300, 100), Seed: *seed, Workers: *workers,
 		}).Print(os.Stdout)
 	})
 

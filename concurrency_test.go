@@ -1,0 +1,108 @@
+package rockhopper
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestManagerConcurrentSuggestObserve hammers one Manager from many
+// goroutines across overlapping signatures — the production shape where
+// retries and speculative submissions of the same recurrent query race. Under
+// -race this checks the Manager map and every Tuner's internal state; the
+// final iteration count checks that no observation was lost.
+func TestManagerConcurrentSuggestObserve(t *testing.T) {
+	t.Parallel()
+	m, err := NewManager(QuerySpace(), WithoutGuardrail())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := []string{"etl-daily", "dash-hourly", "ml-feature", "report-weekly"}
+	const goroutines, iters = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				sig := sigs[(g+i)%len(sigs)]
+				cfg, err := m.Suggest(sig, 1e9)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := m.Observe(sig, Observation{
+					Config: cfg, DataSize: 1e9, Time: 1000 + float64(i),
+				}); err != nil {
+					errs <- err
+					return
+				}
+				// Fleet monitoring runs concurrently with tuning.
+				_ = m.Disabled()
+				if tn, err := m.Tuner(sig); err == nil {
+					_ = tn.Centroid()
+					if _, err := tn.Save(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if m.Len() != len(sigs) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(sigs))
+	}
+	total := 0
+	for _, sig := range sigs {
+		tn, err := m.Tuner(sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += tn.Iterations()
+	}
+	if total != goroutines*iters {
+		t.Fatalf("total observations = %d, want %d (lost updates)", total, goroutines*iters)
+	}
+}
+
+// TestTunerConcurrentAccess drives one Tuner directly from several
+// goroutines using Suggest, whose iteration index is read under the same
+// lock as the proposal.
+func TestTunerConcurrentAccess(t *testing.T) {
+	t.Parallel()
+	tn, err := NewTuner(QuerySpace(), WithoutGuardrail())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, iters = 6, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				cfg := tn.Suggest(1e9)
+				if err := tn.Report(Observation{Config: cfg, DataSize: 1e9, Time: 500}); err != nil {
+					errs <- err
+					return
+				}
+				_ = tn.Disabled()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := tn.Iterations(); got != goroutines*iters {
+		t.Fatalf("Iterations = %d, want %d", got, goroutines*iters)
+	}
+}

@@ -79,7 +79,16 @@ type Server struct {
 	// Logger receives operational messages; nil silences them.
 	Logger *log.Logger
 
-	rng *stats.RNG
+	// rngMu guards rng: handlers run on arbitrary net/http goroutines, and
+	// Split advances the parent stream.
+	rngMu sync.Mutex
+	rng   *stats.RNG
+
+	// seqMu guards seqs, the per-job event-file sequence allocator. Reading
+	// len(Store.List(...)) per request would race: two concurrent ingests
+	// could observe the same length and overwrite each other's event file.
+	seqMu sync.Mutex
+	seqs  map[string]int
 
 	// Model Updater queue. pending counts enqueued-but-unprocessed updates
 	// so tests and shutdown can Flush deterministically.
@@ -105,6 +114,7 @@ func New(space *sparksim.Space, st *store.Store, clusterSecret string, seed uint
 		ClusterSecret: clusterSecret,
 		TokenTTL:      15 * time.Minute,
 		rng:           stats.NewRNG(seed),
+		seqs:          make(map[string]int),
 		updates:       make(chan updateJob, 256),
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -221,7 +231,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	seq := len(s.Store.List("events/" + jobID + "/"))
+	seq := s.nextSeq(jobID)
 	p := store.EventPath(jobID, seq)
 	if err := s.Store.Put(r.Header.Get(SASTokenHeader), p, body); err != nil {
 		http.Error(w, err.Error(), storeStatus(err))
@@ -279,7 +289,7 @@ func (s *Server) handleEventLog(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		seq := len(s.Store.List("events/" + jobID + "/"))
+		seq := s.nextSeq(jobID)
 		p := store.EventPath(jobID, seq)
 		if err := s.Store.Put(tok, p, buf.Bytes()); err != nil {
 			http.Error(w, err.Error(), storeStatus(err))
@@ -289,6 +299,20 @@ func (s *Server) handleEventLog(w http.ResponseWriter, r *http.Request) {
 		s.enqueue(updateJob{user: user, signature: sig})
 	}
 	w.WriteHeader(http.StatusAccepted)
+}
+
+// nextSeq allocates the next event-file sequence number for a job. The
+// counter is seeded lazily from the store so a restarted server never reuses
+// a number, then advances atomically under seqMu.
+func (s *Server) nextSeq(jobID string) int {
+	s.seqMu.Lock()
+	defer s.seqMu.Unlock()
+	seq, ok := s.seqs[jobID]
+	if !ok {
+		seq = len(s.Store.List("events/" + jobID + "/"))
+	}
+	s.seqs[jobID] = seq + 1
+	return seq
 }
 
 func signatureIndexPath(user, signature, jobID string, seq int) string {
@@ -406,7 +430,10 @@ func (s *Server) handleComputeAppCache(w http.ResponseWriter, r *http.Request) {
 		}
 		states = append(states, qs)
 	}
-	jo := applevel.NewJointOptimizer(s.Space, s.rng.Split())
+	s.rngMu.Lock()
+	jr := s.rng.Split()
+	s.rngMu.Unlock()
+	jo := applevel.NewJointOptimizer(s.Space, jr)
 	best, err := jo.Optimize(req.Current, states)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)

@@ -42,8 +42,9 @@ type Client struct {
 	// along with their rationale"); nil silences it.
 	Logger *log.Logger
 
-	mu     sync.Mutex
-	tokens map[string]cachedToken
+	mu       sync.Mutex
+	tokens   map[string]cachedToken
+	inflight map[string]*tokenFetch
 }
 
 type cachedToken struct {
@@ -51,9 +52,22 @@ type cachedToken struct {
 	expires time.Time
 }
 
+// tokenFetch deduplicates concurrent refreshes of one cache key: the first
+// caller fetches, later callers wait on done and share the result.
+type tokenFetch struct {
+	done  chan struct{}
+	token string
+	err   error
+}
+
 // New returns a client for the given backend endpoint.
 func New(baseURL, clusterSecret string) *Client {
-	return &Client{BaseURL: baseURL, ClusterSecret: clusterSecret, tokens: make(map[string]cachedToken)}
+	return &Client{
+		BaseURL:       baseURL,
+		ClusterSecret: clusterSecret,
+		tokens:        make(map[string]cachedToken),
+		inflight:      make(map[string]*tokenFetch),
+	}
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -79,8 +93,28 @@ func (c *Client) Token(prefix string, perm store.Permission) (string, error) {
 		c.mu.Unlock()
 		return t.token, nil
 	}
+	// Expired or missing: dedupe the refresh so a burst of concurrent
+	// requests issues one backend call instead of a thundering herd.
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.token, f.err
+	}
+	f := &tokenFetch{done: make(chan struct{})}
+	c.inflight[key] = f
 	c.mu.Unlock()
 
+	token, err := c.fetchToken(key, prefix, perm)
+	f.token, f.err = token, err
+	c.mu.Lock()
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(f.done)
+	return token, err
+}
+
+// fetchToken performs the actual backend round trip and fills the cache.
+func (c *Client) fetchToken(key, prefix string, perm store.Permission) (string, error) {
 	body, _ := json.Marshal(backend.TokenRequest{Prefix: prefix, Perm: perm})
 	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/api/token", bytes.NewReader(body))
 	if err != nil {

@@ -1,0 +1,71 @@
+package client
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/rockhopper-db/rockhopper/internal/backend"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/store"
+)
+
+// TestTokenRefreshSingleFlight checks the credential manager's stampede
+// protection: a burst of goroutines hitting one expired cache entry must
+// produce exactly one backend round trip, with every caller sharing its
+// result. Distinct prefixes still fetch independently.
+func TestTokenRefreshSingleFlight(t *testing.T) {
+	t.Parallel()
+	st := store.New([]byte("signing-key"))
+	srv := backend.New(sparksim.QuerySpace(), st, secret, 1)
+
+	var tokenCalls atomic.Int64
+	counting := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/api/token" {
+			tokenCalls.Add(1)
+			// Hold the response long enough for the whole burst to pile up
+			// on the in-flight fetch.
+			time.Sleep(20 * time.Millisecond)
+		}
+		srv.Handler().ServeHTTP(w, r)
+	})
+	hs := httptest.NewServer(counting)
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	c := New(hs.URL, secret)
+
+	const goroutines = 16
+	tokens := make([]string, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tokens[g], errs[g] = c.Token("events/j/", store.PermWrite)
+		}()
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if tokens[g] != tokens[0] {
+			t.Fatalf("goroutine %d got a different token", g)
+		}
+	}
+	if n := tokenCalls.Load(); n != 1 {
+		t.Fatalf("token endpoint hit %d times, want 1 (stampede)", n)
+	}
+
+	// A different scope is a different cache key and fetches on its own.
+	if _, err := c.Token("models/u/", store.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if n := tokenCalls.Load(); n != 2 {
+		t.Fatalf("token endpoint hit %d times after second scope, want 2", n)
+	}
+}

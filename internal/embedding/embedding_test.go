@@ -23,6 +23,7 @@ func bigSmallFilterPlans() (*sparksim.Plan, *sparksim.Plan) {
 }
 
 func TestDims(t *testing.T) {
+	t.Parallel()
 	p := NewPlain()
 	if p.Dim() != 2+sparksim.NumOps {
 		t.Fatalf("plain dim = %d", p.Dim())
@@ -35,6 +36,7 @@ func TestDims(t *testing.T) {
 }
 
 func TestEmbedWidthsMatchDim(t *testing.T) {
+	t.Parallel()
 	g := workloads.NewGenerator(1)
 	q := g.Query(workloads.TPCDS, 7)
 	for _, e := range []*Embedder{NewPlain(), NewVirtual()} {
@@ -46,6 +48,7 @@ func TestEmbedWidthsMatchDim(t *testing.T) {
 }
 
 func TestPlainCountsOperators(t *testing.T) {
+	t.Parallel()
 	g := workloads.NewGenerator(2)
 	q := g.Query(workloads.TPCH, 3)
 	vec := NewPlain().Embed(q.Plan)
@@ -64,6 +67,7 @@ func TestPlainCountsOperators(t *testing.T) {
 }
 
 func TestVirtualPreservesTotalCounts(t *testing.T) {
+	t.Parallel()
 	// Summing over the virtual buckets of an operator must recover the
 	// plain count.
 	g := workloads.NewGenerator(3)
@@ -86,6 +90,7 @@ func TestVirtualPreservesTotalCounts(t *testing.T) {
 }
 
 func TestVirtualDistinguishesSelectivity(t *testing.T) {
+	t.Parallel()
 	a, b := bigSmallFilterPlans()
 	plain := NewPlain()
 	virt := NewVirtual()
@@ -106,6 +111,7 @@ func TestVirtualDistinguishesSelectivity(t *testing.T) {
 }
 
 func TestBucketBoundaries(t *testing.T) {
+	t.Parallel()
 	thr := []float64{10, 100}
 	cases := []struct {
 		v    float64
@@ -119,6 +125,7 @@ func TestBucketBoundaries(t *testing.T) {
 }
 
 func TestVirtualOpName(t *testing.T) {
+	t.Parallel()
 	v := NewVirtual()
 	name := v.VirtualOpName(sparksim.OpFilter, 5e7, 100)
 	if name != "Filter[in:2,out:0]" {
@@ -131,6 +138,7 @@ func TestVirtualOpName(t *testing.T) {
 }
 
 func TestDistance(t *testing.T) {
+	t.Parallel()
 	if Distance([]float64{0, 0}, []float64{3, 4}) != 5 {
 		t.Fatal("distance wrong")
 	}
@@ -140,6 +148,7 @@ func TestDistance(t *testing.T) {
 }
 
 func TestSimilarPlansAreClose(t *testing.T) {
+	t.Parallel()
 	// The same query at two nearby scale factors should embed closer
 	// together than two structurally different queries.
 	gA := workloads.NewGenerator(5)
@@ -156,6 +165,7 @@ func TestSimilarPlansAreClose(t *testing.T) {
 }
 
 func TestStructuralFeatures(t *testing.T) {
+	t.Parallel()
 	g := workloads.NewGenerator(4)
 	q := g.Query(workloads.TPCDS, 3)
 	base := NewVirtual()

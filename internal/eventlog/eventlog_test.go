@@ -32,6 +32,7 @@ func simulateRuns(t *testing.T, n int) (*bytes.Buffer, *sparksim.Space, *sparksi
 }
 
 func TestRoundTrip(t *testing.T) {
+	t.Parallel()
 	buf, space, q := simulateRuns(t, 6)
 	runs, err := Parse(buf, space)
 	if err != nil {
@@ -71,6 +72,7 @@ func TestRoundTrip(t *testing.T) {
 }
 
 func TestParseDropsTruncatedExecutions(t *testing.T) {
+	t.Parallel()
 	buf, space, _ := simulateRuns(t, 3)
 	// Chop the log so the final ExecutionEnd is lost.
 	raw := buf.String()
@@ -85,6 +87,7 @@ func TestParseDropsTruncatedExecutions(t *testing.T) {
 }
 
 func TestParseRejectsGarbage(t *testing.T) {
+	t.Parallel()
 	space := sparksim.QuerySpace()
 	if _, err := Parse(strings.NewReader("{nope"), space); err == nil {
 		t.Fatal("garbage should error")
@@ -97,6 +100,7 @@ func TestParseRejectsGarbage(t *testing.T) {
 }
 
 func TestParseIgnoresOrphanEnd(t *testing.T) {
+	t.Parallel()
 	space := sparksim.QuerySpace()
 	orphan := `{"Event":"SparkListenerSQLExecutionEnd","executionId":9,"durationMs":5}` + "\n"
 	runs, err := Parse(strings.NewReader(orphan), space)
@@ -106,6 +110,7 @@ func TestParseIgnoresOrphanEnd(t *testing.T) {
 }
 
 func TestETL(t *testing.T) {
+	t.Parallel()
 	buf, space, q := simulateRuns(t, 4)
 	runs, err := Parse(buf, space)
 	if err != nil {

@@ -23,6 +23,8 @@ type AblationParams struct {
 	Ns []int
 	// Alphas are the momentum steps to sweep.
 	Alphas []float64
+	// Workers bounds the per-run worker pool (0 = NumCPU).
+	Workers int
 }
 
 func (p *AblationParams) defaults() {
@@ -73,9 +75,14 @@ func Ablations(p AblationParams) *AblationResult {
 
 	run := func(label string, mutate func(cl *core.CentroidLearner)) AblationRow {
 		lblRNG := root.SplitNamed(label)
-		finals := make([]float64, 0, p.Runs)
-		for i := 0; i < p.Runs; i++ {
-			seedRNG := lblRNG.Split()
+		// Per-run streams are drawn sequentially so the sweep is identical
+		// for any worker count; the loops execute across the pool.
+		rngs := make([]*stats.RNG, p.Runs)
+		for i := range rngs {
+			rngs[i] = lblRNG.Split()
+		}
+		finals := mapRuns(p.Runs, p.Workers, func(i int) float64 {
+			seedRNG := rngs[i]
 			sel := core.NewSurrogateSelector(obj.Space, nil, nil, seedRNG.Split())
 			sel.NewModel = func() ml.Regressor { return ml.NewKernelRidge() }
 			cl := core.New(obj.Space, sel, seedRNG.Split())
@@ -88,8 +95,8 @@ func Ablations(p AblationParams) *AblationResult {
 			if tailN < 1 {
 				tailN = 1
 			}
-			finals = append(finals, stats.Mean(normed[len(normed)-tailN:])*obj.OptimalTime(1))
-		}
+			return stats.Mean(normed[len(normed)-tailN:]) * obj.OptimalTime(1)
+		})
 		return AblationRow{Label: label, FinalMs: stats.Median(finals)}
 	}
 

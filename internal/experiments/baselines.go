@@ -23,6 +23,8 @@ type BaselinesParams struct {
 	Iters    int
 	Seed     uint64
 	Noises   []noise.Model
+	// Workers bounds the per-run worker pool (0 = NumCPU).
+	Workers int
 }
 
 func (p *BaselinesParams) defaults() {
@@ -77,9 +79,14 @@ func Baselines(p BaselinesParams) *BaselinesResult {
 		for _, nm := range p.Noises {
 			nm := nm
 			algRNG := root.SplitNamed(fmt.Sprintf("%s-%v", alg, nm))
-			finals := make([]float64, 0, p.Runs)
-			for run := 0; run < p.Runs; run++ {
-				seedRNG := algRNG.Split()
+			// Per-run streams are drawn sequentially (identical for any
+			// worker count); the tuning loops execute across the pool.
+			rngs := make([]*stats.RNG, p.Runs)
+			for run := range rngs {
+				rngs[run] = algRNG.Split()
+			}
+			finals := mapRuns(p.Runs, p.Workers, func(run int) float64 {
+				seedRNG := rngs[run]
 				var tn tuners.Tuner
 				switch alg {
 				case "centroid":
@@ -99,8 +106,8 @@ func Baselines(p BaselinesParams) *BaselinesResult {
 					tn = tuners.NewRandomSearch(space, seedRNG.Split())
 				}
 				recs := RunLoop(space, QueryEvaluator{E: e, Q: q}, tn, p.Iters, nm, workloads.Constant{}, seedRNG.Split())
-				finals = append(finals, tailMedian(recs, p.Iters/5))
-			}
+				return tailMedian(recs, p.Iters/5)
+			})
 			row.ImprovementPct = append(row.ImprovementPct, PercentImprovement(def, stats.Median(finals)))
 		}
 		res.Rows = append(res.Rows, row)

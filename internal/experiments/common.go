@@ -9,11 +9,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 
 	"github.com/rockhopper-db/rockhopper/internal/noise"
+	"github.com/rockhopper-db/rockhopper/internal/parallel"
 	"github.com/rockhopper-db/rockhopper/internal/sparksim"
 	"github.com/rockhopper-db/rockhopper/internal/stats"
 	"github.com/rockhopper-db/rockhopper/internal/tuners"
@@ -162,13 +164,35 @@ func OptimalityGap(space *sparksim.Space, recs []Record, dim int, opt float64) [
 // BandStudy repeats a tuning loop `runs` times with independent seeds and
 // returns the per-iteration median and P5–P95 band of the noiseless
 // trajectory — the presentation used by Figures 2 and 9–11.
-func BandStudy(runs int, build func(run int) (tuners.Tuner, func() []Record)) stats.Band {
-	trajs := make([][]float64, 0, runs)
-	for i := 0; i < runs; i++ {
-		_, loop := build(i)
-		trajs = append(trajs, TrueTimes(loop()))
+//
+// build is invoked sequentially in run order, so every draw it makes from a
+// shared random stream lands identically for any worker count; the returned
+// loops then execute across `workers` goroutines (0 = NumCPU) with
+// trajectories collected in run order. The band is therefore byte-identical
+// to a fully sequential study.
+func BandStudy(runs, workers int, build func(run int) (tuners.Tuner, func() []Record)) stats.Band {
+	loops := make([]func() []Record, runs)
+	for i := range loops {
+		_, loops[i] = build(i)
 	}
+	trajs := mapRuns(runs, workers, func(i int) []float64 {
+		return TrueTimes(loops[i]())
+	})
 	return stats.ConvergenceBand(trajs)
+}
+
+// mapRuns fans fn out across the experiment worker pool and returns results
+// in index order. Experiment runs are infallible by construction, so the
+// only failure mode is a panic, which the pool captures and this helper
+// re-raises on the calling goroutine.
+func mapRuns[T any](n, workers int, fn func(i int) T) []T {
+	out, err := parallel.Map(context.Background(), n, workers, func(_ context.Context, i int) (T, error) {
+		return fn(i), nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return out
 }
 
 // PrintBand renders a convergence band as aligned rows, sampling every

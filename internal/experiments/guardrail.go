@@ -22,6 +22,8 @@ type GuardrailAblationParams struct {
 	Seed       uint64
 	// Thresholds sweeps the breach threshold; −1 encodes "guardrail off".
 	Thresholds []float64
+	// Workers bounds the per-signature worker pool (0 = NumCPU).
+	Workers int
 }
 
 func (p *GuardrailAblationParams) defaults() {
@@ -70,10 +72,16 @@ func GuardrailAblation(p GuardrailAblationParams) *GuardrailAblationResult {
 	gen := workloads.NewGenerator(p.Seed)
 	res := &GuardrailAblationResult{Params: p}
 	for _, thr := range p.Thresholds {
+		thr := thr
 		root := stats.NewRNG(p.Seed) // identical fleet per policy
 		row := GuardrailAblationRow{Threshold: thr}
-		var imps []float64
-		for s := 0; s < p.Signatures; s++ {
+		// Signature streams are keyed by query ID (root is only read), so
+		// the fleet fans out across the worker pool per policy.
+		type sigOut struct {
+			imp      float64
+			disabled bool
+		}
+		outs := mapRuns(p.Signatures, p.Workers, func(s int) sigOut {
 			q := gen.Notebook(s, 1).Queries[0]
 			qr := root.SplitNamed(q.ID)
 			sel := core.NewSurrogateSelector(space, nil, nil, qr.Split())
@@ -86,8 +94,12 @@ func GuardrailAblation(p GuardrailAblationParams) *GuardrailAblationResult {
 			recs := RunLoop(space, QueryEvaluator{E: e, Q: q}, cl, p.Iters, p.Noise,
 				workloads.Jittered{Inner: workloads.Constant{}, Sigma: 0.15, RNG: qr.Split()}, qr.Split())
 			def := e.TrueTime(q, space.Default(), 1)
-			imps = append(imps, PercentImprovement(def, tailMedian(recs, p.Iters/5)))
-			if cl.Disabled() {
+			return sigOut{imp: PercentImprovement(def, tailMedian(recs, p.Iters/5)), disabled: cl.Disabled()}
+		})
+		imps := make([]float64, 0, p.Signatures)
+		for _, o := range outs {
+			imps = append(imps, o.imp)
+			if o.disabled {
 				row.Disabled++
 			}
 		}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestParallelGoldenEquivalence is the determinism contract of the parallel
+// experiment engine: the rendered output of a repeated-run study (Figure 2)
+// and a fleet study (Figure 15) must be byte-for-byte identical at one worker
+// and at eight. Seed streams are drawn sequentially at build time and results
+// are collected in run order, so scheduling cannot leak into the numbers.
+func TestParallelGoldenEquivalence(t *testing.T) {
+	t.Parallel()
+	render := func(workers int) (fig2, fig15 string) {
+		var b2, b15 bytes.Buffer
+		Fig02NoisyBaselines(Fig02Params{Runs: 6, Iters: 40, Workers: workers}).Print(&b2)
+		FleetStudy(FleetParams{Signatures: 8, Iters: 30, Workers: workers}).Print(&b15)
+		return b2.String(), b15.String()
+	}
+	f2seq, f15seq := render(1)
+	f2par, f15par := render(8)
+	if f2seq != f2par {
+		t.Errorf("Fig 2 output differs between Workers=1 and Workers=8:\n--- sequential ---\n%s\n--- parallel ---\n%s", f2seq, f2par)
+	}
+	if f15seq != f15par {
+		t.Errorf("Fig 15 output differs between Workers=1 and Workers=8:\n--- sequential ---\n%s\n--- parallel ---\n%s", f15seq, f15par)
+	}
+	if f2seq == "" || f15seq == "" {
+		t.Fatal("experiments rendered no output")
+	}
+}
+
+// TestWorkerSweepEquivalence sweeps additional pool sizes over the cheaper
+// studies that use distinct parallelization shapes: the per-query TPC-H digest
+// (Fig 14), the guardrail ablation, and the baselines table.
+func TestWorkerSweepEquivalence(t *testing.T) {
+	t.Parallel()
+	type render func(workers int) string
+	cases := []struct {
+		name string
+		fn   render
+	}{
+		{"fig14", func(w int) string {
+			var b bytes.Buffer
+			Fig14TPCH(Fig14Params{Iters: 10, FlightRuns: 6, DSQueries: []int{1, 2}, Workers: w}).Print(&b)
+			return b.String()
+		}},
+		{"guardrail", func(w int) string {
+			var b bytes.Buffer
+			GuardrailAblation(GuardrailAblationParams{Signatures: 6, Iters: 20, Thresholds: []float64{-1, 0}, Workers: w}).Print(&b)
+			return b.String()
+		}},
+		{"baselines", func(w int) string {
+			var b bytes.Buffer
+			Baselines(BaselinesParams{Runs: 3, Iters: 24, Workers: w}).Print(&b)
+			return b.String()
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			want := tc.fn(1)
+			if want == "" {
+				t.Fatal("no output")
+			}
+			for _, w := range []int{2, 5, 16} {
+				if got := tc.fn(w); got != want {
+					t.Errorf("Workers=%d output differs from Workers=1:\n--- want ---\n%s\n--- got ---\n%s", w, want, got)
+				}
+			}
+		})
+	}
+}

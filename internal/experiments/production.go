@@ -22,6 +22,10 @@ type Fig14Params struct {
 	DSQueries  []int
 	Noise      noise.Model
 	Seed       uint64
+	// Workers bounds the per-query worker pool (0 = NumCPU). Results are
+	// identical for any value: per-query streams are keyed by query ID and
+	// aggregation happens in query order.
+	Workers int
 }
 
 func (p *Fig14Params) defaults() {
@@ -85,15 +89,27 @@ func Fig14TPCH(p Fig14Params) *Fig14Result {
 	root := stats.NewRNG(p.Seed)
 	res := &Fig14Result{Params: p, TotalPerIter: make([]float64, p.Iters)}
 
-	var defTotal, finalTotal float64
-	for qi := 1; qi <= workloads.TPCH.QueryCount(); qi++ {
-		q := gen.Query(workloads.TPCH, qi)
+	// Every query's random stream is keyed by its ID (root is only read,
+	// never advanced), so the per-query tuning loops fan out across the
+	// worker pool; aggregation below walks the ordered results.
+	type queryRun struct {
+		q    *sparksim.Query
+		recs []Record
+		def  float64
+	}
+	runs := mapRuns(workloads.TPCH.QueryCount(), p.Workers, func(i int) queryRun {
+		q := gen.Query(workloads.TPCH, i+1)
 		qr := root.SplitNamed(q.ID)
 		sel := core.NewSurrogateSelector(space, emb.Embed(q.Plan), warm, qr.Split())
 		cl := core.New(space, sel, qr.Split())
 		recs := RunLoop(space, QueryEvaluator{E: e, Q: q}, cl, p.Iters, p.Noise,
 			workloads.Jittered{Inner: workloads.Constant{}, Sigma: 0.1, RNG: qr.Split()}, qr.Split())
-		def := e.TrueTime(q, space.Default(), 1)
+		return queryRun{q: q, recs: recs, def: e.TrueTime(q, space.Default(), 1)}
+	})
+
+	var defTotal, finalTotal float64
+	for _, run := range runs {
+		q, recs, def := run.q, run.recs, run.def
 		final := tailMedian(recs, p.Iters/5)
 		imp := PercentImprovement(def, final)
 		res.Rows = append(res.Rows, Fig14QueryRow{QueryID: q.ID, DefaultMs: def, FinalMs: final, ImprovementPct: imp})
@@ -155,6 +171,10 @@ type FleetParams struct {
 	// multiplies it by a log-normal factor.
 	BaseNoise noise.Model
 	Seed      uint64
+	// Workers bounds the per-signature worker pool (0 = NumCPU). Results
+	// are identical for any value: signature streams are keyed by query ID
+	// and fleet totals accumulate in signature order.
+	Workers int
 }
 
 func (p *FleetParams) defaults() {
@@ -205,9 +225,16 @@ func FleetStudy(p FleetParams) *FleetResult {
 	root := stats.NewRNG(p.Seed)
 	res := &FleetResult{Params: p}
 
-	var defTotal, finalTotal float64
-	var windowDef, windowActual float64
-	for s := 0; s < p.Signatures; s++ {
+	// Each signature's stream is keyed by its query ID (root is only read,
+	// never advanced) and the generator is stateless, so whole signatures
+	// fan out across the worker pool; the ordered results are aggregated
+	// below exactly as the sequential loop did.
+	type sigRun struct {
+		recs     []Record
+		def      float64
+		disabled bool
+	}
+	runs := mapRuns(p.Signatures, p.Workers, func(s int) sigRun {
 		nb := gen.Notebook(s, 1)
 		q := nb.Queries[0]
 		qr := root.SplitNamed(q.ID)
@@ -221,18 +248,23 @@ func FleetStudy(p FleetParams) *FleetResult {
 		inj := noise.Scaled{Base: p.BaseNoise, Factor: qr.LogNormal(0, 0.4)}
 		sizes := workloads.Jittered{Inner: workloads.Constant{}, Sigma: 0.2, RNG: qr.Split()}
 		recs := RunLoop(space, QueryEvaluator{E: e, Q: q}, cl, p.Iters, inj, sizes, qr.Split())
+		return sigRun{recs: recs, def: e.TrueTime(q, space.Default(), 1), disabled: cl.Disabled()}
+	})
 
-		def := e.TrueTime(q, space.Default(), 1)
-		final := tailMedian(recs, p.Iters/5)
+	var defTotal, finalTotal float64
+	var windowDef, windowActual float64
+	for _, run := range runs {
+		def := run.def
+		final := tailMedian(run.recs, p.Iters/5)
 		imp := PercentImprovement(def, final)
 		res.ImprovementsPct = append(res.ImprovementsPct, imp)
-		for _, rec := range recs {
+		for _, rec := range run.recs {
 			windowDef += def
 			windowActual += rec.TrueTime / rec.Scale
 		}
 		defTotal += def
 		finalTotal += final
-		if cl.Disabled() {
+		if run.disabled {
 			res.Disabled++
 		} else {
 			res.Maintained++

@@ -20,6 +20,9 @@ type Fig02Params struct {
 	Iters int // paper: 500
 	Noise noise.Model
 	Seed  uint64
+	// Workers bounds the experiment worker pool (0 = NumCPU). Results are
+	// identical for any value; see BandStudy.
+	Workers int
 	// Algorithms selects the baselines; default {"bo", "flow2"} (the
 	// figure's pair). "hillclimb", "oppertune", and "random" extend the
 	// comparison to every single-observation method in the repository.
@@ -60,7 +63,7 @@ func Fig02NoisyBaselines(p Fig02Params) *Fig02Result {
 	for _, alg := range p.Algorithms {
 		alg := alg
 		algRNG := root.SplitNamed(alg)
-		res.Bands[alg] = BandStudy(p.Runs, func(run int) (tuners.Tuner, func() []Record) {
+		res.Bands[alg] = BandStudy(p.Runs, p.Workers, func(run int) (tuners.Tuner, func() []Record) {
 			seedRNG := algRNG.Split()
 			var tn tuners.Tuner
 			switch alg {
@@ -153,6 +156,8 @@ type Fig09Params struct {
 	Iters  int   // paper: 500
 	Noise  noise.Model
 	Seed   uint64
+	// Workers bounds the experiment worker pool (0 = NumCPU).
+	Workers int
 }
 
 func (p *Fig09Params) defaults() {
@@ -190,7 +195,7 @@ func Fig09SurrogateLevels(p Fig09Params) *Fig09Result {
 	for _, level := range p.Levels {
 		level := level
 		lvlRNG := root.SplitNamed(fmt.Sprintf("level-%d", level))
-		res.Bands[level] = BandStudy(p.Runs, func(run int) (tuners.Tuner, func() []Record) {
+		res.Bands[level] = BandStudy(p.Runs, p.Workers, func(run int) (tuners.Tuner, func() []Record) {
 			seedRNG := lvlRNG.Split()
 			sel := core.LevelSelector{
 				Level: level,
@@ -223,6 +228,8 @@ type Fig10Params struct {
 	Iters int
 	Noise noise.Model
 	Seed  uint64
+	// Workers bounds the experiment worker pool (0 = NumCPU).
+	Workers int
 }
 
 func (p *Fig10Params) defaults() {
@@ -256,15 +263,23 @@ func Fig10CLSVR(p Fig10Params) *Fig10Result {
 	p.defaults()
 	obj := NewSyntheticObjective()
 	root := stats.NewRNG(p.Seed)
-	trajs := make([][]float64, 0, p.Runs)
-	gaps := make([][]float64, 0, p.Runs)
-	for run := 0; run < p.Runs; run++ {
+	// Sequential prep (all shared-stream draws), parallel execution.
+	loops := make([]func() []Record, p.Runs)
+	for run := range loops {
 		seedRNG := root.Split()
 		sel := core.NewSurrogateSelector(obj.Space, nil, nil, seedRNG.Split())
 		sel.NewModel = func() ml.Regressor { return ml.NewKernelRidge() }
 		cl := core.New(obj.Space, sel, seedRNG.Split())
 		cl.Guardrail = nil
-		recs := RunLoop(obj.Space, obj, cl, p.Iters, p.Noise, workloads.Constant{}, seedRNG.Split())
+		noiseRNG := seedRNG.Split()
+		loops[run] = func() []Record {
+			return RunLoop(obj.Space, obj, cl, p.Iters, p.Noise, workloads.Constant{}, noiseRNG)
+		}
+	}
+	runs := mapRuns(p.Runs, p.Workers, func(i int) []Record { return loops[i]() })
+	trajs := make([][]float64, 0, p.Runs)
+	gaps := make([][]float64, 0, p.Runs)
+	for _, recs := range runs {
 		trajs = append(trajs, TrueTimes(recs))
 		gaps = append(gaps, OptimalityGap(obj.Space, recs, 0, obj.Opt[0]))
 	}
@@ -292,6 +307,8 @@ type Fig11Params struct {
 	Seed  uint64
 	// PeriodK is the periodic process's period.
 	PeriodK int
+	// Workers bounds the experiment worker pool (0 = NumCPU).
+	Workers int
 }
 
 func (p *Fig11Params) defaults() {
@@ -334,14 +351,21 @@ func Fig11DynamicWorkloads(p Fig11Params) *Fig11Result {
 	root := stats.NewRNG(p.Seed)
 	for name, mk := range shapes {
 		shapeRNG := root.SplitNamed(name)
-		var normed, gaps [][]float64
-		for run := 0; run < p.Runs; run++ {
+		loops := make([]func() []Record, p.Runs)
+		for run := range loops {
 			seedRNG := shapeRNG.Split()
 			sel := core.NewSurrogateSelector(obj.Space, nil, nil, seedRNG.Split())
 			sel.NewModel = func() ml.Regressor { return ml.NewKernelRidge() }
 			cl := core.New(obj.Space, sel, seedRNG.Split())
 			cl.Guardrail = nil
-			recs := RunLoop(obj.Space, obj, cl, p.Iters, p.Noise, mk(), seedRNG.Split())
+			sizes, noiseRNG := mk(), seedRNG.Split()
+			loops[run] = func() []Record {
+				return RunLoop(obj.Space, obj, cl, p.Iters, p.Noise, sizes, noiseRNG)
+			}
+		}
+		runs := mapRuns(p.Runs, p.Workers, func(i int) []Record { return loops[i]() })
+		var normed, gaps [][]float64
+		for _, recs := range runs {
 			normed = append(normed, NormedTimes(recs, obj.OptimalTime))
 			gaps = append(gaps, OptimalityGap(obj.Space, recs, 0, obj.Opt[0]))
 		}

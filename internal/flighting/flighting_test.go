@@ -15,6 +15,7 @@ func pipeline() *Pipeline {
 }
 
 func TestConfigValidation(t *testing.T) {
+	t.Parallel()
 	bad := []Config{
 		{Suite: "oops", ScaleFactor: 1, RunsPerQuery: 1},
 		{Suite: workloads.TPCH, ScaleFactor: 0, RunsPerQuery: 1},
@@ -34,6 +35,7 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestRunProducesTraces(t *testing.T) {
+	t.Parallel()
 	p := pipeline()
 	traces, err := p.Run(Config{
 		Suite: workloads.TPCH, ScaleFactor: 1, RunsPerQuery: 5,
@@ -63,6 +65,7 @@ func TestRunProducesTraces(t *testing.T) {
 }
 
 func TestRunDeterministic(t *testing.T) {
+	t.Parallel()
 	cfg := Config{Suite: workloads.TPCH, ScaleFactor: 1, RunsPerQuery: 3, Queries: []int{5}, Seed: 11}
 	a, err := pipeline().Run(cfg)
 	if err != nil {
@@ -80,6 +83,7 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 func TestTraceRoundTrip(t *testing.T) {
+	t.Parallel()
 	traces, err := pipeline().Run(Config{
 		Suite: workloads.TPCH, ScaleFactor: 1, RunsPerQuery: 2, Queries: []int{1}, Seed: 3,
 	})
@@ -108,6 +112,7 @@ func TestTraceRoundTrip(t *testing.T) {
 }
 
 func TestLeaveOneOut(t *testing.T) {
+	t.Parallel()
 	traces, err := pipeline().Run(Config{
 		Suite: workloads.TPCH, ScaleFactor: 1, RunsPerQuery: 4, Queries: []int{1, 2, 3}, Seed: 5,
 	})
@@ -131,6 +136,7 @@ func TestLeaveOneOut(t *testing.T) {
 }
 
 func TestToBaseline(t *testing.T) {
+	t.Parallel()
 	tr := Trace{QueryID: "x", Embedding: []float64{1}, Config: sparksim.Config{2}, DataSize: 3, TimeMs: 4}
 	pts := ToBaseline([]Trace{tr})
 	if pts[0].Time != 4 || pts[0].DataSize != 3 || pts[0].Context[0] != 1 {
@@ -139,6 +145,7 @@ func TestToBaseline(t *testing.T) {
 }
 
 func TestCachedPlatform(t *testing.T) {
+	t.Parallel()
 	e := sparksim.NewEngine(sparksim.QuerySpace())
 	q := workloads.NewGenerator(1).Query(workloads.TPCH, 2)
 	cp := NewCachedPlatform(e, q, 275, 1, 42)
@@ -171,6 +178,7 @@ func TestCachedPlatform(t *testing.T) {
 }
 
 func TestLHSAlgorithm(t *testing.T) {
+	t.Parallel()
 	cfg := Config{
 		Suite: workloads.TPCH, ScaleFactor: 1, RunsPerQuery: 10,
 		Queries: []int{1}, Seed: 21, Algorithm: "lhs",

@@ -12,6 +12,7 @@ func almostEq(a, b, tol float64) bool {
 }
 
 func TestDenseBasics(t *testing.T) {
+	t.Parallel()
 	m := NewDense(2, 3)
 	if r, c := m.Dims(); r != 2 || c != 3 {
 		t.Fatalf("Dims = %d,%d; want 2,3", r, c)
@@ -29,6 +30,7 @@ func TestDenseBasics(t *testing.T) {
 }
 
 func TestTranspose(t *testing.T) {
+	t.Parallel()
 	m := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
 	tr := m.T()
 	if r, c := tr.Dims(); r != 3 || c != 2 {
@@ -44,6 +46,7 @@ func TestTranspose(t *testing.T) {
 }
 
 func TestMul(t *testing.T) {
+	t.Parallel()
 	a := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
 	b := NewDenseData(3, 2, []float64{7, 8, 9, 10, 11, 12})
 	c, err := Mul(a, b)
@@ -62,6 +65,7 @@ func TestMul(t *testing.T) {
 }
 
 func TestMulVec(t *testing.T) {
+	t.Parallel()
 	a := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
 	y, err := MulVec(a, []float64{1, 0, -1})
 	if err != nil {
@@ -76,6 +80,7 @@ func TestMulVec(t *testing.T) {
 }
 
 func TestAtAMatchesExplicit(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(7))
 	a := NewDense(5, 3)
 	for i := range a.Data() {
@@ -94,6 +99,7 @@ func TestAtAMatchesExplicit(t *testing.T) {
 }
 
 func TestAtVec(t *testing.T) {
+	t.Parallel()
 	a := NewDenseData(2, 2, []float64{1, 2, 3, 4})
 	v, err := AtVec(a, []float64{1, 1})
 	if err != nil {
@@ -105,6 +111,7 @@ func TestAtVec(t *testing.T) {
 }
 
 func TestCholeskySolve(t *testing.T) {
+	t.Parallel()
 	// A = LLᵀ for a hand-built SPD matrix.
 	a := NewDenseData(3, 3, []float64{
 		4, 2, 0,
@@ -129,6 +136,7 @@ func TestCholeskySolve(t *testing.T) {
 }
 
 func TestCholeskyRejectsIndefinite(t *testing.T) {
+	t.Parallel()
 	a := NewDenseData(2, 2, []float64{1, 2, 2, 1}) // eigenvalues 3, −1
 	if _, err := NewCholesky(a); err == nil {
 		t.Fatal("Cholesky of indefinite matrix should fail")
@@ -136,6 +144,7 @@ func TestCholeskyRejectsIndefinite(t *testing.T) {
 }
 
 func TestCholeskyLogDet(t *testing.T) {
+	t.Parallel()
 	a := NewDenseData(2, 2, []float64{4, 0, 0, 9})
 	ch, err := NewCholesky(a)
 	if err != nil {
@@ -147,6 +156,7 @@ func TestCholeskyLogDet(t *testing.T) {
 }
 
 func TestLeastSquaresExact(t *testing.T) {
+	t.Parallel()
 	// Overdetermined but consistent system: recover exact coefficients.
 	rng := rand.New(rand.NewSource(11))
 	n, p := 40, 4
@@ -171,6 +181,7 @@ func TestLeastSquaresExact(t *testing.T) {
 }
 
 func TestSolveRidgeShrinks(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(3))
 	n, p := 50, 3
 	x := NewDense(n, p)
@@ -196,6 +207,7 @@ func TestSolveRidgeShrinks(t *testing.T) {
 }
 
 func TestSolveRidgeCollinear(t *testing.T) {
+	t.Parallel()
 	// Two identical columns: normal equations singular, but the automatic
 	// jitter must still produce a finite solution.
 	x := NewDenseData(4, 2, []float64{1, 1, 2, 2, 3, 3, 4, 4})
@@ -213,6 +225,7 @@ func TestSolveRidgeCollinear(t *testing.T) {
 
 // Property: for random SPD systems, Cholesky solve reproduces the RHS.
 func TestPropCholeskyResidual(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + int(rng.Int31n(6))
@@ -251,6 +264,7 @@ func TestPropCholeskyResidual(t *testing.T) {
 
 // Property: least-squares residual is orthogonal to the column space.
 func TestPropLeastSquaresOrthogonality(t *testing.T) {
+	t.Parallel()
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 8 + int(rng.Int31n(8))
@@ -286,6 +300,7 @@ func TestPropLeastSquaresOrthogonality(t *testing.T) {
 }
 
 func TestDotNorm(t *testing.T) {
+	t.Parallel()
 	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
 		t.Fatal("Dot wrong")
 	}

@@ -8,6 +8,7 @@ import (
 )
 
 func TestNoneIsIdentity(t *testing.T) {
+	t.Parallel()
 	r := stats.NewRNG(1)
 	for i := 0; i < 100; i++ {
 		if g := None.Inject(r, 42); g != 42 {
@@ -17,6 +18,7 @@ func TestNoneIsIdentity(t *testing.T) {
 }
 
 func TestNoiseOnlySlowsDown(t *testing.T) {
+	t.Parallel()
 	r := stats.NewRNG(2)
 	for i := 0; i < 10000; i++ {
 		if g := High.Inject(r, 100); g < 100 {
@@ -26,6 +28,7 @@ func TestNoiseOnlySlowsDown(t *testing.T) {
 }
 
 func TestSpikeFrequency(t *testing.T) {
+	t.Parallel()
 	// With FL = 0 every non-spike observation equals g0 exactly, so spikes
 	// are identifiable as g = 2·g0.
 	m := Model{FL: 0, SL: 1}
@@ -49,6 +52,7 @@ func TestSpikeFrequency(t *testing.T) {
 }
 
 func TestFluctuationMagnitude(t *testing.T) {
+	t.Parallel()
 	// E[|ε|] for ε~N(0,σ) is σ·√(2/π) ≈ 0.7979σ. With SL = 0, the mean
 	// slowdown factor is 1 + 0.798·FL.
 	m := Model{FL: 0.5, SL: 0}
@@ -66,6 +70,7 @@ func TestFluctuationMagnitude(t *testing.T) {
 }
 
 func TestHighLowPresets(t *testing.T) {
+	t.Parallel()
 	if High.FL != 1 || High.SL != 1 || Low.FL != 0.1 || Low.SL != 0.1 {
 		t.Fatal("preset constants drifted from the paper")
 	}
@@ -75,6 +80,7 @@ func TestHighLowPresets(t *testing.T) {
 }
 
 func TestScaled(t *testing.T) {
+	t.Parallel()
 	r := stats.NewRNG(5)
 	s := Scaled{Base: Model{FL: 0.2, SL: 0.5}, Factor: 0}
 	// Zero factor disables all noise.
@@ -97,6 +103,7 @@ func TestScaled(t *testing.T) {
 // trivially true pointwise property g(k·g0) uses the same multiplier family,
 // i.e. output is ≥ input and finite for any positive baseline.
 func TestPropInjectBounds(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64, flTenths, slTenths uint8) bool {
 		m := Model{FL: float64(flTenths%20) / 10, SL: float64(slTenths % 10)}
 		r := stats.NewRNG(seed)

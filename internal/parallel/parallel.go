@@ -1,0 +1,233 @@
+// Package parallel provides the bounded worker pool that fans independent
+// experiment runs, fleet signatures, and backend jobs out across CPUs.
+//
+// The pool is built for deterministic experiment harnesses: tasks are
+// identified by index, results are collected in index order, and nothing in
+// the pool itself draws randomness — callers derive each task's RNG from
+// the task index (stats.RNG.SplitIndexed / SplitNamed) before or inside the
+// task, so the output of a study is byte-identical for any worker count.
+//
+// Every pool also records utilization counters (tasks started/finished,
+// busy vs. wall time, worker occupancy), both per call (MapMetrics) and as
+// process-global aggregates (GlobalCounters) so cmd/rockbench can print a
+// speedup line without threading metrics through every result type.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Workers normalizes a worker-count parameter: values <= 0 select
+// runtime.NumCPU() (the production default for CPU-bound experiment runs),
+// and the result is clamped to n so a small task set never spawns idle
+// goroutines. n <= 0 leaves the count unclamped.
+func Workers(requested, n int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if n > 0 && w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// PanicError wraps a panic captured inside a pool task so it can cross the
+// goroutine boundary as an error without losing the stack.
+type PanicError struct {
+	// Index is the task that panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Metrics are one pool invocation's utilization counters.
+type Metrics struct {
+	// Workers is the number of worker goroutines the pool ran.
+	Workers int
+	// Tasks is the number of tasks submitted.
+	Tasks int
+	// Started and Finished count tasks that began and completed execution;
+	// they differ from Tasks when cancellation or an error stopped the pool
+	// early.
+	Started, Finished int64
+	// Wall is the elapsed time of the whole pool invocation.
+	Wall time.Duration
+	// Busy is the summed execution time of all tasks — the CPU-time
+	// analogue under compute-bound loads.
+	Busy time.Duration
+}
+
+// Occupancy is the fraction of worker capacity spent executing tasks:
+// Busy / (Wall × Workers). 1.0 means every worker was busy the whole time.
+func (m Metrics) Occupancy() float64 {
+	if m.Wall <= 0 || m.Workers == 0 {
+		return 0
+	}
+	return float64(m.Busy) / (float64(m.Wall) * float64(m.Workers))
+}
+
+// Speedup estimates the wall-clock gain over a sequential execution:
+// Busy / Wall. It is exact when per-task cost is unchanged by parallelism —
+// i.e. with at most GOMAXPROCS workers. Oversubscribing the cores timeslices
+// tasks, inflating their measured durations, and the estimate drifts toward
+// the worker count instead of the core count.
+func (m Metrics) Speedup() float64 {
+	if m.Wall <= 0 {
+		return 0
+	}
+	return float64(m.Busy) / float64(m.Wall)
+}
+
+// String renders the counters as the one-line summary rockbench prints.
+func (m Metrics) String() string {
+	return fmt.Sprintf("workers=%d tasks=%d busy=%v wall=%v speedup=%.2fx occupancy=%.0f%%",
+		m.Workers, m.Tasks, m.Busy.Round(time.Millisecond), m.Wall.Round(time.Millisecond),
+		m.Speedup(), 100*m.Occupancy())
+}
+
+// Counters is the process-wide aggregate over every pool invocation.
+type Counters struct {
+	Started, Finished int64
+	Busy              time.Duration
+}
+
+var (
+	globalStarted  atomic.Int64
+	globalFinished atomic.Int64
+	globalBusyNs   atomic.Int64
+)
+
+// GlobalCounters returns the cumulative counters across all pools in this
+// process. Callers measuring one phase take a snapshot before and after and
+// subtract.
+func GlobalCounters() Counters {
+	return Counters{
+		Started:  globalStarted.Load(),
+		Finished: globalFinished.Load(),
+		Busy:     time.Duration(globalBusyNs.Load()),
+	}
+}
+
+// Sub returns c - prev, the counters accrued between two snapshots.
+func (c Counters) Sub(prev Counters) Counters {
+	return Counters{
+		Started:  c.Started - prev.Started,
+		Finished: c.Finished - prev.Finished,
+		Busy:     c.Busy - prev.Busy,
+	}
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) across at most `workers`
+// goroutines (Workers-normalized) and returns the results in index order.
+//
+// The first task error cancels the pool's context and is returned; tasks
+// not yet started are skipped (their result is the zero value). A panic
+// inside fn is captured as a *PanicError rather than crashing the process.
+// Context cancellation stops new tasks from starting but lets in-flight
+// ones finish.
+func Map[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out, _, err := MapMetrics(ctx, n, workers, fn)
+	return out, err
+}
+
+// MapMetrics is Map plus the pool's utilization counters.
+func MapMetrics[T any](ctx context.Context, n, workers int, fn func(ctx context.Context, i int) (T, error)) ([]T, Metrics, error) {
+	m := Metrics{Workers: Workers(workers, n), Tasks: n}
+	out := make([]T, n)
+	if n == 0 {
+		return out, m, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		started  atomic.Int64
+		finished atomic.Int64
+		busyNs   atomic.Int64
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	next.Store(-1)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	// runTask converts a panic into a *PanicError so one bad run reports
+	// instead of killing the whole experiment suite.
+	runTask := func(i int) (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+			}
+		}()
+		out[i], err = fn(ctx, i)
+		return err
+	}
+
+	start := time.Now()
+	wg.Add(m.Workers)
+	for w := 0; w < m.Workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				started.Add(1)
+				globalStarted.Add(1)
+				t0 := time.Now()
+				err := runTask(i)
+				d := time.Since(t0)
+				busyNs.Add(int64(d))
+				globalBusyNs.Add(int64(d))
+				finished.Add(1)
+				globalFinished.Add(1)
+				if err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	m.Wall = time.Since(start)
+	m.Started = started.Load()
+	m.Finished = finished.Load()
+	m.Busy = time.Duration(busyNs.Load())
+	if firstErr != nil {
+		return out, m, firstErr
+	}
+	return out, m, ctx.Err()
+}
+
+// Each runs fn(ctx, i) for every i in [0, n) across the pool, discarding
+// results. Error and panic semantics match Map.
+func Each(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	_, _, err := MapMetrics(ctx, n, workers, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}

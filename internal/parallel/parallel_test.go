@@ -1,0 +1,173 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	t.Parallel()
+	if w := Workers(4, 100); w != 4 {
+		t.Fatalf("Workers(4, 100) = %d", w)
+	}
+	if w := Workers(0, 100); w != runtime.NumCPU() && w != 100 {
+		t.Fatalf("Workers(0, 100) = %d; want NumCPU (clamped)", w)
+	}
+	if w := Workers(16, 3); w != 3 {
+		t.Fatalf("Workers(16, 3) = %d; want clamp to task count", w)
+	}
+	if w := Workers(-1, 0); w < 1 {
+		t.Fatalf("Workers(-1, 0) = %d; want >= 1", w)
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{1, 2, 8, 33} {
+		out, err := Map(context.Background(), 100, workers, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	t.Parallel()
+	const workers = 3
+	var cur, max atomic.Int64
+	_, err := Map(context.Background(), 50, workers, func(_ context.Context, i int) (struct{}, error) {
+		n := cur.Add(1)
+		for {
+			m := max.Load()
+			if n <= m || max.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		time.Sleep(100 * time.Microsecond)
+		cur.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := max.Load(); got > workers {
+		t.Fatalf("observed %d concurrent tasks; pool bound is %d", got, workers)
+	}
+}
+
+func TestMapFirstErrorStopsPool(t *testing.T) {
+	t.Parallel()
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	_, m, err := MapMetrics(context.Background(), 1000, 2, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		time.Sleep(50 * time.Microsecond)
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v; want boom", err)
+	}
+	if m.Started == 1000 {
+		t.Fatal("error should stop the pool before all tasks start")
+	}
+	if ran.Load() != m.Started {
+		t.Fatalf("ran=%d started=%d", ran.Load(), m.Started)
+	}
+}
+
+func TestMapCapturesPanics(t *testing.T) {
+	t.Parallel()
+	_, err := Map(context.Background(), 10, 4, func(_ context.Context, i int) (int, error) {
+		if i == 7 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v; want *PanicError", err)
+	}
+	if pe.Index != 7 || fmt.Sprint(pe.Value) != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("panic not captured faithfully: %+v", pe)
+	}
+}
+
+func TestMapHonorsCancellation(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	_, m, err := MapMetrics(ctx, 10000, 2, func(ctx context.Context, i int) (struct{}, error) {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		time.Sleep(50 * time.Microsecond)
+		return struct{}{}, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v; want context.Canceled", err)
+	}
+	if m.Started == 10000 {
+		t.Fatal("cancellation should prevent remaining tasks from starting")
+	}
+}
+
+func TestMapEmptyAndMetrics(t *testing.T) {
+	t.Parallel()
+	out, m, err := MapMetrics(context.Background(), 0, 4, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	})
+	if err != nil || len(out) != 0 || m.Started != 0 {
+		t.Fatalf("empty map: out=%v m=%+v err=%v", out, m, err)
+	}
+
+	before := GlobalCounters()
+	_, m, err = MapMetrics(context.Background(), 20, 4, func(_ context.Context, i int) (int, error) {
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Started != 20 || m.Finished != 20 || m.Tasks != 20 {
+		t.Fatalf("metrics counters: %+v", m)
+	}
+	if m.Busy < 20*time.Millisecond || m.Wall <= 0 {
+		t.Fatalf("timing counters implausible: %+v", m)
+	}
+	if m.Occupancy() <= 0 || m.Speedup() <= 0 {
+		t.Fatalf("derived metrics: occupancy=%g speedup=%g", m.Occupancy(), m.Speedup())
+	}
+	delta := GlobalCounters().Sub(before)
+	if delta.Finished < 20 || delta.Busy < 20*time.Millisecond {
+		t.Fatalf("global counters did not accrue: %+v", delta)
+	}
+}
+
+func TestEach(t *testing.T) {
+	t.Parallel()
+	var sum atomic.Int64
+	if err := Each(context.Background(), 100, 8, func(_ context.Context, i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}

@@ -72,6 +72,17 @@ func (r *RNG) SplitNamed(label string) *RNG {
 	return NewRNG(seed)
 }
 
+// SplitIndexed derives a child generator keyed by an integer index, so that
+// run i's stream is a pure function of (parent state, i) — independent of
+// the order, or the goroutine, in which sibling streams are derived. It is
+// the worker-pool analogue of SplitNamed and, like it, does not advance the
+// parent, so a parent shared read-only across a pool is race-free.
+func (r *RNG) SplitIndexed(i uint64) *RNG {
+	sm := i ^ 0xD1B54A32D192ED03
+	seed := splitmix64(&sm) ^ r.s[0] ^ rotl(r.s[2], 13)
+	return NewRNG(seed)
+}
+
 // Float64 returns a uniform value in [0, 1).
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)

@@ -7,6 +7,7 @@ import (
 )
 
 func TestRNGDeterministic(t *testing.T) {
+	t.Parallel()
 	a, b := NewRNG(42), NewRNG(42)
 	for i := 0; i < 100; i++ {
 		if a.Uint64() != b.Uint64() {
@@ -27,6 +28,7 @@ func TestRNGDeterministic(t *testing.T) {
 }
 
 func TestRNGSplitIndependence(t *testing.T) {
+	t.Parallel()
 	r := NewRNG(1)
 	c1 := r.Split()
 	c2 := r.Split()
@@ -42,6 +44,7 @@ func TestRNGSplitIndependence(t *testing.T) {
 }
 
 func TestRNGSplitNamedStable(t *testing.T) {
+	t.Parallel()
 	r1 := NewRNG(9)
 	r2 := NewRNG(9)
 	// Drawing other named streams first must not perturb "q17".
@@ -53,7 +56,32 @@ func TestRNGSplitNamedStable(t *testing.T) {
 	}
 }
 
+func TestRNGSplitIndexedStable(t *testing.T) {
+	t.Parallel()
+	r1 := NewRNG(9)
+	r2 := NewRNG(9)
+	// Deriving other indexed streams first must not perturb index 17, so
+	// parallel workers can derive per-task streams in any order.
+	_ = r2.SplitIndexed(3)
+	a := r1.SplitIndexed(17).Uint64()
+	b := r2.SplitIndexed(17).Uint64()
+	if a != b {
+		t.Fatal("SplitIndexed should be stable regardless of other streams")
+	}
+	// Distinct indices give distinct streams, and deriving does not advance
+	// the parent.
+	if r1.SplitIndexed(17).Uint64() == r1.SplitIndexed(18).Uint64() {
+		t.Fatal("adjacent indices should decorrelate")
+	}
+	c1, c2 := NewRNG(9), NewRNG(9)
+	_ = c1.SplitIndexed(5)
+	if c1.Uint64() != c2.Uint64() {
+		t.Fatal("SplitIndexed must not advance the parent stream")
+	}
+}
+
 func TestFloat64Range(t *testing.T) {
+	t.Parallel()
 	r := NewRNG(5)
 	for i := 0; i < 10000; i++ {
 		v := r.Float64()
@@ -64,6 +92,7 @@ func TestFloat64Range(t *testing.T) {
 }
 
 func TestNormalMoments(t *testing.T) {
+	t.Parallel()
 	r := NewRNG(7)
 	n := 50000
 	xs := make([]float64, n)
@@ -79,6 +108,7 @@ func TestNormalMoments(t *testing.T) {
 }
 
 func TestBernoulli(t *testing.T) {
+	t.Parallel()
 	r := NewRNG(13)
 	hits := 0
 	for i := 0; i < 20000; i++ {
@@ -93,6 +123,7 @@ func TestBernoulli(t *testing.T) {
 }
 
 func TestPermIsPermutation(t *testing.T) {
+	t.Parallel()
 	r := NewRNG(21)
 	p := r.Perm(100)
 	seen := make([]bool, 100)
@@ -105,6 +136,7 @@ func TestPermIsPermutation(t *testing.T) {
 }
 
 func TestQuantileKnown(t *testing.T) {
+	t.Parallel()
 	xs := []float64{1, 2, 3, 4, 5}
 	if Median(xs) != 3 {
 		t.Fatalf("median = %g", Median(xs))
@@ -121,6 +153,7 @@ func TestQuantileKnown(t *testing.T) {
 }
 
 func TestQuantileDoesNotMutate(t *testing.T) {
+	t.Parallel()
 	xs := []float64{3, 1, 2}
 	_ = Quantile(xs, 0.5)
 	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
@@ -129,6 +162,7 @@ func TestQuantileDoesNotMutate(t *testing.T) {
 }
 
 func TestSummarize(t *testing.T) {
+	t.Parallel()
 	s := Summarize([]float64{1, 2, 3, 4, 100})
 	if s.N != 5 || s.Min != 1 || s.Max != 100 || s.Median != 3 {
 		t.Fatalf("summary = %+v", s)
@@ -143,6 +177,7 @@ func TestSummarize(t *testing.T) {
 }
 
 func TestConvergenceBand(t *testing.T) {
+	t.Parallel()
 	runs := [][]float64{
 		{10, 8, 6},
 		{12, 9, 7},
@@ -163,6 +198,7 @@ func TestConvergenceBand(t *testing.T) {
 }
 
 func TestHistogram(t *testing.T) {
+	t.Parallel()
 	xs := []float64{0, 0.1, 0.5, 0.9, 1.0}
 	bins := Histogram(xs, 2)
 	if len(bins) != 2 {
@@ -178,6 +214,7 @@ func TestHistogram(t *testing.T) {
 }
 
 func TestMinMaxArgMin(t *testing.T) {
+	t.Parallel()
 	xs := []float64{4, -2, 9}
 	if Min(xs) != -2 || Max(xs) != 9 || ArgMin(xs) != 1 {
 		t.Fatal("min/max/argmin wrong")
@@ -188,6 +225,7 @@ func TestMinMaxArgMin(t *testing.T) {
 }
 
 func TestClamp(t *testing.T) {
+	t.Parallel()
 	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
 		t.Fatal("Clamp wrong")
 	}
@@ -195,6 +233,7 @@ func TestClamp(t *testing.T) {
 
 // Property: quantiles are monotone in q and bounded by min/max.
 func TestPropQuantileMonotone(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64) bool {
 		r := NewRNG(seed)
 		n := 1 + r.Intn(50)
@@ -219,6 +258,7 @@ func TestPropQuantileMonotone(t *testing.T) {
 
 // Property: variance is non-negative and zero for constant samples.
 func TestPropVariance(t *testing.T) {
+	t.Parallel()
 	f := func(seed uint64) bool {
 		r := NewRNG(seed)
 		n := 2 + r.Intn(20)
@@ -241,6 +281,7 @@ func TestPropVariance(t *testing.T) {
 }
 
 func TestHistogramConstantValues(t *testing.T) {
+	t.Parallel()
 	bins := Histogram([]float64{5, 5, 5, 5}, 4)
 	total := 0
 	for _, b := range bins {
@@ -255,6 +296,7 @@ func TestHistogramConstantValues(t *testing.T) {
 }
 
 func TestQuantilePanics(t *testing.T) {
+	t.Parallel()
 	assertPanics := func(f func()) {
 		defer func() {
 			if recover() == nil {
@@ -269,6 +311,7 @@ func TestQuantilePanics(t *testing.T) {
 }
 
 func TestExponentialAndLogNormal(t *testing.T) {
+	t.Parallel()
 	r := NewRNG(77)
 	n := 40000
 	var sumExp, sumLog float64

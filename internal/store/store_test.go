@@ -10,6 +10,7 @@ import (
 func fixedClock(t time.Time) func() time.Time { return func() time.Time { return t } }
 
 func TestPathHelpers(t *testing.T) {
+	t.Parallel()
 	if EventPath("job-1", 7) != "events/job-1/run-000007.jsonl" {
 		t.Fatalf("event path = %q", EventPath("job-1", 7))
 	}
@@ -22,6 +23,7 @@ func TestPathHelpers(t *testing.T) {
 }
 
 func TestTokenRoundTrip(t *testing.T) {
+	t.Parallel()
 	s := New([]byte("secret"))
 	tok := s.Sign("events/job-1/", PermWrite, time.Hour)
 	if err := s.Verify(tok, "events/job-1/run-000001.jsonl", PermWrite); err != nil {
@@ -30,6 +32,7 @@ func TestTokenRoundTrip(t *testing.T) {
 }
 
 func TestTokenScope(t *testing.T) {
+	t.Parallel()
 	s := New([]byte("secret"))
 	tok := s.Sign("events/job-1/", PermWrite, time.Hour)
 	if err := s.Verify(tok, "events/job-2/x", PermWrite); !errors.Is(err, ErrTokenScope) {
@@ -41,6 +44,7 @@ func TestTokenScope(t *testing.T) {
 }
 
 func TestTokenExpiry(t *testing.T) {
+	t.Parallel()
 	s := New([]byte("secret"))
 	base := time.Unix(1000, 0)
 	s.SetClock(fixedClock(base))
@@ -52,6 +56,7 @@ func TestTokenExpiry(t *testing.T) {
 }
 
 func TestTokenForgery(t *testing.T) {
+	t.Parallel()
 	s1 := New([]byte("secret-a"))
 	s2 := New([]byte("secret-b"))
 	tok := s1.Sign("models/", PermRead, time.Hour)
@@ -64,6 +69,7 @@ func TestTokenForgery(t *testing.T) {
 }
 
 func TestPutGetWithTokens(t *testing.T) {
+	t.Parallel()
 	s := New([]byte("k"))
 	w := s.Sign("events/j/", PermWrite, time.Hour)
 	r := s.Sign("events/j/", PermRead, time.Hour)
@@ -87,6 +93,7 @@ func TestPutGetWithTokens(t *testing.T) {
 }
 
 func TestGetReturnsCopy(t *testing.T) {
+	t.Parallel()
 	s := New([]byte("k"))
 	s.PutInternal("models/u/a.model", []byte{1, 2, 3})
 	blob, err := s.GetInternal("models/u/a.model")
@@ -101,6 +108,7 @@ func TestGetReturnsCopy(t *testing.T) {
 }
 
 func TestList(t *testing.T) {
+	t.Parallel()
 	s := New([]byte("k"))
 	s.PutInternal("events/a/1", nil)
 	s.PutInternal("events/a/2", nil)
@@ -119,6 +127,7 @@ func TestList(t *testing.T) {
 }
 
 func TestRetentionCleanup(t *testing.T) {
+	t.Parallel()
 	s := New([]byte("k"))
 	base := time.Unix(5000, 0)
 	s.SetClock(fixedClock(base))
@@ -142,6 +151,7 @@ func TestRetentionCleanup(t *testing.T) {
 }
 
 func TestConcurrentAccess(t *testing.T) {
+	t.Parallel()
 	s := New([]byte("k"))
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {

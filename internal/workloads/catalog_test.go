@@ -7,6 +7,7 @@ import (
 )
 
 func TestCatalogSpecCardinalities(t *testing.T) {
+	t.Parallel()
 	h := TPCHCatalog()
 	li, ok := h.Table("lineitem")
 	if !ok || li.Rows != 6_001_215 || !li.Fact {
@@ -26,6 +27,7 @@ func TestCatalogSpecCardinalities(t *testing.T) {
 }
 
 func TestCatalogFactsAndDimensions(t *testing.T) {
+	t.Parallel()
 	h := TPCHCatalog()
 	facts := h.Facts()
 	if len(facts) != 3 || facts[0].Name != "lineitem" {
@@ -43,6 +45,7 @@ func TestCatalogFactsAndDimensions(t *testing.T) {
 }
 
 func TestCatalogScanScaling(t *testing.T) {
+	t.Parallel()
 	h := TPCHCatalog()
 	li1, err := h.Scan("lineitem", 1)
 	if err != nil {
@@ -64,6 +67,7 @@ func TestCatalogScanScaling(t *testing.T) {
 }
 
 func TestCatalogQuery(t *testing.T) {
+	t.Parallel()
 	for _, cat := range []*Catalog{TPCHCatalog(), TPCDSCatalog()} {
 		for idx := 1; idx <= 6; idx++ {
 			q, err := cat.CatalogQuery(idx, 10, 7)
@@ -85,6 +89,7 @@ func TestCatalogQuery(t *testing.T) {
 }
 
 func TestCatalogQueriesTunable(t *testing.T) {
+	t.Parallel()
 	// Catalog queries must present the same kind of tunable surfaces as the
 	// synthetic generator: interior optimum in shuffle partitions.
 	e := sparksim.NewEngine(sparksim.QuerySpace())

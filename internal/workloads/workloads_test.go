@@ -9,12 +9,14 @@ import (
 )
 
 func TestSuiteCounts(t *testing.T) {
+	t.Parallel()
 	if TPCDS.QueryCount() != 99 || TPCH.QueryCount() != 22 {
 		t.Fatal("suite counts drifted from the benchmarks")
 	}
 }
 
 func TestGeneratorDeterministic(t *testing.T) {
+	t.Parallel()
 	g1 := NewGenerator(42)
 	g2 := NewGenerator(42)
 	for _, idx := range []int{1, 17, 99} {
@@ -33,6 +35,7 @@ func TestGeneratorDeterministic(t *testing.T) {
 }
 
 func TestGeneratorSeedMatters(t *testing.T) {
+	t.Parallel()
 	a := NewGenerator(1).Query(TPCH, 5)
 	b := NewGenerator(2).Query(TPCH, 5)
 	if a.Plan.LeafInputCardinality() == b.Plan.LeafInputCardinality() {
@@ -41,6 +44,7 @@ func TestGeneratorSeedMatters(t *testing.T) {
 }
 
 func TestQueriesValidateAndDiffer(t *testing.T) {
+	t.Parallel()
 	g := NewGenerator(7)
 	for _, suite := range []Suite{TPCDS, TPCH} {
 		qs := g.Queries(suite)
@@ -61,6 +65,7 @@ func TestQueriesValidateAndDiffer(t *testing.T) {
 }
 
 func TestQueryOptimaDiffer(t *testing.T) {
+	t.Parallel()
 	// The Figure 1 property: different queries peak at different
 	// shuffle.partitions values.
 	g := NewGenerator(11)
@@ -77,6 +82,7 @@ func TestQueryOptimaDiffer(t *testing.T) {
 }
 
 func TestQueryPanicsOutOfRange(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for query 0")
@@ -86,6 +92,7 @@ func TestQueryPanicsOutOfRange(t *testing.T) {
 }
 
 func TestScaleFactorGrowsInput(t *testing.T) {
+	t.Parallel()
 	g1 := NewGenerator(3)
 	g10 := NewGenerator(3)
 	g10.ScaleFactor = 10
@@ -98,6 +105,7 @@ func TestScaleFactorGrowsInput(t *testing.T) {
 }
 
 func TestNotebook(t *testing.T) {
+	t.Parallel()
 	g := NewGenerator(5)
 	nb := g.Notebook(3, 0)
 	if len(nb.Queries) < 1 || len(nb.Queries) > 6 {
@@ -122,6 +130,7 @@ func TestNotebook(t *testing.T) {
 }
 
 func TestSizeProcesses(t *testing.T) {
+	t.Parallel()
 	if (Constant{}).Scale(99) != 1 {
 		t.Fatal("zero-value Constant should be 1")
 	}

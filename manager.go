@@ -55,6 +55,27 @@ func (m *Manager) Tuner(signature string) (*Tuner, error) {
 	return t, nil
 }
 
+// Suggest returns the next configuration for a signature, creating its tuner
+// on first use. The iteration index is the tuner's own observation count, so
+// concurrent submission paths for the same signature stay consistent.
+func (m *Manager) Suggest(signature string, expectedInputBytes float64) (Config, error) {
+	t, err := m.Tuner(signature)
+	if err != nil {
+		return nil, err
+	}
+	return t.Suggest(expectedInputBytes), nil
+}
+
+// Observe reports an execution outcome for a signature, creating its tuner on
+// first use (a cold start observed before any Suggest still counts).
+func (m *Manager) Observe(signature string, o Observation) error {
+	t, err := m.Tuner(signature)
+	if err != nil {
+		return err
+	}
+	return t.Report(o)
+}
+
 // signatureSeed hashes the signature into a stable seed; seq breaks ties for
 // adversarially colliding strings.
 func signatureSeed(sig string, seq uint64) uint64 {

@@ -25,6 +25,7 @@ package rockhopper
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/rockhopper-db/rockhopper/internal/core"
 	"github.com/rockhopper-db/rockhopper/internal/embedding"
@@ -110,10 +111,15 @@ type Params = core.Params
 // model-probe FIND_GRADIENT.
 func DefaultParams() Params { return core.DefaultParams() }
 
-// Tuner tunes one recurrent query signature with Centroid Learning.
+// Tuner tunes one recurrent query signature with Centroid Learning. All
+// methods are safe for concurrent use; the tuner serializes them internally,
+// matching the production setting where retries and speculative submissions
+// of the same signature can overlap.
 type Tuner struct {
 	space *Space
-	cl    *core.CentroidLearner
+
+	mu sync.Mutex
+	cl *core.CentroidLearner
 }
 
 // Option customizes a Tuner.
@@ -206,7 +212,19 @@ func NewTuner(space *Space, opts ...Option) (*Tuner, error) {
 // expectedInputBytes is the anticipated input size of the upcoming run; pass
 // 0 when unknown.
 func (t *Tuner) Recommend(iteration int, expectedInputBytes float64) Config {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.cl.Propose(iteration, expectedInputBytes)
+}
+
+// Suggest is Recommend with the iteration index managed by the tuner: it uses
+// the number of observations reported so far, read under the same lock as the
+// proposal, so concurrent callers cannot observe a torn iteration counter.
+// Prefer it when several submission paths drive one signature.
+func (t *Tuner) Suggest(expectedInputBytes float64) Config {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cl.Propose(t.cl.Iterations(), expectedInputBytes)
 }
 
 // Report feeds an execution outcome back to the tuner. Config and Time are
@@ -218,16 +236,26 @@ func (t *Tuner) Report(o Observation) error {
 	if o.Time <= 0 {
 		return fmt.Errorf("rockhopper: observation time must be positive, got %g", o.Time)
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.cl.Observe(o)
 	return nil
 }
 
 // Disabled reports whether the guardrail has reverted this query to the
 // default configuration.
-func (t *Tuner) Disabled() bool { return t.cl.Disabled() }
+func (t *Tuner) Disabled() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cl.Disabled()
+}
 
 // Centroid exposes the current exploration anchor (monitoring/debugging).
-func (t *Tuner) Centroid() Config { return t.cl.Centroid() }
+func (t *Tuner) Centroid() Config {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cl.Centroid()
+}
 
 // Space returns the tuner's configuration space.
 func (t *Tuner) Space() *Space { return t.space }
@@ -237,6 +265,8 @@ func (t *Tuner) Space() *Space { return t.space }
 // restarts. Warm-start data and the configuration space are not included;
 // supply them again on Load.
 func (t *Tuner) Save() ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return core.EncodeSnapshot(t.cl.Snapshot())
 }
 
@@ -252,10 +282,16 @@ func (t *Tuner) Load(blob []byte) error {
 	if len(snap.Centroid) != 0 && len(snap.Centroid) != t.space.Dim() {
 		return fmt.Errorf("rockhopper: snapshot is for a %d-dim space, tuner has %d", len(snap.Centroid), t.space.Dim())
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.cl.Restore(snap)
 	return nil
 }
 
 // Iterations returns the number of observations reported so far — the
 // iteration index to continue from after a Load.
-func (t *Tuner) Iterations() int { return t.cl.Iterations() }
+func (t *Tuner) Iterations() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cl.Iterations()
+}
