@@ -6,7 +6,10 @@
 // Usage:
 //
 //	autotuned [-addr :8080] [-secret cluster-secret] [-space query|full]
-//	          [-retention 720h]
+//	          [-retention 720h] [-request-timeout 15s]
+//
+// Liveness and per-endpoint error accounting are exposed unauthenticated at
+// GET /api/health.
 package main
 
 import (
@@ -28,6 +31,8 @@ func main() {
 	spaceName := flag.String("space", "query", "configuration space: query (3 params) or full (7 params)")
 	retention := flag.Duration("retention", 30*24*time.Hour, "event-file retention window (GDPR cleanup)")
 	signingKey := flag.String("signing-key", "", "token signing key (required)")
+	reqTimeout := flag.Duration("request-timeout", backend.DefaultRequestTimeout,
+		"per-request handler deadline (0 disables)")
 	flag.Parse()
 
 	if *secret == "" || *signingKey == "" {
@@ -49,6 +54,7 @@ func main() {
 	st := store.New([]byte(*signingKey))
 	srv := backend.New(space, st, *secret, uint64(time.Now().UnixNano()))
 	srv.Logger = logger
+	srv.RequestTimeout = *reqTimeout
 	defer srv.Close()
 
 	// Storage Manager retention sweep.
@@ -62,7 +68,8 @@ func main() {
 		}
 	}()
 
-	logger.Printf("listening on %s (space=%s, retention=%v)", *addr, *spaceName, *retention)
+	logger.Printf("listening on %s (space=%s, retention=%v, request-timeout=%v, health at /api/health)",
+		*addr, *spaceName, *retention, *reqTimeout)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		logger.Fatal(err)
 	}

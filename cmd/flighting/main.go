@@ -7,21 +7,37 @@
 //
 //	flighting [-config file.json] [-suite tpcds|tpch] [-runs N]
 //	          [-scale F] [-seed N] [-out traces.jsonl]
+//	          [-backend http://host:8080 -backend-secret s -user u -job j]
+//	          [-timeout 10s] [-retries 4] [-fault-rate 0] [-fault-seed 1]
 //
 // With -config, the JSON file supplies the full flighting configuration
 // (matching the production pipeline's config-file interface); the other
 // flags override individual fields.
+//
+// With -backend, traces are additionally shipped to a running autotuned
+// daemon through the resilient Autotune Client (per-call deadlines, jittered
+// retries, circuit breaker), seeding its baseline models. -fault-rate injects
+// transient transport faults into the upload path — a live demonstration
+// that retries absorb them without losing traces.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sort"
+	"time"
 
+	"github.com/rockhopper-db/rockhopper/internal/client"
 	"github.com/rockhopper-db/rockhopper/internal/flighting"
 	"github.com/rockhopper-db/rockhopper/internal/noise"
+	"github.com/rockhopper-db/rockhopper/internal/resilience"
+	"github.com/rockhopper-db/rockhopper/internal/resilience/faultinject"
 	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
 	"github.com/rockhopper-db/rockhopper/internal/workloads"
 )
 
@@ -32,6 +48,14 @@ func main() {
 	scale := flag.Float64("scale", 1, "benchmark scale factor")
 	seed := flag.Uint64("seed", 42, "pipeline seed")
 	out := flag.String("out", "", "output path (default stdout)")
+	backendURL := flag.String("backend", "", "autotuned base URL; ship traces there after the run")
+	backendSecret := flag.String("backend-secret", "", "cluster shared secret for -backend")
+	user := flag.String("user", "flighting", "backend user the traces are ingested under")
+	job := flag.String("job", "flighting", "backend job ID the traces are ingested under")
+	timeout := flag.Duration("timeout", client.DefaultCallTimeout, "per-call deadline for backend uploads")
+	retries := flag.Int("retries", 0, "max upload attempts per call (0 = client default)")
+	faultRate := flag.Float64("fault-rate", 0, "inject transient transport faults at this rate (demo)")
+	faultSeed := flag.Uint64("fault-seed", 1, "seed for injected faults")
 	flag.Parse()
 
 	cfg := flighting.Config{
@@ -75,6 +99,50 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "flighting: wrote %d traces (%s, %d runs/query, SF %g)\n",
 		len(traces), cfg.Suite, cfg.RunsPerQuery, cfg.ScaleFactor)
+
+	if *backendURL != "" {
+		upload(traces, *backendURL, *backendSecret, *user, *job, *timeout, *retries, *faultRate, *faultSeed)
+	}
+}
+
+// upload ships traces to the Autotune Backend through the resilient client,
+// one PostEvents call per query signature.
+func upload(traces []flighting.Trace, url, secret, user, job string,
+	timeout time.Duration, retries int, faultRate float64, faultSeed uint64) {
+	c := client.New(url, secret)
+	c.CallTimeout = timeout
+	if retries > 0 {
+		c.Retry = resilience.Policy{MaxAttempts: retries}
+	}
+	var ft *faultinject.Transport
+	if faultRate > 0 {
+		ft = &faultinject.Transport{Plan: &faultinject.Rate{P: faultRate, RNG: stats.NewRNG(faultSeed)}}
+		c.HTTP = &http.Client{Transport: ft, Timeout: client.DefaultHTTPTimeout}
+	}
+
+	bySig := make(map[string][]flighting.Trace)
+	for _, tr := range traces {
+		bySig[tr.QueryID] = append(bySig[tr.QueryID], tr)
+	}
+	sigs := make([]string, 0, len(bySig))
+	for sig := range bySig {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+
+	shipped := 0
+	for _, sig := range sigs {
+		if err := c.PostEvents(context.Background(), user, sig, job, bySig[sig]); err != nil {
+			fatal("upload %s: %v", sig, err)
+		}
+		shipped += len(bySig[sig])
+	}
+	if ft != nil {
+		fmt.Fprintf(os.Stderr, "flighting: fault injection: %d/%d transport attempts faulted\n",
+			ft.Attempts.Load()-ft.Forwarded.Load(), ft.Attempts.Load())
+	}
+	fmt.Fprintf(os.Stderr, "flighting: shipped %d traces across %d signatures to %s\n",
+		shipped, len(sigs), url)
 }
 
 func fatal(format string, args ...any) {

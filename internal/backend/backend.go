@@ -17,6 +17,9 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -67,17 +70,38 @@ type AppCacheRequest struct {
 	Queries    []QueryHistory  `json:"queries"`
 }
 
+// ObjectStore is the storage surface the backend consumes. *store.Store is
+// the production implementation; resilience tests substitute a fault-
+// injecting wrapper (internal/resilience/faultinject).
+type ObjectStore interface {
+	Sign(prefix string, perm store.Permission, ttl time.Duration) string
+	Verify(tok, p string, perm store.Permission) error
+	Put(tok, p string, data []byte) error
+	Get(tok, p string) ([]byte, error)
+	PutInternal(p string, data []byte)
+	GetInternal(p string) ([]byte, error)
+	List(prefix string) []string
+}
+
+var _ ObjectStore = (*store.Store)(nil)
+
 // Server is the Autotune Backend.
 type Server struct {
 	Space *sparksim.Space
-	Store *store.Store
+	Store ObjectStore
 	Cache *applevel.Cache
 	// ClusterSecret authenticates Spark clusters.
 	ClusterSecret string
 	// TokenTTL bounds issued tokens.
 	TokenTTL time.Duration
+	// RequestTimeout bounds each HTTP request's context; <= 0 disables the
+	// deadline. New sets DefaultRequestTimeout.
+	RequestTimeout time.Duration
 	// Logger receives operational messages; nil silences them.
 	Logger *log.Logger
+
+	// metrics is the per-endpoint error accounting behind GET /api/health.
+	metrics serverMetrics
 
 	// rngMu guards rng: handlers run on arbitrary net/http goroutines, and
 	// Split advances the parent stream.
@@ -105,18 +129,23 @@ type updateJob struct {
 	signature string
 }
 
+// DefaultRequestTimeout is the per-request deadline New installs.
+const DefaultRequestTimeout = 15 * time.Second
+
 // New constructs a backend server and starts its streaming jobs.
-func New(space *sparksim.Space, st *store.Store, clusterSecret string, seed uint64) *Server {
+func New(space *sparksim.Space, st ObjectStore, clusterSecret string, seed uint64) *Server {
 	s := &Server{
-		Space:         space,
-		Store:         st,
-		Cache:         applevel.NewCache(),
-		ClusterSecret: clusterSecret,
-		TokenTTL:      15 * time.Minute,
-		rng:           stats.NewRNG(seed),
-		seqs:          make(map[string]int),
-		updates:       make(chan updateJob, 256),
+		Space:          space,
+		Store:          st,
+		Cache:          applevel.NewCache(),
+		ClusterSecret:  clusterSecret,
+		TokenTTL:       15 * time.Minute,
+		RequestTimeout: DefaultRequestTimeout,
+		rng:            stats.NewRNG(seed),
+		seqs:           make(map[string]int),
+		updates:        make(chan updateJob, 256),
 	}
+	s.metrics.start = time.Now()
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(1)
 	go s.modelUpdater()
@@ -150,16 +179,19 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// Handler returns the backend's HTTP routes.
+// Handler returns the backend's HTTP routes. Every endpoint runs under the
+// server's request deadline and feeds the per-endpoint error accounting
+// surfaced by GET /api/health.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/token", s.handleToken)
-	mux.HandleFunc("GET /api/object", s.handleGetObject)
-	mux.HandleFunc("PUT /api/object", s.handlePutObject)
-	mux.HandleFunc("POST /api/events", s.handleEvents)
-	mux.HandleFunc("POST /api/eventlog", s.handleEventLog)
-	mux.HandleFunc("GET /api/appcache", s.handleGetAppCache)
-	mux.HandleFunc("POST /api/appcache", s.handleComputeAppCache)
+	mux.HandleFunc("POST /api/token", s.instrument("token", s.handleToken))
+	mux.HandleFunc("GET /api/object", s.instrument("get_object", s.handleGetObject))
+	mux.HandleFunc("PUT /api/object", s.instrument("put_object", s.handlePutObject))
+	mux.HandleFunc("POST /api/events", s.instrument("events", s.handleEvents))
+	mux.HandleFunc("POST /api/eventlog", s.instrument("eventlog", s.handleEventLog))
+	mux.HandleFunc("GET /api/appcache", s.instrument("get_appcache", s.handleGetAppCache))
+	mux.HandleFunc("POST /api/appcache", s.instrument("compute_appcache", s.handleComputeAppCache))
+	mux.HandleFunc("GET /api/health", s.handleHealth)
 	return mux
 }
 
@@ -280,23 +312,45 @@ func (s *Server) handleEventLog(w http.ResponseWriter, r *http.Request) {
 		tr[0].QueryID = sig
 		bySig[sig] = append(bySig[sig], tr[0])
 	}
-	// Verify the write token covers this job's event folder, then persist
-	// one event file per signature batch.
+	// Walk signatures in a stable order so sequence assignment is
+	// deterministic for a given log.
+	sigs := make([]string, 0, len(bySig))
+	for sig := range bySig {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	// Two-phase ingest so a mid-loop store failure cannot leave some
+	// signature batches persisted+enqueued and others lost behind a 5xx.
+	// Phase 1 stages every event file; only after all writes succeed does
+	// phase 2 commit the index entries and enqueue model updates. Staged
+	// files without index entries are invisible to the Model Updater and
+	// reaped by the retention sweep.
 	tok := r.Header.Get(SASTokenHeader)
-	for sig, traces := range bySig {
+	type staged struct {
+		sig string
+		seq int
+	}
+	var commits []staged
+	for _, sig := range sigs {
+		if err := r.Context().Err(); err != nil {
+			http.Error(w, "request deadline exceeded", http.StatusServiceUnavailable)
+			return
+		}
 		var buf bytes.Buffer
-		if err := flighting.WriteTraces(&buf, traces); err != nil {
+		if err := flighting.WriteTraces(&buf, bySig[sig]); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 		seq := s.nextSeq(jobID)
-		p := store.EventPath(jobID, seq)
-		if err := s.Store.Put(tok, p, buf.Bytes()); err != nil {
+		if err := s.Store.Put(tok, store.EventPath(jobID, seq), buf.Bytes()); err != nil {
 			http.Error(w, err.Error(), storeStatus(err))
 			return
 		}
-		s.Store.PutInternal(signatureIndexPath(user, sig, jobID, seq), nil)
-		s.enqueue(updateJob{user: user, signature: sig})
+		commits = append(commits, staged{sig: sig, seq: seq})
+	}
+	for _, c := range commits {
+		s.Store.PutInternal(signatureIndexPath(user, c.sig, jobID, c.seq), nil)
+		s.enqueue(updateJob{user: user, signature: c.sig})
 	}
 	w.WriteHeader(http.StatusAccepted)
 }
@@ -317,6 +371,21 @@ func (s *Server) nextSeq(jobID string) int {
 
 func signatureIndexPath(user, signature, jobID string, seq int) string {
 	return fmt.Sprintf("index/%s/%s/%s-%06d", user, signature, jobID, seq)
+}
+
+// parseIndexEntry splits a "<jobID>-<seq>" index-entry suffix on its last
+// '-'. The %06d zero-padding is a sort convenience, not a width contract:
+// sequence numbers past 999999 print wider and still round-trip.
+func parseIndexEntry(rest string) (jobID string, seq int, err error) {
+	i := strings.LastIndexByte(rest, '-')
+	if i <= 0 || i == len(rest)-1 {
+		return "", 0, fmt.Errorf("no jobID-seq separator in %q", rest)
+	}
+	seq, err = strconv.Atoi(rest[i+1:])
+	if err != nil || seq < 0 {
+		return "", 0, fmt.Errorf("bad sequence number in %q", rest)
+	}
+	return rest[:i], seq, nil
 }
 
 func (s *Server) enqueue(j updateJob) {
@@ -345,23 +414,24 @@ func (s *Server) modelUpdater() {
 
 func (s *Server) retrain(user, signature string) {
 	var traces []flighting.Trace
-	for _, idx := range s.Store.List(fmt.Sprintf("index/%s/%s/", user, signature)) {
-		// index/<user>/<sig>/<jobID>-<seq>
-		var jobID string
-		var seq int
-		if _, err := fmt.Sscanf(idx[len(fmt.Sprintf("index/%s/%s/", user, signature)):], "%s", &jobID); err != nil {
+	prefix := fmt.Sprintf("index/%s/%s/", user, signature)
+	for _, idx := range s.Store.List(prefix) {
+		// index/<user>/<sig>/<jobID>-<seq>. jobID may itself contain '-',
+		// and seq outgrows its %06d zero-padding after 999999 event files,
+		// so split on the LAST separator instead of a fixed width.
+		jobID, seq, err := parseIndexEntry(idx[len(prefix):])
+		if err != nil {
+			s.logf("backend: skipping malformed index entry %q: %v", idx, err)
 			continue
 		}
-		if n, err := fmt.Sscanf(jobID[len(jobID)-6:], "%06d", &seq); n != 1 || err != nil {
-			continue
-		}
-		jobID = jobID[:len(jobID)-7]
 		blob, err := s.Store.GetInternal(store.EventPath(jobID, seq))
 		if err != nil {
+			s.logf("backend: index entry %q points at unreadable event file: %v", idx, err)
 			continue
 		}
 		ts, err := flighting.ReadTraces(bytesReader(blob))
 		if err != nil {
+			s.logf("backend: corrupt event file for index entry %q: %v", idx, err)
 			continue
 		}
 		traces = append(traces, ts...)
@@ -430,6 +500,12 @@ func (s *Server) handleComputeAppCache(w http.ResponseWriter, r *http.Request) {
 		}
 		states = append(states, qs)
 	}
+	// The joint optimizer is the backend's heaviest handler work; honor the
+	// request deadline before committing to it.
+	if err := r.Context().Err(); err != nil {
+		http.Error(w, "request deadline exceeded", http.StatusServiceUnavailable)
+		return
+	}
 	s.rngMu.Lock()
 	jr := s.rng.Split()
 	s.rngMu.Unlock()
@@ -455,14 +531,20 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
+// storeStatus maps store errors to distinct HTTP statuses so clients can
+// tell "does not exist" (404) from "not allowed" (403) from "broken" (500)
+// — conflating these is exactly the silent-degradation bug the client's
+// model loader used to have.
 func storeStatus(err error) int {
 	switch {
 	case err == nil:
 		return http.StatusOK
 	case isTokenErr(err):
 		return http.StatusForbidden
-	default:
+	case errors.Is(err, store.ErrNotFound):
 		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
 	}
 }
 

@@ -1,0 +1,141 @@
+package backend
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// EndpointHealth is one endpoint's request/error accounting.
+type EndpointHealth struct {
+	// Requests counts every request routed to the endpoint.
+	Requests int64 `json:"requests"`
+	// ClientErrors counts 4xx responses (caller mistakes, auth).
+	ClientErrors int64 `json:"client_errors"`
+	// ServerErrors counts 5xx responses.
+	ServerErrors int64 `json:"server_errors"`
+	// Timeouts counts requests whose deadline expired while handling.
+	Timeouts int64 `json:"timeouts"`
+	// LastError is the most recent non-2xx response body (truncated).
+	LastError string `json:"last_error,omitempty"`
+	// LastErrorUnixMs timestamps LastError.
+	LastErrorUnixMs int64 `json:"last_error_unix_ms,omitempty"`
+}
+
+// HealthReport is the GET /api/health payload: structured per-endpoint
+// error accounting plus queue state, so operators (and tests) can see
+// degradation instead of inferring it from client-side symptoms.
+type HealthReport struct {
+	// Status is "ok" or "degraded" (a server error in the last minute).
+	Status string `json:"status"`
+	// UptimeSeconds since the server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// PendingUpdates is the Model Updater queue depth.
+	PendingUpdates int `json:"pending_updates"`
+	// Endpoints maps endpoint name to its accounting.
+	Endpoints map[string]EndpointHealth `json:"endpoints"`
+}
+
+// serverMetrics aggregates per-endpoint accounting under one lock; request
+// handling only touches it twice per request (counter + outcome).
+type serverMetrics struct {
+	start time.Time
+
+	mu        sync.Mutex
+	endpoints map[string]*EndpointHealth
+	lastErrAt time.Time
+}
+
+func (m *serverMetrics) observe(name string, status int, errBody string, timedOut bool, now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.endpoints == nil {
+		m.endpoints = make(map[string]*EndpointHealth)
+	}
+	e := m.endpoints[name]
+	if e == nil {
+		e = &EndpointHealth{}
+		m.endpoints[name] = e
+	}
+	e.Requests++
+	if timedOut {
+		e.Timeouts++
+	}
+	switch {
+	case status >= 500:
+		e.ServerErrors++
+		m.lastErrAt = now
+	case status >= 400:
+		e.ClientErrors++
+	default:
+		return
+	}
+	if len(errBody) > 256 {
+		errBody = errBody[:256]
+	}
+	e.LastError = errBody
+	e.LastErrorUnixMs = now.UnixMilli()
+}
+
+func (m *serverMetrics) report(pending int, now time.Time) HealthReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rep := HealthReport{
+		Status:         "ok",
+		UptimeSeconds:  now.Sub(m.start).Seconds(),
+		PendingUpdates: pending,
+		Endpoints:      make(map[string]EndpointHealth, len(m.endpoints)),
+	}
+	if !m.lastErrAt.IsZero() && now.Sub(m.lastErrAt) < time.Minute {
+		rep.Status = "degraded"
+	}
+	for name, e := range m.endpoints {
+		rep.Endpoints[name] = *e
+	}
+	return rep
+}
+
+// statusRecorder captures the response code and error body for accounting.
+type statusRecorder struct {
+	http.ResponseWriter
+	code    int
+	errBody []byte
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.code >= 400 && len(r.errBody) < 256 {
+		r.errBody = append(r.errBody, b[:min(len(b), 256-len(r.errBody))]...)
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with the server's request deadline and feeds
+// the per-endpoint accounting behind /api/health.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		cancel := func() {}
+		if s.RequestTimeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, s.RequestTimeout)
+		}
+		defer cancel()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r.WithContext(ctx))
+		s.metrics.observe(name, rec.code, string(rec.errBody), ctx.Err() != nil, time.Now())
+	}
+}
+
+// handleHealth serves the backend's health report. It is intentionally
+// unauthenticated (load balancers and probes poll it) and read-only.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	pending := s.pending
+	s.mu.Unlock()
+	writeJSON(w, s.metrics.report(pending, time.Now()))
+}

@@ -6,10 +6,16 @@
 // config-inference module combines a remotely trained model with local
 // Centroid Learning state to pick the configuration applied before the
 // physical planning stage.
+//
+// Every backend call carries a context deadline, is retried with jittered
+// exponential backoff on transient failures (transport faults, 5xx, 429),
+// and flows through a circuit breaker so a dead backend costs one fast
+// failing check per call instead of a full timeout (internal/resilience).
 package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -24,10 +30,24 @@ import (
 	"github.com/rockhopper-db/rockhopper/internal/core"
 	"github.com/rockhopper-db/rockhopper/internal/flighting"
 	"github.com/rockhopper-db/rockhopper/internal/ml"
+	"github.com/rockhopper-db/rockhopper/internal/resilience"
 	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
 	"github.com/rockhopper-db/rockhopper/internal/store"
 	"github.com/rockhopper-db/rockhopper/internal/tuners"
 )
+
+// Default deadlines. DefaultCallTimeout bounds one logical call (all retry
+// attempts included) when the caller's context carries no deadline;
+// DefaultHTTPTimeout bounds a single HTTP round trip when no custom
+// http.Client is supplied — never the unbounded http.DefaultClient.
+const (
+	DefaultCallTimeout = 10 * time.Second
+	DefaultHTTPTimeout = 30 * time.Second
+)
+
+// defaultHTTPClient replaces http.DefaultClient (which has no timeout).
+var defaultHTTPClient = &http.Client{Timeout: DefaultHTTPTimeout}
 
 // Client talks to the Autotune Backend. It is safe for concurrent use.
 type Client struct {
@@ -36,15 +56,29 @@ type Client struct {
 	BaseURL string
 	// ClusterSecret is the Fabric-token-service credential.
 	ClusterSecret string
-	// HTTP is the transport; nil means http.DefaultClient.
+	// HTTP is the transport; nil means a shared client with
+	// DefaultHTTPTimeout.
 	HTTP *http.Client
 	// Logger records inference rationale ("the suggested configurations
 	// along with their rationale"); nil silences it.
 	Logger *log.Logger
+	// Retry is the per-call retry policy; the zero value uses the
+	// resilience defaults.
+	Retry resilience.Policy
+	// CallTimeout bounds each logical call when the caller's context has no
+	// deadline; 0 means DefaultCallTimeout, negative disables the bound.
+	CallTimeout time.Duration
+	// Breaker short-circuits calls while the backend is unhealthy; nil
+	// disables circuit breaking. New installs a default breaker.
+	Breaker *resilience.Breaker
+	// Clock drives backoff sleeps and breaker cool-downs; nil means the
+	// wall clock. Injectable for deterministic tests.
+	Clock resilience.Clock
 
 	mu       sync.Mutex
 	tokens   map[string]cachedToken
 	inflight map[string]*tokenFetch
+	rng      *stats.RNG
 }
 
 type cachedToken struct {
@@ -60,11 +94,13 @@ type tokenFetch struct {
 	err   error
 }
 
-// New returns a client for the given backend endpoint.
+// New returns a client for the given backend endpoint with the default
+// resilience stack (call deadlines, retries, circuit breaker).
 func New(baseURL, clusterSecret string) *Client {
 	return &Client{
 		BaseURL:       baseURL,
 		ClusterSecret: clusterSecret,
+		Breaker:       &resilience.Breaker{},
 		tokens:        make(map[string]cachedToken),
 		inflight:      make(map[string]*tokenFetch),
 	}
@@ -74,7 +110,32 @@ func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
+}
+
+func (c *Client) clock() resilience.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return resilience.RealClock{}
+}
+
+// splitRNG derives an independent jitter stream per call under the lock, so
+// concurrent retry loops never race on one generator.
+func (c *Client) splitRNG() *stats.RNG {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = stats.NewRNG(uint64(time.Now().UnixNano()))
+	}
+	return c.rng.Split()
+}
+
+// SeedJitter makes backoff jitter deterministic (tests, simulations).
+func (c *Client) SeedJitter(seed uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rng = stats.NewRNG(seed)
 }
 
 func (c *Client) logf(format string, args ...any) {
@@ -83,10 +144,77 @@ func (c *Client) logf(format string, args ...any) {
 	}
 }
 
+// callCtx applies the per-call deadline when the caller brought none.
+func (c *Client) callCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	d := c.CallTimeout
+	if d == 0 {
+		d = DefaultCallTimeout
+	}
+	if d < 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// do executes one backend call through the breaker and retry loop. build
+// constructs a fresh request per attempt (so bodies replay safely), want is
+// the success status, and recv (optional) consumes the successful response.
+func (c *Client) do(ctx context.Context, op string, want int, build func(ctx context.Context) (*http.Request, error), recv func(*http.Response) error) error {
+	ctx, cancel := c.callCtx(ctx)
+	defer cancel()
+	br := c.Breaker
+	attempt := func(ctx context.Context) error {
+		if br != nil {
+			if err := br.Allow(); err != nil {
+				return fmt.Errorf("client: %s: %w", op, err)
+			}
+		}
+		err := c.attempt(ctx, op, want, build, recv)
+		if br != nil {
+			// Any response — even a 4xx — proves the backend is alive;
+			// only transport faults, timeouts, and 5xx count against it.
+			if err == nil || (resilience.StatusOf(err) > 0 && resilience.StatusOf(err) < 500) {
+				br.Record(nil)
+			} else {
+				br.Record(err)
+			}
+		}
+		return err
+	}
+	return resilience.Retry(ctx, c.Retry, c.clock(), c.splitRNG(), attempt)
+}
+
+// attempt performs a single HTTP round trip.
+func (c *Client) attempt(ctx context.Context, op string, want int, build func(ctx context.Context) (*http.Request, error), recv func(*http.Response) error) error {
+	req, err := build(ctx)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", op, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return &resilience.HTTPError{Op: "client: " + op, Status: resp.StatusCode, Msg: string(bytes.TrimSpace(msg))}
+	}
+	if recv != nil {
+		return recv(resp)
+	}
+	return nil
+}
+
 // Token returns a (possibly cached) access token for prefix+perm — the
 // AutotuneCredentialManager: "SAS URLs being cached and refreshed as
 // needed".
-func (c *Client) Token(prefix string, perm store.Permission) (string, error) {
+func (c *Client) Token(ctx context.Context, prefix string, perm store.Permission) (string, error) {
 	key := string(perm) + "|" + prefix
 	c.mu.Lock()
 	if t, ok := c.tokens[key]; ok && time.Now().Before(t.expires) {
@@ -97,14 +225,18 @@ func (c *Client) Token(prefix string, perm store.Permission) (string, error) {
 	// requests issues one backend call instead of a thundering herd.
 	if f, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
-		<-f.done
-		return f.token, f.err
+		select {
+		case <-f.done:
+			return f.token, f.err
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
 	}
 	f := &tokenFetch{done: make(chan struct{})}
 	c.inflight[key] = f
 	c.mu.Unlock()
 
-	token, err := c.fetchToken(key, prefix, perm)
+	token, err := c.fetchToken(ctx, key, prefix, perm)
 	f.token, f.err = token, err
 	c.mu.Lock()
 	delete(c.inflight, key)
@@ -114,25 +246,26 @@ func (c *Client) Token(prefix string, perm store.Permission) (string, error) {
 }
 
 // fetchToken performs the actual backend round trip and fills the cache.
-func (c *Client) fetchToken(key, prefix string, perm store.Permission) (string, error) {
+func (c *Client) fetchToken(ctx context.Context, key, prefix string, perm store.Permission) (string, error) {
 	body, _ := json.Marshal(backend.TokenRequest{Prefix: prefix, Perm: perm})
-	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/api/token", bytes.NewReader(body))
+	var tr backend.TokenResponse
+	err := c.do(ctx, "token "+key, http.StatusOK,
+		func(ctx context.Context) (*http.Request, error) {
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/api/token", bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set(backend.ClusterTokenHeader, c.ClusterSecret)
+			return req, nil
+		},
+		func(resp *http.Response) error {
+			if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+				return fmt.Errorf("client: token decode: %w", err)
+			}
+			return nil
+		})
 	if err != nil {
 		return "", err
-	}
-	req.Header.Set(backend.ClusterTokenHeader, c.ClusterSecret)
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return "", fmt.Errorf("client: token request: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return "", fmt.Errorf("client: token request: %s: %s", resp.Status, bytes.TrimSpace(msg))
-	}
-	var tr backend.TokenResponse
-	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
-		return "", fmt.Errorf("client: token decode: %w", err)
 	}
 	// Refresh two minutes before expiry (or at half-life for short TTLs).
 	ttl := time.Duration(tr.TTLSeconds * float64(time.Second))
@@ -147,49 +280,47 @@ func (c *Client) fetchToken(key, prefix string, perm store.Permission) (string, 
 }
 
 // GetObject fetches a store object through a read token on its directory.
-func (c *Client) GetObject(p string) ([]byte, error) {
-	tok, err := c.Token(dirOf(p), store.PermRead)
+func (c *Client) GetObject(ctx context.Context, p string) ([]byte, error) {
+	tok, err := c.Token(ctx, dirOf(p), store.PermRead)
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/api/object?path="+p, nil)
+	var blob []byte
+	err = c.do(ctx, "get "+p, http.StatusOK,
+		func(ctx context.Context) (*http.Request, error) {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/api/object?path="+p, nil)
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set(backend.SASTokenHeader, tok)
+			return req, nil
+		},
+		func(resp *http.Response) error {
+			var rerr error
+			blob, rerr = io.ReadAll(resp.Body)
+			return rerr
+		})
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set(backend.SASTokenHeader, tok)
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return nil, fmt.Errorf("client: get %s: %w", p, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return nil, fmt.Errorf("client: get %s: %s: %s", p, resp.Status, bytes.TrimSpace(msg))
-	}
-	return io.ReadAll(resp.Body)
+	return blob, nil
 }
 
 // PutObject writes a store object through a write token on its directory.
-func (c *Client) PutObject(p string, data []byte) error {
-	tok, err := c.Token(dirOf(p), store.PermWrite)
+func (c *Client) PutObject(ctx context.Context, p string, data []byte) error {
+	tok, err := c.Token(ctx, dirOf(p), store.PermWrite)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequest(http.MethodPut, c.BaseURL+"/api/object?path="+p, bytes.NewReader(data))
-	if err != nil {
-		return err
-	}
-	req.Header.Set(backend.SASTokenHeader, tok)
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return fmt.Errorf("client: put %s: %w", p, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusNoContent {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return fmt.Errorf("client: put %s: %s: %s", p, resp.Status, bytes.TrimSpace(msg))
-	}
-	return nil
+	return c.do(ctx, "put "+p, http.StatusNoContent,
+		func(ctx context.Context) (*http.Request, error) {
+			req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.BaseURL+"/api/object?path="+p, bytes.NewReader(data))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set(backend.SASTokenHeader, tok)
+			return req, nil
+		}, nil)
 }
 
 func dirOf(p string) string {
@@ -202,13 +333,17 @@ func dirOf(p string) string {
 }
 
 // FetchModel loads and deserializes the surrogate for a query signature —
-// the model loader. A missing model is not an error; it returns (nil, nil)
-// so callers fall back to the baseline.
-func (c *Client) FetchModel(user, signature string) (ml.Regressor, error) {
-	blob, err := c.GetObject(store.ModelPath(user, signature))
+// the model loader. A model the backend has not trained yet (HTTP 404) is
+// not an error: it returns (nil, nil) so callers fall back to the baseline.
+// Every other failure — auth rejection, transport fault, corrupt blob — is
+// surfaced, never conflated with a cold start.
+func (c *Client) FetchModel(ctx context.Context, user, signature string) (ml.Regressor, error) {
+	blob, err := c.GetObject(ctx, store.ModelPath(user, signature))
 	if err != nil {
-		// Missing model: backend hasn't trained yet.
-		return nil, nil
+		if resilience.IsNotFound(err) {
+			return nil, nil // true cold start: no model trained yet
+		}
+		return nil, fmt.Errorf("client: model %s/%s: %w", user, signature, err)
 	}
 	m, err := ml.Unmarshal(blob)
 	if err != nil {
@@ -219,8 +354,8 @@ func (c *Client) FetchModel(user, signature string) (ml.Regressor, error) {
 
 // PostEvents ships a batch of execution traces to the backend — the query
 // listener's event write (Step 6 of Figure 7).
-func (c *Client) PostEvents(user, signature, jobID string, traces []flighting.Trace) error {
-	tok, err := c.Token("events/"+jobID+"/", store.PermWrite)
+func (c *Client) PostEvents(ctx context.Context, user, signature, jobID string, traces []flighting.Trace) error {
+	tok, err := c.Token(ctx, "events/"+jobID+"/", store.PermWrite)
 	if err != nil {
 		return err
 	}
@@ -228,73 +363,60 @@ func (c *Client) PostEvents(user, signature, jobID string, traces []flighting.Tr
 	if err := flighting.WriteTraces(&buf, traces); err != nil {
 		return err
 	}
+	body := buf.Bytes()
 	url := fmt.Sprintf("%s/api/events?user=%s&signature=%s&job_id=%s", c.BaseURL, user, signature, jobID)
-	req, err := http.NewRequest(http.MethodPost, url, &buf)
-	if err != nil {
-		return err
-	}
-	req.Header.Set(backend.SASTokenHeader, tok)
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return fmt.Errorf("client: post events: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return fmt.Errorf("client: post events: %s: %s", resp.Status, bytes.TrimSpace(msg))
-	}
-	return nil
+	return c.do(ctx, "post events "+jobID, http.StatusAccepted,
+		func(ctx context.Context) (*http.Request, error) {
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set(backend.SASTokenHeader, tok)
+			return req, nil
+		}, nil)
 }
 
 // PostEventLog ships a RAW Spark event log to the backend, which runs the
 // Embedding ETL server-side and derives query signatures from the plans in
 // the log. Use this when the client cannot (or should not) digest events
 // itself.
-func (c *Client) PostEventLog(user, jobID string, log []byte) error {
-	tok, err := c.Token("events/"+jobID+"/", store.PermWrite)
+func (c *Client) PostEventLog(ctx context.Context, user, jobID string, log []byte) error {
+	tok, err := c.Token(ctx, "events/"+jobID+"/", store.PermWrite)
 	if err != nil {
 		return err
 	}
 	url := fmt.Sprintf("%s/api/eventlog?user=%s&job_id=%s", c.BaseURL, user, jobID)
-	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(log))
-	if err != nil {
-		return err
-	}
-	req.Header.Set(backend.SASTokenHeader, tok)
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return fmt.Errorf("client: post event log: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return fmt.Errorf("client: post event log: %s: %s", resp.Status, bytes.TrimSpace(msg))
-	}
-	return nil
+	return c.do(ctx, "post event log "+jobID, http.StatusAccepted,
+		func(ctx context.Context) (*http.Request, error) {
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(log))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set(backend.SASTokenHeader, tok)
+			return req, nil
+		}, nil)
 }
 
 // FetchAppCache retrieves the pre-computed app-level configuration for a
 // recurrent artifact (Step 3 of Figure 7). ok is false when none exists.
-func (c *Client) FetchAppCache(artifactID string) (applevel.CacheEntry, bool, error) {
-	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/api/appcache?artifact_id="+artifactID, nil)
-	if err != nil {
-		return applevel.CacheEntry{}, false, err
-	}
-	req.Header.Set(backend.ClusterTokenHeader, c.ClusterSecret)
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return applevel.CacheEntry{}, false, fmt.Errorf("client: app cache: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusNotFound {
-		return applevel.CacheEntry{}, false, nil
-	}
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return applevel.CacheEntry{}, false, fmt.Errorf("client: app cache: %s: %s", resp.Status, bytes.TrimSpace(msg))
-	}
+func (c *Client) FetchAppCache(ctx context.Context, artifactID string) (applevel.CacheEntry, bool, error) {
 	var e applevel.CacheEntry
-	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+	err := c.do(ctx, "app cache "+artifactID, http.StatusOK,
+		func(ctx context.Context) (*http.Request, error) {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/api/appcache?artifact_id="+artifactID, nil)
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set(backend.ClusterTokenHeader, c.ClusterSecret)
+			return req, nil
+		},
+		func(resp *http.Response) error {
+			return json.NewDecoder(resp.Body).Decode(&e)
+		})
+	if err != nil {
+		if resilience.IsNotFound(err) {
+			return applevel.CacheEntry{}, false, nil
+		}
 		return applevel.CacheEntry{}, false, err
 	}
 	return e, true, nil
@@ -302,35 +424,52 @@ func (c *Client) FetchAppCache(artifactID string) (applevel.CacheEntry, bool, er
 
 // ComputeAppCache asks the backend's App Cache Generator to recompute the
 // artifact's app-level configuration after an application run.
-func (c *Client) ComputeAppCache(reqBody backend.AppCacheRequest) (applevel.CacheEntry, error) {
+func (c *Client) ComputeAppCache(ctx context.Context, reqBody backend.AppCacheRequest) (applevel.CacheEntry, error) {
 	body, err := json.Marshal(reqBody)
 	if err != nil {
 		return applevel.CacheEntry{}, err
 	}
-	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/api/appcache", bytes.NewReader(body))
-	if err != nil {
-		return applevel.CacheEntry{}, err
-	}
-	req.Header.Set(backend.ClusterTokenHeader, c.ClusterSecret)
-	resp, err := c.httpClient().Do(req)
-	if err != nil {
-		return applevel.CacheEntry{}, fmt.Errorf("client: compute app cache: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return applevel.CacheEntry{}, fmt.Errorf("client: compute app cache: %s: %s", resp.Status, bytes.TrimSpace(msg))
-	}
 	var e applevel.CacheEntry
-	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+	err = c.do(ctx, "compute app cache "+reqBody.ArtifactID, http.StatusOK,
+		func(ctx context.Context) (*http.Request, error) {
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/api/appcache", bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set(backend.ClusterTokenHeader, c.ClusterSecret)
+			return req, nil
+		},
+		func(resp *http.Response) error {
+			return json.NewDecoder(resp.Body).Decode(&e)
+		})
+	if err != nil {
 		return applevel.CacheEntry{}, err
 	}
 	return e, nil
 }
 
+// Health fetches the backend's health report.
+func (c *Client) Health(ctx context.Context) (backend.HealthReport, error) {
+	var h backend.HealthReport
+	err := c.do(ctx, "health", http.StatusOK,
+		func(ctx context.Context) (*http.Request, error) {
+			return http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/api/health", nil)
+		},
+		func(resp *http.Response) error {
+			return json.NewDecoder(resp.Body).Decode(&h)
+		})
+	return h, err
+}
+
 // RemoteSelector is a core.Selector that ranks candidates with the
 // backend-trained model for this signature, falling back to the provided
 // selector when no model exists yet — the Autotune Config Inference module.
+//
+// Degradation ladder: remote model → (on error or open circuit) local
+// fallback. Non-cold-start failures are logged once per degradation episode
+// rather than silently swallowed, and once the client's circuit breaker
+// opens, each Select costs one fast-failing check until the cool-down
+// admits a probe — the backend is never hammered while it is down.
 type RemoteSelector struct {
 	Client    *Client
 	Space     *sparksim.Space
@@ -338,12 +477,21 @@ type RemoteSelector struct {
 	Signature string
 	// Fallback handles the cold start; must be non-nil.
 	Fallback core.Selector
+
+	mu       sync.Mutex
+	degraded bool
 }
 
 // Select implements core.Selector.
 func (rs *RemoteSelector) Select(cands []sparksim.Config, window []sparksim.Observation, dataSize float64) int {
-	model, err := rs.Client.FetchModel(rs.User, rs.Signature)
-	if err != nil || model == nil {
+	model, err := rs.Client.FetchModel(context.Background(), rs.User, rs.Signature)
+	if err != nil {
+		rs.noteDegraded(err)
+		return rs.Fallback.Select(cands, window, dataSize)
+	}
+	rs.noteRecovered()
+	if model == nil {
+		// Cold start: the backend simply has not trained this signature.
 		return rs.Fallback.Select(cands, window, dataSize)
 	}
 	bestIdx, bestPred := -1, math.Inf(1)
@@ -359,6 +507,34 @@ func (rs *RemoteSelector) Select(cands []sparksim.Config, window []sparksim.Obse
 	rs.Client.logf("client: %s/%s selected candidate %d (predicted log-time %.3f) among %d",
 		rs.User, rs.Signature, bestIdx, bestPred, len(cands))
 	return bestIdx
+}
+
+// noteDegraded logs the first failure of a degradation episode; subsequent
+// failures stay quiet until the remote path recovers.
+func (rs *RemoteSelector) noteDegraded(err error) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if !rs.degraded {
+		rs.degraded = true
+		rs.Client.logf("client: %s/%s: remote inference degraded, using local fallback: %v",
+			rs.User, rs.Signature, err)
+	}
+}
+
+func (rs *RemoteSelector) noteRecovered() {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.degraded {
+		rs.degraded = false
+		rs.Client.logf("client: %s/%s: remote inference recovered", rs.User, rs.Signature)
+	}
+}
+
+// Degraded reports whether the last Select hit a non-cold-start failure.
+func (rs *RemoteSelector) Degraded() bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.degraded
 }
 
 var _ core.Selector = (*RemoteSelector)(nil)

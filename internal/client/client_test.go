@@ -2,6 +2,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"net/http/httptest"
 	"testing"
 
@@ -46,18 +47,18 @@ func makeTraces(e *sparksim.Engine, q *sparksim.Query, n int, seed uint64) []fli
 
 func TestTokenCaching(t *testing.T) {
 	_, c := newStack(t, sparksim.QuerySpace())
-	t1, err := c.Token("events/j/", store.PermWrite)
+	t1, err := c.Token(context.Background(), "events/j/", store.PermWrite)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t2, err := c.Token("events/j/", store.PermWrite)
+	t2, err := c.Token(context.Background(), "events/j/", store.PermWrite)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if t1 != t2 {
 		t.Fatal("token should be cached")
 	}
-	t3, err := c.Token("events/j/", store.PermRead)
+	t3, err := c.Token(context.Background(), "events/j/", store.PermRead)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,17 +73,17 @@ func TestAuthRejected(t *testing.T) {
 	hs := httptest.NewServer(srv.Handler())
 	defer hs.Close()
 	bad := New(hs.URL, "wrong-secret")
-	if _, err := bad.Token("events/", store.PermRead); err == nil {
+	if _, err := bad.Token(context.Background(), "events/", store.PermRead); err == nil {
 		t.Fatal("wrong cluster secret should be rejected")
 	}
 }
 
 func TestObjectRoundTrip(t *testing.T) {
 	_, c := newStack(t, sparksim.QuerySpace())
-	if err := c.PutObject("artifacts/a1/notes.txt", []byte("hi")); err != nil {
+	if err := c.PutObject(context.Background(), "artifacts/a1/notes.txt", []byte("hi")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.GetObject("artifacts/a1/notes.txt")
+	got, err := c.GetObject(context.Background(), "artifacts/a1/notes.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,18 +99,18 @@ func TestEventsTrainModelEndToEnd(t *testing.T) {
 	q := workloads.NewGenerator(1).Query(workloads.TPCDS, 2)
 
 	// No model yet: FetchModel reports a clean miss.
-	m, err := c.FetchModel("u1", q.ID)
+	m, err := c.FetchModel(context.Background(), "u1", q.ID)
 	if err != nil || m != nil {
 		t.Fatalf("expected clean miss, got %v, %v", m, err)
 	}
 
 	traces := makeTraces(e, q, 60, 7)
-	if err := c.PostEvents("u1", q.ID, "job-1", traces); err != nil {
+	if err := c.PostEvents(context.Background(), "u1", q.ID, "job-1", traces); err != nil {
 		t.Fatal(err)
 	}
 	srv.Flush()
 
-	m, err = c.FetchModel("u1", q.ID)
+	m, err = c.FetchModel(context.Background(), "u1", q.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,14 +135,14 @@ func TestModelPrivacyPerUser(t *testing.T) {
 	srv, c := newStack(t, space)
 	e := sparksim.NewEngine(space)
 	q := workloads.NewGenerator(1).Query(workloads.TPCDS, 3)
-	if err := c.PostEvents("u1", q.ID, "job-9", makeTraces(e, q, 30, 9)); err != nil {
+	if err := c.PostEvents(context.Background(), "u1", q.ID, "job-9", makeTraces(e, q, 30, 9)); err != nil {
 		t.Fatal(err)
 	}
 	srv.Flush()
-	if m, _ := c.FetchModel("u2", q.ID); m != nil {
+	if m, _ := c.FetchModel(context.Background(), "u2", q.ID); m != nil {
 		t.Fatal("cross-user model leak")
 	}
-	if m, _ := c.FetchModel("u1", q.ID); m == nil {
+	if m, _ := c.FetchModel(context.Background(), "u1", q.ID); m == nil {
 		t.Fatal("owner cannot load model")
 	}
 }
@@ -152,7 +153,7 @@ func TestAppCacheFlow(t *testing.T) {
 	e := sparksim.NewEngine(space)
 	q := workloads.NewGenerator(2).Query(workloads.TPCDS, 5)
 
-	if _, ok, err := c.FetchAppCache("artifact-x"); err != nil || ok {
+	if _, ok, err := c.FetchAppCache(context.Background(), "artifact-x"); err != nil || ok {
 		t.Fatalf("empty cache should miss cleanly: %v %v", ok, err)
 	}
 
@@ -161,7 +162,7 @@ func TestAppCacheFlow(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		obs = append(obs, e.Run(q, space.Random(r), 1, r, nil))
 	}
-	entry, err := c.ComputeAppCache(backend.AppCacheRequest{
+	entry, err := c.ComputeAppCache(context.Background(), backend.AppCacheRequest{
 		ArtifactID: "artifact-x",
 		Current:    space.Default(),
 		Queries:    []backend.QueryHistory{{ID: q.ID, Centroid: space.Default(), Observations: obs}},
@@ -172,7 +173,7 @@ func TestAppCacheFlow(t *testing.T) {
 	if len(entry.Config) != space.Dim() {
 		t.Fatalf("cache entry config dim %d", len(entry.Config))
 	}
-	got, ok, err := c.FetchAppCache("artifact-x")
+	got, ok, err := c.FetchAppCache(context.Background(), "artifact-x")
 	if err != nil || !ok {
 		t.Fatalf("cache should hit: %v %v", ok, err)
 	}
@@ -199,7 +200,7 @@ func TestRemoteSelectorUsesModel(t *testing.T) {
 	srv, c := newStack(t, space)
 	e := sparksim.NewEngine(space)
 	q := workloads.NewGenerator(1).Query(workloads.TPCDS, 2)
-	if err := c.PostEvents("u1", q.ID, "job-2", makeTraces(e, q, 60, 13)); err != nil {
+	if err := c.PostEvents(context.Background(), "u1", q.ID, "job-2", makeTraces(e, q, 60, 13)); err != nil {
 		t.Fatal(err)
 	}
 	srv.Flush()
@@ -243,20 +244,20 @@ func TestPostEventLogEndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := c.PostEventLog("u1", "job-raw", buf.Bytes()); err != nil {
+	if err := c.PostEventLog(context.Background(), "u1", "job-raw", buf.Bytes()); err != nil {
 		t.Fatal(err)
 	}
 	srv.Flush()
 	// The backend must have derived the signature from the plans and
 	// trained a model under it.
-	m, err := c.FetchModel("u1", sig)
+	m, err := c.FetchModel(context.Background(), "u1", sig)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m == nil {
 		t.Fatal("raw event-log ingestion did not train a model")
 	}
-	if err := c.PostEventLog("u1", "job-raw", []byte("garbage")); err == nil {
+	if err := c.PostEventLog(context.Background(), "u1", "job-raw", []byte("garbage")); err == nil {
 		t.Fatal("garbage event log should be rejected")
 	}
 }

@@ -1,73 +1,90 @@
 package client
 
 import (
-	"errors"
+	"context"
 	"net/http"
 	"net/http/httptest"
-	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/rockhopper-db/rockhopper/internal/backend"
 	"github.com/rockhopper-db/rockhopper/internal/core"
 	"github.com/rockhopper-db/rockhopper/internal/flighting"
+	"github.com/rockhopper-db/rockhopper/internal/resilience"
+	"github.com/rockhopper-db/rockhopper/internal/resilience/faultinject"
 	"github.com/rockhopper-db/rockhopper/internal/sparksim"
 	"github.com/rockhopper-db/rockhopper/internal/stats"
 	"github.com/rockhopper-db/rockhopper/internal/store"
 	"github.com/rockhopper-db/rockhopper/internal/workloads"
 )
 
-// flakyTransport fails every request whose ordinal matches failEvery.
-type flakyTransport struct {
-	inner     http.RoundTripper
-	counter   atomic.Int64
-	failEvery int64
+// harden configures a client for deterministic fault tests: fake clock (no
+// real backoff sleeps), seeded jitter.
+func harden(c *Client) *resilience.FakeClock {
+	clock := resilience.NewFakeClock(time.Unix(0, 0))
+	c.Clock = clock
+	c.SeedJitter(1)
+	return clock
 }
 
-func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
-	n := f.counter.Add(1)
-	if f.failEvery > 0 && n%f.failEvery == 0 {
-		return nil, errors.New("injected network fault")
-	}
-	return f.inner.RoundTrip(req)
-}
-
-func TestClientSurvivesTransientNetworkFaults(t *testing.T) {
+func TestRetriesAbsorbTransientNetworkFaults(t *testing.T) {
 	space := sparksim.QuerySpace()
 	st := store.New([]byte("key"))
 	srv := backend.New(space, st, secret, 1)
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() { hs.Close(); srv.Close() })
 
+	// Every third transport attempt dies. With retries, every logical call
+	// must still succeed and every event file must land exactly once.
+	ft := &faultinject.Transport{Plan: &faultinject.Script{Fail: alternating(90, 3)}}
 	c := New(hs.URL, secret)
-	c.HTTP = &http.Client{Transport: &flakyTransport{inner: http.DefaultTransport, failEvery: 3}}
+	c.HTTP = &http.Client{Transport: ft}
+	harden(c)
 	e := sparksim.NewEngine(space)
 	q := workloads.NewGenerator(1).Query(workloads.TPCDS, 2)
 	r := stats.NewRNG(2)
 
-	// Every third request dies at the transport. The caller's loop must see
-	// plain errors (no panics, no corrupted token cache) and succeed on
-	// other iterations.
-	okCount, errCount := 0, 0
 	for i := 0; i < 30; i++ {
 		o := e.Run(q, space.Random(r), 1, r, nil)
-		err := c.PostEvents("u1", q.ID, "job-flaky", []flighting.Trace{{
+		err := c.PostEvents(context.Background(), "u1", q.ID, "job-flaky", []flighting.Trace{{
 			QueryID: q.ID, Config: o.Config, DataSize: o.DataSize, TimeMs: o.Time,
 		}})
 		if err != nil {
-			errCount++
-		} else {
-			okCount++
+			t.Fatalf("call %d failed despite retries: %v", i, err)
 		}
 	}
-	if okCount == 0 {
-		t.Fatal("no request survived the flaky transport")
-	}
-	if errCount == 0 {
+	if ft.Attempts.Load() <= ft.Forwarded.Load() {
 		t.Fatal("fault injection did not fire")
 	}
 	srv.Flush()
-	if n := len(st.List("events/job-flaky/")); n != okCount {
-		t.Fatalf("persisted %d event files, expected %d", n, okCount)
+	if n := len(st.List("events/job-flaky/")); n != 30 {
+		t.Fatalf("persisted %d event files, expected 30", n)
+	}
+}
+
+// alternating marks every k-th of n ops as a fault.
+func alternating(n, k int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = (i+1)%k == 0
+	}
+	return out
+}
+
+func TestTerminalErrorsAreNotRetried(t *testing.T) {
+	srv, _ := newStack(t, sparksim.QuerySpace())
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	ft := &faultinject.Transport{}
+	bad := New(hs.URL, "wrong-secret")
+	bad.HTTP = &http.Client{Transport: ft}
+	harden(bad)
+	if _, err := bad.Token(context.Background(), "events/", store.PermRead); err == nil {
+		t.Fatal("wrong cluster secret should be rejected")
+	}
+	if n := ft.Attempts.Load(); n != 1 {
+		t.Fatalf("a 401 is terminal and must not be retried, saw %d attempts", n)
 	}
 }
 
@@ -75,7 +92,7 @@ func TestRemoteSelectorFallsBackOnNetworkFault(t *testing.T) {
 	space := sparksim.QuerySpace()
 	// A backend that is entirely unreachable.
 	c := New("http://127.0.0.1:1", secret)
-	c.HTTP = &http.Client{Transport: &flakyTransport{inner: http.DefaultTransport, failEvery: 1}}
+	harden(c)
 	rs := &RemoteSelector{
 		Client: c, Space: space, User: "u", Signature: "s",
 		Fallback: core.RandomSelector{RNG: stats.NewRNG(1)},
@@ -84,12 +101,16 @@ func TestRemoteSelectorFallsBackOnNetworkFault(t *testing.T) {
 	if idx := rs.Select(cands, nil, 0); idx < 0 || idx >= len(cands) {
 		t.Fatalf("selector must fall back when the backend is down, got %d", idx)
 	}
+	if !rs.Degraded() {
+		t.Fatal("a transport failure is not a cold start; the selector must report degradation")
+	}
 }
 
 func TestSessionCompleteSurfacesBackendErrors(t *testing.T) {
 	space := sparksim.QuerySpace()
 	q := workloads.NewGenerator(1).Query(workloads.TPCDS, 2)
 	c := New("http://127.0.0.1:1", secret) // unreachable
+	harden(c)
 	sess, err := NewSession(c, space, "u", "j", q.Plan, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -103,5 +124,53 @@ func TestSessionCompleteSurfacesBackendErrors(t *testing.T) {
 	// down (production clients degrade to local-only tuning).
 	if sess.Iterations() != 1 || sess.Dashboard().Len() != 1 {
 		t.Fatal("local state should advance despite backend failure")
+	}
+}
+
+// TestFetchModelDistinguishesMissingFromFailure is the regression test for
+// the silent-degradation bug: a 404 (not trained yet) returns (nil, nil),
+// while a backend store failure (500) must surface as a real error instead
+// of being conflated with a cold start.
+func TestFetchModelDistinguishesMissingFromFailure(t *testing.T) {
+	space := sparksim.QuerySpace()
+	st := store.New([]byte("key"))
+	faulty := &faultinject.Store{Inner: st}
+	srv := backend.New(space, st, secret, 1)
+	srv.Store = faulty
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	c := New(hs.URL, secret)
+	c.Retry.MaxAttempts = 2
+	harden(c)
+
+	// Healthy store, missing model: a clean cold-start miss.
+	m, err := c.FetchModel(context.Background(), "u1", "never-trained")
+	if err != nil || m != nil {
+		t.Fatalf("missing model must be (nil, nil), got %v, %v", m, err)
+	}
+
+	// Broken store: every Get fails server-side. This must NOT look like a
+	// cold start.
+	faulty.Plan = &faultinject.ForOps{
+		Plan: &faultinject.Rate{P: 1, RNG: stats.NewRNG(1)},
+		Ops:  []string{"store.Get"},
+	}
+	m, err = c.FetchModel(context.Background(), "u1", "never-trained")
+	if err == nil {
+		t.Fatal("store failure was silently conflated with a missing model")
+	}
+	if m != nil {
+		t.Fatal("no model should be returned on failure")
+	}
+	if resilience.StatusOf(err) != http.StatusInternalServerError {
+		t.Fatalf("expected HTTP 500 in error chain, got %v", err)
+	}
+
+	// And an auth failure is equally loud: fresh client, bad secret. The
+	// token fetch itself is rejected before the object is ever requested.
+	bad := New(hs.URL, "wrong-secret")
+	harden(bad)
+	if _, err := bad.FetchModel(context.Background(), "u1", "never-trained"); err == nil {
+		t.Fatal("auth rejection was silently conflated with a missing model")
 	}
 }

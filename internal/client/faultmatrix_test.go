@@ -1,0 +1,149 @@
+package client
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/rockhopper-db/rockhopper/internal/backend"
+	"github.com/rockhopper-db/rockhopper/internal/core"
+	"github.com/rockhopper-db/rockhopper/internal/noise"
+	"github.com/rockhopper-db/rockhopper/internal/resilience"
+	"github.com/rockhopper-db/rockhopper/internal/resilience/faultinject"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+	"github.com/rockhopper-db/rockhopper/internal/store"
+	"github.com/rockhopper-db/rockhopper/internal/workloads"
+)
+
+// runFlightingLoop executes the end-to-end tuning loop (client inference →
+// simulated execution → event shipping → backend retraining) for two
+// recurrent queries under an injected transport fault rate, and returns the
+// full per-iteration sequence of recommended configurations. The loop is
+// deterministic: the same seed must yield the same sequence at ANY fault
+// rate, because retries replay failed calls against a deterministic backend.
+func runFlightingLoop(t *testing.T, faultRate float64) [][]sparksim.Config {
+	t.Helper()
+	space := sparksim.QuerySpace()
+	st := store.New([]byte("key"))
+	srv := backend.New(space, st, secret, 1)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+
+	c := New(hs.URL, secret)
+	ft := &faultinject.Transport{Plan: &faultinject.Rate{P: faultRate, RNG: stats.NewRNG(99)}}
+	c.HTTP = &http.Client{Transport: ft}
+	// Enough attempts that P(all fail) is negligible even at 30%, and a
+	// breaker threshold a transient-fault streak cannot plausibly trip.
+	c.Retry = resilience.Policy{MaxAttempts: 20}
+	c.Breaker.Threshold = 1000
+	harden(c)
+
+	e := sparksim.NewEngine(space)
+	gen := workloads.NewGenerator(1)
+	root := stats.NewRNG(17)
+	var recommendations [][]sparksim.Config
+	for _, qi := range []int{2, 5} {
+		q := gen.Query(workloads.TPCDS, qi)
+		sess, err := NewSession(c, space, "u1", "job-matrix", q.Plan, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rq := root.SplitNamed(q.ID)
+		size := q.Plan.LeafInputBytes()
+		var recs []sparksim.Config
+		for i := 0; i < 12; i++ {
+			start := time.Now()
+			cfg := sess.Recommend(size)
+			o := e.Run(q, cfg, 1, rq, noise.Low)
+			if err := sess.Complete(o, nil); err != nil {
+				t.Fatalf("rate %.0f%%: iteration %d did not survive injected faults: %v",
+					faultRate*100, i, err)
+			}
+			// No call may block past its deadline: Recommend+Complete do a
+			// handful of calls, each bounded by DefaultCallTimeout; backoff
+			// runs on the fake clock, so wall time stays far below it.
+			if el := time.Since(start); el > DefaultCallTimeout {
+				t.Fatalf("iteration %d took %v, past the per-call deadline", i, el)
+			}
+			recs = append(recs, cfg)
+			// Drain the Model Updater so model availability at each
+			// iteration is deterministic across fault rates.
+			srv.Flush()
+		}
+		recommendations = append(recommendations, recs)
+	}
+	if faultRate > 0 && ft.Attempts.Load() == ft.Forwarded.Load() {
+		t.Fatalf("rate %.0f%%: fault injection never fired", faultRate*100)
+	}
+	return recommendations
+}
+
+// TestFaultMatrixFlightingLoop sweeps injected transient transport fault
+// rates {0%, 10%, 30%} and asserts the flighting loop completes and
+// converges to configurations IDENTICAL to the fault-free run — transient
+// faults must cost retries, never behaviour.
+func TestFaultMatrixFlightingLoop(t *testing.T) {
+	baseline := runFlightingLoop(t, 0)
+	for _, rate := range []float64{0.10, 0.30} {
+		got := runFlightingLoop(t, rate)
+		if !reflect.DeepEqual(got, baseline) {
+			t.Fatalf("rate %.0f%%: recommendation sequence diverged from fault-free run", rate*100)
+		}
+	}
+}
+
+// TestOpenCircuitFailsOverFast is the dead-backend half of the acceptance
+// criteria: once the breaker opens, RemoteSelector must fail over to the
+// local fallback in O(circuit-check) time — zero network round trips, not a
+// full timeout per query — and probe the backend again after the cool-down.
+func TestOpenCircuitFailsOverFast(t *testing.T) {
+	space := sparksim.QuerySpace()
+	c := New("http://127.0.0.1:1", secret) // nothing listens here
+	ft := &faultinject.Transport{}         // pass-through, counts attempts
+	c.HTTP = &http.Client{Transport: ft}
+	clock := harden(c)
+	c.Breaker = &resilience.Breaker{Threshold: 2, Cooldown: time.Minute, Clock: clock}
+
+	rs := &RemoteSelector{
+		Client: c, Space: space, User: "u", Signature: "s",
+		Fallback: core.RandomSelector{RNG: stats.NewRNG(3)},
+	}
+	cands := []sparksim.Config{space.Default(), space.Default()}
+
+	// First query: two dial failures trip the breaker mid-retry.
+	if idx := rs.Select(cands, nil, 0); idx < 0 || idx >= len(cands) {
+		t.Fatalf("fallback select out of range: %d", idx)
+	}
+	if got := ft.Attempts.Load(); got != 2 {
+		t.Fatalf("expected exactly 2 dials before the breaker opened, got %d", got)
+	}
+	if !rs.Degraded() {
+		t.Fatal("selector must report degradation")
+	}
+
+	// While open: many queries, ZERO additional network attempts, and the
+	// whole batch completes orders of magnitude below one dial timeout.
+	start := time.Now()
+	for i := 0; i < 100; i++ {
+		if idx := rs.Select(cands, nil, 0); idx < 0 || idx >= len(cands) {
+			t.Fatalf("fallback select out of range: %d", idx)
+		}
+	}
+	if got := ft.Attempts.Load(); got != 2 {
+		t.Fatalf("open circuit leaked %d network attempts", got-2)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("100 open-circuit queries took %v; fail-over is not O(circuit-check)", el)
+	}
+
+	// After the cool-down the breaker admits exactly one probe: the backend
+	// gets retried instead of being abandoned forever.
+	clock.Advance(2 * time.Minute)
+	rs.Select(cands, nil, 0)
+	if got := ft.Attempts.Load(); got != 3 {
+		t.Fatalf("expected exactly 1 post-cool-down probe, got %d total attempts", got)
+	}
+}

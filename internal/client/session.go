@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/rockhopper-db/rockhopper/internal/backend"
@@ -71,7 +72,7 @@ func (s *Session) Complete(o sparksim.Observation, stages []sparksim.StageStat) 
 	s.iter++
 	s.learner.Observe(o)
 	s.dash.Record(o, stages)
-	return s.Client.PostEvents(s.User, s.Signature, s.JobID, []flighting.Trace{{
+	return s.Client.PostEvents(context.Background(), s.User, s.Signature, s.JobID, []flighting.Trace{{
 		QueryID:   s.Signature,
 		Embedding: s.embed,
 		Config:    o.Config,
@@ -115,6 +116,6 @@ func FinishApp(cli *Client, artifactID string, current sparksim.Config, sessions
 	for _, s := range sessions {
 		req.Queries = append(req.Queries, s.QueryHistory())
 	}
-	_, err := cli.ComputeAppCache(req)
+	_, err := cli.ComputeAppCache(context.Background(), req)
 	return err
 }

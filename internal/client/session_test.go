@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"testing"
 
 	"github.com/rockhopper-db/rockhopper/internal/noise"
@@ -96,7 +97,7 @@ func TestFinishAppPopulatesCache(t *testing.T) {
 	if err := FinishApp(c, nb.ArtifactID, space.Default(), sessions...); err != nil {
 		t.Fatal(err)
 	}
-	entry, ok, err := c.FetchAppCache(nb.ArtifactID)
+	entry, ok, err := c.FetchAppCache(context.Background(), nb.ArtifactID)
 	if err != nil || !ok {
 		t.Fatalf("app cache miss after FinishApp: %v %v", ok, err)
 	}

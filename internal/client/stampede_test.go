@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -45,7 +46,7 @@ func TestTokenRefreshSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			tokens[g], errs[g] = c.Token("events/j/", store.PermWrite)
+			tokens[g], errs[g] = c.Token(context.Background(), "events/j/", store.PermWrite)
 		}()
 	}
 	wg.Wait()
@@ -62,7 +63,7 @@ func TestTokenRefreshSingleFlight(t *testing.T) {
 	}
 
 	// A different scope is a different cache key and fetches on its own.
-	if _, err := c.Token("models/u/", store.PermRead); err != nil {
+	if _, err := c.Token(context.Background(), "models/u/", store.PermRead); err != nil {
 		t.Fatal(err)
 	}
 	if n := tokenCalls.Load(); n != 2 {

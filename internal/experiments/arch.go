@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http/httptest"
@@ -92,7 +93,7 @@ func ArchRoundTrip(p ArchParams) *ArchResult {
 		cl.Observe(o)
 		obs = append(obs, o)
 		// Step 6: ship the event file; the backend retrains asynchronously.
-		err := cli.PostEvents("customer-1", q.ID, "job-arch", []flighting.Trace{{
+		err := cli.PostEvents(context.Background(), "customer-1", q.ID, "job-arch", []flighting.Trace{{
 			QueryID: q.ID, Embedding: embVec, Config: o.Config,
 			DataSize: o.DataSize, TimeMs: o.Time,
 		}})
@@ -106,18 +107,18 @@ func ArchRoundTrip(p ArchParams) *ArchResult {
 	srv.Flush()
 	res.FinalMs = stats.Mean(finals)
 	res.ImprovementPct = PercentImprovement(res.DefaultMs, res.FinalMs)
-	if m, err := cli.FetchModel("customer-1", q.ID); err == nil && m != nil {
+	if m, err := cli.FetchModel(context.Background(), "customer-1", q.ID); err == nil && m != nil {
 		res.ModelTrained = true
 	}
 	// App completion: compute the app cache entry via the backend.
-	if _, err := cli.ComputeAppCache(backend.AppCacheRequest{
+	if _, err := cli.ComputeAppCache(context.Background(), backend.AppCacheRequest{
 		ArtifactID: artifact,
 		Current:    space.Default(),
 		Queries:    []backend.QueryHistory{{ID: q.ID, Centroid: cl.Centroid(), Observations: obs}},
 	}); err != nil {
 		panic(fmt.Sprintf("experiments: app cache: %v", err))
 	}
-	if entry, ok, _ := cli.FetchAppCache(artifact); ok {
+	if entry, ok, _ := cli.FetchAppCache(context.Background(), artifact); ok {
 		res.AppCacheRuns = entry.Runs
 	}
 	res.EventFiles = len(st.List("events/job-arch/"))

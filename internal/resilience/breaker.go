@@ -1,0 +1,136 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned by Breaker.Allow while the circuit is open: the
+// backend has failed repeatedly and callers should use their fallback
+// immediately instead of paying a full timeout per call.
+var ErrCircuitOpen = errors.New("resilience: circuit open")
+
+// BreakerState is the circuit's current mode.
+type BreakerState int
+
+// Breaker states.
+const (
+	// StateClosed: calls flow normally; failures are counted.
+	StateClosed BreakerState = iota
+	// StateOpen: calls fail fast until the cool-down elapses.
+	StateOpen
+	// StateHalfOpen: one probe is in flight; its outcome decides the state.
+	StateHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker default parameters.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 5 * time.Second
+)
+
+// Breaker is a consecutive-failure circuit breaker. It opens after Threshold
+// consecutive failures; while open, Allow fails fast with ErrCircuitOpen.
+// After Cooldown it admits exactly one probe (half-open): a successful probe
+// closes the circuit, a failed one re-opens it for another cool-down. Safe
+// for concurrent use.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that trips the circuit;
+	// <= 0 means DefaultBreakerThreshold.
+	Threshold int
+	// Cooldown is how long the circuit stays open before probing; <= 0
+	// means DefaultBreakerCooldown.
+	Cooldown time.Duration
+	// Clock is injectable for deterministic tests; nil means wall clock.
+	Clock Clock
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold <= 0 {
+		return DefaultBreakerThreshold
+	}
+	return b.Threshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return DefaultBreakerCooldown
+	}
+	return b.Cooldown
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Clock != nil {
+		return b.Clock.Now()
+	}
+	return time.Now()
+}
+
+// Allow reports whether a call may proceed. Every admitted call must be
+// followed by exactly one Record with its outcome.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return nil
+	case StateOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown() {
+			return ErrCircuitOpen
+		}
+		b.state = StateHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return ErrCircuitOpen // one probe at a time
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Record reports the outcome of an admitted call: nil closes/keeps the
+// circuit closed and resets the failure count; non-nil counts toward the
+// threshold (and re-opens immediately from half-open).
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if err == nil {
+		b.state = StateClosed
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.state == StateHalfOpen || b.failures >= b.threshold() {
+		b.state = StateOpen
+		b.openedAt = b.now()
+	}
+}
+
+// State returns the current state, accounting for an elapsed cool-down.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

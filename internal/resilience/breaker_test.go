@@ -1,0 +1,108 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func newTestBreaker() (*Breaker, *FakeClock) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	return &Breaker{Threshold: 3, Cooldown: time.Second, Clock: clock}, clock
+}
+
+func fail(b *Breaker) error {
+	if err := b.Allow(); err != nil {
+		return err
+	}
+	b.Record(errors.New("down"))
+	return nil
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b, _ := newTestBreaker()
+	for i := 0; i < 3; i++ {
+		if err := fail(b); err != nil {
+			t.Fatalf("call %d should be admitted: %v", i, err)
+		}
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker must fail fast, got %v", err)
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b, _ := newTestBreaker()
+	for i := 0; i < 2; i++ {
+		if err := fail(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(nil)
+	// Two more failures: the earlier streak must not count.
+	for i := 0; i < 2; i++ {
+		if err := fail(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v, want closed after streak reset", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clock := newTestBreaker()
+	for i := 0; i < 3; i++ {
+		_ = fail(b)
+	}
+	// Cool-down not elapsed: still failing fast.
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("breaker must stay open during cool-down")
+	}
+	clock.Advance(2 * time.Second)
+	// One probe admitted, concurrent calls still rejected.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe should be admitted after cool-down: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("only one probe at a time")
+	}
+	// Probe succeeds: circuit closes.
+	b.Record(nil)
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v, want closed after successful probe", b.State())
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b, clock := newTestBreaker()
+	for i := 0; i < 3; i++ {
+		_ = fail(b)
+	}
+	clock.Advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(errors.New("still down"))
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v, want re-opened after failed probe", b.State())
+	}
+	// And the cool-down restarted from the probe failure.
+	if err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("cool-down must restart after a failed probe")
+	}
+	clock.Advance(2 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("next probe should be admitted: %v", err)
+	}
+	b.Record(nil)
+	if b.State() != StateClosed {
+		t.Fatal("recovery after second probe failed")
+	}
+}

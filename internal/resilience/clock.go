@@ -1,0 +1,81 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Clock abstracts monotonic time so backoff and breaker cool-downs are
+// deterministic in tests.
+type Clock interface {
+	Now() time.Time
+	// Sleep waits for d or until ctx is done, returning ctx.Err() when
+	// interrupted and nil otherwise.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// RealClock is the wall clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (RealClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// FakeClock advances instantly on Sleep and records every requested
+// duration, so retry schedules can be asserted without real waiting.
+type FakeClock struct {
+	mu    sync.Mutex
+	now   time.Time
+	slept []time.Duration
+}
+
+// NewFakeClock returns a fake clock starting at start.
+func NewFakeClock(start time.Time) *FakeClock { return &FakeClock{now: start} }
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock: it advances the fake time by d without waiting.
+func (c *FakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	c.slept = append(c.slept, d)
+	return nil
+}
+
+// Advance moves the fake time forward (e.g. past a breaker cool-down).
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// Slept returns a copy of the recorded sleep durations.
+func (c *FakeClock) Slept() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.slept...)
+}

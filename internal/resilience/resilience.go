@@ -1,0 +1,165 @@
+// Package resilience provides the production-hardening primitives shared by
+// the Autotune client and backend: jittered exponential-backoff retries with
+// an error classifier separating transient from terminal failures, per-call
+// deadlines, and a consecutive-failure circuit breaker. Everything is driven
+// by an injectable clock and stats.RNG so behaviour is deterministic under
+// test — the same discipline the paper's production deployment applies to
+// keep tuning robust when the serving path, not the query, misbehaves.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+// HTTPError is a backend response with a non-success status. Carrying the
+// status code lets the classifier separate retryable server-side failures
+// (5xx, 429) from terminal caller mistakes (other 4xx), and lets callers
+// distinguish a true not-found from any other degradation.
+type HTTPError struct {
+	// Op names the failed call, e.g. "get models/u/sig.model".
+	Op string
+	// Status is the HTTP status code.
+	Status int
+	// Msg is the (truncated) response body.
+	Msg string
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("%s: HTTP %d: %s", e.Op, e.Status, e.Msg)
+}
+
+// IsNotFound reports whether err is an HTTP 404 — the only signal callers
+// may treat as "the object does not exist" rather than "something broke".
+func IsNotFound(err error) bool {
+	var he *HTTPError
+	return errors.As(err, &he) && he.Status == 404
+}
+
+// StatusOf returns the HTTP status carried by err, or 0 when err carries
+// none (transport failures, context errors, ...).
+func StatusOf(err error) int {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.Status
+	}
+	return 0
+}
+
+// Class is the retry classification of an error.
+type Class int
+
+// Error classes.
+const (
+	// Retryable failures are transient: transport faults, 5xx, 429.
+	Retryable Class = iota
+	// Terminal failures will not be cured by retrying: other 4xx (auth,
+	// token scope, malformed request), context expiry, an open circuit.
+	Terminal
+)
+
+// Classify buckets an error for the retry loop. Unknown errors default to
+// Retryable: a transport-level fault carries no status and is exactly the
+// kind of blip retrying exists for.
+func Classify(err error) Class {
+	switch {
+	case err == nil:
+		return Terminal // nothing to retry
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return Terminal // the caller's deadline is spent
+	case errors.Is(err, ErrCircuitOpen):
+		return Terminal // fail fast; the breaker owns the cool-down
+	}
+	if s := StatusOf(err); s != 0 {
+		if s == 429 || s >= 500 {
+			return Retryable
+		}
+		return Terminal
+	}
+	return Retryable
+}
+
+// Policy parameterizes Retry. The zero value means "use defaults".
+type Policy struct {
+	// MaxAttempts bounds total tries (first call included); default 4.
+	MaxAttempts int
+	// BaseDelay is the first backoff; default 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps each (jittered) backoff; default 2s.
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts; default 2.
+	Multiplier float64
+	// Jitter is the ± fraction each delay is randomized by; default 0.5.
+	Jitter float64
+}
+
+// Default policy values.
+const (
+	DefaultMaxAttempts = 4
+	DefaultBaseDelay   = 50 * time.Millisecond
+	DefaultMaxDelay    = 2 * time.Second
+	DefaultMultiplier  = 2.0
+	DefaultJitter      = 0.5
+)
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultMaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = DefaultBaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = DefaultMaxDelay
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = DefaultMultiplier
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = DefaultJitter
+	}
+	return p
+}
+
+// Retry runs fn until it succeeds, fails terminally, exhausts p.MaxAttempts,
+// or ctx expires. Between attempts it sleeps an exponentially growing,
+// jittered delay on clock (nil = wall clock). rng drives the jitter; nil
+// disables it. The last attempt's error is returned.
+func Retry(ctx context.Context, p Policy, clock Clock, rng *stats.RNG, fn func(ctx context.Context) error) error {
+	p = p.withDefaults()
+	if clock == nil {
+		clock = RealClock{}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	delay := p.BaseDelay
+	for attempt := 1; ; attempt++ {
+		err := fn(ctx)
+		if err == nil {
+			return nil
+		}
+		if Classify(err) == Terminal || attempt >= p.MaxAttempts || ctx.Err() != nil {
+			return err
+		}
+		d := delay
+		if rng != nil && p.Jitter > 0 {
+			// Uniform in [1-jitter, 1+jitter) of the nominal delay.
+			d = time.Duration(float64(d) * (1 - p.Jitter + 2*p.Jitter*rng.Float64()))
+		}
+		if d > p.MaxDelay {
+			d = p.MaxDelay
+		}
+		if serr := clock.Sleep(ctx, d); serr != nil {
+			return err // interrupted mid-backoff: surface the call's error
+		}
+		delay = time.Duration(float64(delay) * p.Multiplier)
+		if delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+}

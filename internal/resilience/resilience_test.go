@@ -1,0 +1,166 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{errors.New("dial tcp: connection refused"), Retryable},
+		{&HTTPError{Status: 500}, Retryable},
+		{&HTTPError{Status: 503}, Retryable},
+		{&HTTPError{Status: 429}, Retryable},
+		{&HTTPError{Status: 400}, Terminal},
+		{&HTTPError{Status: 401}, Terminal},
+		{&HTTPError{Status: 403}, Terminal},
+		{&HTTPError{Status: 404}, Terminal},
+		{context.Canceled, Terminal},
+		{context.DeadlineExceeded, Terminal},
+		{ErrCircuitOpen, Terminal},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestIsNotFound(t *testing.T) {
+	if !IsNotFound(&HTTPError{Status: 404}) {
+		t.Fatal("404 should be not-found")
+	}
+	for _, err := range []error{&HTTPError{Status: 500}, &HTTPError{Status: 403}, errors.New("x"), nil} {
+		if IsNotFound(err) {
+			t.Fatalf("IsNotFound(%v) must be false", err)
+		}
+	}
+}
+
+func TestRetrySucceedsAfterTransients(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	calls := 0
+	err := Retry(context.Background(), Policy{MaxAttempts: 5}, clock, nil, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	if len(clock.Slept()) != 2 {
+		t.Fatalf("expected 2 backoff sleeps, got %v", clock.Slept())
+	}
+}
+
+func TestRetryStopsOnTerminal(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	calls := 0
+	terminal := &HTTPError{Status: 403, Op: "t"}
+	err := Retry(context.Background(), Policy{MaxAttempts: 5}, clock, nil, func(context.Context) error {
+		calls++
+		return terminal
+	})
+	if !errors.Is(err, terminal) || calls != 1 {
+		t.Fatalf("terminal error must not be retried: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	calls := 0
+	err := Retry(context.Background(), Policy{MaxAttempts: 4}, clock, nil, func(context.Context) error {
+		calls++
+		return errors.New("always down")
+	})
+	if err == nil || calls != 4 {
+		t.Fatalf("err=%v calls=%d, want 4 attempts", err, calls)
+	}
+}
+
+func TestRetryBackoffGrowsAndClamps(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	p := Policy{MaxAttempts: 6, BaseDelay: 100 * time.Millisecond, MaxDelay: 400 * time.Millisecond, Multiplier: 2, Jitter: -1}
+	// Jitter < 0 is normalized to the default; pass a nil rng to disable
+	// randomization entirely so the schedule is exact.
+	_ = Retry(context.Background(), p, clock, nil, func(context.Context) error {
+		return errors.New("down")
+	})
+	want := []time.Duration{100, 200, 400, 400, 400}
+	got := clock.Slept()
+	if len(got) != len(want) {
+		t.Fatalf("slept %v, want %d delays", got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i]*time.Millisecond {
+			t.Fatalf("delay %d = %v, want %v", i, got[i], want[i]*time.Millisecond)
+		}
+	}
+}
+
+func TestRetryJitterBounds(t *testing.T) {
+	clock := NewFakeClock(time.Unix(0, 0))
+	rng := stats.NewRNG(7)
+	p := Policy{MaxAttempts: 50, BaseDelay: 100 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Multiplier: 1, Jitter: 0.5}
+	_ = Retry(context.Background(), p, clock, rng, func(context.Context) error {
+		return errors.New("down")
+	})
+	for i, d := range clock.Slept() {
+		if d < 50*time.Millisecond || d > 150*time.Millisecond {
+			t.Fatalf("delay %d = %v outside jitter bounds [50ms, 150ms]", i, d)
+		}
+	}
+}
+
+func TestRetryDeterministicWithSeed(t *testing.T) {
+	run := func() []time.Duration {
+		clock := NewFakeClock(time.Unix(0, 0))
+		_ = Retry(context.Background(), Policy{MaxAttempts: 8}, clock, stats.NewRNG(42), func(context.Context) error {
+			return errors.New("down")
+		})
+		return clock.Slept()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("schedules differ in length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Retry(ctx, Policy{MaxAttempts: 10}, RealClock{}, nil, func(context.Context) error {
+		calls++
+		cancel()
+		return errors.New("transient")
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("cancelled context must stop the loop: err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRealClockSleepInterruptible(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := (RealClock{}).Sleep(ctx, time.Minute); err == nil {
+		t.Fatal("cancelled sleep must return an error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancelled sleep blocked")
+	}
+}
