@@ -52,6 +52,7 @@ func main() {
 
 	logger := log.New(os.Stderr, "autotuned: ", log.LstdFlags)
 	st := store.New([]byte(*signingKey))
+	//rocklint:allow wallclock -- daemon startup entropy for the backend seed; not an experiment path
 	srv := backend.New(space, st, *secret, uint64(time.Now().UnixNano()))
 	srv.Logger = logger
 	srv.RequestTimeout = *reqTimeout
@@ -59,6 +60,7 @@ func main() {
 
 	// Storage Manager retention sweep.
 	go func() {
+		//rocklint:allow wallclock -- retention sweep cadence is operational wall time, not tuning state
 		tick := time.NewTicker(time.Hour)
 		defer tick.Stop()
 		for range tick.C {

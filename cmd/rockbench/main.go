@@ -53,9 +53,11 @@ func main() {
 			return
 		}
 		ran++
+		//rocklint:allow wallclock -- benchmark wall-clock reporting; figure output is produced by seeded RNGs only
 		start := time.Now()
 		before := parallel.GlobalCounters()
 		fn()
+		//rocklint:allow wallclock -- benchmark wall-clock reporting; figure output is produced by seeded RNGs only
 		wall := time.Since(start)
 		delta := parallel.GlobalCounters().Sub(before)
 		if delta.Finished > 0 {

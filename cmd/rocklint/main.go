@@ -1,0 +1,169 @@
+// Command rocklint runs the repository's custom static analyzers
+// (internal/lint) over the module and exits nonzero on findings. It
+// enforces the invariants Rockhopper's correctness guarantees depend on:
+// injected clocks (wallclock), injected splittable RNGs (globalrand), no
+// map-iteration-order leaks (maporder), lock hygiene (lockdiscipline), and
+// context-first I/O signatures (ctxfirst).
+//
+// Usage:
+//
+//	rocklint [-tests=false] [-suppressed] [-list] [packages]
+//
+// packages default to ./... — patterns are module-relative directories,
+// with /... for subtrees. Deliberate exceptions are annotated in source:
+//
+//	//rocklint:allow <rule>[,<rule>] -- <reason>
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/rockhopper-db/rockhopper/internal/lint"
+)
+
+func main() {
+	tests := flag.Bool("tests", true, "analyze _test.go files (rules that opt in)")
+	suppressed := flag.Bool("suppressed", false, "also print suppressed findings with their reasons")
+	list := flag.Bool("list", false, "list the registered rules and exit")
+	flag.Parse()
+
+	rules := lint.DefaultRules()
+	if *list {
+		for _, r := range rules {
+			fmt.Printf("%-15s %s\n", r.Name(), r.Doc())
+		}
+		return
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rocklint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rocklint:", err)
+		os.Exit(2)
+	}
+	pkgs = filterPatterns(pkgs, flag.Args())
+	extra, err := loadTestdata(loader, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rocklint:", err)
+		os.Exit(2)
+	}
+	pkgs = append(pkgs, extra...)
+
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "rocklint: warning: %s: incomplete type info: %v\n", p.Path, terr)
+		}
+	}
+
+	cfg := lint.DefaultConfig()
+	cfg.IncludeTests = *tests
+	diags := lint.Run(pkgs, rules, cfg)
+
+	findings := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			if *suppressed {
+				fmt.Printf("%s (suppressed: %s)\n", rel(d), d.SuppressReason)
+			}
+			continue
+		}
+		findings++
+		fmt.Println(rel(d))
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "rocklint: %d finding(s) in %d package(s)\n", findings, len(pkgs))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "rocklint: ok (%d packages, %d rules)\n", len(pkgs), len(rules))
+}
+
+// rel renders a diagnostic with a working-directory-relative path.
+func rel(d lint.Diagnostic) string {
+	if wd, err := os.Getwd(); err == nil {
+		if r, err := filepath.Rel(wd, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			d.Pos.Filename = r
+		}
+	}
+	return d.String()
+}
+
+// loadTestdata loads packages for patterns that point into a testdata
+// tree. LoadAll deliberately skips testdata directories (fixtures are not
+// module packages), so naming one on the command line is an explicit
+// request — that is how CI proves rocklint exits nonzero on the seeded
+// golden fixtures under internal/lint/testdata.
+func loadTestdata(loader *lint.Loader, patterns []string) ([]*lint.Package, error) {
+	var out []*lint.Package
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+		if !strings.Contains(pat, "testdata") {
+			continue
+		}
+		root := filepath.Join(loader.ModuleRoot, filepath.FromSlash(strings.TrimSuffix(pat, "/...")))
+		if !strings.HasSuffix(pat, "/...") {
+			got, err := loader.LoadDir(root)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, got...)
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil || !d.IsDir() {
+				return err
+			}
+			got, err := loader.LoadDir(path)
+			if err != nil {
+				return err
+			}
+			out = append(out, got...)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// filterPatterns selects packages matching the command-line patterns.
+// Supported forms: "./..." (everything), "./dir/..." (subtree), "./dir"
+// (exact); the leading "./" is optional.
+func filterPatterns(pkgs []*lint.Package, patterns []string) []*lint.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	match := func(relPath string) bool {
+		for _, pat := range patterns {
+			pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+			if pat == "..." || pat == "" {
+				return true
+			}
+			if prefix, wild := strings.CutSuffix(pat, "/..."); wild {
+				if relPath == prefix || strings.HasPrefix(relPath, prefix+"/") {
+					return true
+				}
+			} else if relPath == pat {
+				return true
+			}
+		}
+		return false
+	}
+	var out []*lint.Package
+	for _, p := range pkgs {
+		if match(p.RelPath) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

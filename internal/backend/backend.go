@@ -27,6 +27,7 @@ import (
 	"github.com/rockhopper-db/rockhopper/internal/eventlog"
 	"github.com/rockhopper-db/rockhopper/internal/flighting"
 	"github.com/rockhopper-db/rockhopper/internal/ml"
+	"github.com/rockhopper-db/rockhopper/internal/resilience"
 	"github.com/rockhopper-db/rockhopper/internal/sparksim"
 	"github.com/rockhopper-db/rockhopper/internal/stats"
 	"github.com/rockhopper-db/rockhopper/internal/store"
@@ -100,6 +101,11 @@ type Server struct {
 	// Logger receives operational messages; nil silences them.
 	Logger *log.Logger
 
+	// clk drives uptime and degraded-window accounting behind
+	// GET /api/health; nil means the wall clock. SetClock injects
+	// resilience.FakeClock so health reporting is testable.
+	clk resilience.Clock
+
 	// metrics is the per-endpoint error accounting behind GET /api/health.
 	metrics serverMetrics
 
@@ -145,11 +151,28 @@ func New(space *sparksim.Space, st ObjectStore, clusterSecret string, seed uint6
 		seqs:           make(map[string]int),
 		updates:        make(chan updateJob, 256),
 	}
-	s.metrics.start = time.Now()
+	s.metrics.start = s.clock().Now()
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(1)
 	go s.modelUpdater()
 	return s
+}
+
+// SetClock injects the server's clock (tests and simulations) and re-bases
+// the uptime origin so every health timestamp lives in the injected
+// timeline.
+func (s *Server) SetClock(c resilience.Clock) {
+	s.clk = c
+	s.metrics.mu.Lock()
+	s.metrics.start = c.Now()
+	s.metrics.mu.Unlock()
+}
+
+func (s *Server) clock() resilience.Clock {
+	if s.clk != nil {
+		return s.clk
+	}
+	return resilience.RealClock{}
 }
 
 // Close stops the streaming jobs after draining the queue.

@@ -127,7 +127,7 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		defer cancel()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(rec, r.WithContext(ctx))
-		s.metrics.observe(name, rec.code, string(rec.errBody), ctx.Err() != nil, time.Now())
+		s.metrics.observe(name, rec.code, string(rec.errBody), ctx.Err() != nil, s.clock().Now())
 	}
 }
 
@@ -137,5 +137,5 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	pending := s.pending
 	s.mu.Unlock()
-	writeJSON(w, s.metrics.report(pending, time.Now()))
+	writeJSON(w, s.metrics.report(pending, s.clock().Now()))
 }

@@ -1,0 +1,67 @@
+package backend
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/rockhopper-db/rockhopper/internal/resilience"
+)
+
+// TestHealthReportFakeClock pins the health endpoint's time semantics to
+// an injected clock: uptime follows the fake clock exactly, and the
+// ok → degraded → ok transition around the one-minute error window is
+// driven by Advance, not by sleeping through real wall time.
+func TestHealthReportFakeClock(t *testing.T) {
+	srv, hs := newServer(t)
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	clk := resilience.NewFakeClock(base)
+	srv.SetClock(clk)
+
+	getHealth := func() HealthReport {
+		t.Helper()
+		resp := doJSON(t, "GET", hs.URL+"/api/health", nil, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("health status = %d", resp.StatusCode)
+		}
+		var h HealthReport
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	h := getHealth()
+	if h.Status != "ok" || h.UptimeSeconds != 0 {
+		t.Fatalf("fresh server: status=%q uptime=%v, want ok/0", h.Status, h.UptimeSeconds)
+	}
+
+	clk.Advance(90 * time.Second)
+	if h = getHealth(); h.UptimeSeconds != 90 {
+		t.Fatalf("uptime = %v, want exactly 90 (fake clock)", h.UptimeSeconds)
+	}
+
+	// A server error at t=90s opens the one-minute degraded window.
+	srv.metrics.observe("events", http.StatusInternalServerError, "boom", false, clk.Now())
+	if h = getHealth(); h.Status != "degraded" {
+		t.Fatalf("status after 5xx = %q, want degraded", h.Status)
+	}
+
+	// 59s later the window is still open; 61s later it has closed.
+	clk.Advance(59 * time.Second)
+	if h = getHealth(); h.Status != "degraded" {
+		t.Fatalf("status 59s after 5xx = %q, want degraded", h.Status)
+	}
+	clk.Advance(2 * time.Second)
+	h = getHealth()
+	if h.Status != "ok" {
+		t.Fatalf("status 61s after 5xx = %q, want ok", h.Status)
+	}
+	if h.UptimeSeconds != 151 {
+		t.Fatalf("uptime = %v, want exactly 151", h.UptimeSeconds)
+	}
+	if e := h.Endpoints["events"]; e.ServerErrors != 1 || e.LastErrorUnixMs != base.Add(90*time.Second).UnixMilli() {
+		t.Fatalf("endpoint accounting lost the fake-clock timestamp: %+v", e)
+	}
+}

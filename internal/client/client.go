@@ -126,7 +126,7 @@ func (c *Client) splitRNG() *stats.RNG {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.rng == nil {
-		c.rng = stats.NewRNG(uint64(time.Now().UnixNano()))
+		c.rng = stats.NewRNG(uint64(c.clock().Now().UnixNano()))
 	}
 	return c.rng.Split()
 }
@@ -217,7 +217,7 @@ func (c *Client) attempt(ctx context.Context, op string, want int, build func(ct
 func (c *Client) Token(ctx context.Context, prefix string, perm store.Permission) (string, error) {
 	key := string(perm) + "|" + prefix
 	c.mu.Lock()
-	if t, ok := c.tokens[key]; ok && time.Now().Before(t.expires) {
+	if t, ok := c.tokens[key]; ok && c.clock().Now().Before(t.expires) {
 		c.mu.Unlock()
 		return t.token, nil
 	}
@@ -274,7 +274,7 @@ func (c *Client) fetchToken(ctx context.Context, key, prefix string, perm store.
 		margin = ttl / 2
 	}
 	c.mu.Lock()
-	c.tokens[key] = cachedToken{token: tr.Token, expires: time.Now().Add(ttl - margin)}
+	c.tokens[key] = cachedToken{token: tr.Token, expires: c.clock().Now().Add(ttl - margin)}
 	c.mu.Unlock()
 	return tr.Token, nil
 }
@@ -482,7 +482,10 @@ type RemoteSelector struct {
 	degraded bool
 }
 
-// Select implements core.Selector.
+// Select implements core.Selector, whose signature carries no context: the
+// remote fetch below is bounded by the client's own CallTimeout instead.
+//
+//rocklint:allow ctxfirst -- core.Selector interface signature is fixed; FetchModel is bounded by the client CallTimeout
 func (rs *RemoteSelector) Select(cands []sparksim.Config, window []sparksim.Observation, dataSize float64) int {
 	model, err := rs.Client.FetchModel(context.Background(), rs.User, rs.Signature)
 	if err != nil {

@@ -116,7 +116,7 @@ func TestSessionCompleteSurfacesBackendErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := sess.Recommend(1e9)
-	err = sess.Complete(sparksim.Observation{Config: cfg, DataSize: 1e9, Time: 100}, nil)
+	err = sess.Complete(context.Background(), sparksim.Observation{Config: cfg, DataSize: 1e9, Time: 100}, nil)
 	if err == nil {
 		t.Fatal("Complete must surface the event-shipping failure")
 	}

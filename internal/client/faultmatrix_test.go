@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -58,7 +59,7 @@ func runFlightingLoop(t *testing.T, faultRate float64) [][]sparksim.Config {
 			start := time.Now()
 			cfg := sess.Recommend(size)
 			o := e.Run(q, cfg, 1, rq, noise.Low)
-			if err := sess.Complete(o, nil); err != nil {
+			if err := sess.Complete(context.Background(), o, nil); err != nil {
 				t.Fatalf("rate %.0f%%: iteration %d did not survive injected faults: %v",
 					faultRate*100, i, err)
 			}

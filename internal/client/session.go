@@ -66,13 +66,14 @@ func (s *Session) Recommend(expectedInputBytes float64) sparksim.Config {
 
 // Complete reports one execution: it updates local tuning state, records
 // the dashboard metrics, and ships the event file to the backend so the
-// streaming Model Updater can retrain.
-func (s *Session) Complete(o sparksim.Observation, stages []sparksim.StageStat) error {
+// streaming Model Updater can retrain. ctx bounds the event upload; the
+// local state updates always happen.
+func (s *Session) Complete(ctx context.Context, o sparksim.Observation, stages []sparksim.StageStat) error {
 	o.Iteration = s.iter
 	s.iter++
 	s.learner.Observe(o)
 	s.dash.Record(o, stages)
-	return s.Client.PostEvents(context.Background(), s.User, s.Signature, s.JobID, []flighting.Trace{{
+	return s.Client.PostEvents(ctx, s.User, s.Signature, s.JobID, []flighting.Trace{{
 		QueryID:   s.Signature,
 		Embedding: s.embed,
 		Config:    o.Config,
@@ -107,8 +108,9 @@ func (s *Session) QueryHistory() backend.QueryHistory {
 
 // FinishApp runs when the surrounding Spark application completes: it asks
 // the backend to recompute the artifact's app-level configuration from this
-// session's (and its sibling sessions') query histories.
-func FinishApp(cli *Client, artifactID string, current sparksim.Config, sessions ...*Session) error {
+// session's (and its sibling sessions') query histories. ctx bounds the
+// backend call.
+func FinishApp(ctx context.Context, cli *Client, artifactID string, current sparksim.Config, sessions ...*Session) error {
 	if len(sessions) == 0 {
 		return fmt.Errorf("client: FinishApp requires at least one session")
 	}
@@ -116,6 +118,6 @@ func FinishApp(cli *Client, artifactID string, current sparksim.Config, sessions
 	for _, s := range sessions {
 		req.Queries = append(req.Queries, s.QueryHistory())
 	}
-	_, err := cli.ComputeAppCache(context.Background(), req)
+	_, err := cli.ComputeAppCache(ctx, req)
 	return err
 }

@@ -49,7 +49,7 @@ func TestSessionEndToEnd(t *testing.T) {
 		cfg := sess.Recommend(size)
 		o := e.Run(q, cfg, 1, r, noise.Low)
 		stages, _ := e.Explain(q, cfg, 1)
-		if err := sess.Complete(o, stages); err != nil {
+		if err := sess.Complete(context.Background(), o, stages); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -88,13 +88,13 @@ func TestFinishAppPopulatesCache(t *testing.T) {
 		}
 		for i := 0; i < 12; i++ {
 			cfg := sess.Recommend(q.Plan.LeafInputBytes())
-			if err := sess.Complete(e.Run(q, cfg, 1, r, noise.Low), nil); err != nil {
+			if err := sess.Complete(context.Background(), e.Run(q, cfg, 1, r, noise.Low), nil); err != nil {
 				t.Fatal(err)
 			}
 		}
 		sessions = append(sessions, sess)
 	}
-	if err := FinishApp(c, nb.ArtifactID, space.Default(), sessions...); err != nil {
+	if err := FinishApp(context.Background(), c, nb.ArtifactID, space.Default(), sessions...); err != nil {
 		t.Fatal(err)
 	}
 	entry, ok, err := c.FetchAppCache(context.Background(), nb.ArtifactID)
@@ -104,7 +104,7 @@ func TestFinishAppPopulatesCache(t *testing.T) {
 	if len(entry.Config) != space.Dim() {
 		t.Fatal("cached config malformed")
 	}
-	if err := FinishApp(c, "x", space.Default()); err == nil {
+	if err := FinishApp(context.Background(), c, "x", space.Default()); err == nil {
 		t.Fatal("FinishApp without sessions should error")
 	}
 }

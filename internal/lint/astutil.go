@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// exprString renders a restricted expression form — identifier, selector
+// chain, index, call, pointer deref — as a canonical string, used to match
+// lock receivers ("s.mu") and slice targets across statements. Expressions
+// outside the supported shapes render as "?", which never matches anything.
+func exprString(e ast.Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		b.WriteString(x.Name)
+	case *ast.SelectorExpr:
+		writeExpr(b, x.X)
+		b.WriteByte('.')
+		b.WriteString(x.Sel.Name)
+	case *ast.IndexExpr:
+		writeExpr(b, x.X)
+		b.WriteString("[...]")
+	case *ast.CallExpr:
+		writeExpr(b, x.Fun)
+		b.WriteString("()")
+	case *ast.StarExpr:
+		b.WriteByte('*')
+		writeExpr(b, x.X)
+	case *ast.ParenExpr:
+		writeExpr(b, x.X)
+	default:
+		b.WriteByte('?')
+	}
+}
+
+// funcBodies visits every function body in f — declarations and literals —
+// exactly once.
+func funcBodies(f *ast.File, visit func(fn ast.Node, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			if x.Body != nil {
+				visit(x, x.Body)
+			}
+		case *ast.FuncLit:
+			if x.Body != nil {
+				visit(x, x.Body)
+			}
+		}
+		return true
+	})
+}
+
+// childStmtLists returns the statement lists directly nested in st, without
+// descending into function literals (those are separate bodies).
+func childStmtLists(st ast.Stmt) [][]ast.Stmt {
+	switch s := st.(type) {
+	case *ast.BlockStmt:
+		return [][]ast.Stmt{s.List}
+	case *ast.IfStmt:
+		lists := [][]ast.Stmt{s.Body.List}
+		if s.Else != nil {
+			lists = append(lists, childStmtLists(s.Else)...)
+		}
+		return lists
+	case *ast.ForStmt:
+		return [][]ast.Stmt{s.Body.List}
+	case *ast.RangeStmt:
+		return [][]ast.Stmt{s.Body.List}
+	case *ast.SwitchStmt:
+		return caseLists(s.Body)
+	case *ast.TypeSwitchStmt:
+		return caseLists(s.Body)
+	case *ast.SelectStmt:
+		var lists [][]ast.Stmt
+		for _, cc := range s.Body.List {
+			if c, ok := cc.(*ast.CommClause); ok {
+				lists = append(lists, c.Body)
+			}
+		}
+		return lists
+	case *ast.LabeledStmt:
+		return childStmtLists(s.Stmt)
+	}
+	return nil
+}
+
+func caseLists(body *ast.BlockStmt) [][]ast.Stmt {
+	var lists [][]ast.Stmt
+	for _, cc := range body.List {
+		if c, ok := cc.(*ast.CaseClause); ok {
+			lists = append(lists, c.Body)
+		}
+	}
+	return lists
+}

@@ -1,0 +1,46 @@
+package lint
+
+import "go/ast"
+
+// GlobalRand flags any reference into math/rand or math/rand/v2. The
+// repository's reproducibility story is built on stats.RNG: a splittable
+// generator whose per-run and per-query streams are pure functions of one
+// experiment seed (SplitIndexed/SplitNamed), which is what makes output
+// byte-identical for any worker count. Package-level math/rand functions
+// share hidden global state across goroutines, and even a locally
+// constructed rand.Rand reintroduces a second, non-splittable seed
+// discipline — inject a *stats.RNG instead.
+//
+// Unlike wallclock, this rule includes _test.go files: a test drawing from
+// the global generator is exactly how flaky, unreproducible failures are
+// born.
+type GlobalRand struct{}
+
+// Name implements Rule.
+func (GlobalRand) Name() string { return "globalrand" }
+
+// Doc implements Rule.
+func (GlobalRand) Doc() string {
+	return "no math/rand: randomness must come from an injected, splittable *stats.RNG"
+}
+
+// IncludeTests implements Rule.
+func (GlobalRand) IncludeTests() bool { return true }
+
+// Check implements Rule.
+func (GlobalRand) Check(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := pass.PkgQualifier(sel)
+			if !ok || (pkg != "math/rand" && pkg != "math/rand/v2") {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "rand.%s uses math/rand; derive randomness from an injected *stats.RNG (stats.NewRNG / Split) so every run replays from one seed", name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// LockDiscipline flags mutex acquisitions that are not provably released:
+// a Lock()/RLock() with no matching Unlock()/RUnlock() or deferred release
+// later in the function, and early returns on paths where the lock is
+// still held. The analysis is a per-statement-list state machine: a branch
+// inherits the lock state at its entry, releases inside a branch cover
+// only that branch, and re-acquiring resets the state — which accepts the
+// repository's real patterns (lock/defer-unlock, lock/branch-unlock-return,
+// lock/work/unlock) while catching the leak-on-error-path bugs that
+// deadlock production under load.
+//
+// Mismatched pairs count as no release: an RLock() answered by Unlock()
+// corrupts a sync.RWMutex and is exactly what this rule exists to catch.
+type LockDiscipline struct{}
+
+// Name implements Rule.
+func (LockDiscipline) Name() string { return "lockdiscipline" }
+
+// Doc implements Rule.
+func (LockDiscipline) Doc() string {
+	return "every Lock/RLock needs a matching (deferred) release on all paths; no early return with a held lock"
+}
+
+// IncludeTests implements Rule.
+func (LockDiscipline) IncludeTests() bool { return true }
+
+// Check implements Rule.
+func (LockDiscipline) Check(pass *Pass) {
+	for _, f := range pass.Files {
+		funcBodies(f, func(_ ast.Node, body *ast.BlockStmt) {
+			checkLockList(pass, body.List)
+		})
+	}
+}
+
+func checkLockList(pass *Pass, list []ast.Stmt) {
+	for i, st := range list {
+		for _, child := range childStmtLists(st) {
+			checkLockList(pass, child)
+		}
+		recv, name, ok := stmtLockCall(st)
+		if !ok || (name != "Lock" && name != "RLock") {
+			continue
+		}
+		unlockName := "Unlock"
+		if name == "RLock" {
+			unlockName = "RUnlock"
+		}
+		scan := &lockScan{recv: recv, lockName: name, unlockName: unlockName}
+		scan.walk(list[i+1:], false)
+		lockLine := pass.Fset.Position(st.Pos()).Line
+		if !scan.released {
+			pass.Reportf(st.Pos(), "%s.%s() has no matching %s() or defer in this function; use lock/defer-unlock or release on every path", recv, name, unlockName)
+			continue
+		}
+		for _, ret := range scan.unsafe {
+			pass.Reportf(ret.Pos(), "return while %s is still locked (%s() at line %d, no %s() on this path)", recv, name, lockLine, unlockName)
+		}
+	}
+}
+
+// stmtLockCall matches an expression statement of the form recv.Name()
+// where Name is a mutex verb, returning the rendered receiver.
+func stmtLockCall(st ast.Stmt) (recv, name string, ok bool) {
+	es, isExpr := st.(*ast.ExprStmt)
+	if !isExpr {
+		return "", "", false
+	}
+	call, isCall := es.X.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	return mutexCall(call)
+}
+
+func mutexCall(call *ast.CallExpr) (recv, name string, ok bool) {
+	if len(call.Args) != 0 {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return exprString(sel.X), sel.Sel.Name, true
+	}
+	return "", "", false
+}
+
+// lockScan is the release-tracking state machine run over the statements
+// after one acquisition.
+type lockScan struct {
+	recv, lockName, unlockName string
+
+	// released records whether any matching release was seen anywhere.
+	released bool
+	// unsafe collects returns reached with the lock provably held.
+	unsafe []*ast.ReturnStmt
+}
+
+// walk processes one statement list. unlocked is the lock state at entry;
+// state changes inside nested lists do not escape them (an unlock inside
+// an if-branch covers only that branch).
+func (s *lockScan) walk(list []ast.Stmt, unlocked bool) {
+	u := unlocked
+	for _, st := range list {
+		switch x := st.(type) {
+		case *ast.ExprStmt:
+			if call, ok := x.X.(*ast.CallExpr); ok {
+				if recv, name, ok := mutexCall(call); ok && recv == s.recv {
+					switch name {
+					case s.unlockName:
+						u = true
+						s.released = true
+					case s.lockName:
+						u = false
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			if recv, name, ok := mutexCall(x.Call); ok && recv == s.recv && name == s.unlockName {
+				u = true
+				s.released = true
+			}
+		case *ast.ReturnStmt:
+			if !u {
+				s.unsafe = append(s.unsafe, x)
+			}
+		default:
+			for _, child := range childStmtLists(st) {
+				s.walk(child, u)
+			}
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// fmtPrintFuncs write formatted output whose order is the iteration order.
+var fmtPrintFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// MapOrder flags `for range` over a map whose body leaks the iteration
+// order: appending to a slice declared outside the loop (or accumulating a
+// string) without a subsequent sort, or printing directly from the loop
+// body. Go randomizes map iteration order per run, so any of these turns a
+// deterministic pipeline into a different-every-time one. The blessed
+// shape is Store.List's collect-then-sort: range to gather, sort, then
+// consume.
+//
+// Order-insensitive bodies — counting, summing into scalars, building
+// another map, deleting keys — are not flagged.
+type MapOrder struct{}
+
+// Name implements Rule.
+func (MapOrder) Name() string { return "maporder" }
+
+// Doc implements Rule.
+func (MapOrder) Doc() string {
+	return "no map iteration order leaking into slices, strings, or output: collect then sort"
+}
+
+// IncludeTests implements Rule.
+func (MapOrder) IncludeTests() bool { return false }
+
+// Check implements Rule.
+func (MapOrder) Check(pass *Pass) {
+	for _, f := range pass.Files {
+		funcBodies(f, func(_ ast.Node, body *ast.BlockStmt) {
+			checkMapRanges(pass, body.List)
+		})
+	}
+}
+
+// checkMapRanges walks one statement list (recursing into nested lists but
+// not into function literals, which funcBodies visits separately) and
+// analyzes every map-range it contains against the list's remaining tail.
+func checkMapRanges(pass *Pass, list []ast.Stmt) {
+	for i, st := range list {
+		for _, child := range childStmtLists(st) {
+			checkMapRanges(pass, child)
+		}
+		rs, ok := st.(*ast.RangeStmt)
+		if !ok || !isMapType(pass, rs.X) {
+			continue
+		}
+		analyzeMapRange(pass, rs, list[i+1:])
+	}
+}
+
+func isMapType(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// analyzeMapRange inspects one map-range body for order leaks; tail is the
+// enclosing statement list after the loop, searched for the redeeming sort.
+func analyzeMapRange(pass *Pass, rs *ast.RangeStmt, tail []ast.Stmt) {
+	// sinks maps the rendered expression of each order-dependent
+	// accumulator to the position of its first accumulation.
+	sinks := map[string]token.Pos{}
+	record := func(e ast.Expr, pos token.Pos) {
+		key := exprString(e)
+		if _, seen := sinks[key]; !seen {
+			sinks[key] = pos
+		}
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // separate body; funcBodies handles it
+		case *ast.CallExpr:
+			if pkg, name, ok := pass.PkgQualifier(x.Fun); ok && pkg == "fmt" && fmtPrintFuncs[name] {
+				pass.Reportf(x.Pos(), "fmt.%s inside a map range emits output in map iteration order; collect into a slice, sort it, then print", name)
+			}
+		case *ast.AssignStmt:
+			for i, rh := range x.Rhs {
+				if i >= len(x.Lhs) {
+					break
+				}
+				lhs := x.Lhs[i]
+				if declaredInside(pass, lhs, rs) {
+					continue
+				}
+				if call, ok := rh.(*ast.CallExpr); ok && isBuiltinAppend(pass, call) && x.Tok == token.ASSIGN {
+					record(lhs, x.Pos())
+				}
+			}
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isStringType(pass, x.Lhs[0]) && !declaredInside(pass, x.Lhs[0], rs) {
+				record(x.Lhs[0], x.Pos())
+			}
+		}
+		return true
+	})
+	for key, pos := range sinks {
+		if sortedInTail(pass, tail, key) {
+			continue
+		}
+		pass.Reportf(pos, "map range over %s accumulates into %s in map iteration order with no subsequent sort; sort it afterwards (sort.Slice / slices.Sort — the Store.List collect-then-sort pattern)", exprString(rs.X), key)
+	}
+}
+
+// declaredInside reports whether e is an identifier whose declaration lies
+// within the range statement (a per-iteration local, not an outer sink).
+func declaredInside(pass *Pass, e ast.Expr, rs *ast.RangeStmt) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Pkg.Info.ObjectOf(id)
+	return obj != nil && obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End()
+}
+
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	// With type info, insist on the builtin (a local function named
+	// append shadows it); without, accept the name.
+	if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+		_, isBuiltin := obj.(*types.Builtin)
+		return isBuiltin
+	}
+	return true
+}
+
+func isStringType(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// sortedInTail reports whether any statement after the loop sorts the sink
+// expression via package sort or slices.
+func sortedInTail(pass *Pass, tail []ast.Stmt, key string) bool {
+	for _, st := range tail {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, _, ok := pass.PkgQualifier(call.Fun)
+			if !ok || (pkg != "sort" && pkg != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				a := arg
+				if u, ok := a.(*ast.UnaryExpr); ok && u.Op == token.AND {
+					a = u.X
+				}
+				if exprString(a) == key {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment. The full grammar is
+//
+//	//rocklint:allow <rule>[,<rule>...] -- <reason>
+//
+// and the directive waives matching diagnostics on its own line (trailing
+// comment) or on the line immediately below it (standalone comment above
+// the offending statement).
+const directivePrefix = "//rocklint:allow"
+
+// directive is one parsed //rocklint:allow comment.
+type directive struct {
+	// Rules are the rule names the directive waives.
+	Rules []string
+	// Reason is the justification after "--".
+	Reason string
+	// Pos is the comment's position; File/Line locate its scope.
+	Pos  token.Position
+	File string
+	// Line is the line the comment ends on: a diagnostic on Line or
+	// Line+1 is in scope.
+	Line int
+
+	used bool
+}
+
+// directiveSet indexes one package's directives.
+type directiveSet struct {
+	all []*directive
+}
+
+// collectDirectives scans every file of pkg (test files included — a
+// suppression in a test file must work even for rules that skip tests,
+// because the engine findings about the directive itself still apply) and
+// returns the parsed directives plus diagnostics for malformed ones.
+func collectDirectives(pkg *Package) (*directiveSet, []Diagnostic) {
+	set := &directiveSet{}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := c.Text[len(directivePrefix):]
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //rocklint:allowance — not ours
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				d, errMsg := parseDirective(rest)
+				if errMsg != "" {
+					bad = append(bad, Diagnostic{
+						Rule: MetaRule,
+						Pos:  pos,
+						Msg:  errMsg,
+					})
+					continue
+				}
+				d.Pos = pos
+				d.File = pos.Filename
+				d.Line = pkg.Fset.Position(c.End()).Line
+				set.all = append(set.all, d)
+			}
+		}
+	}
+	return set, bad
+}
+
+// MetaRule names the engine's own findings (malformed or unused
+// directives). They are not suppressible: a broken waiver must be fixed,
+// not waived.
+const MetaRule = "rocklint"
+
+// parseDirective parses the text after the //rocklint:allow prefix.
+func parseDirective(rest string) (*directive, string) {
+	spec, reason, found := strings.Cut(rest, "--")
+	if !found || strings.TrimSpace(reason) == "" {
+		return nil, `malformed directive: want "//rocklint:allow <rule>[,<rule>] -- <reason>" (the reason is mandatory)`
+	}
+	var rules []string
+	for _, r := range strings.Split(spec, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			rules = append(rules, r)
+		}
+	}
+	if len(rules) == 0 {
+		return nil, "malformed directive: no rule names before --"
+	}
+	for _, r := range rules {
+		if r == MetaRule {
+			return nil, "malformed directive: engine findings (rule rocklint) cannot be suppressed"
+		}
+	}
+	return &directive{Rules: rules, Reason: strings.TrimSpace(reason)}, ""
+}
+
+// match returns the directive waiving a diagnostic of rule at pos, if any.
+func (s *directiveSet) match(rule string, pos token.Position) *directive {
+	for _, d := range s.all {
+		if d.File != pos.Filename {
+			continue
+		}
+		if pos.Line != d.Line && pos.Line != d.Line+1 {
+			continue
+		}
+		for _, r := range d.Rules {
+			if r == rule {
+				return d
+			}
+		}
+	}
+	return nil
+}
+
+// unused reports directives that waived nothing. Only directives whose
+// every rule was actually executed for this package are eligible: a
+// directive naming an allowlisted (skipped) rule is vacuously unused and
+// stays silent.
+func (s *directiveSet) unused(executed map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range s.all {
+		if d.used {
+			continue
+		}
+		eligible := true
+		for _, r := range d.Rules {
+			if !executed[r] {
+				eligible = false
+				break
+			}
+		}
+		if eligible {
+			out = append(out, Diagnostic{
+				Rule: MetaRule,
+				Pos:  d.Pos,
+				Msg:  "unused //rocklint:allow directive (" + strings.Join(d.Rules, ",") + "): nothing to suppress here — delete it",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+// Package allowed exists to prove package allowlists: the violation
+// below is reported when the package is not allowlisted and vanishes —
+// with no unused-directive noise — when Config.Allow waives the rule for
+// the whole package. No `// want` comments here: the two runs expect
+// different outcomes, so the test asserts counts directly.
+package allowed
+
+import "time"
+
+// Violation reads the wall clock on purpose.
+func Violation() time.Time { return time.Now() }

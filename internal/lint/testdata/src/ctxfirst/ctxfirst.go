@@ -1,0 +1,55 @@
+// Package ctxfirst seeds deliberate context-plumbing violations for the
+// rocklint golden tests. The rule is scoped by CtxFirst.Packages; the
+// test harness points it at this fixture package.
+package ctxfirst
+
+import (
+	"context"
+	"net/http"
+)
+
+// Client is a thin wrapper so method calls exercise the Selections-based
+// net/http method detection (h.Do below).
+type Client struct{ h *http.Client }
+
+// BadNoCtx does network I/O with no context parameter.
+func (c *Client) BadNoCtx(url string) (*http.Response, error) { // want "does I/O but takes no context.Context"
+	return http.Get(url)
+}
+
+// BadCtxSecond threads a context that is not the first parameter.
+func BadCtxSecond(name string, ctx context.Context) error { // want "must be the first parameter"
+	return ctx.Err()
+}
+
+// GoodCtxFirst is compliant: context first, deadline propagates.
+func GoodCtxFirst(ctx context.Context, c *Client, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.h.Do(req)
+}
+
+// GoodHandler is exempt: the *http.Request carries its context.
+func GoodHandler(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+}
+
+// goodUnexported is out of scope — the rule audits the exported surface.
+func goodUnexported(url string) (*http.Response, error) {
+	return http.Get(url)
+}
+
+// SuppressedIface is pinned by an interface signature that carries no
+// context; the finding must come back Suppressed with this reason.
+//
+//rocklint:allow ctxfirst -- fixture: interface-pinned signature, deadline owned by the callee
+func SuppressedIface(c *Client, url string) (*http.Response, error) {
+	return c.h.Do(newReq(url))
+}
+
+func newReq(url string) *http.Request {
+	r, _ := http.NewRequest(http.MethodGet, url, nil)
+	return r
+}

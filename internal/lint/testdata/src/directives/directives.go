@@ -1,0 +1,14 @@
+// Package directives seeds the engine's own findings: a malformed
+// suppression (missing the mandatory reason) and a stale waiver with
+// nothing to suppress. Both are reported under the meta rule "rocklint".
+package directives
+
+import "time"
+
+//rocklint:allow wallclock // want "malformed directive"
+
+//rocklint:allow wallclock -- stale waiver kept for the golden test // want "unused"
+
+// Good uses only time's pure values so the second directive above stays
+// genuinely unused.
+func Good() time.Duration { return time.Hour }

@@ -1,0 +1,24 @@
+// Package globalrand seeds deliberate math/rand violations for the
+// rocklint golden tests.
+package globalrand
+
+import "math/rand"
+
+// Bad draws from the shared global generator.
+func Bad() int {
+	return rand.Intn(10) // want "rand.Intn uses math/rand"
+}
+
+// BadSource constructs a local generator — still math/rand, still not
+// splittable, still flagged at both references.
+func BadSource(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // want "rand.New uses math/rand" "rand.NewSource uses math/rand"
+	return r.Float64()
+}
+
+// LegacyShuffle keeps byte-compatibility with a recorded trace; the
+// directive documents why the historical generator must stay.
+func LegacyShuffle(xs []int) {
+	//rocklint:allow globalrand -- fixture: legacy trace replay requires the historical generator
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

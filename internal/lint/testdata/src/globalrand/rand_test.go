@@ -1,0 +1,15 @@
+package globalrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSeeded violates in a _test.go file: unlike wallclock, the
+// globalrand rule includes tests (a nondeterministic test is flaky by
+// construction), so the line below must be reported.
+func TestSeeded(t *testing.T) {
+	if rand.Float64() < -1 { // want "rand.Float64 uses math/rand"
+		t.Fatal("impossible")
+	}
+}

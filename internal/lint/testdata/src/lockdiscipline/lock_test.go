@@ -1,0 +1,15 @@
+package lockdiscipline
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHeldLock violates in a _test.go file: the lockdiscipline rule
+// includes tests (a deadlocked test hangs the suite), so the line below
+// must be reported.
+func TestHeldLock(t *testing.T) {
+	var mu sync.Mutex
+	mu.Lock() // want "no matching Unlock"
+	t.Log("lock intentionally leaked for the fixture")
+}

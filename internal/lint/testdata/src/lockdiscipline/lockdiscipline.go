@@ -1,0 +1,72 @@
+// Package lockdiscipline seeds deliberate lock-handling violations for
+// the rocklint golden tests, next to the disciplined shapes the repo
+// actually uses (defer-unlock, branch-local release).
+package lockdiscipline
+
+import "sync"
+
+type box struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// BadNoUnlock locks and never releases.
+func (b *box) BadNoUnlock() {
+	b.mu.Lock() // want "no matching Unlock"
+	b.n++
+}
+
+// BadEarlyReturn releases on the fall-through path but leaks the lock on
+// the early return.
+func (b *box) BadEarlyReturn(cond bool) int {
+	b.mu.Lock()
+	if cond {
+		return b.n // want "return while b.mu is still locked"
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+// BadMismatch pairs RLock with Unlock — not a release of the read lock.
+func (b *box) BadMismatch() {
+	b.mu.RLock() // want "no matching RUnlock"
+	defer b.mu.Unlock()
+}
+
+// GoodDefer is the canonical shape.
+func (b *box) GoodDefer() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// GoodBranchRelease unlocks on every path without defer.
+func (b *box) GoodBranchRelease(cond bool) int {
+	b.mu.Lock()
+	if cond {
+		b.mu.Unlock()
+		return b.n
+	}
+	b.mu.Unlock()
+	return 0
+}
+
+// GoodRead pairs the read lock with its read unlock.
+func (b *box) GoodRead() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.n
+}
+
+// SuppressedHandoff locks and hands ownership to the caller by contract;
+// the directive documents the transfer.
+func (b *box) SuppressedHandoff() {
+	b.mu.Lock() //rocklint:allow lockdiscipline -- fixture: ownership handed to the caller, released in Finish
+	b.n++
+}
+
+// Finish releases a lock acquired by SuppressedHandoff. The bare Unlock
+// with no Lock in sight is fine: the rule only audits Lock sites.
+func (b *box) Finish() {
+	b.mu.Unlock()
+}

@@ -1,0 +1,70 @@
+// Package maporder seeds deliberate map-iteration-order leaks for the
+// rocklint golden tests, next to the blessed collect-then-sort shapes
+// that must stay diagnostic-free.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BadAppend collects keys and returns them unsorted.
+func BadAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "accumulates into keys in map iteration order"
+	}
+	return keys
+}
+
+// BadPrint emits output straight from the loop body.
+func BadPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println inside a map range"
+	}
+}
+
+// BadConcat accumulates a string in iteration order.
+func BadConcat(m map[string]int) string {
+	out := ""
+	for k := range m {
+		out += k // want "accumulates into out in map iteration order"
+	}
+	return out
+}
+
+// GoodSorted is the Store.List pattern: collect, then sort, then return.
+func GoodSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GoodAggregate sums into a scalar — order-insensitive.
+func GoodAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// GoodMapToMap builds another map — order-insensitive.
+func GoodMapToMap(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// SuppressedDump waives a debug print whose order genuinely does not
+// matter; the finding must come back Suppressed with this reason.
+func SuppressedDump(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //rocklint:allow maporder -- fixture: debug dump, order genuinely irrelevant
+	}
+}

@@ -1,0 +1,14 @@
+package wallclock
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHarnessTiming reads real time with no directive: the wallclock rule
+// skips _test.go files, so this file must stay diagnostic-free.
+func TestHarnessTiming(t *testing.T) {
+	if time.Since(time.Now()) > time.Minute {
+		t.Fatal("impossible")
+	}
+}

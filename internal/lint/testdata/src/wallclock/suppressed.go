@@ -1,0 +1,13 @@
+package wallclock
+
+import "time"
+
+// Suppressed demonstrates both directive placements — standalone on the
+// line above and trailing on the violating line. Both findings must come
+// back with Suppressed=true and carry the directive's reason.
+func Suppressed() time.Time {
+	//rocklint:allow wallclock -- fixture: standalone directive above the call
+	t := time.Now()
+	time.Sleep(0) //rocklint:allow wallclock -- fixture: trailing directive on the violating line
+	return t
+}

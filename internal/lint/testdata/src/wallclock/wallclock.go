@@ -1,0 +1,36 @@
+// Package wallclock seeds deliberate wall-clock violations for the
+// rocklint golden tests. Every line carrying a `// want` comment must be
+// reported; every other line must stay diagnostic-free.
+package wallclock
+
+import "time"
+
+// Clock is a local stand-in for resilience.Clock: calling through an
+// injected clock is the blessed pattern and must not be flagged.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// Bad reads ambient time three ways.
+func Bad() time.Duration {
+	start := time.Now()          // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+	return time.Since(start)     // want "time.Since reads the wall clock"
+}
+
+// BadTimer arms a real timer.
+func BadTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want "time.NewTimer reads the wall clock"
+}
+
+// aliasedNow proves package-level references are caught too.
+var aliasedNow = time.Now // want "time.Now reads the wall clock"
+
+// Good consumes only the injected clock and time's pure values; no
+// diagnostic may appear below.
+func Good(c Clock) time.Time {
+	c.Sleep(2 * time.Second)
+	deadline := c.Now().Add(time.Minute)
+	return deadline
+}

@@ -1,0 +1,57 @@
+package lint
+
+import "go/ast"
+
+// wallclockFuncs are the package time entry points that read or act on the
+// wall clock. Types and constants (time.Duration, time.Second, time.Unix)
+// are fine — they carry no ambient now.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// WallClock flags every reference to a wall-clock entry point of package
+// time outside the resilience.Clock abstraction. PR 1's byte-identical
+// parallel results and PR 2's identical convergence under fault injection
+// both hold only because no production path reads ambient time; a stray
+// time.Now() breaks replayability silently.
+//
+// The rule skips _test.go files: test harnesses legitimately measure and
+// wait on real time.
+type WallClock struct{}
+
+// Name implements Rule.
+func (WallClock) Name() string { return "wallclock" }
+
+// Doc implements Rule.
+func (WallClock) Doc() string {
+	return "no time.Now/Since/Sleep/timers outside resilience.Clock: production paths must inject a clock"
+}
+
+// IncludeTests implements Rule.
+func (WallClock) IncludeTests() bool { return false }
+
+// Check implements Rule.
+func (WallClock) Check(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := pass.PkgQualifier(sel)
+			if !ok || pkg != "time" || !wallclockFuncs[name] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "time.%s reads the wall clock; inject a resilience.Clock so behaviour is deterministic under test", name)
+			return true
+		})
+	}
+}

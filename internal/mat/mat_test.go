@@ -1,8 +1,8 @@
 package mat
 
 import (
+	"github.com/rockhopper-db/rockhopper/internal/stats"
 	"math"
-	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -81,7 +81,7 @@ func TestMulVec(t *testing.T) {
 
 func TestAtAMatchesExplicit(t *testing.T) {
 	t.Parallel()
-	rng := rand.New(rand.NewSource(7))
+	rng := stats.NewRNG(7)
 	a := NewDense(5, 3)
 	for i := range a.Data() {
 		a.Data()[i] = rng.NormFloat64()
@@ -158,7 +158,7 @@ func TestCholeskyLogDet(t *testing.T) {
 func TestLeastSquaresExact(t *testing.T) {
 	t.Parallel()
 	// Overdetermined but consistent system: recover exact coefficients.
-	rng := rand.New(rand.NewSource(11))
+	rng := stats.NewRNG(11)
 	n, p := 40, 4
 	x := NewDense(n, p)
 	truth := []float64{2, -1, 0.5, 3}
@@ -182,7 +182,7 @@ func TestLeastSquaresExact(t *testing.T) {
 
 func TestSolveRidgeShrinks(t *testing.T) {
 	t.Parallel()
-	rng := rand.New(rand.NewSource(3))
+	rng := stats.NewRNG(3)
 	n, p := 50, 3
 	x := NewDense(n, p)
 	truth := []float64{5, -3, 1}
@@ -227,8 +227,8 @@ func TestSolveRidgeCollinear(t *testing.T) {
 func TestPropCholeskyResidual(t *testing.T) {
 	t.Parallel()
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		n := 2 + int(rng.Int31n(6))
+		rng := stats.NewRNG(uint64(seed))
+		n := 2 + rng.Intn(6)
 		g := NewDense(n, n)
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
@@ -266,9 +266,9 @@ func TestPropCholeskyResidual(t *testing.T) {
 func TestPropLeastSquaresOrthogonality(t *testing.T) {
 	t.Parallel()
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		n := 8 + int(rng.Int31n(8))
-		p := 2 + int(rng.Int31n(3))
+		rng := stats.NewRNG(uint64(seed))
+		n := 8 + rng.Intn(8)
+		p := 2 + rng.Intn(3)
 		x := NewDense(n, p)
 		y := make([]float64, n)
 		for i := 0; i < n; i++ {

@@ -114,6 +114,13 @@ var (
 	globalBusyNs   atomic.Int64
 )
 
+// poolNow timestamps the utilization counters (Wall/Busy/speedup). It is
+// the pool's only wall-clock read: task results never depend on it, so the
+// byte-identical-output guarantee is untouched.
+//
+//rocklint:allow wallclock -- pool utilization metrics only; task results never read this clock
+var poolNow = time.Now
+
 // GlobalCounters returns the cumulative counters across all pools in this
 // process. Callers measuring one phase take a snapshot before and after and
 // subtract.
@@ -185,7 +192,7 @@ func MapMetrics[T any](ctx context.Context, n, workers int, fn func(ctx context.
 		return err
 	}
 
-	start := time.Now()
+	start := poolNow()
 	wg.Add(m.Workers)
 	for w := 0; w < m.Workers; w++ {
 		go func() {
@@ -197,9 +204,9 @@ func MapMetrics[T any](ctx context.Context, n, workers int, fn func(ctx context.
 				}
 				started.Add(1)
 				globalStarted.Add(1)
-				t0 := time.Now()
+				t0 := poolNow()
 				err := runTask(i)
-				d := time.Since(t0)
+				d := poolNow().Sub(t0)
 				busyNs.Add(int64(d))
 				globalBusyNs.Add(int64(d))
 				finished.Add(1)
@@ -213,7 +220,7 @@ func MapMetrics[T any](ctx context.Context, n, workers int, fn func(ctx context.
 	}
 	wg.Wait()
 
-	m.Wall = time.Since(start)
+	m.Wall = poolNow().Sub(start)
 	m.Started = started.Load()
 	m.Finished = finished.Load()
 	m.Busy = time.Duration(busyNs.Load())

@@ -143,6 +143,7 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		d = t.Plan.Decide(req.Method + " " + req.URL.Path)
 	}
 	if d.Delay > 0 {
+		//rocklint:allow wallclock -- fault injection delays real round trips by design; tests bound it via the request context
 		timer := time.NewTimer(d.Delay)
 		select {
 		case <-req.Context().Done():
@@ -189,6 +190,7 @@ func (s *Store) decide(op string) error {
 	}
 	d := s.Plan.Decide(op)
 	if d.Delay > 0 {
+		//rocklint:allow wallclock -- injected store latency is real wall time by design
 		time.Sleep(d.Delay)
 	}
 	return d.Err

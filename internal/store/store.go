@@ -93,7 +93,8 @@ type object struct {
 // New returns a store signing tokens with the given secret.
 func New(secret []byte) *Store {
 	return &Store{
-		secret:  append([]byte(nil), secret...),
+		secret: append([]byte(nil), secret...),
+		//rocklint:allow wallclock -- injection-point default: SetClock overrides it in tests
 		now:     time.Now,
 		objects: make(map[string]object),
 	}
