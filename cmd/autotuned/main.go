@@ -7,23 +7,48 @@
 //
 //	autotuned [-addr :8080] [-secret cluster-secret] [-space query|full]
 //	          [-retention 720h] [-request-timeout 15s]
+//	          [-data-dir /var/lib/autotuned] [-snapshot-interval 10m]
+//
+// With -data-dir the object store is durable: every mutation is written to
+// a CRC-framed write-ahead log before it is acknowledged, the log is
+// compacted into an atomic snapshot on the -snapshot-interval cadence, and
+// a restart with the same directory replays snapshot + WAL so previously
+// trained models survive without retraining. Without it the store is
+// memory-only and state dies with the process.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests drain, the
+// model-updater queue flushes, and the durable store takes a final snapshot.
 //
 // Liveness and per-endpoint error accounting are exposed unauthenticated at
 // GET /api/health.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/rockhopper-db/rockhopper/internal/backend"
 	"github.com/rockhopper-db/rockhopper/internal/sparksim"
 	"github.com/rockhopper-db/rockhopper/internal/store"
 )
+
+// objectStore is the daemon's storage surface: the backend interface plus
+// the retention sweep. Both store implementations satisfy it.
+type objectStore interface {
+	backend.ObjectStore
+	CleanupOlderThan(retention time.Duration) int
+}
+
+// shutdownGrace bounds how long in-flight requests may drain on SIGTERM.
+const shutdownGrace = 10 * time.Second
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -33,6 +58,10 @@ func main() {
 	signingKey := flag.String("signing-key", "", "token signing key (required)")
 	reqTimeout := flag.Duration("request-timeout", backend.DefaultRequestTimeout,
 		"per-request handler deadline (0 disables)")
+	dataDir := flag.String("data-dir", "",
+		"durable store directory (snapshot + WAL); empty keeps the store in memory only")
+	snapInterval := flag.Duration("snapshot-interval", 10*time.Minute,
+		"WAL compaction cadence for -data-dir stores (0 disables time-based compaction)")
 	flag.Parse()
 
 	if *secret == "" || *signingKey == "" {
@@ -51,28 +80,76 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "autotuned: ", log.LstdFlags)
-	st := store.New([]byte(*signingKey))
+	var st objectStore
+	var durable *store.DurableStore
+	if *dataDir != "" {
+		ds, err := store.OpenDurable(*dataDir, []byte(*signingKey), store.DurableOptions{
+			SnapshotInterval: *snapInterval,
+			Logger:           logger,
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("durable store open at %s (%d objects recovered, snapshot-interval=%v)",
+			*dataDir, ds.Len(), *snapInterval)
+		st, durable = ds, ds
+	} else {
+		st = store.New([]byte(*signingKey))
+	}
 	//rocklint:allow wallclock -- daemon startup entropy for the backend seed; not an experiment path
 	srv := backend.New(space, st, *secret, uint64(time.Now().UnixNano()))
 	srv.Logger = logger
 	srv.RequestTimeout = *reqTimeout
-	defer srv.Close()
 
-	// Storage Manager retention sweep.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Storage Manager housekeeping: retention sweep plus WAL compaction.
 	go func() {
-		//rocklint:allow wallclock -- retention sweep cadence is operational wall time, not tuning state
+		//rocklint:allow wallclock -- housekeeping cadence is operational wall time, not tuning state
 		tick := time.NewTicker(time.Hour)
 		defer tick.Stop()
-		for range tick.C {
-			if n := st.CleanupOlderThan(*retention); n > 0 {
-				logger.Printf("retention cleanup removed %d event files", n)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				if n := st.CleanupOlderThan(*retention); n > 0 {
+					logger.Printf("retention cleanup removed %d event files", n)
+				}
+				if durable != nil {
+					if err := durable.MaybeCompact(); err != nil {
+						logger.Printf("snapshot compaction: %v", err)
+					}
+				}
 			}
+		}
+	}()
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	go func() {
+		<-ctx.Done()
+		logger.Print("shutting down (draining requests)")
+		shCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := hs.Shutdown(shCtx); err != nil {
+			logger.Printf("shutdown: %v", err)
 		}
 	}()
 
 	logger.Printf("listening on %s (space=%s, retention=%v, request-timeout=%v, health at /api/health)",
 		*addr, *spaceName, *retention, *reqTimeout)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Fatal(err)
+	}
+	// Drain the model updater before the final snapshot so the flush
+	// captures every retrained model.
+	srv.Close()
+	if durable != nil {
+		if err := durable.Close(); err != nil {
+			logger.Printf("durable store close: %v", err)
+		} else {
+			logger.Print("durable store flushed")
+		}
 	}
 }

@@ -84,7 +84,12 @@ type ObjectStore interface {
 	List(prefix string) []string
 }
 
-var _ ObjectStore = (*store.Store)(nil)
+// Both the in-memory store and the snapshot+WAL durable store satisfy the
+// storage surface; autotuned picks one via -data-dir.
+var (
+	_ ObjectStore = (*store.Store)(nil)
+	_ ObjectStore = (*store.DurableStore)(nil)
+)
 
 // Server is the Autotune Backend.
 type Server struct {

@@ -1,0 +1,94 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/backend"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/store"
+	"github.com/rockhopper-db/rockhopper/internal/workloads"
+)
+
+// persistedStack is one process lifetime of an autotuned daemon backed by a
+// durable store: open the data directory, serve HTTP, and on stop drain the
+// model updater before flushing the final snapshot — the same ordering
+// cmd/autotuned uses on SIGTERM.
+type persistedStack struct {
+	ds  *store.DurableStore
+	srv *backend.Server
+	hs  *httptest.Server
+	c   *Client
+}
+
+func openPersistedStack(t *testing.T, dir string, space *sparksim.Space) *persistedStack {
+	t.Helper()
+	ds, err := store.OpenDurable(dir, []byte("signing-key"), store.DurableOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := backend.New(space, ds, secret, 1)
+	hs := httptest.NewServer(srv.Handler())
+	return &persistedStack{ds: ds, srv: srv, hs: hs, c: New(hs.URL, secret)}
+}
+
+func (ps *persistedStack) stop(t *testing.T) {
+	t.Helper()
+	ps.hs.Close()
+	ps.srv.Close()
+	if err := ps.ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackendRestartServesPersistedModels is the end-to-end durability
+// check: train a model through the public API, stop the whole stack, bring
+// it back up on the same data directory, and the model must be served
+// byte-identically without retraining — while never-trained signatures keep
+// their clean-miss semantics.
+func TestBackendRestartServesPersistedModels(t *testing.T) {
+	space := sparksim.QuerySpace()
+	dir := t.TempDir()
+	e := sparksim.NewEngine(space)
+	q := workloads.NewGenerator(1).Query(workloads.TPCDS, 3)
+	modelPath := store.ModelPath("u1", q.ID)
+
+	ps := openPersistedStack(t, dir, space)
+	if err := ps.c.PostEvents(context.Background(), "u1", q.ID, "job-1", makeTraces(e, q, 60, 7)); err != nil {
+		t.Fatal(err)
+	}
+	ps.srv.Flush()
+	if m, err := ps.c.FetchModel(context.Background(), "u1", q.ID); err != nil || m == nil {
+		t.Fatalf("model missing before restart: %v, %v", m, err)
+	}
+	blob1, err := ps.c.GetObject(context.Background(), modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.stop(t)
+
+	// "Restart": a fresh stack over the same directory, no events posted.
+	ps2 := openPersistedStack(t, dir, space)
+	defer ps2.stop(t)
+	blob2, err := ps2.c.GetObject(context.Background(), modelPath)
+	if err != nil {
+		t.Fatalf("model blob lost across restart: %v", err)
+	}
+	if !bytes.Equal(blob1, blob2) {
+		t.Fatalf("model blob changed across restart: %d vs %d bytes", len(blob1), len(blob2))
+	}
+	m, err := ps2.c.FetchModel(context.Background(), "u1", q.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Fatal("restarted backend must serve the persisted model without retraining")
+	}
+	// A signature that was never trained still reports a clean miss (the
+	// 404 contract), not an error, after recovery.
+	if m, err := ps2.c.FetchModel(context.Background(), "u1", "never-trained"); err != nil || m != nil {
+		t.Fatalf("expected clean miss after restart, got %v, %v", m, err)
+	}
+}

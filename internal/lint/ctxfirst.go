@@ -186,14 +186,27 @@ func doesIO(pass *Pass, body *ast.BlockStmt) bool {
 	return found
 }
 
-// DefaultRules is the rule set cmd/rocklint runs: the five invariants the
-// repository's determinism and resilience guarantees rest on.
+// DefaultRules is the rule set cmd/rocklint runs: the invariants the
+// repository's determinism, resilience, and durability guarantees rest on.
 func DefaultRules() []Rule {
+	const module = "github.com/rockhopper-db/rockhopper"
 	return []Rule{
 		WallClock{},
 		GlobalRand{},
 		MapOrder{},
 		LockDiscipline{},
 		CtxFirst{Packages: []string{"internal/client", "internal/backend"}},
+		// The durability contract (a nil return means the WAL record is on
+		// disk) and the session upload path both turn a dropped error into
+		// silently lost data.
+		UnusedResult{Funcs: []string{
+			"(*" + module + "/internal/store.Store).Put",
+			"(*" + module + "/internal/store.DurableStore).Put",
+			"(*" + module + "/internal/store.DurableStore).Delete",
+			"(*" + module + "/internal/store.DurableStore).Compact",
+			"(" + module + "/internal/backend.ObjectStore).Put",
+			"(*" + module + "/internal/client.Session).Complete",
+			module + "/internal/client.FinishApp",
+		}},
 	}
 }

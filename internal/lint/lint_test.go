@@ -317,3 +317,20 @@ func TestDiagnosticsSorted(t *testing.T) {
 		}
 	}
 }
+
+func TestUnusedResultFixture(t *testing.T) {
+	rule := UnusedResult{Funcs: []string{
+		"(*fixture/unusedresult.Store).Put",
+		"(*fixture/unusedresult.Session).Complete",
+		"(fixture/unusedresult.Sink).Put",
+		"fixture/unusedresult.Save",
+	}}
+	diags := runFixture(t, "unusedresult", rule)
+	sup := suppressed(diags)
+	if len(sup) != 1 {
+		t.Fatalf("want 1 suppressed unusedresult finding, got %d", len(sup))
+	}
+	if want := "best-effort cache warm"; !strings.Contains(sup[0].SuppressReason, want) {
+		t.Errorf("suppress reason = %q, want it to contain %q", sup[0].SuppressReason, want)
+	}
+}

@@ -1,0 +1,45 @@
+// Package unusedresult seeds dropped-error calls for the unusedresult
+// rule: watched methods, interface dispatch, and package-level functions
+// whose error results vanish in statement position.
+package unusedresult
+
+type Store struct{}
+
+func (*Store) Put(p string, data []byte) error { return nil }
+
+func (*Store) Get(p string) ([]byte, error) { return nil, nil }
+
+type Session struct{}
+
+func (*Session) Complete(ok bool) error { return nil }
+
+func Save(path string) error { return nil }
+
+// Sink mirrors the backend's ObjectStore: the rule must see through
+// interface dispatch, not just concrete receivers.
+type Sink interface {
+	Put(p string, data []byte) error
+}
+
+func drops(s *Store, sess *Session, sink Sink) {
+	s.Put("a", nil)     // want "result of ..fixture/unusedresult.Store..Put is dropped"
+	sess.Complete(true) // want "result of ..fixture/unusedresult.Session..Complete is dropped"
+	Save("x")           // want "result of fixture/unusedresult.Save is dropped"
+	sink.Put("b", nil)  // want "result of .fixture/unusedresult.Sink..Put is dropped"
+}
+
+func handles(s *Store, sink Sink) error {
+	// Explicit discard is a conscious decision: not flagged.
+	_ = s.Put("c", nil)
+	// Handled errors are the intended shape.
+	if err := sink.Put("d", nil); err != nil {
+		return err
+	}
+	// Unwatched callees with dropped results are someone else's problem.
+	unwatched()
+	//rocklint:allow unusedresult -- fixture: best-effort cache warm, failure falls back to a cold start
+	s.Put("e", nil)
+	return s.Put("f", nil)
+}
+
+func unwatched() {}

@@ -1,0 +1,495 @@
+// DurableStore persists the in-memory object store to disk: every mutation
+// is appended to a CRC-framed write-ahead log before it is acknowledged,
+// and the log is periodically compacted into an atomic snapshot. Opening a
+// directory replays snapshot + WAL suffix back to byte-identical state —
+// object bytes and creation timestamps included — so an autotuned restart
+// keeps every trained model and every retention clock.
+//
+// Durability contract: a mutation is acknowledged (returns nil) only after
+// its WAL record is on disk (fsync unless NoSync). Recovery after a crash
+// yields a prefix-consistent state: every acknowledged mutation is present,
+// no unacknowledged mutation is, and a torn final record is discarded.
+//
+// The CrashPoint hooks exist for the recovery test harness: they let tests
+// kill the store at the exact filesystem states a real crash could produce
+// (before a WAL write, mid-record, before and after the snapshot rename)
+// and then prove that reopening the directory recovers correctly.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/rockhopper-db/rockhopper/internal/resilience"
+)
+
+// CrashPoint identifies a fault-injection site inside the durability layer.
+// The recovery test matrix drives one injected crash per point and asserts
+// the reopened store matches the in-memory reference up to the last
+// acknowledged mutation.
+type CrashPoint int
+
+// The injector's crash sites, in the order an operation reaches them.
+const (
+	// CrashPreWrite fires before any byte of a WAL record is written: the
+	// mutation must be wholly absent after recovery.
+	CrashPreWrite CrashPoint = iota
+	// CrashMidRecord fires after half of a WAL record reached the disk — a
+	// torn write. Recovery must drop the partial record.
+	CrashMidRecord
+	// CrashPreRename fires after the snapshot temp file is fully written
+	// but before the atomic rename: recovery must use the old snapshot
+	// plus the intact WAL.
+	CrashPreRename
+	// CrashPostRename fires after the rename but before the WAL is
+	// truncated: recovery must use the new snapshot and skip the stale
+	// WAL records it already covers.
+	CrashPostRename
+)
+
+// String names the crash point for test output.
+func (p CrashPoint) String() string {
+	switch p {
+	case CrashPreWrite:
+		return "pre-write"
+	case CrashMidRecord:
+		return "mid-record"
+	case CrashPreRename:
+		return "pre-rename"
+	case CrashPostRename:
+		return "post-rename"
+	}
+	return fmt.Sprintf("CrashPoint(%d)", int(p))
+}
+
+// Errors reported by the durability layer.
+var (
+	// ErrCrashed marks a store killed by an injected fault or a WAL write
+	// failure; it refuses further mutations so no acknowledgement can
+	// outrun the log.
+	ErrCrashed = errors.New("store: durable store is down")
+	// ErrClosed marks a store after Close.
+	ErrClosed = errors.New("store: durable store is closed")
+)
+
+// DurableOptions parameterizes OpenDurable. The zero value is production
+// defaults: real clock, fsync on every append, compaction every
+// DefaultCompactEvery records.
+type DurableOptions struct {
+	// Clock drives creation timestamps, retention sweeps, and the
+	// time-based compaction schedule; nil means the wall clock.
+	Clock resilience.Clock
+	// SnapshotInterval is the cadence MaybeCompact honors; <= 0 disables
+	// time-based compaction (record-count compaction still applies).
+	SnapshotInterval time.Duration
+	// CompactEvery snapshots after this many WAL records; 0 means
+	// DefaultCompactEvery, negative disables record-count compaction.
+	CompactEvery int
+	// NoSync skips the per-record fsync. Tests use it; production should
+	// not (an OS crash may then lose acknowledged records).
+	NoSync bool
+	// Logger receives durability diagnostics; nil silences them.
+	Logger *log.Logger
+	// Hooks is the crash-point injector: a non-nil error return kills the
+	// store at that point, simulating process death. Nil disables
+	// injection.
+	Hooks func(CrashPoint) error
+}
+
+// DefaultCompactEvery is the record-count compaction threshold.
+const DefaultCompactEvery = 4096
+
+// DurableStore is an object store with snapshot + WAL persistence. It
+// satisfies the backend's ObjectStore interface; reads are served from the
+// in-memory image, mutations are logged before they are applied. All
+// methods are safe for concurrent use.
+type DurableStore struct {
+	mem    *Store
+	dir    string
+	clock  resilience.Clock
+	logger *log.Logger
+	hooks  func(CrashPoint) error
+
+	interval     time.Duration
+	compactEvery int
+	noSync       bool
+
+	mu       sync.Mutex
+	wal      *os.File
+	seq      uint64 // last sequence number durably assigned
+	snapSeq  uint64 // sequence number the on-disk snapshot covers
+	walCount int    // records appended since the last snapshot
+	lastSnap time.Time
+	down     error // non-nil once the store refuses mutations (crash/close)
+}
+
+// OpenDurable opens (creating if needed) the durable store rooted at dir,
+// replaying snapshot and WAL back to the last acknowledged state.
+func OpenDurable(dir string, secret []byte, opts DurableOptions) (*DurableStore, error) {
+	clock := opts.Clock
+	if clock == nil {
+		clock = resilience.RealClock{}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open durable: %w", err)
+	}
+	mem := New(secret)
+	mem.SetClock(clock.Now)
+	d := &DurableStore{
+		mem:          mem,
+		dir:          dir,
+		clock:        clock,
+		logger:       opts.Logger,
+		hooks:        opts.Hooks,
+		interval:     opts.SnapshotInterval,
+		compactEvery: opts.CompactEvery,
+		noSync:       opts.NoSync,
+	}
+	if d.compactEvery == 0 {
+		d.compactEvery = DefaultCompactEvery
+	}
+	// A leftover temp file is a snapshot that never committed (pre-rename
+	// crash); the live snapshot is still authoritative.
+	if err := os.Remove(filepath.Join(dir, snapshotTemp)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("store: open durable: %w", err)
+	}
+	if err := d.replay(); err != nil {
+		return nil, err
+	}
+	d.lastSnap = clock.Now()
+	return d, nil
+}
+
+// replay loads the snapshot, applies the WAL suffix, and truncates the log
+// to its valid prefix so future appends extend a clean file.
+func (d *DurableStore) replay() error {
+	if data, err := os.ReadFile(filepath.Join(d.dir, snapshotFile)); err == nil {
+		snap, err := decodeSnapshot(data)
+		if err != nil {
+			return err
+		}
+		for _, e := range snap.Entries {
+			d.mem.putAt(e.Path, e.Data, time.Unix(0, e.Created))
+		}
+		d.seq, d.snapSeq = snap.WALSeq, snap.WALSeq
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: read snapshot: %w", err)
+	}
+
+	walPath := filepath.Join(d.dir, walFile)
+	image, err := os.ReadFile(walPath)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: read WAL: %w", err)
+	}
+	recs, lastSeq, validLen := scanWAL(image, d.snapSeq)
+	for _, rec := range recs {
+		switch rec.Op {
+		case opPut:
+			d.mem.putAt(rec.Path, rec.Data, time.Unix(0, rec.Created))
+		case opDel:
+			d.mem.Delete(rec.Path)
+		}
+	}
+	d.seq = lastSeq
+	d.walCount = len(recs)
+
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: open WAL: %w", err)
+	}
+	if int64(len(image)) > validLen {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return fmt.Errorf("store: truncate torn WAL tail: %w", err)
+		}
+		d.logf("store: recovery dropped %d invalid WAL byte(s) after offset %d", int64(len(image))-validLen, validLen)
+	}
+	d.wal = f
+	return nil
+}
+
+func (d *DurableStore) logf(format string, args ...any) {
+	if d.logger != nil {
+		d.logger.Printf(format, args...)
+	}
+}
+
+// Err reports why the store refuses mutations: nil while healthy,
+// ErrCrashed (wrapped with the cause) after a durability failure,
+// ErrClosed after Close. Reads keep working either way.
+func (d *DurableStore) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.down
+}
+
+// crashLocked consults the injector at one crash point; a non-nil hook
+// error kills the store.
+func (d *DurableStore) crashLocked(p CrashPoint) error {
+	if d.hooks == nil {
+		return nil
+	}
+	if err := d.hooks(p); err != nil {
+		d.down = fmt.Errorf("%w: injected crash at %s: %v", ErrCrashed, p, err)
+		return d.down
+	}
+	return nil
+}
+
+// appendLocked writes one record to the WAL. On success the record is
+// durable and the sequence counter advances; on any failure the store goes
+// down, because a half-written log must not accept further appends.
+func (d *DurableStore) appendLocked(rec walRecord) error {
+	line, err := encodeWALRecord(rec)
+	if err != nil {
+		return err
+	}
+	if err := d.crashLocked(CrashPreWrite); err != nil {
+		return err
+	}
+	if d.hooks != nil {
+		if herr := d.hooks(CrashMidRecord); herr != nil {
+			// Simulate the torn write: half the frame reaches the disk
+			// before the process dies.
+			if _, werr := d.wal.Write(line[:len(line)/2]); werr == nil {
+				d.wal.Sync()
+			}
+			d.down = fmt.Errorf("%w: injected crash at %s: %v", ErrCrashed, CrashMidRecord, herr)
+			return d.down
+		}
+	}
+	if _, err := d.wal.Write(line); err != nil {
+		d.down = fmt.Errorf("%w: WAL append: %v", ErrCrashed, err)
+		return d.down
+	}
+	if !d.noSync {
+		if err := d.wal.Sync(); err != nil {
+			d.down = fmt.Errorf("%w: WAL sync: %v", ErrCrashed, err)
+			return d.down
+		}
+	}
+	d.seq = rec.Seq
+	d.walCount++
+	return nil
+}
+
+// put logs and applies one write.
+func (d *DurableStore) put(p string, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.down != nil {
+		return d.down
+	}
+	rec := walRecord{Seq: d.seq + 1, Op: opPut, Path: p, Data: data, Created: d.clock.Now().UnixNano()}
+	if err := d.appendLocked(rec); err != nil {
+		return err
+	}
+	d.mem.putAt(p, data, time.Unix(0, rec.Created))
+	d.maybeCompactCountLocked()
+	return nil
+}
+
+// Sign issues a scoped access token; tokens are stateless, so this is the
+// in-memory implementation verbatim.
+func (d *DurableStore) Sign(prefix string, perm Permission, ttl time.Duration) string {
+	return d.mem.Sign(prefix, perm, ttl)
+}
+
+// Verify checks a token against a path and permission.
+func (d *DurableStore) Verify(tok, p string, perm Permission) error {
+	return d.mem.Verify(tok, p, perm)
+}
+
+// Put writes an object after verifying the write token. It acknowledges
+// only after the mutation is in the WAL.
+func (d *DurableStore) Put(tok, p string, data []byte) error {
+	if err := d.mem.Verify(tok, p, PermWrite); err != nil {
+		return err
+	}
+	return d.put(p, data)
+}
+
+// Get reads an object after verifying the read token.
+func (d *DurableStore) Get(tok, p string) ([]byte, error) { return d.mem.Get(tok, p) }
+
+// PutInternal writes without a token. The ObjectStore interface gives it
+// no error slot, so a durability failure is logged and latched: Err
+// reports it and every later mutation fails fast rather than silently
+// diverging from the log.
+func (d *DurableStore) PutInternal(p string, data []byte) {
+	if err := d.put(p, data); err != nil {
+		d.logf("store: durable PutInternal %s: %v", p, err)
+	}
+}
+
+// GetInternal reads without a token.
+func (d *DurableStore) GetInternal(p string) ([]byte, error) { return d.mem.GetInternal(p) }
+
+// List returns the paths under prefix, sorted.
+func (d *DurableStore) List(prefix string) []string { return d.mem.List(prefix) }
+
+// Len returns the number of stored objects.
+func (d *DurableStore) Len() int { return d.mem.Len() }
+
+// Delete removes an object; deleting a missing object is logged as a
+// mutation all the same, keeping replay a pure function of the log.
+func (d *DurableStore) Delete(p string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.down != nil {
+		return d.down
+	}
+	if err := d.appendLocked(walRecord{Seq: d.seq + 1, Op: opDel, Path: p}); err != nil {
+		return err
+	}
+	d.mem.Delete(p)
+	d.maybeCompactCountLocked()
+	return nil
+}
+
+// CleanupOlderThan runs the retention sweep (expired event files plus
+// orphans of a failed two-phase ingest) and returns how many objects were
+// reaped. Each removal is logged before it is applied, so a crash
+// mid-sweep recovers a prefix of the sweep.
+func (d *DurableStore) CleanupOlderThan(retention time.Duration) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.down != nil {
+		return 0
+	}
+	n := 0
+	for _, p := range d.mem.expiredEvents(retention) {
+		if err := d.appendLocked(walRecord{Seq: d.seq + 1, Op: opDel, Path: p}); err != nil {
+			d.logf("store: retention sweep stopped after %d removal(s): %v", n, err)
+			return n
+		}
+		d.mem.Delete(p)
+		n++
+	}
+	d.maybeCompactCountLocked()
+	return n
+}
+
+// maybeCompactCountLocked compacts when the WAL has grown past the
+// record-count threshold.
+func (d *DurableStore) maybeCompactCountLocked() {
+	if d.compactEvery <= 0 || d.walCount < d.compactEvery {
+		return
+	}
+	if err := d.compactLocked(); err != nil {
+		d.logf("store: compaction failed (WAL keeps growing): %v", err)
+	}
+}
+
+// MaybeCompact takes a snapshot when SnapshotInterval has elapsed since
+// the last one and there is anything to fold in. The daemon calls it from
+// its housekeeping ticker.
+func (d *DurableStore) MaybeCompact() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.down != nil {
+		return d.down
+	}
+	if d.interval <= 0 || d.walCount == 0 || d.clock.Now().Sub(d.lastSnap) < d.interval {
+		return nil
+	}
+	return d.compactLocked()
+}
+
+// Compact forces a snapshot now.
+func (d *DurableStore) Compact() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.down != nil {
+		return d.down
+	}
+	return d.compactLocked()
+}
+
+// compactLocked folds the full store state into a new snapshot via
+// write-temp + rename, then resets the WAL. A crash before the rename
+// leaves the old snapshot + full WAL authoritative; a crash after it
+// leaves stale WAL records that replay skips by sequence number — both
+// recover to the identical state.
+func (d *DurableStore) compactLocked() error {
+	snap := snapshot{Version: snapshotVersion, WALSeq: d.seq, Entries: d.mem.export()}
+	image, err := encodeSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(d.dir, snapshotTemp)
+	if err := writeFileSync(tmp, image); err != nil {
+		return fmt.Errorf("store: write snapshot temp: %w", err)
+	}
+	if err := d.crashLocked(CrashPreRename); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(d.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("store: commit snapshot: %w", err)
+	}
+	syncDir(d.dir)
+	// The snapshot is committed from here on: state-tracking updates must
+	// happen even if truncation fails, because replay trusts the rename.
+	d.snapSeq = snap.WALSeq
+	d.lastSnap = d.clock.Now()
+	d.walCount = 0
+	if err := d.crashLocked(CrashPostRename); err != nil {
+		return err
+	}
+	if err := d.wal.Truncate(0); err != nil {
+		// Safe to continue: replay skips records at or below snapSeq.
+		d.logf("store: WAL truncate after snapshot: %v", err)
+	}
+	return nil
+}
+
+// Close takes a final snapshot (the graceful-shutdown flush) and releases
+// the WAL handle. The store refuses all mutations afterwards.
+func (d *DurableStore) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var first error
+	if d.down == nil && d.walCount > 0 {
+		first = d.compactLocked()
+	}
+	if err := d.wal.Close(); err != nil && first == nil {
+		first = err
+	}
+	if d.down == nil {
+		d.down = ErrClosed
+	}
+	return first
+}
+
+// writeFileSync writes data to path and fsyncs it before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a rename survives power loss. Best effort:
+// some platforms refuse directory syncs, and the rename itself is already
+// atomic with respect to process crashes.
+func syncDir(dir string) {
+	if f, err := os.Open(dir); err == nil {
+		f.Sync()
+		f.Close()
+	}
+}

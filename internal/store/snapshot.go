@@ -1,0 +1,66 @@
+// Snapshot encoding for the durable store. A snapshot is the full store
+// state at one WAL sequence number, written as a single CRC-framed JSON
+// document. Snapshots are always produced atomically — written to a
+// temporary file, synced, then renamed over the live name — so the live
+// snapshot is either the complete old state or the complete new state,
+// never a torn mix.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// On-disk layout inside a durable store directory.
+const (
+	snapshotFile = "snapshot.json"
+	snapshotTemp = "snapshot.tmp"
+	walFile      = "wal.log"
+)
+
+// snapshotVersion guards against format drift across releases.
+const snapshotVersion = 1
+
+// snapshot is the durable image of the whole store.
+type snapshot struct {
+	// Version is snapshotVersion.
+	Version int `json:"version"`
+	// WALSeq is the last WAL sequence number folded into Entries; replay
+	// skips WAL records at or below it.
+	WALSeq uint64 `json:"wal_seq"`
+	// Entries is the full object set, sorted by path.
+	Entries []snapEntry `json:"entries"`
+}
+
+// encodeSnapshot renders a snapshot as one framed line.
+func encodeSnapshot(s snapshot) ([]byte, error) {
+	payload, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	return frame(payload), nil
+}
+
+// decodeSnapshot parses a snapshot image. Unlike WAL corruption — expected
+// after a crash, recovered by prefix truncation — a corrupt snapshot means
+// the atomic-rename contract was violated (manual edit, disk fault) and is
+// surfaced as an error rather than silently treated as empty state.
+func decodeSnapshot(data []byte) (snapshot, error) {
+	line, ok := bytes.CutSuffix(data, []byte("\n"))
+	if !ok {
+		return snapshot{}, fmt.Errorf("store: snapshot image is truncated")
+	}
+	payload, err := unframe(line)
+	if err != nil {
+		return snapshot{}, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(payload, &s); err != nil {
+		return snapshot{}, fmt.Errorf("store: decode snapshot: %v", err)
+	}
+	if s.Version != snapshotVersion {
+		return snapshot{}, fmt.Errorf("store: snapshot version %d not supported (want %d)", s.Version, snapshotVersion)
+	}
+	return s, nil
+}

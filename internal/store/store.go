@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"path"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -162,9 +163,16 @@ func (s *Store) Get(tok, p string) ([]byte, error) {
 
 // putUnchecked bypasses token checks; for backend-internal writers.
 func (s *Store) putUnchecked(p string, data []byte) {
+	s.putAt(p, data, s.now())
+}
+
+// putAt installs an object with an explicit creation time. The durability
+// layer uses it so WAL replay reconstructs byte-identical state, retention
+// timestamps included.
+func (s *Store) putAt(p string, data []byte, created time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.objects[p] = object{data: append([]byte(nil), data...), created: s.now()}
+	s.objects[p] = object{data: append([]byte(nil), data...), created: created}
 }
 
 // getUnchecked bypasses token checks; for backend-internal readers.
@@ -213,20 +221,100 @@ func (s *Store) Len() int {
 	return len(s.objects)
 }
 
+// DefaultOrphanGrace is how long a staged event file may sit without an
+// index entry before the retention sweep treats it as an orphan. The
+// two-phase event-log ingest stages event files first and commits index
+// entries second; a backend crash between the phases leaves the staged file
+// invisible to the Model Updater forever. Every live ingest finishes well
+// inside the request deadline, so an hour is conservatively past any
+// in-flight write.
+const DefaultOrphanGrace = time.Hour
+
 // CleanupOlderThan removes event files older than the retention window and
 // returns how many were deleted — the Storage Manager's GDPR cleanup. Only
 // objects under "events/" are subject to retention; models and caches are
-// derived artifacts.
+// derived artifacts. The sweep also reaps orphaned event files: staged
+// writes a failed two-phase ingest never indexed, older than
+// DefaultOrphanGrace.
 func (s *Store) CleanupOlderThan(retention time.Duration) int {
-	cutoff := s.now().Add(-retention)
+	return len(s.sweepExpired(retention))
+}
+
+// sweepExpired deletes what expiredEvents reports and returns the reaped
+// paths, sorted.
+func (s *Store) sweepExpired(retention time.Duration) []string {
+	reaped := s.expiredEvents(retention)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := 0
+	for _, p := range reaped {
+		delete(s.objects, p)
+	}
+	return reaped
+}
+
+// expiredEvents returns, sorted, the event paths the retention sweep would
+// reap right now: event files older than retention, plus unindexed
+// (orphaned) event files older than DefaultOrphanGrace.
+func (s *Store) expiredEvents(retention time.Duration) []string {
+	now := s.now()
+	cutoff := now.Add(-retention)
+	orphanCutoff := now.Add(-DefaultOrphanGrace)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	indexed := s.indexedEventsLocked()
+	var reaped []string
 	for p, o := range s.objects {
-		if strings.HasPrefix(p, "events/") && o.created.Before(cutoff) {
-			delete(s.objects, p)
-			n++
+		if !strings.HasPrefix(p, "events/") {
+			continue
+		}
+		if o.created.Before(cutoff) || (!indexed[p] && o.created.Before(orphanCutoff)) {
+			reaped = append(reaped, p)
 		}
 	}
-	return n
+	sort.Strings(reaped)
+	return reaped
+}
+
+// indexedEventsLocked reconstructs the event path referenced by every
+// "index/<user>/<sig>/<jobID>-<seq>" entry. Like the backend's index
+// parser, it splits on the LAST '-' because job IDs may contain dashes and
+// sequence numbers outgrow their %06d padding.
+func (s *Store) indexedEventsLocked() map[string]bool {
+	out := make(map[string]bool)
+	for p := range s.objects {
+		rest, ok := strings.CutPrefix(p, "index/")
+		if !ok {
+			continue
+		}
+		if i := strings.LastIndexByte(rest, '/'); i >= 0 {
+			rest = rest[i+1:]
+		}
+		i := strings.LastIndexByte(rest, '-')
+		if i <= 0 || i == len(rest)-1 {
+			continue
+		}
+		seq, err := strconv.Atoi(rest[i+1:])
+		if err != nil || seq < 0 {
+			continue
+		}
+		out[EventPath(rest[:i], seq)] = true
+	}
+	return out
+}
+
+// export returns a deep copy of the store's full state, sorted by path —
+// the payload of a durability snapshot.
+func (s *Store) export() []snapEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]snapEntry, 0, len(s.objects))
+	for p, o := range s.objects {
+		out = append(out, snapEntry{
+			Path:    p,
+			Data:    append([]byte(nil), o.data...),
+			Created: o.created.UnixNano(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
 }

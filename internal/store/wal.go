@@ -1,0 +1,139 @@
+// Write-ahead log encoding for the durable store. Every mutation is one
+// framed JSONL record:
+//
+//	<8 lowercase hex digits: IEEE CRC32 of payload> <payload JSON>\n
+//
+// Records carry a strictly increasing sequence number, so replay can both
+// detect corruption (CRC, framing, sequence gaps) and skip records already
+// covered by a snapshot. Recovery keeps the longest valid prefix: the
+// first torn, corrupt, or out-of-sequence record ends replay, and
+// everything after it — valid-looking or not — is discarded, because a
+// record is only trustworthy if every record before it is.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+)
+
+// WAL operation codes.
+const (
+	opPut = "put"
+	opDel = "del"
+)
+
+// walRecord is one durable mutation.
+type walRecord struct {
+	// Seq is the strictly increasing record number.
+	Seq uint64 `json:"seq"`
+	// Op is opPut or opDel.
+	Op string `json:"op"`
+	// Path is the object path the mutation targets.
+	Path string `json:"path"`
+	// Data is the put payload (base64 on the wire via encoding/json).
+	Data []byte `json:"data,omitempty"`
+	// Created is the put's creation timestamp, Unix nanoseconds, so replay
+	// reconstructs retention state exactly.
+	Created int64 `json:"created,omitempty"`
+}
+
+// snapEntry is one object in a snapshot; it shares the walRecord field
+// conventions.
+type snapEntry struct {
+	Path    string `json:"path"`
+	Data    []byte `json:"data,omitempty"`
+	Created int64  `json:"created"`
+}
+
+// frame wraps a payload in the CRC32 line format.
+func frame(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+10)
+	out = fmt.Appendf(out, "%08x ", crc32.ChecksumIEEE(payload))
+	out = append(out, payload...)
+	return append(out, '\n')
+}
+
+// unframe validates one line (without its trailing newline) and returns the
+// payload.
+func unframe(line []byte) ([]byte, error) {
+	if len(line) < 10 || line[8] != ' ' {
+		return nil, fmt.Errorf("store: malformed frame of %d bytes", len(line))
+	}
+	want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("store: malformed frame checksum: %v", err)
+	}
+	payload := line[9:]
+	if got := crc32.ChecksumIEEE(payload); got != uint32(want) {
+		return nil, fmt.Errorf("store: frame checksum mismatch: %08x != %08x", got, want)
+	}
+	return payload, nil
+}
+
+// encodeWALRecord renders one record as a framed line.
+func encodeWALRecord(rec walRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode WAL record: %w", err)
+	}
+	return frame(payload), nil
+}
+
+// decodeWALRecord parses and validates one framed line (without newline).
+func decodeWALRecord(line []byte) (walRecord, error) {
+	payload, err := unframe(line)
+	if err != nil {
+		return walRecord{}, err
+	}
+	var rec walRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return walRecord{}, fmt.Errorf("store: decode WAL record: %v", err)
+	}
+	if rec.Seq == 0 || rec.Path == "" || (rec.Op != opPut && rec.Op != opDel) {
+		return walRecord{}, fmt.Errorf("store: invalid WAL record seq=%d op=%q path=%q", rec.Seq, rec.Op, rec.Path)
+	}
+	return rec, nil
+}
+
+// scanWAL decodes the longest valid prefix of a WAL image. afterSeq is the
+// sequence number the on-disk snapshot already covers: records at or below
+// it are scanned (they must still frame and chain correctly) but not
+// returned. validLen is the byte length of the valid prefix — the caller
+// truncates the log there so new appends extend a clean file.
+//
+// A log whose first record skips past afterSeq+1 has lost acknowledged
+// mutations; nothing in it can be trusted, so the whole image is rejected.
+func scanWAL(data []byte, afterSeq uint64) (applied []walRecord, lastSeq uint64, validLen int64) {
+	lastSeq = afterSeq
+	var prev uint64
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn tail: the final write never completed
+		}
+		rec, err := decodeWALRecord(data[off : off+nl])
+		if err != nil {
+			break // corruption: drop this record and everything after it
+		}
+		if prev == 0 {
+			if rec.Seq > afterSeq+1 {
+				return nil, afterSeq, 0 // gap after the snapshot: acknowledged records lost
+			}
+		} else if rec.Seq != prev+1 {
+			break // sequence break: the suffix is not a continuation
+		}
+		prev = rec.Seq
+		off += nl + 1
+		validLen = int64(off)
+		if rec.Seq <= afterSeq {
+			continue // already folded into the snapshot
+		}
+		applied = append(applied, rec)
+		lastSeq = rec.Seq
+	}
+	return applied, lastSeq, validLen
+}
