@@ -114,6 +114,15 @@ func main() {
 			case <-ctx.Done():
 				return
 			case <-tick.C:
+				// A latched durability failure means acknowledged writes can
+				// no longer be persisted; crash so the supervisor restarts us
+				// into recovery instead of serving from a diverging store.
+				// (/api/health reports it as "down" in the meantime.)
+				if durable != nil {
+					if err := durable.Err(); err != nil && !errors.Is(err, store.ErrClosed) {
+						logger.Fatalf("durable store is down: %v", err)
+					}
+				}
 				if n := st.CleanupOlderThan(*retention); n > 0 {
 					logger.Printf("retention cleanup removed %d event files", n)
 				}

@@ -91,6 +91,24 @@ var (
 	_ ObjectStore = (*store.DurableStore)(nil)
 )
 
+// storeErrer is the optional health surface a store may expose:
+// DurableStore latches a durability failure and reports it here, because
+// PutInternal has no error slot of its own.
+type storeErrer interface {
+	Err() error
+}
+
+// storeErr reports the store's latched failure, if the configured store
+// exposes one. The ingest handlers consult it after their PutInternal
+// phase-2 commits — an index entry that never reached the WAL must turn
+// into a 5xx, not a 202 — and /api/health reports it as status "down".
+func (s *Server) storeErr() error {
+	if h, ok := s.Store.(storeErrer); ok {
+		return h.Err()
+	}
+	return nil
+}
+
 // Server is the Autotune Backend.
 type Server struct {
 	Space *sparksim.Space
@@ -298,7 +316,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Track signature → event files so the updater can find training data.
+	// PutInternal cannot return an error, so a durable store that failed to
+	// log the entry is only visible through its latched Err — check it
+	// before acknowledging, or the unindexed event file would be silently
+	// orphaned (and eventually reaped) behind a 202.
 	s.Store.PutInternal(signatureIndexPath(user, signature, jobID, seq), nil)
+	if err := s.storeErr(); err != nil {
+		http.Error(w, fmt.Sprintf("store: index commit not persisted: %v", err), http.StatusInternalServerError)
+		return
+	}
 	s.enqueue(updateJob{user: user, signature: signature})
 	w.WriteHeader(http.StatusAccepted)
 }
@@ -379,6 +405,13 @@ func (s *Server) handleEventLog(w http.ResponseWriter, r *http.Request) {
 	for _, c := range commits {
 		s.Store.PutInternal(signatureIndexPath(user, c.sig, jobID, c.seq), nil)
 		s.enqueue(updateJob{user: user, signature: c.sig})
+	}
+	// Same phase-2 durability check as handleEvents: if any index commit
+	// hit a latched store failure, surface a 5xx so the client retries
+	// instead of trusting a 202 for entries that never reached the WAL.
+	if err := s.storeErr(); err != nil {
+		http.Error(w, fmt.Sprintf("store: index commit not persisted: %v", err), http.StatusInternalServerError)
+		return
 	}
 	w.WriteHeader(http.StatusAccepted)
 }

@@ -1,0 +1,119 @@
+package backend
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/flighting"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/store"
+)
+
+// newDurableServer builds a backend over a real durable store whose WAL
+// fails on the n-th append, via the store's own crash-point injector.
+func newDurableServer(t *testing.T, failOnAppend int) (*Server, *httptest.Server) {
+	t.Helper()
+	appends := 0
+	ds, err := store.OpenDurable(t.TempDir(), []byte("key"), store.DurableOptions{
+		NoSync: true,
+		Hooks: func(p store.CrashPoint) error {
+			if p != store.CrashPreWrite {
+				return nil
+			}
+			appends++
+			if appends == failOnAppend {
+				return errors.New("disk gone")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sparksim.QuerySpace(), ds, secret, 1)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+		_ = ds.Close() // already down; the latched error is expected
+	})
+	return srv, hs
+}
+
+func postEvents(t *testing.T, srv *Server, hs *httptest.Server) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	space := sparksim.QuerySpace()
+	if err := flighting.WriteTraces(&buf, []flighting.Trace{{
+		QueryID: "s", Config: space.Default(), DataSize: 1, TimeMs: 1,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	tok := srv.Store.Sign("events/", store.PermWrite, srv.TokenTTL)
+	req, err := http.NewRequest("POST", hs.URL+"/api/events?user=u&signature=s&job_id=j", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(SASTokenHeader, tok)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestIngestSurfacesFailedIndexCommit: handleEvents stages the event file
+// (WAL append 1) and commits the index entry via PutInternal (WAL append
+// 2). PutInternal has no error slot, so when the second append fails the
+// handler must notice the latched store error and answer 5xx — a 202 here
+// would acknowledge an ingest whose index entry never persisted, leaving
+// the event file to be reaped as an orphan.
+func TestIngestSurfacesFailedIndexCommit(t *testing.T) {
+	srv, hs := newDurableServer(t, 2)
+	resp := postEvents(t, srv, hs)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("ingest with failed index commit: status = %d; want 500", resp.StatusCode)
+	}
+
+	// The failure is latched: health must report the store down, not "ok".
+	hresp, err := http.Get(hs.URL + "/api/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var h HealthReport
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "down" || h.StoreError == "" {
+		t.Fatalf("health after durability failure = %q (store_error=%q); want down with a cause", h.Status, h.StoreError)
+	}
+}
+
+// TestHealthyDurableIngestStillAccepted pins the non-failure path: with no
+// injected fault the same ingest is a 202 and health stays "ok", so the
+// phase-2 check cannot have introduced false rejections.
+func TestHealthyDurableIngestStillAccepted(t *testing.T) {
+	srv, hs := newDurableServer(t, 0) // never fails
+	resp := postEvents(t, srv, hs)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("healthy ingest: status = %d; want 202", resp.StatusCode)
+	}
+	hresp, err := http.Get(hs.URL + "/api/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var h HealthReport
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.StoreError != "" {
+		t.Fatalf("healthy durable backend reports %q (store_error=%q)", h.Status, h.StoreError)
+	}
+}

@@ -27,8 +27,12 @@ type EndpointHealth struct {
 // error accounting plus queue state, so operators (and tests) can see
 // degradation instead of inferring it from client-side symptoms.
 type HealthReport struct {
-	// Status is "ok" or "degraded" (a server error in the last minute).
+	// Status is "ok", "degraded" (a server error in the last minute), or
+	// "down" (the durable store has latched a durability failure and
+	// refuses mutations).
 	Status string `json:"status"`
+	// StoreError is the latched durability failure when Status is "down".
+	StoreError string `json:"store_error,omitempty"`
 	// UptimeSeconds since the server was constructed.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// PendingUpdates is the Model Updater queue depth.
@@ -132,10 +136,18 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 }
 
 // handleHealth serves the backend's health report. It is intentionally
-// unauthenticated (load balancers and probes poll it) and read-only.
+// unauthenticated (load balancers and probes poll it) and read-only. A
+// latched durable-store failure overrides the endpoint accounting: a
+// backend whose store refuses mutations is "down", not merely degraded,
+// even if no request has tripped over it yet.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	pending := s.pending
 	s.mu.Unlock()
-	writeJSON(w, s.metrics.report(pending, s.clock().Now()))
+	rep := s.metrics.report(pending, s.clock().Now())
+	if err := s.storeErr(); err != nil {
+		rep.Status = "down"
+		rep.StoreError = err.Error()
+	}
+	writeJSON(w, rep)
 }

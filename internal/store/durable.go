@@ -187,13 +187,20 @@ func (d *DurableStore) replay() error {
 	if err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("store: read WAL: %w", err)
 	}
-	recs, lastSeq, validLen := scanWAL(image, d.snapSeq)
+	recs, lastSeq, validLen, err := scanWAL(image, d.snapSeq)
+	if err != nil {
+		return err
+	}
 	for _, rec := range recs {
 		switch rec.Op {
 		case opPut:
 			d.mem.putAt(rec.Path, rec.Data, time.Unix(0, rec.Created))
 		case opDel:
 			d.mem.Delete(rec.Path)
+		case opSweep:
+			for _, p := range rec.Paths {
+				d.mem.Delete(p)
+			}
 		}
 	}
 	d.seq = lastSeq
@@ -355,25 +362,29 @@ func (d *DurableStore) Delete(p string) error {
 
 // CleanupOlderThan runs the retention sweep (expired event files plus
 // orphans of a failed two-phase ingest) and returns how many objects were
-// reaped. Each removal is logged before it is applied, so a crash
-// mid-sweep recovers a prefix of the sweep.
+// reaped. The whole batch is one WAL record — one append + fsync no matter
+// how many files expired, so a large sweep does not stall Put/Delete
+// behind a per-file fsync loop — logged before any removal is applied, so
+// the sweep is all-or-nothing across a crash.
 func (d *DurableStore) CleanupOlderThan(retention time.Duration) int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.down != nil {
 		return 0
 	}
-	n := 0
-	for _, p := range d.mem.expiredEvents(retention) {
-		if err := d.appendLocked(walRecord{Seq: d.seq + 1, Op: opDel, Path: p}); err != nil {
-			d.logf("store: retention sweep stopped after %d removal(s): %v", n, err)
-			return n
-		}
+	reaped := d.mem.expiredEvents(retention)
+	if len(reaped) == 0 {
+		return 0
+	}
+	if err := d.appendLocked(walRecord{Seq: d.seq + 1, Op: opSweep, Paths: reaped}); err != nil {
+		d.logf("store: retention sweep of %d file(s) not logged: %v", len(reaped), err)
+		return 0
+	}
+	for _, p := range reaped {
 		d.mem.Delete(p)
-		n++
 	}
 	d.maybeCompactCountLocked()
-	return n
+	return len(reaped)
 }
 
 // maybeCompactCountLocked compacts when the WAL has grown past the

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 	"time"
@@ -234,4 +236,96 @@ func TestDurableOrphanSweep(t *testing.T) {
 	if got := exportOf(re); !reflect.DeepEqual(got, want) {
 		t.Fatalf("orphan sweep not durable:\n got=%+v\n want=%+v", got, want)
 	}
+}
+
+// TestSweepBatchesOneWALRecord: the retention sweep logs its whole batch as
+// a single WAL record — one append + fsync under the store mutex no matter
+// how many files expired — and that batch record replays correctly.
+func TestSweepBatchesOneWALRecord(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	clock := resilience.NewFakeClock(time.Unix(70000, 0))
+	d := mustOpen(t, dir, DurableOptions{Clock: clock, CompactEvery: -1})
+	const expired = 16
+	for i := 0; i < expired; i++ {
+		d.PutInternal(EventPath("job-1", i), []byte("old"))
+	}
+	clock.Advance(48 * time.Hour)
+	d.PutInternal(EventPath("job-1", expired), []byte("fresh"))
+	walLines := func() int {
+		img, err := os.ReadFile(filepath.Join(dir, walFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bytes.Count(img, []byte("\n"))
+	}
+	before := walLines()
+	if n := d.CleanupOlderThan(24 * time.Hour); n != expired {
+		t.Fatalf("sweep reaped %d; want %d", n, expired)
+	}
+	if got := walLines(); got != before+1 {
+		t.Fatalf("sweep appended %d WAL record(s); want exactly 1", got-before)
+	}
+	want := exportOf(d)
+	d.abandon()
+	re := mustOpen(t, dir, DurableOptions{Clock: clock, CompactEvery: -1})
+	defer re.Close()
+	if got := exportOf(re); !reflect.DeepEqual(got, want) {
+		t.Fatalf("batched sweep record did not replay:\n got=%+v\n want=%+v", got, want)
+	}
+	if _, err := re.GetInternal(EventPath("job-1", expired)); err != nil {
+		t.Fatal("fresh event file must survive the sweep and its replay")
+	}
+}
+
+// TestOpenFailsOnWALHeadGap: a log whose first record skips past the
+// snapshot sequence has lost acknowledged history from its head — no crash
+// produces that state. Opening must fail with ErrWALGap and leave the WAL
+// bytes untouched for forensics, not truncate the evidence and serve as
+// healthy.
+func TestOpenFailsOnWALHeadGap(t *testing.T) {
+	t.Parallel()
+	t.Run("no-snapshot", func(t *testing.T) {
+		t.Parallel()
+		dir := t.TempDir()
+		line, err := encodeWALRecord(walRecord{Seq: 3, Op: opPut, Path: "models/u/a.model", Data: []byte("x")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, walFile), line, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		_, err = OpenDurable(dir, []byte("k"), DurableOptions{NoSync: true})
+		if !errors.Is(err, ErrWALGap) {
+			t.Fatalf("open = %v; want ErrWALGap", err)
+		}
+		after, rerr := os.ReadFile(filepath.Join(dir, walFile))
+		if rerr != nil || !bytes.Equal(after, line) {
+			t.Fatalf("refusing to open must not modify the WAL (err=%v)", rerr)
+		}
+	})
+	t.Run("after-snapshot", func(t *testing.T) {
+		t.Parallel()
+		dir := t.TempDir()
+		clock := resilience.NewFakeClock(time.Unix(70000, 0))
+		d := mustOpen(t, dir, DurableOptions{Clock: clock, CompactEvery: -1})
+		d.PutInternal("models/u/a.model", []byte("alpha")) // seq 1
+		d.PutInternal("models/u/b.model", []byte("beta"))  // seq 2
+		if err := d.Compact(); err != nil {                // snapshot covers seq 2
+			t.Fatal(err)
+		}
+		d.abandon()
+		// Simulate lost acknowledged records: the next record on disk claims
+		// seq 4, skipping seq 3.
+		line, err := encodeWALRecord(walRecord{Seq: 4, Op: opDel, Path: "models/u/a.model"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, walFile), line, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenDurable(dir, []byte("k"), DurableOptions{NoSync: true}); !errors.Is(err, ErrWALGap) {
+			t.Fatalf("open = %v; want ErrWALGap", err)
+		}
+	})
 }

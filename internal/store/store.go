@@ -277,7 +277,9 @@ func (s *Store) expiredEvents(retention time.Duration) []string {
 
 // indexedEventsLocked reconstructs the event path referenced by every
 // "index/<user>/<sig>/<jobID>-<seq>" entry. Like the backend's index
-// parser, it splits on the LAST '-' because job IDs may contain dashes and
+// parser, it strips exactly the <user> and <sig> segments — job IDs are
+// unsanitized caller input and may themselves contain '/' — and splits the
+// remainder on the LAST '-' because job IDs may contain dashes and
 // sequence numbers outgrow their %06d padding.
 func (s *Store) indexedEventsLocked() map[string]bool {
 	out := make(map[string]bool)
@@ -286,9 +288,15 @@ func (s *Store) indexedEventsLocked() map[string]bool {
 		if !ok {
 			continue
 		}
-		if i := strings.LastIndexByte(rest, '/'); i >= 0 {
-			rest = rest[i+1:]
+		user := strings.IndexByte(rest, '/')
+		if user < 0 {
+			continue
 		}
+		sig := strings.IndexByte(rest[user+1:], '/')
+		if sig < 0 {
+			continue
+		}
+		rest = rest[user+1+sig+1:]
 		i := strings.LastIndexByte(rest, '-')
 		if i <= 0 || i == len(rest)-1 {
 			continue

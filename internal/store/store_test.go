@@ -210,3 +210,35 @@ func TestOrphanSweepReapsFailedIngest(t *testing.T) {
 		t.Fatal("index entries are not subject to the orphan sweep")
 	}
 }
+
+// TestOrphanSweepSlashJobID: job IDs are unsanitized query params and may
+// contain '/'. Reconstructing the indexed set must strip exactly the
+// <user>/<sig> segments of "index/<user>/<sig>/<jobID>-<seq>" — like the
+// backend's own index parser — not everything up to the LAST '/', or an
+// indexed event file whose jobID contains a slash is misread as an orphan
+// and permanently reaped.
+func TestOrphanSweepSlashJobID(t *testing.T) {
+	t.Parallel()
+	s := New([]byte("k"))
+	base := time.Unix(5000, 0)
+	s.SetClock(fixedClock(base))
+	for _, jobID := range []string{"a/b", "team/job-7", "x/y/z-1"} {
+		s.PutInternal(EventPath(jobID, 1), []byte("committed"))
+		s.PutInternal("index/u1/sig-a/"+jobID+"-000001", nil)
+	}
+	s.SetClock(fixedClock(base.Add(2 * time.Hour)))
+	if n := s.CleanupOlderThan(30 * 24 * time.Hour); n != 0 {
+		t.Fatalf("sweep reaped %d indexed file(s); want 0", n)
+	}
+	for _, jobID := range []string{"a/b", "team/job-7", "x/y/z-1"} {
+		if _, err := s.GetInternal(EventPath(jobID, 1)); err != nil {
+			t.Fatalf("indexed event file for jobID %q must survive the orphan sweep: %v", jobID, err)
+		}
+	}
+	// An actual orphan with a slash-containing jobID is still reaped.
+	s.PutInternal(EventPath("a/b", 2), []byte("staged-then-crashed"))
+	s.SetClock(fixedClock(base.Add(4 * time.Hour)))
+	if n := s.CleanupOlderThan(30 * 24 * time.Hour); n != 1 {
+		t.Fatalf("sweep reaped %d; want exactly the slash-jobID orphan", n)
+	}
+}

@@ -8,12 +8,16 @@
 // covered by a snapshot. Recovery keeps the longest valid prefix: the
 // first torn, corrupt, or out-of-sequence record ends replay, and
 // everything after it — valid-looking or not — is discarded, because a
-// record is only trustworthy if every record before it is.
+// record is only trustworthy if every record before it is. One exception
+// is not recoverable: a log whose FIRST record skips past the snapshot has
+// lost acknowledged history from the head, which no crash produces, and
+// opening fails with ErrWALGap instead of truncating the evidence.
 package store
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"strconv"
@@ -21,18 +25,27 @@ import (
 
 // WAL operation codes.
 const (
-	opPut = "put"
-	opDel = "del"
+	opPut   = "put"
+	opDel   = "del"
+	opSweep = "sweep"
 )
+
+// ErrWALGap marks a log whose first record skips past the snapshot's
+// sequence number: acknowledged mutations are missing, so the store refuses
+// to open rather than silently discarding the evidence of the loss.
+var ErrWALGap = errors.New("store: WAL begins past the snapshot sequence (acknowledged records lost)")
 
 // walRecord is one durable mutation.
 type walRecord struct {
 	// Seq is the strictly increasing record number.
 	Seq uint64 `json:"seq"`
-	// Op is opPut or opDel.
+	// Op is opPut, opDel, or opSweep.
 	Op string `json:"op"`
-	// Path is the object path the mutation targets.
-	Path string `json:"path"`
+	// Path is the object path a put or del targets.
+	Path string `json:"path,omitempty"`
+	// Paths is the batch of paths one retention sweep reaps — a single
+	// record (one append + fsync) no matter how many files expired.
+	Paths []string `json:"paths,omitempty"`
 	// Data is the put payload (base64 on the wire via encoding/json).
 	Data []byte `json:"data,omitempty"`
 	// Created is the put's creation timestamp, Unix nanoseconds, so replay
@@ -92,10 +105,22 @@ func decodeWALRecord(line []byte) (walRecord, error) {
 	if err := json.Unmarshal(payload, &rec); err != nil {
 		return walRecord{}, fmt.Errorf("store: decode WAL record: %v", err)
 	}
-	if rec.Seq == 0 || rec.Path == "" || (rec.Op != opPut && rec.Op != opDel) {
+	if rec.Seq == 0 || !validWALOp(rec) {
 		return walRecord{}, fmt.Errorf("store: invalid WAL record seq=%d op=%q path=%q", rec.Seq, rec.Op, rec.Path)
 	}
 	return rec, nil
+}
+
+// validWALOp checks the op-specific shape of a decoded record: puts and
+// dels target exactly one path, sweeps carry a non-empty batch.
+func validWALOp(rec walRecord) bool {
+	switch rec.Op {
+	case opPut, opDel:
+		return rec.Path != ""
+	case opSweep:
+		return rec.Path == "" && len(rec.Paths) > 0
+	}
+	return false
 }
 
 // scanWAL decodes the longest valid prefix of a WAL image. afterSeq is the
@@ -105,8 +130,10 @@ func decodeWALRecord(line []byte) (walRecord, error) {
 // truncates the log there so new appends extend a clean file.
 //
 // A log whose first record skips past afterSeq+1 has lost acknowledged
-// mutations; nothing in it can be trusted, so the whole image is rejected.
-func scanWAL(data []byte, afterSeq uint64) (applied []walRecord, lastSeq uint64, validLen int64) {
+// mutations; that is not crash damage (a crash tears the TAIL) and no
+// automatic recovery is safe, so the scan fails with ErrWALGap — the
+// caller refuses to open rather than truncating away the evidence.
+func scanWAL(data []byte, afterSeq uint64) (applied []walRecord, lastSeq uint64, validLen int64, err error) {
 	lastSeq = afterSeq
 	var prev uint64
 	off := 0
@@ -115,13 +142,13 @@ func scanWAL(data []byte, afterSeq uint64) (applied []walRecord, lastSeq uint64,
 		if nl < 0 {
 			break // torn tail: the final write never completed
 		}
-		rec, err := decodeWALRecord(data[off : off+nl])
-		if err != nil {
+		rec, derr := decodeWALRecord(data[off : off+nl])
+		if derr != nil {
 			break // corruption: drop this record and everything after it
 		}
 		if prev == 0 {
 			if rec.Seq > afterSeq+1 {
-				return nil, afterSeq, 0 // gap after the snapshot: acknowledged records lost
+				return nil, afterSeq, 0, fmt.Errorf("%w: first record seq=%d, snapshot covers seq=%d", ErrWALGap, rec.Seq, afterSeq)
 			}
 		} else if rec.Seq != prev+1 {
 			break // sequence break: the suffix is not a continuation
@@ -135,5 +162,5 @@ func scanWAL(data []byte, afterSeq uint64) (applied []walRecord, lastSeq uint64,
 		applied = append(applied, rec)
 		lastSeq = rec.Seq
 	}
-	return applied, lastSeq, validLen
+	return applied, lastSeq, validLen, nil
 }

@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"hash/crc32"
 	"os"
 	"path/filepath"
@@ -18,9 +19,12 @@ import (
 // re-implements the framing, checksum, and sequencing rules from the format
 // documentation (wal.go) without calling scanWAL, then applies the surviving
 // records to a plain in-memory store. If scanWAL and this decoder ever
-// disagree on a byte image, one of them has drifted from the spec.
-func referenceReplay(data []byte) *Store {
-	ref := New([]byte("k"))
+// disagree on a byte image, one of them has drifted from the spec. gap
+// reports a log whose first record starts past seq 1 (with no snapshot):
+// acknowledged records are missing from the head, and opening must FAIL
+// with ErrWALGap rather than recover.
+func referenceReplay(data []byte) (ref *Store, gap bool) {
+	ref = New([]byte("k"))
 	var prev uint64
 	for off := 0; off < len(data); {
 		nl := bytes.IndexByte(data[off:], '\n')
@@ -40,26 +44,36 @@ func referenceReplay(data []byte) *Store {
 		if err := json.Unmarshal(line[9:], &rec); err != nil {
 			break
 		}
-		if rec.Seq == 0 || rec.Path == "" || (rec.Op != opPut && rec.Op != opDel) {
+		valid := false
+		switch rec.Op {
+		case opPut, opDel:
+			valid = rec.Path != ""
+		case opSweep:
+			valid = rec.Path == "" && len(rec.Paths) > 0
+		}
+		if rec.Seq == 0 || !valid {
 			break
 		}
 		if prev == 0 {
 			if rec.Seq != 1 {
-				// A log that starts past seq 1 (with no snapshot) has lost
-				// acknowledged records; the whole image is untrustworthy.
-				return New([]byte("k"))
+				return nil, true
 			}
 		} else if rec.Seq != prev+1 {
 			break
 		}
 		prev = rec.Seq
-		if rec.Op == opPut {
+		switch rec.Op {
+		case opPut:
 			ref.putAt(rec.Path, rec.Data, time.Unix(0, rec.Created))
-		} else {
+		case opDel:
 			ref.Delete(rec.Path)
+		case opSweep:
+			for _, p := range rec.Paths {
+				ref.Delete(p)
+			}
 		}
 	}
-	return ref
+	return ref, false
 }
 
 // validWALImage builds a well-formed 4-record log for the seed corpus.
@@ -71,6 +85,8 @@ func validWALImage(tb testing.TB) []byte {
 		{Seq: 2, Op: opPut, Path: "events/j/run-000000.jsonl", Data: []byte("e0"), Created: 9001},
 		{Seq: 3, Op: opDel, Path: "events/j/run-000000.jsonl"},
 		{Seq: 4, Op: opPut, Path: "models/u/a.model", Data: []byte("alpha-v2"), Created: 9002},
+		{Seq: 5, Op: opPut, Path: "events/j/run-000001.jsonl", Data: []byte("e1"), Created: 9003},
+		{Seq: 6, Op: opSweep, Paths: []string{"events/j/run-000001.jsonl", "events/j/run-000002.jsonl"}},
 	}
 	for _, rec := range recs {
 		line, err := encodeWALRecord(rec)
@@ -83,9 +99,10 @@ func validWALImage(tb testing.TB) []byte {
 }
 
 // FuzzWALReplay feeds arbitrary byte images to the durable store as its WAL:
-// opening must never panic or error, must recover exactly the longest valid
-// record prefix (checked against an independent decoder), and must leave a
-// store that accepts new writes and survives a second reopen.
+// opening must never panic, must recover exactly the longest valid record
+// prefix (checked against an independent decoder) — failing open only on a
+// head gap, where acknowledged records are provably missing — and must
+// leave a store that accepts new writes and survives a second reopen.
 func FuzzWALReplay(f *testing.F) {
 	valid := validWALImage(f)
 	f.Add(valid)
@@ -96,6 +113,11 @@ func FuzzWALReplay(f *testing.F) {
 	flipped := append([]byte(nil), valid...)
 	flipped[len(flipped)/2] ^= 0x40 // corrupt a middle record
 	f.Add(flipped)
+	gapImg, err := encodeWALRecord(walRecord{Seq: 7, Op: opPut, Path: "models/u/a.model"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(gapImg) // head gap: log starts past seq 1
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
@@ -106,10 +128,16 @@ func FuzzWALReplay(f *testing.F) {
 		d, err := OpenDurable(dir, []byte("k"), DurableOptions{
 			Clock: clock, CompactEvery: -1, NoSync: true,
 		})
+		ref, gap := referenceReplay(data)
+		if gap {
+			if !errors.Is(err, ErrWALGap) {
+				t.Fatalf("head-gapped WAL must refuse to open with ErrWALGap, got %v", err)
+			}
+			return
+		}
 		if err != nil {
 			t.Fatalf("corrupt WAL must recover, not fail open: %v", err)
 		}
-		ref := referenceReplay(data)
 		if got, want := exportOf(d), exportOf(ref); !reflect.DeepEqual(got, want) {
 			t.Fatalf("recovered state != longest valid prefix:\n got=%+v\n want=%+v", got, want)
 		}
