@@ -20,7 +20,9 @@
 // model-updater queue flushes, and the durable store takes a final snapshot.
 //
 // Liveness and per-endpoint error accounting are exposed unauthenticated at
-// GET /api/health.
+// GET /api/health; Prometheus text metrics (request latencies, WAL timings,
+// updater queue depth, tuner gauges) at GET /metrics; and the recent span
+// ring at GET /api/trace.
 package main
 
 import (
@@ -38,6 +40,7 @@ import (
 	"github.com/rockhopper-db/rockhopper/internal/backend"
 	"github.com/rockhopper-db/rockhopper/internal/sparksim"
 	"github.com/rockhopper-db/rockhopper/internal/store"
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
 )
 
 // objectStore is the daemon's storage surface: the backend interface plus
@@ -86,6 +89,7 @@ func main() {
 		ds, err := store.OpenDurable(*dataDir, []byte(*signingKey), store.DurableOptions{
 			SnapshotInterval: *snapInterval,
 			Logger:           logger,
+			Metrics:          telemetry.Default(),
 		})
 		if err != nil {
 			logger.Fatal(err)
@@ -100,6 +104,9 @@ func main() {
 	srv := backend.New(space, st, *secret, uint64(time.Now().UnixNano()))
 	srv.Logger = logger
 	srv.RequestTimeout = *reqTimeout
+	// Publish on the process-global registry so the store's durability
+	// instruments and the backend's request accounting share one /metrics.
+	srv.SetMetrics(telemetry.Default())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -146,7 +153,7 @@ func main() {
 		}
 	}()
 
-	logger.Printf("listening on %s (space=%s, retention=%v, request-timeout=%v, health at /api/health)",
+	logger.Printf("listening on %s (space=%s, retention=%v, request-timeout=%v, health at /api/health, metrics at /metrics)",
 		*addr, *spaceName, *retention, *reqTimeout)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Fatal(err)

@@ -1,33 +1,46 @@
 // Command rockmon renders the monitoring dashboard (Section 6.3) from a
-// JSON-lines trace file: per-signature performance trends, configuration
-// traces, and root-cause attribution of performance changes.
+// JSON-lines trace file — per-signature performance trends, configuration
+// traces, and root-cause attribution of performance changes — or scrapes a
+// live autotuned /metrics endpoint and renders the telemetry catalogue.
 //
 // Usage:
 //
 //	rockmon -traces traces.jsonl [-signature sig] [-space query|full] [-every 5]
+//	rockmon -scrape http://localhost:8080/metrics [-require name,name,...]
 //
-// Without -signature, every signature found in the file is reported.
+// Without -signature, every signature found in the file is reported. With
+// -require, the scrape exits non-zero unless every named metric family is
+// present — the CI liveness check.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sort"
+	"strings"
 
 	"github.com/rockhopper-db/rockhopper/internal/flighting"
 	"github.com/rockhopper-db/rockhopper/internal/monitor"
 	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
 )
 
 func main() {
-	path := flag.String("traces", "", "JSON-lines trace file (required)")
+	path := flag.String("traces", "", "JSON-lines trace file")
 	signature := flag.String("signature", "", "only report this query signature")
 	spaceName := flag.String("space", "query", "configuration space: query or full")
 	every := flag.Int("every", 5, "sample the configuration trace every N events")
+	scrape := flag.String("scrape", "", "scrape a /metrics URL instead of reading traces")
+	require := flag.String("require", "", "comma-separated metric families that must be present in the scrape")
 	flag.Parse()
 
+	if *scrape != "" {
+		os.Exit(scrapeMetrics(*scrape, *require))
+	}
 	if *path == "" {
-		fmt.Fprintln(os.Stderr, "rockmon: -traces is required")
+		fmt.Fprintln(os.Stderr, "rockmon: one of -traces or -scrape is required")
 		os.Exit(2)
 	}
 	var space *sparksim.Space
@@ -90,4 +103,62 @@ func main() {
 		d.ConfigTrace(os.Stdout, *every)
 		fmt.Println()
 	}
+}
+
+// scrapeMetrics fetches a Prometheus text exposition, renders a compact
+// catalogue (family, type, series count, and each series' labels and value),
+// and verifies any -require families. Returns the process exit code.
+func scrapeMetrics(url, require string) int {
+	resp, err := http.Get(url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rockmon: scrape %s: %v\n", url, err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "rockmon: scrape %s: HTTP %d\n", url, resp.StatusCode)
+		return 1
+	}
+	fams, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rockmon: scrape %s: %v\n", url, err)
+		return 1
+	}
+
+	for _, f := range fams {
+		fmt.Printf("%s (%s) — %d series\n", f.Name, f.Type, len(f.Series))
+		for _, s := range f.Series {
+			fmt.Printf("  %s%s = %g\n", s.Name, labelSuffix(s.Labels), s.Value)
+		}
+	}
+
+	code := 0
+	for _, name := range strings.Split(require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := telemetry.Find(fams, name); !ok {
+			fmt.Fprintf(os.Stderr, "rockmon: required metric family %s missing from %s\n", name, url)
+			code = 1
+		}
+	}
+	return code
+}
+
+// labelSuffix renders a parsed label set deterministically ({} elided).
+func labelSuffix(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
 }

@@ -31,6 +31,7 @@ import (
 	"github.com/rockhopper-db/rockhopper/internal/sparksim"
 	"github.com/rockhopper-db/rockhopper/internal/stats"
 	"github.com/rockhopper-db/rockhopper/internal/store"
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
 	"github.com/rockhopper-db/rockhopper/internal/tuners"
 )
 
@@ -121,6 +122,10 @@ type Server struct {
 	// RequestTimeout bounds each HTTP request's context; <= 0 disables the
 	// deadline. New sets DefaultRequestTimeout.
 	RequestTimeout time.Duration
+	// MaxPendingUpdates is the Model Updater backlog at which ingest
+	// endpoints start shedding with 429 + Retry-After; <= 0 means the queue
+	// channel's capacity.
+	MaxPendingUpdates int
 	// Logger receives operational messages; nil silences them.
 	Logger *log.Logger
 
@@ -131,6 +136,11 @@ type Server struct {
 
 	// metrics is the per-endpoint error accounting behind GET /api/health.
 	metrics serverMetrics
+
+	// tele is the bound instrument set (counters, histograms, span ring)
+	// behind /metrics and /api/trace. New binds a per-server registry;
+	// SetMetrics rebinds (daemons pass telemetry.Default()).
+	tele *backendTelemetry
 
 	// rngMu guards rng: handlers run on arbitrary net/http goroutines, and
 	// Split advances the parent stream.
@@ -156,6 +166,9 @@ type Server struct {
 type updateJob struct {
 	user      string
 	signature string
+	// trace is the ingest request's identity, carried across the queue so
+	// the retrain it triggers logs under the same trace.
+	trace telemetry.SpanContext
 }
 
 // DefaultRequestTimeout is the per-request deadline New installs.
@@ -174,6 +187,7 @@ func New(space *sparksim.Space, st ObjectStore, clusterSecret string, seed uint6
 		seqs:           make(map[string]int),
 		updates:        make(chan updateJob, 256),
 	}
+	s.bindTelemetry(telemetry.NewRegistry())
 	s.metrics.start = s.clock().Now()
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(1)
@@ -225,6 +239,19 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// logfCtx is logf with the trace identity prefixed, so a client-initiated
+// request's log lines are greppable by its X-Rockhopper-Trace value.
+func (s *Server) logfCtx(sc telemetry.SpanContext, format string, args ...any) {
+	if s.Logger == nil {
+		return
+	}
+	if sc.Valid() {
+		s.Logger.Printf("[trace %s] "+format, append([]any{sc}, args...)...)
+		return
+	}
+	s.Logger.Printf(format, args...)
+}
+
 // Handler returns the backend's HTTP routes. Every endpoint runs under the
 // server's request deadline and feeds the per-endpoint error accounting
 // surfaced by GET /api/health.
@@ -238,6 +265,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/appcache", s.instrument("get_appcache", s.handleGetAppCache))
 	mux.HandleFunc("POST /api/appcache", s.instrument("compute_appcache", s.handleComputeAppCache))
 	mux.HandleFunc("GET /api/health", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /api/trace", s.handleTrace)
 	return mux
 }
 
@@ -293,6 +322,9 @@ func (s *Server) handlePutObject(w http.ResponseWriter, r *http.Request) {
 // signature, persists it as an event file, and enqueues a model update —
 // the Event Hub trigger of Figure 7.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.shedIfSaturated(w, "events") {
+		return
+	}
 	q := r.URL.Query()
 	user, signature, jobID := q.Get("user"), q.Get("signature"), q.Get("job_id")
 	if user == "" || signature == "" || jobID == "" {
@@ -325,7 +357,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("store: index commit not persisted: %v", err), http.StatusInternalServerError)
 		return
 	}
-	s.enqueue(updateJob{user: user, signature: signature})
+	s.enqueue(updateJob{user: user, signature: signature, trace: telemetry.SpanFrom(r.Context())})
 	w.WriteHeader(http.StatusAccepted)
 }
 
@@ -335,6 +367,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 // triggered exactly as for pre-digested events. The signature is derived
 // from each execution's plan, so one log may feed several signatures.
 func (s *Server) handleEventLog(w http.ResponseWriter, r *http.Request) {
+	if s.shedIfSaturated(w, "eventlog") {
+		return
+	}
 	q := r.URL.Query()
 	user, jobID := q.Get("user"), q.Get("job_id")
 	if user == "" || jobID == "" {
@@ -404,7 +439,7 @@ func (s *Server) handleEventLog(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, c := range commits {
 		s.Store.PutInternal(signatureIndexPath(user, c.sig, jobID, c.seq), nil)
-		s.enqueue(updateJob{user: user, signature: c.sig})
+		s.enqueue(updateJob{user: user, signature: c.sig, trace: telemetry.SpanFrom(r.Context())})
 	}
 	// Same phase-2 durability check as handleEvents: if any index commit
 	// hit a latched store failure, surface a 5xx so the client retries
@@ -465,7 +500,7 @@ func (s *Server) enqueue(j updateJob) {
 func (s *Server) modelUpdater() {
 	defer s.wg.Done()
 	for j := range s.updates {
-		s.retrain(j.user, j.signature)
+		s.retrain(j)
 		s.mu.Lock()
 		s.pending--
 		s.cond.Broadcast()
@@ -473,7 +508,9 @@ func (s *Server) modelUpdater() {
 	}
 }
 
-func (s *Server) retrain(user, signature string) {
+func (s *Server) retrain(j updateJob) {
+	user, signature := j.user, j.signature
+	started := s.clock().Now()
 	var traces []flighting.Trace
 	prefix := fmt.Sprintf("index/%s/%s/", user, signature)
 	for _, idx := range s.Store.List(prefix) {
@@ -506,19 +543,26 @@ func (s *Server) retrain(user, signature string) {
 		x[i] = tuners.ConfigFeatures(s.Space, nil, t.Config, t.DataSize)
 		y[i] = math.Log1p(t.TimeMs)
 	}
+	best := math.Inf(1)
+	for _, t := range traces {
+		best = math.Min(best, t.TimeMs)
+	}
 	kr := ml.NewKernelRidge()
 	kr.Alpha = 0.3
 	if err := kr.Fit(x, y); err != nil {
-		s.logf("backend: retrain %s/%s: %v", user, signature, err)
+		s.logfCtx(j.trace, "backend: retrain %s/%s: %v", user, signature, err)
 		return
 	}
 	blob, err := ml.Marshal(kr)
 	if err != nil {
-		s.logf("backend: marshal %s/%s: %v", user, signature, err)
+		s.logfCtx(j.trace, "backend: marshal %s/%s: %v", user, signature, err)
 		return
 	}
 	s.Store.PutInternal(store.ModelPath(user, signature), blob)
-	s.logf("backend: retrained %s/%s on %d traces", user, signature, len(traces))
+	s.tele.retrains.Inc()
+	s.tele.retrainSeconds.Observe(s.clock().Now().Sub(started).Seconds())
+	s.tele.bestCost.With(user, signature).Set(best)
+	s.logfCtx(j.trace, "backend: retrained %s/%s on %d traces", user, signature, len(traces))
 }
 
 func (s *Server) handleGetAppCache(w http.ResponseWriter, r *http.Request) {

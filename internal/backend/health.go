@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
 )
 
 // EndpointHealth is one endpoint's request/error accounting.
@@ -41,61 +43,91 @@ type HealthReport struct {
 	Endpoints map[string]EndpointHealth `json:"endpoints"`
 }
 
-// serverMetrics aggregates per-endpoint accounting under one lock; request
-// handling only touches it twice per request (counter + outcome).
+// endpointError is the last non-2xx body for one endpoint — operator
+// context that has no place in a numeric metrics registry.
+type endpointError struct {
+	body     string
+	atUnixMs int64
+}
+
+// serverMetrics keeps only what the telemetry registry cannot: the uptime
+// origin and last-error strings. The counts behind /api/health now live in
+// the shared registry (rockhopper_http_requests_total and friends) so the
+// health report and a /metrics scrape can never disagree.
 type serverMetrics struct {
 	start time.Time
 
 	mu        sync.Mutex
-	endpoints map[string]*EndpointHealth
+	lastErr   map[string]*endpointError
 	lastErrAt time.Time
 }
 
-func (m *serverMetrics) observe(name string, status int, errBody string, timedOut bool, now time.Time) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.endpoints == nil {
-		m.endpoints = make(map[string]*EndpointHealth)
-	}
-	e := m.endpoints[name]
-	if e == nil {
-		e = &EndpointHealth{}
-		m.endpoints[name] = e
-	}
-	e.Requests++
+// observe feeds one finished request into the registry instruments and the
+// last-error bookkeeping.
+func (s *Server) observe(name string, status int, errBody string, timedOut bool, dur time.Duration, now time.Time) {
+	s.tele.requests.With(name, codeClass(status)).Inc()
+	s.tele.latency.With(name).Observe(dur.Seconds())
 	if timedOut {
-		e.Timeouts++
+		s.tele.timeouts.With(name).Inc()
 	}
-	switch {
-	case status >= 500:
-		e.ServerErrors++
-		m.lastErrAt = now
-	case status >= 400:
-		e.ClientErrors++
-	default:
+	if status < 400 {
 		return
 	}
 	if len(errBody) > 256 {
 		errBody = errBody[:256]
 	}
-	e.LastError = errBody
-	e.LastErrorUnixMs = now.UnixMilli()
-}
-
-func (m *serverMetrics) report(pending int, now time.Time) HealthReport {
+	m := &s.metrics
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.lastErr == nil {
+		m.lastErr = make(map[string]*endpointError)
+	}
+	m.lastErr[name] = &endpointError{body: errBody, atUnixMs: now.UnixMilli()}
+	if status >= 500 {
+		m.lastErrAt = now
+	}
+}
+
+// healthReport assembles the /api/health payload from the registry series
+// plus the retained error strings.
+func (s *Server) healthReport(pending int, now time.Time) HealthReport {
+	eps := make(map[string]EndpointHealth)
+	for _, sv := range s.tele.requests.Series() {
+		name, class := sv.Labels[0], sv.Labels[1]
+		e := eps[name]
+		e.Requests += int64(sv.Value)
+		switch class {
+		case "4xx":
+			e.ClientErrors += int64(sv.Value)
+		case "5xx":
+			e.ServerErrors += int64(sv.Value)
+		}
+		eps[name] = e
+	}
+	for _, sv := range s.tele.timeouts.Series() {
+		name := sv.Labels[0]
+		e := eps[name]
+		e.Timeouts = int64(sv.Value)
+		eps[name] = e
+	}
+
+	m := &s.metrics
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, le := range m.lastErr {
+		e := eps[name]
+		e.LastError = le.body
+		e.LastErrorUnixMs = le.atUnixMs
+		eps[name] = e
+	}
 	rep := HealthReport{
 		Status:         "ok",
 		UptimeSeconds:  now.Sub(m.start).Seconds(),
 		PendingUpdates: pending,
-		Endpoints:      make(map[string]EndpointHealth, len(m.endpoints)),
+		Endpoints:      eps,
 	}
 	if !m.lastErrAt.IsZero() && now.Sub(m.lastErrAt) < time.Minute {
 		rep.Status = "degraded"
-	}
-	for name, e := range m.endpoints {
-		rep.Endpoints[name] = *e
 	}
 	return rep
 }
@@ -119,8 +151,9 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
-// instrument wraps a handler with the server's request deadline and feeds
-// the per-endpoint accounting behind /api/health.
+// instrument wraps a handler with the server's request deadline, honors an
+// inbound X-Rockhopper-Trace identity (context carriage + span ring), and
+// feeds the per-endpoint accounting behind /api/health and /metrics.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		ctx := r.Context()
@@ -129,9 +162,21 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 			ctx, cancel = context.WithTimeout(ctx, s.RequestTimeout)
 		}
 		defer cancel()
+		sc, traced := telemetry.ParseTraceHeader(r.Header.Get(telemetry.TraceHeader))
+		if traced {
+			ctx = telemetry.WithSpan(ctx, sc)
+		}
+		start := s.clock().Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(rec, r.WithContext(ctx))
-		s.metrics.observe(name, rec.code, string(rec.errBody), ctx.Err() != nil, s.clock().Now())
+		now := s.clock().Now()
+		s.observe(name, rec.code, string(rec.errBody), ctx.Err() != nil, now.Sub(start), now)
+		if traced {
+			s.recordSpan(sc, name, start, now.Sub(start), rec.code)
+			if rec.code >= 400 {
+				s.logfCtx(sc, "backend: %s -> %d: %s", name, rec.code, rec.errBody)
+			}
+		}
 	}
 }
 
@@ -144,7 +189,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	pending := s.pending
 	s.mu.Unlock()
-	rep := s.metrics.report(pending, s.clock().Now())
+	rep := s.healthReport(pending, s.clock().Now())
 	if err := s.storeErr(); err != nil {
 		rep.Status = "down"
 		rep.StoreError = err.Error()

@@ -43,7 +43,7 @@ func TestHealthReportFakeClock(t *testing.T) {
 	}
 
 	// A server error at t=90s opens the one-minute degraded window.
-	srv.metrics.observe("events", http.StatusInternalServerError, "boom", false, clk.Now())
+	srv.observe("events", http.StatusInternalServerError, "boom", false, 0, clk.Now())
 	if h = getHealth(); h.Status != "degraded" {
 		t.Fatalf("status after 5xx = %q, want degraded", h.Status)
 	}

@@ -82,7 +82,7 @@ func TestRetrainSeqBeyondMillion(t *testing.T) {
 	}
 	srv.Store.PutInternal(store.EventPath(jobID, seq), buf.Bytes())
 	srv.Store.PutInternal(signatureIndexPath(user, sig, jobID, seq), nil)
-	srv.retrain(user, sig)
+	srv.retrain(updateJob{user: user, signature: sig})
 	if _, err := srv.Store.GetInternal(store.ModelPath(user, sig)); err != nil {
 		t.Fatalf("retrain dropped the seq=%d index entry: %v", seq, err)
 	}

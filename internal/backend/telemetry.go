@@ -1,0 +1,140 @@
+package backend
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
+)
+
+// spanRingSize bounds the in-memory span buffer behind GET /api/trace.
+const spanRingSize = 256
+
+// backendTelemetry is the server's bound instrument set. It is built once in
+// New (against a per-server registry) or rebound by SetMetrics before
+// serving; handlers read it without locks.
+type backendTelemetry struct {
+	reg      *telemetry.Registry
+	requests *telemetry.CounterVec   // {endpoint, code class}
+	timeouts *telemetry.CounterVec   // {endpoint}
+	latency  *telemetry.HistogramVec // {endpoint}
+	shed     *telemetry.CounterVec   // {endpoint}
+
+	retrains       telemetry.Counter
+	retrainSeconds telemetry.Histogram
+	bestCost       *telemetry.GaugeVec // {user, signature}
+
+	spans *telemetry.SpanRing
+}
+
+// SetMetrics rebinds the server's instruments onto reg — daemons pass
+// telemetry.Default() so /metrics aggregates every component; tests pass a
+// fresh registry to assert in isolation. Must be called before the handler
+// serves traffic: rebinding resets nothing on the old registry, it simply
+// stops writing there.
+func (s *Server) SetMetrics(reg *telemetry.Registry) { s.bindTelemetry(reg) }
+
+// Metrics returns the registry the server currently publishes to.
+func (s *Server) Metrics() *telemetry.Registry { return s.tele.reg }
+
+func (s *Server) bindTelemetry(reg *telemetry.Registry) {
+	t := &backendTelemetry{
+		reg: reg,
+		requests: reg.Counter("rockhopper_http_requests_total",
+			"HTTP requests by endpoint and status code class.", "endpoint", "code"),
+		timeouts: reg.Counter("rockhopper_http_timeouts_total",
+			"Requests whose deadline expired while handling.", "endpoint"),
+		latency: reg.Histogram("rockhopper_http_request_duration_seconds",
+			"Request handling latency in seconds.", nil, "endpoint"),
+		shed: reg.Counter("rockhopper_shed_total",
+			"Ingest requests shed with 429 because the Model Updater queue was saturated.", "endpoint"),
+		retrains: reg.Counter("rockhopper_updater_retrains_total",
+			"Model Updater retrain passes that produced a model.").With(),
+		retrainSeconds: reg.Histogram("rockhopper_updater_retrain_seconds",
+			"Model retrain duration in seconds.", nil).With(),
+		bestCost: reg.Gauge("rockhopper_model_best_cost_ms",
+			"Best observed execution time (ms) across a signature's training traces.", "user", "signature"),
+		spans: telemetry.NewSpanRing(spanRingSize),
+	}
+	reg.GaugeFunc("rockhopper_updater_queue_depth",
+		"Model Updater jobs enqueued but not yet processed.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.pending)
+		})
+	if lener, ok := s.Store.(interface{ Len() int }); ok {
+		reg.GaugeFunc("rockhopper_store_objects",
+			"Objects resident in the backend object store.", func() float64 {
+				return float64(lener.Len())
+			})
+	}
+	s.tele = t
+}
+
+// codeClass buckets an HTTP status for the requests counter — classes keep
+// the label set closed (cardinality rule, DESIGN.md §8).
+func codeClass(status int) string {
+	switch {
+	case status >= 500:
+		return "5xx"
+	case status >= 400:
+		return "4xx"
+	case status >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+// handleMetrics serves the bound registry in Prometheus text format. Like
+// /api/health it is unauthenticated: scrapers don't hold cluster secrets.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.tele.reg.Handler().ServeHTTP(w, r)
+}
+
+// handleTrace serves the span ring, oldest first — the poor man's trace
+// viewer for correlating a client call with backend work.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	spans := s.tele.spans.Snapshot()
+	if spans == nil {
+		spans = []telemetry.Span{}
+	}
+	writeJSON(w, spans)
+}
+
+// recordSpan appends one finished request span to the ring.
+func (s *Server) recordSpan(sc telemetry.SpanContext, name string, start time.Time, dur time.Duration, code int) {
+	s.tele.spans.Record(telemetry.Span{
+		TraceID:    sc.TraceHex(),
+		SpanID:     sc.SpanHex(),
+		Name:       name,
+		StartUnix:  start.UnixNano(),
+		DurationMS: float64(dur) / float64(time.Millisecond),
+		Status:     strconv.Itoa(code),
+	})
+}
+
+// shedIfSaturated answers 429 + Retry-After when the Model Updater backlog
+// has reached the shed threshold, so ingest pressure degrades into client
+// backoff (the classifier treats 429 as retryable) instead of blocked
+// handlers queueing behind a full channel.
+func (s *Server) shedIfSaturated(w http.ResponseWriter, endpoint string) bool {
+	s.mu.Lock()
+	pending := s.pending
+	s.mu.Unlock()
+	if pending < s.maxPending() {
+		return false
+	}
+	s.tele.shed.With(endpoint).Inc()
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "model updater queue saturated; retry later", http.StatusTooManyRequests)
+	return true
+}
+
+func (s *Server) maxPending() int {
+	if s.MaxPendingUpdates > 0 {
+		return s.MaxPendingUpdates
+	}
+	return cap(s.updates)
+}

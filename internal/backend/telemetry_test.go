@@ -1,0 +1,258 @@
+package backend
+
+import (
+	"bytes"
+	"encoding/json"
+	"log"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/flighting"
+	"github.com/rockhopper-db/rockhopper/internal/store"
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
+)
+
+// postTracedEvents ships one trace batch through POST /api/events with
+// optional extra headers, returning the response status.
+func postTracedEvents(t *testing.T, srv *Server, hs string, headers map[string]string, n int) int {
+	t.Helper()
+	tok := srv.Store.Sign("events/", store.PermWrite, srv.TokenTTL)
+	var buf bytes.Buffer
+	if err := flighting.WriteTraces(&buf, traceBatch(n, 3)); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", hs+"/api/events?user=u&signature=s&job_id=j", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(SASTokenHeader, tok)
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func scrape(t *testing.T, url string) []telemetry.Family {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != telemetry.ContentType {
+		t.Errorf("content type = %q, want %q", ct, telemetry.ContentType)
+	}
+	fams, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape did not parse: %v", err)
+	}
+	return fams
+}
+
+// TestMetricsEndpoint drives one ingest + retrain and asserts the /metrics
+// scrape parses and carries the request, updater, queue, and model series.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, hs := newServer(t)
+	if code := postTracedEvents(t, srv, hs.URL, nil, 8); code != http.StatusAccepted {
+		t.Fatalf("ingest status = %d", code)
+	}
+	srv.Flush()
+
+	fams := scrape(t, hs.URL)
+	req, ok := telemetry.Find(fams, "rockhopper_http_requests_total")
+	if !ok {
+		t.Fatal("rockhopper_http_requests_total missing")
+	}
+	var events2xx float64
+	for _, s := range req.Series {
+		if s.Labels["endpoint"] == "events" && s.Labels["code"] == "2xx" {
+			events2xx = s.Value
+		}
+	}
+	if events2xx != 1 {
+		t.Errorf("events 2xx count = %v, want 1", events2xx)
+	}
+
+	lat, ok := telemetry.Find(fams, "rockhopper_http_request_duration_seconds")
+	if !ok || lat.Type != telemetry.KindHistogram {
+		t.Fatalf("latency histogram missing or mistyped: %+v", lat)
+	}
+
+	retrains, ok := telemetry.Find(fams, "rockhopper_updater_retrains_total")
+	if !ok || len(retrains.Series) != 1 || retrains.Series[0].Value != 1 {
+		t.Fatalf("retrains = %+v, want single series at 1", retrains)
+	}
+
+	best, ok := telemetry.Find(fams, "rockhopper_model_best_cost_ms")
+	if !ok || len(best.Series) != 1 {
+		t.Fatalf("best-cost gauge missing: %+v", best)
+	}
+	bs := best.Series[0]
+	if bs.Labels["user"] != "u" || bs.Labels["signature"] != "s" || bs.Value <= 0 {
+		t.Errorf("best-cost series = %+v, want u/s with positive ms", bs)
+	}
+
+	if depth, ok := telemetry.Find(fams, "rockhopper_updater_queue_depth"); !ok {
+		t.Error("queue depth gauge missing")
+	} else if depth.Series[0].Value != 0 {
+		t.Errorf("drained queue depth = %v, want 0", depth.Series[0].Value)
+	}
+
+	if objs, ok := telemetry.Find(fams, "rockhopper_store_objects"); !ok {
+		t.Error("store size gauge missing")
+	} else if objs.Series[0].Value < 2 {
+		t.Errorf("store objects = %v, want >= 2 (event file + model)", objs.Series[0].Value)
+	}
+}
+
+// TestTracePropagation sends a traced ingest and expects the identity in the
+// span ring (via /api/trace) and in the retrain log line.
+func TestTracePropagation(t *testing.T) {
+	srv, hs := newServer(t)
+	var logs bytes.Buffer
+	srv.Logger = log.New(&logs, "", 0)
+
+	const header = "00000000000000ab-00000000000000cd"
+	code := postTracedEvents(t, srv, hs.URL, map[string]string{telemetry.TraceHeader: header}, 8)
+	if code != http.StatusAccepted {
+		t.Fatalf("ingest status = %d", code)
+	}
+	srv.Flush()
+
+	resp, err := http.Get(hs.URL + "/api/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var spans []telemetry.Span
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		t.Fatalf("span ring payload: %v", err)
+	}
+	found := false
+	for _, sp := range spans {
+		if sp.TraceID == "00000000000000ab" && sp.Name == "events" && sp.Status == "202" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("traced request missing from span ring: %+v", spans)
+	}
+
+	if !strings.Contains(logs.String(), "[trace "+header+"] backend: retrained u/s") {
+		t.Errorf("retrain log line lost the trace identity:\n%s", logs.String())
+	}
+}
+
+// TestUntracedRequestsStayOutOfRing: requests without the header must not
+// fabricate identities.
+func TestUntracedRequestsStayOutOfRing(t *testing.T) {
+	srv, hs := newServer(t)
+	if code := postTracedEvents(t, srv, hs.URL, nil, 4); code != http.StatusAccepted {
+		t.Fatalf("ingest status = %d", code)
+	}
+	srv.Flush()
+	if spans := srv.tele.spans.Snapshot(); len(spans) != 0 {
+		t.Errorf("untraced request recorded spans: %+v", spans)
+	}
+}
+
+// TestLoadShedding pins the saturation contract: a full updater backlog
+// turns ingest into 429 + Retry-After and counts a shed, and the path
+// reopens as soon as the backlog drains.
+func TestLoadShedding(t *testing.T) {
+	srv, hs := newServer(t)
+
+	// Saturate the backlog without racing the real updater.
+	srv.mu.Lock()
+	srv.pending = cap(srv.updates)
+	srv.mu.Unlock()
+
+	tok := srv.Store.Sign("events/", store.PermWrite, srv.TokenTTL)
+	var buf bytes.Buffer
+	if err := flighting.WriteTraces(&buf, traceBatch(4, 3)); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest("POST", hs.URL+"/api/events?user=u&signature=s&job_id=j", &buf)
+	req.Header.Set(SASTokenHeader, tok)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated ingest status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After")
+	}
+	if got := srv.tele.shed.With("events").Value(); got != 1 {
+		t.Errorf("shed counter = %v, want 1", got)
+	}
+
+	// Queue drains -> ingest reopens.
+	srv.mu.Lock()
+	srv.pending = 0
+	srv.mu.Unlock()
+	if code := postTracedEvents(t, srv, hs.URL, nil, 4); code != http.StatusAccepted {
+		t.Fatalf("post-drain ingest status = %d, want 202", code)
+	}
+	srv.Flush()
+
+	// MaxPendingUpdates lowers the threshold.
+	srv.MaxPendingUpdates = 1
+	srv.mu.Lock()
+	srv.pending = 1
+	srv.mu.Unlock()
+	if code := postTracedEvents(t, srv, hs.URL, nil, 4); code != http.StatusTooManyRequests {
+		t.Fatalf("custom threshold ingest status = %d, want 429", code)
+	}
+	srv.mu.Lock()
+	srv.pending = 0
+	srv.mu.Unlock()
+}
+
+// TestHealthMatchesRegistry: the health report is now derived from the same
+// registry series the scrape exposes, so the two must agree.
+func TestHealthMatchesRegistry(t *testing.T) {
+	_, hs := newServer(t)
+	// One client error: object fetch with a bogus token.
+	resp, err := http.Get(hs.URL + "/api/object?path=models/u/x.model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	var h HealthReport
+	hr := doJSON(t, "GET", hs.URL+"/api/health", nil, nil)
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	e := h.Endpoints["get_object"]
+	if e.Requests != 1 || e.ClientErrors != 1 {
+		t.Fatalf("health accounting = %+v, want 1 request / 1 client error", e)
+	}
+	if e.LastError == "" {
+		t.Error("health report lost the last error body")
+	}
+
+	fams := scrape(t, hs.URL)
+	req, _ := telemetry.Find(fams, "rockhopper_http_requests_total")
+	var reg float64
+	for _, s := range req.Series {
+		if s.Labels["endpoint"] == "get_object" && s.Labels["code"] == "4xx" {
+			reg = s.Value
+		}
+	}
+	if int64(reg) != e.ClientErrors {
+		t.Errorf("registry 4xx = %v, health ClientErrors = %d — must agree", reg, e.ClientErrors)
+	}
+}

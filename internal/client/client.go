@@ -17,6 +17,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -34,6 +35,7 @@ import (
 	"github.com/rockhopper-db/rockhopper/internal/sparksim"
 	"github.com/rockhopper-db/rockhopper/internal/stats"
 	"github.com/rockhopper-db/rockhopper/internal/store"
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
 	"github.com/rockhopper-db/rockhopper/internal/tuners"
 )
 
@@ -74,11 +76,18 @@ type Client struct {
 	// Clock drives backoff sleeps and breaker cool-downs; nil means the
 	// wall clock. Injectable for deterministic tests.
 	Clock resilience.Clock
+	// Metrics is the registry the client publishes its per-call counters
+	// into; nil discards them. Set it before the first call — instruments
+	// bind lazily once and later changes are ignored.
+	Metrics *telemetry.Registry
 
 	mu       sync.Mutex
 	tokens   map[string]cachedToken
 	inflight map[string]*tokenFetch
 	rng      *stats.RNG
+
+	teleOnce  sync.Once
+	teleBound *clientTelemetry
 }
 
 type cachedToken struct {
@@ -162,12 +171,24 @@ func (c *Client) callCtx(ctx context.Context) (context.Context, context.CancelFu
 	return context.WithTimeout(ctx, d)
 }
 
-// do executes one backend call through the breaker and retry loop. build
+// do executes one backend call through the breaker and retry loop. kind is
+// the bounded call class used as the metrics label; op is the human-readable
+// operation (it may embed paths, so it never reaches a label). build
 // constructs a fresh request per attempt (so bodies replay safely), want is
 // the success status, and recv (optional) consumes the successful response.
-func (c *Client) do(ctx context.Context, op string, want int, build func(ctx context.Context) (*http.Request, error), recv func(*http.Response) error) error {
+func (c *Client) do(ctx context.Context, kind, op string, want int, build func(ctx context.Context) (*http.Request, error), recv func(*http.Response) error) error {
+	tele := c.tele()
 	ctx, cancel := c.callCtx(ctx)
 	defer cancel()
+	// The trace identity rides the jitter stream: a caller-provided span is
+	// propagated, otherwise the client mints the root — either way every
+	// attempt of this logical call shares one X-Rockhopper-Trace value.
+	rng := c.splitRNG()
+	sc := telemetry.SpanFrom(ctx)
+	if !sc.Valid() {
+		sc = telemetry.Mint(rng)
+	}
+	ctx = telemetry.WithSpan(ctx, sc)
 	br := c.Breaker
 	attempt := func(ctx context.Context) error {
 		if br != nil {
@@ -175,7 +196,8 @@ func (c *Client) do(ctx context.Context, op string, want int, build func(ctx con
 				return fmt.Errorf("client: %s: %w", op, err)
 			}
 		}
-		err := c.attempt(ctx, op, want, build, recv)
+		tele.attempts.With(kind).Inc()
+		err := c.attempt(ctx, op, want, sc, build, recv)
 		if br != nil {
 			// Any response — even a 4xx — proves the backend is alive;
 			// only transport faults, timeouts, and 5xx count against it.
@@ -187,14 +209,42 @@ func (c *Client) do(ctx context.Context, op string, want int, build func(ctx con
 		}
 		return err
 	}
-	return resilience.Retry(ctx, c.Retry, c.clock(), c.splitRNG(), attempt)
+	p := c.Retry
+	callerHook := p.OnRetry
+	p.OnRetry = func(attempt int, err error, delay time.Duration) {
+		tele.retries.With(kind).Inc()
+		if callerHook != nil {
+			callerHook(attempt, err, delay)
+		}
+	}
+	start := c.clock().Now()
+	err := resilience.Retry(ctx, p, c.clock(), rng, attempt)
+	tele.latency.With(kind).Observe(c.clock().Now().Sub(start).Seconds())
+	tele.calls.With(kind, callOutcome(err)).Inc()
+	return err
 }
 
-// attempt performs a single HTTP round trip.
-func (c *Client) attempt(ctx context.Context, op string, want int, build func(ctx context.Context) (*http.Request, error), recv func(*http.Response) error) error {
+// callOutcome buckets a finished call for the calls counter.
+func callOutcome(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, resilience.ErrCircuitOpen):
+		return "circuit_open"
+	default:
+		return "error"
+	}
+}
+
+// attempt performs a single HTTP round trip carrying the call's trace
+// identity.
+func (c *Client) attempt(ctx context.Context, op string, want int, sc telemetry.SpanContext, build func(ctx context.Context) (*http.Request, error), recv func(*http.Response) error) error {
 	req, err := build(ctx)
 	if err != nil {
 		return err
+	}
+	if sc.Valid() {
+		req.Header.Set(telemetry.TraceHeader, sc.String())
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -249,7 +299,7 @@ func (c *Client) Token(ctx context.Context, prefix string, perm store.Permission
 func (c *Client) fetchToken(ctx context.Context, key, prefix string, perm store.Permission) (string, error) {
 	body, _ := json.Marshal(backend.TokenRequest{Prefix: prefix, Perm: perm})
 	var tr backend.TokenResponse
-	err := c.do(ctx, "token "+key, http.StatusOK,
+	err := c.do(ctx, "token", "token "+key, http.StatusOK,
 		func(ctx context.Context) (*http.Request, error) {
 			req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/api/token", bytes.NewReader(body))
 			if err != nil {
@@ -286,7 +336,7 @@ func (c *Client) GetObject(ctx context.Context, p string) ([]byte, error) {
 		return nil, err
 	}
 	var blob []byte
-	err = c.do(ctx, "get "+p, http.StatusOK,
+	err = c.do(ctx, "get_object", "get "+p, http.StatusOK,
 		func(ctx context.Context) (*http.Request, error) {
 			req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/api/object?path="+p, nil)
 			if err != nil {
@@ -312,7 +362,7 @@ func (c *Client) PutObject(ctx context.Context, p string, data []byte) error {
 	if err != nil {
 		return err
 	}
-	return c.do(ctx, "put "+p, http.StatusNoContent,
+	return c.do(ctx, "put_object", "put "+p, http.StatusNoContent,
 		func(ctx context.Context) (*http.Request, error) {
 			req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.BaseURL+"/api/object?path="+p, bytes.NewReader(data))
 			if err != nil {
@@ -365,7 +415,7 @@ func (c *Client) PostEvents(ctx context.Context, user, signature, jobID string, 
 	}
 	body := buf.Bytes()
 	url := fmt.Sprintf("%s/api/events?user=%s&signature=%s&job_id=%s", c.BaseURL, user, signature, jobID)
-	return c.do(ctx, "post events "+jobID, http.StatusAccepted,
+	return c.do(ctx, "post_events", "post events "+jobID, http.StatusAccepted,
 		func(ctx context.Context) (*http.Request, error) {
 			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 			if err != nil {
@@ -386,7 +436,7 @@ func (c *Client) PostEventLog(ctx context.Context, user, jobID string, log []byt
 		return err
 	}
 	url := fmt.Sprintf("%s/api/eventlog?user=%s&job_id=%s", c.BaseURL, user, jobID)
-	return c.do(ctx, "post event log "+jobID, http.StatusAccepted,
+	return c.do(ctx, "post_eventlog", "post event log "+jobID, http.StatusAccepted,
 		func(ctx context.Context) (*http.Request, error) {
 			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(log))
 			if err != nil {
@@ -401,7 +451,7 @@ func (c *Client) PostEventLog(ctx context.Context, user, jobID string, log []byt
 // recurrent artifact (Step 3 of Figure 7). ok is false when none exists.
 func (c *Client) FetchAppCache(ctx context.Context, artifactID string) (applevel.CacheEntry, bool, error) {
 	var e applevel.CacheEntry
-	err := c.do(ctx, "app cache "+artifactID, http.StatusOK,
+	err := c.do(ctx, "get_appcache", "app cache "+artifactID, http.StatusOK,
 		func(ctx context.Context) (*http.Request, error) {
 			req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/api/appcache?artifact_id="+artifactID, nil)
 			if err != nil {
@@ -430,7 +480,7 @@ func (c *Client) ComputeAppCache(ctx context.Context, reqBody backend.AppCacheRe
 		return applevel.CacheEntry{}, err
 	}
 	var e applevel.CacheEntry
-	err = c.do(ctx, "compute app cache "+reqBody.ArtifactID, http.StatusOK,
+	err = c.do(ctx, "compute_appcache", "compute app cache "+reqBody.ArtifactID, http.StatusOK,
 		func(ctx context.Context) (*http.Request, error) {
 			req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/api/appcache", bytes.NewReader(body))
 			if err != nil {
@@ -451,7 +501,7 @@ func (c *Client) ComputeAppCache(ctx context.Context, reqBody backend.AppCacheRe
 // Health fetches the backend's health report.
 func (c *Client) Health(ctx context.Context) (backend.HealthReport, error) {
 	var h backend.HealthReport
-	err := c.do(ctx, "health", http.StatusOK,
+	err := c.do(ctx, "health", "health", http.StatusOK,
 		func(ctx context.Context) (*http.Request, error) {
 			return http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/api/health", nil)
 		},
@@ -490,11 +540,13 @@ func (rs *RemoteSelector) Select(cands []sparksim.Config, window []sparksim.Obse
 	model, err := rs.Client.FetchModel(context.Background(), rs.User, rs.Signature)
 	if err != nil {
 		rs.noteDegraded(err)
+		rs.Client.tele().fallbacks.With(fallbackError).Inc()
 		return rs.Fallback.Select(cands, window, dataSize)
 	}
 	rs.noteRecovered()
 	if model == nil {
 		// Cold start: the backend simply has not trained this signature.
+		rs.Client.tele().fallbacks.With(fallbackColdStart).Inc()
 		return rs.Fallback.Select(cands, window, dataSize)
 	}
 	bestIdx, bestPred := -1, math.Inf(1)
@@ -505,6 +557,7 @@ func (rs *RemoteSelector) Select(cands []sparksim.Config, window []sparksim.Obse
 		}
 	}
 	if bestIdx < 0 {
+		rs.Client.tele().fallbacks.With(fallbackNoPrediction).Inc()
 		return rs.Fallback.Select(cands, window, dataSize)
 	}
 	rs.Client.logf("client: %s/%s selected candidate %d (predicted log-time %.3f) among %d",

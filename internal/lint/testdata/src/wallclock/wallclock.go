@@ -34,3 +34,28 @@ func Good(c Clock) time.Time {
 	deadline := c.Now().Add(time.Minute)
 	return deadline
 }
+
+// realLike satisfies the full Clock contract, so its method values are the
+// blessed injection pattern (the store.New default).
+type realLike struct{}
+
+func (realLike) Now() time.Time        { return time.Time{} }
+func (realLike) Sleep(d time.Duration) {}
+
+// sneakyClock offers a clock-shaped Now without the rest of the contract —
+// the one-method wrapper that would smuggle ambient time past the
+// time-package check.
+type sneakyClock struct{}
+
+func (sneakyClock) Now() time.Time { return time.Time{} }
+
+// MethodValues pins the type-aware branch: a full-contract method value is
+// blessed, a bare Now-provider is not.
+func MethodValues() func() time.Time {
+	blessed := realLike{}.Now
+	_ = blessed
+	viaContract := Clock(realLike{})
+	_ = viaContract.Now()
+	bad := sneakyClock{}.Now // want "sneakyClock.Now provides wall-clock time without the full Clock contract"
+	return bad
+}

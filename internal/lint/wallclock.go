@@ -1,6 +1,9 @@
 package lint
 
-import "go/ast"
+import (
+	"go/ast"
+	"go/types"
+)
 
 // wallclockFuncs are the package time entry points that read or act on the
 // wall clock. Types and constants (time.Duration, time.Second, time.Unix)
@@ -23,6 +26,14 @@ var wallclockFuncs = map[string]bool{
 // both hold only because no production path reads ambient time; a stray
 // time.Now() breaks replayability silently.
 //
+// The rule is type-aware about method values: `x.Now` where x satisfies the
+// full Clock contract (Now() time.Time plus a Sleep method) is the blessed
+// injection pattern — `RealClock{}.Now` as an injection-point default needs
+// no waiver. A receiver that offers a clock-shaped Now WITHOUT the rest of
+// the contract is flagged: a bare Now-provider is an unvetted time source,
+// the one-method wrapper that would otherwise smuggle time.Now past the
+// time-package check.
+//
 // The rule skips _test.go files: test harnesses legitimately measure and
 // wait on real time.
 type WallClock struct{}
@@ -32,7 +43,7 @@ func (WallClock) Name() string { return "wallclock" }
 
 // Doc implements Rule.
 func (WallClock) Doc() string {
-	return "no time.Now/Since/Sleep/timers outside resilience.Clock: production paths must inject a clock"
+	return "no time.Now/Since/Sleep/timers outside resilience.Clock: production paths must inject a clock (full-contract Clock method values are blessed)"
 }
 
 // IncludeTests implements Rule.
@@ -46,12 +57,55 @@ func (WallClock) Check(pass *Pass) {
 			if !ok {
 				return true
 			}
-			pkg, name, ok := pass.PkgQualifier(sel)
-			if !ok || pkg != "time" || !wallclockFuncs[name] {
+			if pkg, name, ok := pass.PkgQualifier(sel); ok {
+				if pkg == "time" && wallclockFuncs[name] {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock; inject a resilience.Clock so behaviour is deterministic under test", name)
+				}
 				return true
 			}
-			pass.Reportf(sel.Pos(), "time.%s reads the wall clock; inject a resilience.Clock so behaviour is deterministic under test", name)
+			checkNowMethod(pass, sel)
 			return true
 		})
 	}
+}
+
+// checkNowMethod applies the Clock-contract test to a non-package selector:
+// a method named Now with the clock shape `func() time.Time` is fine only on
+// a receiver that also carries a Sleep method (the injectable contract).
+func checkNowMethod(pass *Pass, sel *ast.SelectorExpr) {
+	if sel.Sel.Name != "Now" {
+		return
+	}
+	selection, ok := pass.Pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return // a field (store's injected func) or a type expression
+	}
+	sig, ok := selection.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 || !isTimeTime(sig.Results().At(0).Type()) {
+		return // not clock-shaped; Now() here doesn't hand out time
+	}
+	if hasSleepMethod(selection.Recv(), pass.Pkg.Types) {
+		return // full Clock contract: the blessed injection pattern
+	}
+	pass.Reportf(sel.Pos(), "%s.Now provides wall-clock time without the full Clock contract (no Sleep); inject a resilience.Clock instead", types.TypeString(selection.Recv(), types.RelativeTo(pass.Pkg.Types)))
+}
+
+// isTimeTime reports whether t is time.Time.
+func isTimeTime(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Time"
+}
+
+// hasSleepMethod reports whether recv's method set includes a Sleep method —
+// the second half of the Clock contract. The signature is not checked
+// further: a type that offers both Now and Sleep is an injected clock by
+// repository convention.
+func hasSleepMethod(recv types.Type, from *types.Package) bool {
+	obj, _, _ := types.LookupFieldOrMethod(recv, true, from, "Sleep")
+	fn, ok := obj.(*types.Func)
+	return ok && fn != nil
 }

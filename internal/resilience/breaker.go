@@ -56,6 +56,11 @@ type Breaker struct {
 	Cooldown time.Duration
 	// Clock is injectable for deterministic tests; nil means wall clock.
 	Clock Clock
+	// OnTransition, when set, observes every state change (from, to). It is
+	// invoked outside the breaker's lock, so the callback may call State()
+	// or other breaker methods — but it may therefore also observe a state
+	// newer than `to` under concurrency.
+	OnTransition func(from, to BreakerState)
 
 	mu       sync.Mutex
 	state    BreakerState
@@ -89,24 +94,31 @@ func (b *Breaker) now() time.Time {
 // followed by exactly one Record with its outcome.
 func (b *Breaker) Allow() error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var err error
+	probeOpened := false
 	switch b.state {
 	case StateClosed:
-		return nil
 	case StateOpen:
 		if b.now().Sub(b.openedAt) < b.cooldown() {
-			return ErrCircuitOpen
+			err = ErrCircuitOpen
+		} else {
+			b.state = StateHalfOpen
+			b.probing = true
+			probeOpened = true
 		}
-		b.state = StateHalfOpen
-		b.probing = true
-		return nil
 	default: // half-open
 		if b.probing {
-			return ErrCircuitOpen // one probe at a time
+			err = ErrCircuitOpen // one probe at a time
+		} else {
+			b.probing = true
 		}
-		b.probing = true
-		return nil
 	}
+	hook := b.OnTransition
+	b.mu.Unlock()
+	if probeOpened && hook != nil {
+		hook(StateOpen, StateHalfOpen)
+	}
+	return err
 }
 
 // Record reports the outcome of an admitted call: nil closes/keeps the
@@ -114,17 +126,23 @@ func (b *Breaker) Allow() error {
 // threshold (and re-opens immediately from half-open).
 func (b *Breaker) Record(err error) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from := b.state
 	b.probing = false
 	if err == nil {
 		b.state = StateClosed
 		b.failures = 0
-		return
+	} else {
+		b.failures++
+		if b.state == StateHalfOpen || b.failures >= b.threshold() {
+			b.state = StateOpen
+			b.openedAt = b.now()
+		}
 	}
-	b.failures++
-	if b.state == StateHalfOpen || b.failures >= b.threshold() {
-		b.state = StateOpen
-		b.openedAt = b.now()
+	to := b.state
+	hook := b.OnTransition
+	b.mu.Unlock()
+	if hook != nil && from != to {
+		hook(from, to)
 	}
 }
 

@@ -1,0 +1,122 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+// TestOnRetryHook counts scheduled retries and checks the hook sees the
+// failed attempt's error and a bounded delay.
+func TestOnRetryHook(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	boom := errors.New("transient")
+	var calls []int
+	p := Policy{
+		MaxAttempts: 3,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    time.Second,
+		OnRetry: func(attempt int, err error, delay time.Duration) {
+			if !errors.Is(err, boom) {
+				t.Errorf("hook error = %v, want %v", err, boom)
+			}
+			if delay <= 0 || delay > time.Second {
+				t.Errorf("hook delay = %v out of range", delay)
+			}
+			calls = append(calls, attempt)
+		},
+	}
+	err := Retry(context.Background(), p, clk, stats.NewRNG(1), func(ctx context.Context) error {
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Retry err = %v", err)
+	}
+	// 3 attempts -> retries scheduled after attempts 1 and 2.
+	if len(calls) != 2 || calls[0] != 1 || calls[1] != 2 {
+		t.Errorf("OnRetry calls = %v, want [1 2]", calls)
+	}
+}
+
+// TestOnRetryNotCalledOnTerminal: terminal failures schedule no retry, so
+// the hook must stay silent.
+func TestOnRetryNotCalledOnTerminal(t *testing.T) {
+	fired := false
+	p := Policy{OnRetry: func(int, error, time.Duration) { fired = true }}
+	err := Retry(context.Background(), p, NewFakeClock(time.Unix(0, 0)), nil, func(ctx context.Context) error {
+		return &HTTPError{Op: "x", Status: 403, Msg: "no"}
+	})
+	if err == nil || fired {
+		t.Fatalf("terminal failure: err=%v hook fired=%v", err, fired)
+	}
+}
+
+// TestBreakerTransitionHook walks the full closed → open → half-open →
+// closed cycle and checks every edge is reported exactly once, outside the
+// lock (the hook calls State() to prove no deadlock).
+func TestBreakerTransitionHook(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	type edge struct{ from, to BreakerState }
+	var edges []edge
+	b := &Breaker{Threshold: 2, Cooldown: time.Second, Clock: clk}
+	b.OnTransition = func(from, to BreakerState) {
+		_ = b.State() // must not deadlock
+		edges = append(edges, edge{from, to})
+	}
+
+	boom := errors.New("down")
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed Allow: %v", err)
+		}
+		b.Record(boom)
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	clk.Advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe Allow: %v", err)
+	}
+	b.Record(nil)
+	if b.State() != StateClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+
+	want := []edge{
+		{StateClosed, StateOpen},
+		{StateOpen, StateHalfOpen},
+		{StateHalfOpen, StateClosed},
+	}
+	if len(edges) != len(want) {
+		t.Fatalf("edges = %v, want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Errorf("edge %d = %v, want %v", i, edges[i], want[i])
+		}
+	}
+}
+
+// TestBreakerHookFailedProbe: a failed probe re-opens and reports
+// half-open → open.
+func TestBreakerHookFailedProbe(t *testing.T) {
+	clk := NewFakeClock(time.Unix(0, 0))
+	var last [2]BreakerState
+	b := &Breaker{Threshold: 1, Cooldown: time.Second, Clock: clk,
+		OnTransition: func(from, to BreakerState) { last = [2]BreakerState{from, to} }}
+	_ = b.Allow()
+	b.Record(errors.New("down"))
+	clk.Advance(time.Second)
+	_ = b.Allow()
+	b.Record(errors.New("still down"))
+	if last != [2]BreakerState{StateHalfOpen, StateOpen} {
+		t.Errorf("last edge = %v, want half-open -> open", last)
+	}
+	if b.State() != StateOpen {
+		t.Errorf("state = %v, want open", b.State())
+	}
+}

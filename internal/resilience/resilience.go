@@ -95,6 +95,11 @@ type Policy struct {
 	Multiplier float64
 	// Jitter is the ± fraction each delay is randomized by; default 0.5.
 	Jitter float64
+	// OnRetry, when set, observes each scheduled retry (attempt number of
+	// the failed try, its error, and the jittered delay about to be slept).
+	// Telemetry wiring hangs retry counters here so this package stays free
+	// of metrics dependencies.
+	OnRetry func(attempt int, err error, delay time.Duration)
 }
 
 // Default policy values.
@@ -153,6 +158,9 @@ func Retry(ctx context.Context, p Policy, clock Clock, rng *stats.RNG, fn func(c
 		}
 		if d > p.MaxDelay {
 			d = p.MaxDelay
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err, d)
 		}
 		if serr := clock.Sleep(ctx, d); serr != nil {
 			return err // interrupted mid-backoff: surface the call's error

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"github.com/rockhopper-db/rockhopper/internal/resilience"
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
 )
 
 // CrashPoint identifies a fault-injection site inside the durability layer.
@@ -100,6 +101,9 @@ type DurableOptions struct {
 	// store at that point, simulating process death. Nil disables
 	// injection.
 	Hooks func(CrashPoint) error
+	// Metrics receives the durability instruments (WAL appends, fsync and
+	// snapshot latencies, replayed record counts); nil discards them.
+	Metrics *telemetry.Registry
 }
 
 // DefaultCompactEvery is the record-count compaction threshold.
@@ -119,6 +123,11 @@ type DurableStore struct {
 	interval     time.Duration
 	compactEvery int
 	noSync       bool
+
+	walAppends      telemetry.Counter
+	walReplayed     telemetry.Counter
+	fsyncSeconds    telemetry.Histogram
+	snapshotSeconds telemetry.Histogram
 
 	mu       sync.Mutex
 	wal      *os.File
@@ -154,6 +163,16 @@ func OpenDurable(dir string, secret []byte, opts DurableOptions) (*DurableStore,
 	if d.compactEvery == 0 {
 		d.compactEvery = DefaultCompactEvery
 	}
+	// Bind instruments before replay so recovery itself is measured. The
+	// nil-registry convention makes these discards when Metrics is unset.
+	d.walAppends = opts.Metrics.Counter("rockhopper_wal_appends_total",
+		"WAL records durably appended (acknowledged mutations).").With()
+	d.walReplayed = opts.Metrics.Counter("rockhopper_wal_replayed_records_total",
+		"WAL records replayed on open (crash-recovery work).").With()
+	d.fsyncSeconds = opts.Metrics.Histogram("rockhopper_wal_fsync_seconds",
+		"Per-record WAL fsync latency in seconds.", nil).With()
+	d.snapshotSeconds = opts.Metrics.Histogram("rockhopper_wal_snapshot_seconds",
+		"Snapshot (compaction) duration in seconds.", nil).With()
 	// A leftover temp file is a snapshot that never committed (pre-rename
 	// crash); the live snapshot is still authoritative.
 	if err := os.Remove(filepath.Join(dir, snapshotTemp)); err != nil && !errors.Is(err, fs.ErrNotExist) {
@@ -205,6 +224,7 @@ func (d *DurableStore) replay() error {
 	}
 	d.seq = lastSeq
 	d.walCount = len(recs)
+	d.walReplayed.Add(float64(len(recs)))
 
 	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -276,13 +296,16 @@ func (d *DurableStore) appendLocked(rec walRecord) error {
 		return d.down
 	}
 	if !d.noSync {
+		start := d.clock.Now()
 		if err := d.wal.Sync(); err != nil {
 			d.down = fmt.Errorf("%w: WAL sync: %v", ErrCrashed, err)
 			return d.down
 		}
+		d.fsyncSeconds.Observe(d.clock.Now().Sub(start).Seconds())
 	}
 	d.seq = rec.Seq
 	d.walCount++
+	d.walAppends.Inc()
 	return nil
 }
 
@@ -429,6 +452,7 @@ func (d *DurableStore) Compact() error {
 // leaves stale WAL records that replay skips by sequence number — both
 // recover to the identical state.
 func (d *DurableStore) compactLocked() error {
+	started := d.clock.Now()
 	snap := snapshot{Version: snapshotVersion, WALSeq: d.seq, Entries: d.mem.export()}
 	image, err := encodeSnapshot(snap)
 	if err != nil {
@@ -450,6 +474,7 @@ func (d *DurableStore) compactLocked() error {
 	d.snapSeq = snap.WALSeq
 	d.lastSnap = d.clock.Now()
 	d.walCount = 0
+	d.snapshotSeconds.Observe(d.lastSnap.Sub(started).Seconds())
 	if err := d.crashLocked(CrashPostRename); err != nil {
 		return err
 	}

@@ -1,0 +1,71 @@
+package store
+
+import (
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
+)
+
+// TestDurableStoreMetrics walks a put/delete/compact/replay cycle and checks
+// every durability instrument against an isolated registry: WAL appends,
+// fsync latency observations, snapshot duration, and replayed record counts.
+func TestDurableStoreMetrics(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+	d, err := OpenDurable(dir, []byte("k"), DurableOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d.PutInternal("models/u/a.model", []byte("alpha"))
+	d.PutInternal("models/u/b.model", []byte("beta"))
+	if err := d.Delete("models/u/a.model"); err != nil {
+		t.Fatal(err)
+	}
+
+	appends := reg.Counter("rockhopper_wal_appends_total", "").With()
+	if got := appends.Value(); got != 3 {
+		t.Errorf("wal appends = %v, want 3 (2 puts + 1 delete)", got)
+	}
+	fsyncs := reg.Histogram("rockhopper_wal_fsync_seconds", "", nil).With()
+	if got := fsyncs.Count(); got != 3 {
+		t.Errorf("fsync observations = %v, want 3 (one per acknowledged record)", got)
+	}
+
+	snaps := reg.Histogram("rockhopper_wal_snapshot_seconds", "", nil).With()
+	if got := snaps.Count(); got != 0 {
+		t.Fatalf("snapshot observations before Compact = %v, want 0", got)
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := snaps.Count(); got != 1 {
+		t.Errorf("snapshot observations = %v, want 1", got)
+	}
+
+	// One record past the snapshot, then an unclean exit: reopening must
+	// replay exactly that suffix — and count it on the new registry.
+	d.PutInternal("models/u/c.model", []byte("gamma"))
+	d.abandon()
+
+	reg2 := telemetry.NewRegistry()
+	d2, err := OpenDurable(dir, []byte("k"), DurableOptions{Metrics: reg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got := reg2.Counter("rockhopper_wal_replayed_records_total", "").With().Value(); got != 1 {
+		t.Errorf("replayed records = %v, want 1", got)
+	}
+	if got := reg2.Counter("rockhopper_wal_appends_total", "").With().Value(); got != 0 {
+		t.Errorf("appends after pure replay = %v, want 0 (replay is not an append)", got)
+	}
+	if _, err := d2.GetInternal("models/u/c.model"); err != nil {
+		t.Errorf("replayed object missing: %v", err)
+	}
+
+	// The first store's instruments saw no replay at all.
+	if got := reg.Counter("rockhopper_wal_replayed_records_total", "").With().Value(); got != 0 {
+		t.Errorf("fresh-dir open replayed = %v, want 0", got)
+	}
+}

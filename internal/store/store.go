@@ -25,6 +25,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/rockhopper-db/rockhopper/internal/resilience"
 )
 
 // Permission is the access mode a token grants.
@@ -94,9 +96,8 @@ type object struct {
 // New returns a store signing tokens with the given secret.
 func New(secret []byte) *Store {
 	return &Store{
-		secret: append([]byte(nil), secret...),
-		//rocklint:allow wallclock -- injection-point default: SetClock overrides it in tests
-		now:     time.Now,
+		secret:  append([]byte(nil), secret...),
+		now:     resilience.RealClock{}.Now,
 		objects: make(map[string]object),
 	}
 }

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format: families sorted by name, series sorted by label values, histogram
+// buckets cumulative and closed by the mandatory +Inf/_sum/_count triple.
+// Output is byte-deterministic for a given registry state — the golden
+// conformance test pins the format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r = r.target()
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if err := f.write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func (f *family) write(w *bufio.Writer) error {
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+
+	f.mu.Lock()
+	fn := f.fn
+	f.mu.Unlock()
+	if fn != nil {
+		fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(fn()))
+		return nil
+	}
+
+	for _, c := range f.sortedChildren() {
+		switch f.kind {
+		case KindHistogram:
+			var cum uint64
+			for i, ub := range f.buckets {
+				cum += c.counts[i].Load()
+				fmt.Fprintf(w, "%s_bucket%s %d\n",
+					f.name, labelString(f.labels, c.values, "le", formatFloat(ub)), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, labelString(f.labels, c.values, "le", "+Inf"), c.count.Load())
+			fmt.Fprintf(w, "%s_sum%s %s\n",
+				f.name, labelString(f.labels, c.values, "", ""), formatFloat(math.Float64frombits(c.sumBits.Load())))
+			fmt.Fprintf(w, "%s_count%s %d\n",
+				f.name, labelString(f.labels, c.values, "", ""), c.count.Load())
+		default:
+			fmt.Fprintf(w, "%s%s %s\n",
+				f.name, labelString(f.labels, c.values, "", ""), formatFloat(math.Float64frombits(c.bits.Load())))
+		}
+	}
+	return nil
+}
+
+// labelString renders {k="v",...}; extraK/extraV append a synthetic label
+// (the histogram "le"). Empty label sets render as nothing.
+func labelString(names, values []string, extraK, extraV string) string {
+	if len(names) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraK != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraK)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extraV))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+// formatFloat renders a sample value: shortest round-trip representation,
+// with the exposition format's spellings for the non-finite values.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry as a Prometheus scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

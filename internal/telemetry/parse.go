@@ -1,0 +1,217 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Family is one parsed metric family.
+type Family struct {
+	Name   string
+	Type   string
+	Help   string
+	Series []Series
+}
+
+// Series is one parsed sample line. Name keeps the full sample name
+// (including any _bucket/_sum/_count suffix) so histogram invariants can be
+// checked by consumers.
+type Series struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseText parses Prometheus text exposition format — the inverse of
+// WritePrometheus, used by rockmon's scrape mode and the CI series
+// assertions. Histogram child samples (_bucket/_sum/_count) attach to their
+// parent family. Unknown or malformed lines are errors: the wire format is
+// ours, so leniency would only mask renderer bugs.
+func ParseText(r io.Reader) ([]Family, error) {
+	byName := make(map[string]*Family)
+	var order []string
+	fam := func(name string) *Family {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &Family{Name: name}
+		byName[name] = f
+		order = append(order, name)
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // non-HELP/TYPE comments are legal and ignored
+			}
+			f := fam(name)
+			if kind == "HELP" {
+				f.Help = rest
+			} else {
+				f.Type = rest
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: parse line %d: %w", lineNo, err)
+		}
+		f := fam(familyName(s.Name, byName))
+		f.Series = append(f.Series, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := make([]Family, 0, len(order))
+	sort.Strings(order)
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	return out, nil
+}
+
+// parseComment splits "# HELP name text" / "# TYPE name kind".
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 || fields[0] != "#" {
+		return "", "", "", false
+	}
+	if fields[1] != "HELP" && fields[1] != "TYPE" {
+		return "", "", "", false
+	}
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	return fields[1], fields[2], rest, true
+}
+
+// familyName maps a sample name to its family, stripping histogram suffixes
+// when the base family is a known histogram.
+func familyName(sample string, byName map[string]*Family) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, found := strings.CutSuffix(sample, suffix)
+		if !found {
+			continue
+		}
+		if f, ok := byName[base]; ok && f.Type == KindHistogram {
+			return base
+		}
+	}
+	return sample
+}
+
+// parseSample decodes one "name{labels} value" line.
+func parseSample(line string) (Series, error) {
+	s := Series{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value in %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		var err error
+		rest, err = parseLabels(rest[1:], s.Labels)
+		if err != nil {
+			return s, fmt.Errorf("%v in %q", err, line)
+		}
+	}
+	valStr := strings.TrimSpace(rest)
+	// A trailing timestamp would appear as a second field; we never emit one.
+	if strings.ContainsAny(valStr, " \t") {
+		return s, fmt.Errorf("unexpected trailing fields in %q", line)
+	}
+	v, err := parseValue(valStr)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q in %q", valStr, line)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes `name="value",...}` and returns the remainder after
+// the closing brace. Values may contain the \\, \", and \n escapes.
+func parseLabels(rest string, into map[string]string) (string, error) {
+	for {
+		rest = strings.TrimLeft(rest, ", ")
+		if strings.HasPrefix(rest, "}") {
+			return rest[1:], nil
+		}
+		eq := strings.Index(rest, "=")
+		if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+			return "", fmt.Errorf("malformed label pair")
+		}
+		name := rest[:eq]
+		rest = rest[eq+2:]
+		var b strings.Builder
+		for {
+			if rest == "" {
+				return "", fmt.Errorf("unterminated label value")
+			}
+			ch := rest[0]
+			rest = rest[1:]
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if rest == "" {
+					return "", fmt.Errorf("dangling escape")
+				}
+				esc := rest[0]
+				rest = rest[1:]
+				switch esc {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return "", fmt.Errorf("unknown escape \\%c", esc)
+				}
+				continue
+			}
+			b.WriteByte(ch)
+		}
+		into[name] = b.String()
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(+1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Find returns the family with the given name, if present.
+func Find(fams []Family, name string) (Family, bool) {
+	for _, f := range fams {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Family{}, false
+}

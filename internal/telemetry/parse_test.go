@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseTextBasics(t *testing.T) {
+	const in = `# some free-form comment
+# HELP a_total things
+# TYPE a_total counter
+a_total{k="v,with=\"quotes\" and \\slash\n"} 3
+a_total{k="plain"} +Inf
+# TYPE b_gauge gauge
+b_gauge 2.5
+`
+	fams, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	if len(fams) != 2 {
+		t.Fatalf("families = %d, want 2", len(fams))
+	}
+	a, ok := Find(fams, "a_total")
+	if !ok || a.Type != KindCounter || a.Help != "things" || len(a.Series) != 2 {
+		t.Fatalf("a_total parsed wrong: %+v", a)
+	}
+	if got := a.Series[0].Labels["k"]; got != "v,with=\"quotes\" and \\slash\n" {
+		t.Errorf("escape decode = %q", got)
+	}
+	if !math.IsInf(a.Series[1].Value, 1) {
+		t.Errorf("+Inf value = %v", a.Series[1].Value)
+	}
+	b, _ := Find(fams, "b_gauge")
+	if b.Series[0].Value != 2.5 {
+		t.Errorf("b_gauge = %v", b.Series[0].Value)
+	}
+}
+
+func TestParseTextHistogramAttachment(t *testing.T) {
+	const in = `# TYPE h_seconds histogram
+h_seconds_bucket{le="1"} 1
+h_seconds_bucket{le="+Inf"} 2
+h_seconds_sum 3.5
+h_seconds_count 2
+`
+	fams, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	if len(fams) != 1 {
+		t.Fatalf("histogram children must attach to one family, got %d: %+v", len(fams), fams)
+	}
+	if len(fams[0].Series) != 4 {
+		t.Errorf("series = %d, want 4", len(fams[0].Series))
+	}
+}
+
+func TestParseTextMalformed(t *testing.T) {
+	for _, in := range []string{
+		"a_total{k=\"unterminated} 1\n",
+		"a_total{k=\"v\"} notanumber\n",
+		"a_total{k=\"bad\\escape\"} 1\n",
+		"novalue\n",
+		"a_total 1 2 3\n",
+	} {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseText(%q) accepted malformed input", in)
+		}
+	}
+}
+
+func TestFindMissing(t *testing.T) {
+	if _, ok := Find(nil, "nope"); ok {
+		t.Error("Find on empty set returned ok")
+	}
+}

@@ -1,0 +1,356 @@
+// Package telemetry is Rockhopper's stdlib-only observability layer: a
+// race-safe metrics registry (counters, gauges, histograms — all
+// label-supporting) rendered in the Prometheus text exposition format, plus
+// lightweight trace propagation (a context-carried trace/span identity sent
+// over the X-Rockhopper-Trace header and recorded in a bounded span ring).
+//
+// The paper deploys Rockhopper behind a production monitoring dashboard
+// because "robust in production" is unverifiable without per-stage
+// visibility; this package is the shared substrate every layer publishes
+// into — the backend's request accounting, the durable store's WAL timings,
+// the client's retry/breaker/fallback counters, and the tuners' convergence
+// gauges all land in one scrapeable registry.
+//
+// Design constraints:
+//
+//   - No third-party dependencies: the module stays zero-dep, so the
+//     exposition format and its parser are implemented here and pinned by a
+//     golden conformance test.
+//   - No ambient time: the registry itself never reads the wall clock.
+//     Durations are observed by callers through their injected
+//     resilience.Clock, so metrics recording cannot break the repository's
+//     determinism invariants (and rocklint's wallclock rule holds here too).
+//   - Bounded cardinality is the caller's contract: label values must come
+//     from small closed sets (endpoint names, call kinds, outcome classes).
+//     DESIGN.md §8 records the catalogue and the cardinality rules.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric kinds.
+const (
+	KindCounter   = "counter"
+	KindGauge     = "gauge"
+	KindHistogram = "histogram"
+)
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// DefBuckets are the default histogram buckets (seconds), matching the
+// conventional Prometheus client defaults so dashboards transfer.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Registry is a set of metric families. All methods are safe for concurrent
+// use, including registration racing with scrapes. A nil *Registry is valid:
+// it hands out fully functional instruments that are simply never rendered,
+// so optional instrumentation needs no nil checks at every observation site.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// defaultRegistry is the process-global registry components publish to when
+// none is injected; discard absorbs instruments minted off a nil *Registry.
+var (
+	defaultRegistry = NewRegistry()
+	discard         = NewRegistry()
+)
+
+// Default returns the process-global registry. Daemons serve it at /metrics;
+// library users reach it through rockhopper.Metrics(). Components accept an
+// injected registry so tests can assert on isolated instances.
+func Default() *Registry { return defaultRegistry }
+
+// target resolves the nil-receiver convention.
+func (r *Registry) target() *Registry {
+	if r == nil {
+		return discard
+	}
+	return r
+}
+
+// family is one named metric family: a kind, a label schema, and a child per
+// distinct label-value tuple.
+type family struct {
+	name    string
+	help    string
+	kind    string
+	labels  []string
+	buckets []float64 // histogram upper bounds, strictly increasing
+
+	mu       sync.Mutex
+	children map[string]*child
+	fn       func() float64 // gauge callback; nil for plain families
+}
+
+// child is one series: a label-value tuple plus its value cells. Counters
+// and gauges live in bits (math.Float64bits); histograms use per-bucket
+// counts plus sumBits/count. All cells are atomics so observation never
+// takes a lock.
+type child struct {
+	values  []string
+	bits    atomic.Uint64
+	counts  []atomic.Uint64 // one per bucket; +Inf is implicit in count
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// register get-or-creates a family, panicking on an incompatible
+// redefinition — metric shapes are program constants, and a silent rename
+// would split one logical series across two names.
+func (r *Registry) register(kind, name, help string, buckets []float64, labels []string) *family {
+	r = r.target()
+	if !metricNameRe.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !labelNameRe.MatchString(l) || (kind == KindHistogram && l == "le") {
+			panic(fmt.Sprintf("telemetry: invalid label name %q on %s", l, name))
+		}
+	}
+	if kind == KindHistogram {
+		if len(buckets) == 0 {
+			buckets = DefBuckets
+		}
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i] <= buckets[i-1] {
+				panic(fmt.Sprintf("telemetry: histogram %s buckets must be strictly increasing", name))
+			}
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("telemetry: metric %s re-registered as %s%v, was %s%v",
+				name, kind, labels, f.kind, f.labels))
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: make(map[string]*child),
+	}
+	r.families[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// childFor get-or-creates the series for one label-value tuple.
+func (f *family) childFor(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[key]
+	if !ok {
+		c = &child{values: append([]string(nil), values...)}
+		if f.kind == KindHistogram {
+			c.counts = make([]atomic.Uint64, len(f.buckets))
+		}
+		f.children[key] = c
+	}
+	return c
+}
+
+// sortedChildren snapshots the family's series in deterministic label order.
+func (f *family) sortedChildren() []*child {
+	f.mu.Lock()
+	out := make([]*child, 0, len(f.children))
+	for _, c := range f.children {
+		out = append(out, c)
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].values, out[j].values
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Counter registers (or fetches) a monotonically increasing counter family.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	f := r.register(KindCounter, name, help, nil, labels)
+	v := &CounterVec{f: f}
+	if len(labels) == 0 {
+		v.With() // materialize the single series so it renders as 0
+	}
+	return v
+}
+
+// Gauge registers (or fetches) a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	f := r.register(KindGauge, name, help, nil, labels)
+	v := &GaugeVec{f: f}
+	if len(labels) == 0 {
+		v.With()
+	}
+	return v
+}
+
+// Histogram registers (or fetches) a histogram family with the given upper
+// bounds (nil means DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	f := r.register(KindHistogram, name, help, buckets, labels)
+	v := &HistogramVec{f: f}
+	if len(labels) == 0 {
+		v.With()
+	}
+	return v
+}
+
+// GaugeFunc registers a gauge whose value is read by fn at scrape time —
+// queue depths and store sizes stay truthful without a writer goroutine.
+// Re-registering replaces the callback (a restarted component re-binds the
+// gauge to its live state).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(KindGauge, name, help, nil, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With returns the counter for one label-value tuple, creating it at zero.
+func (v *CounterVec) With(values ...string) Counter { return Counter{v.f.childFor(values)} }
+
+// Series returns every materialized series, sorted by label values.
+func (v *CounterVec) Series() []SeriesValue { return seriesOf(v.f) }
+
+// Counter is one counter series.
+type Counter struct{ c *child }
+
+// Inc adds one.
+func (c Counter) Inc() { c.Add(1) }
+
+// Add adds v, which must be non-negative.
+func (c Counter) Add(v float64) {
+	if v < 0 {
+		panic("telemetry: counter decrease")
+	}
+	addFloat(&c.c.bits, v)
+}
+
+// Value returns the current count.
+func (c Counter) Value() float64 { return math.Float64frombits(c.c.bits.Load()) }
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for one label-value tuple, creating it at zero.
+func (v *GaugeVec) With(values ...string) Gauge { return Gauge{v.f.childFor(values)} }
+
+// Series returns every materialized series, sorted by label values.
+func (v *GaugeVec) Series() []SeriesValue { return seriesOf(v.f) }
+
+// Gauge is one gauge series.
+type Gauge struct{ c *child }
+
+// Set stores v.
+func (g Gauge) Set(v float64) { g.c.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (negative deltas allowed).
+func (g Gauge) Add(v float64) { addFloat(&g.c.bits, v) }
+
+// Value returns the current value.
+func (g Gauge) Value() float64 { return math.Float64frombits(g.c.bits.Load()) }
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for one label-value tuple.
+func (v *HistogramVec) With(values ...string) Histogram {
+	return Histogram{f: v.f, c: v.f.childFor(values)}
+}
+
+// Histogram is one histogram series.
+type Histogram struct {
+	f *family
+	c *child
+}
+
+// Observe records one sample.
+func (h Histogram) Observe(v float64) {
+	// First bucket whose upper bound admits v; beyond the last bound the
+	// sample lands only in the implicit +Inf bucket (count).
+	i := sort.SearchFloat64s(h.f.buckets, v)
+	if i < len(h.f.buckets) {
+		h.c.counts[i].Add(1)
+	}
+	addFloat(&h.c.sumBits, v)
+	h.c.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h Histogram) Count() uint64 { return h.c.count.Load() }
+
+// Sum returns the sum of observations.
+func (h Histogram) Sum() float64 { return math.Float64frombits(h.c.sumBits.Load()) }
+
+// SeriesValue is one materialized series' label values and current value
+// (for histograms, the observation count).
+type SeriesValue struct {
+	Labels []string
+	Value  float64
+}
+
+func seriesOf(f *family) []SeriesValue {
+	var out []SeriesValue
+	for _, c := range f.sortedChildren() {
+		v := math.Float64frombits(c.bits.Load())
+		if f.kind == KindHistogram {
+			v = float64(c.count.Load())
+		}
+		out = append(out, SeriesValue{Labels: append([]string(nil), c.values...), Value: v})
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds the fixed registry state pinned by testdata/golden.prom.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+
+	req := r.Counter("rh_requests_total", "Requests by endpoint and status code class.", "endpoint", "code")
+	req.With("events", "2xx").Add(3)
+	req.With("object", "4xx").Inc()
+	req.With("object", "2xx").Add(2)
+
+	r.Counter("rh_retrains_total", "Model retrains.")
+
+	r.GaugeFunc("rh_queue_depth", "Updater queue depth.", func() float64 { return 7 })
+
+	best := r.Gauge("rh_best_cost_ms", "Best observed cost per signature.", "signature")
+	best.With("q7\"\\\nend").Set(12.5)
+
+	lat := r.Histogram("rh_latency_seconds", "Request latency.", []float64{0.25, 0.5, 2}, "endpoint")
+	h := lat.With("events")
+	for _, v := range []float64{0.125, 0.5, 1, 4} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func render(t *testing.T, r *Registry) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenConformance pins the exact exposition bytes: family ordering,
+// label escaping, histogram +Inf/_sum/_count closure, deterministic series
+// order.
+func TestGoldenConformance(t *testing.T) {
+	got := render(t, goldenRegistry())
+	want, err := os.ReadFile("testdata/golden.prom")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("exposition drifted from golden file\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestRenderDeterministic renders the same state twice and demands identical
+// bytes — map iteration order must never leak into the wire format.
+func TestRenderDeterministic(t *testing.T) {
+	r := goldenRegistry()
+	for i := 0; i < 10; i++ {
+		if a, b := render(t, r), render(t, r); !bytes.Equal(a, b) {
+			t.Fatalf("render %d not deterministic:\n%s\nvs\n%s", i, a, b)
+		}
+	}
+}
+
+// TestParseRoundTrip feeds the renderer's output back through ParseText and
+// checks structure survives, including escaped label values.
+func TestParseRoundTrip(t *testing.T) {
+	fams, err := ParseText(bytes.NewReader(render(t, goldenRegistry())))
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	if len(fams) != 5 {
+		t.Fatalf("got %d families, want 5", len(fams))
+	}
+
+	best, ok := Find(fams, "rh_best_cost_ms")
+	if !ok || len(best.Series) != 1 {
+		t.Fatalf("rh_best_cost_ms missing or wrong arity: %+v", best)
+	}
+	if got := best.Series[0].Labels["signature"]; got != "q7\"\\\nend" {
+		t.Errorf("label escaping did not round-trip: %q", got)
+	}
+	if best.Series[0].Value != 12.5 {
+		t.Errorf("value = %v, want 12.5", best.Series[0].Value)
+	}
+
+	lat, ok := Find(fams, "rh_latency_seconds")
+	if !ok || lat.Type != KindHistogram {
+		t.Fatalf("rh_latency_seconds missing or not histogram: %+v", lat)
+	}
+	// Histogram invariants: cumulative buckets, +Inf == _count, _sum present.
+	var infCount, count, sum float64
+	prev := -1.0
+	for _, s := range lat.Series {
+		switch s.Name {
+		case "rh_latency_seconds_bucket":
+			if s.Value < prev {
+				t.Errorf("bucket counts not cumulative: %v after %v", s.Value, prev)
+			}
+			prev = s.Value
+			if s.Labels["le"] == "+Inf" {
+				infCount = s.Value
+			}
+		case "rh_latency_seconds_count":
+			count = s.Value
+		case "rh_latency_seconds_sum":
+			sum = s.Value
+		}
+	}
+	if infCount != 4 || count != 4 {
+		t.Errorf("+Inf bucket %v and _count %v must both be 4", infCount, count)
+	}
+	if sum != 5.625 {
+		t.Errorf("_sum = %v, want 5.625", sum)
+	}
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "fine", "a")
+	mustPanic(t, "kind mismatch", func() { r.Gauge("ok_total", "redefined", "a") })
+	mustPanic(t, "label mismatch", func() { r.Counter("ok_total", "redefined", "b") })
+	mustPanic(t, "bad metric name", func() { r.Counter("bad-name", "h") })
+	mustPanic(t, "bad label name", func() { r.Counter("x_total", "h", "0bad") })
+	mustPanic(t, "le on histogram", func() { r.Histogram("h_seconds", "h", nil, "le") })
+	mustPanic(t, "non-increasing buckets", func() { r.Histogram("h2_seconds", "h", []float64{1, 1}) })
+	mustPanic(t, "label arity", func() { r.Counter("y_total", "h", "a").With("1", "2") })
+	mustPanic(t, "counter decrease", func() { r.Counter("z_total", "h").With().Add(-1) })
+}
+
+// TestNilRegistry verifies the discard convention: a nil *Registry hands out
+// working instruments and renders nothing.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	c := r.Counter("nil_total", "absorbed")
+	c.With().Inc()
+	g := r.Gauge("nil_gauge", "absorbed")
+	g.With().Set(3)
+	h := r.Histogram("nil_seconds", "absorbed", nil)
+	h.With().Observe(0.1)
+	if got := c.With().Value(); got != 1 {
+		t.Errorf("nil-registry counter = %v, want 1", got)
+	}
+	// The shared discard registry must never leak into real scrapes; only
+	// check that rendering a nil registry does not crash.
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil render: %v", err)
+	}
+}
+
+func TestGaugeFuncRebind(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("depth", "d", func() float64 { return 1 })
+	r.GaugeFunc("depth", "d", func() float64 { return 2 })
+	out := string(render(t, r))
+	if !strings.Contains(out, "depth 2\n") {
+		t.Errorf("GaugeFunc re-register did not replace callback:\n%s", out)
+	}
+}
+
+func TestHistogramBeyondLastBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "h", []float64{1}).With()
+	h.Observe(100)
+	if h.Count() != 1 || h.Sum() != 100 {
+		t.Errorf("count=%d sum=%v, want 1/100", h.Count(), h.Sum())
+	}
+	out := string(render(t, r))
+	if !strings.Contains(out, `h_seconds_bucket{le="1"} 0`) ||
+		!strings.Contains(out, `h_seconds_bucket{le="+Inf"} 1`) {
+		t.Errorf("out-of-range sample must land only in +Inf:\n%s", out)
+	}
+}
+
+func TestFormatFloatSpecials(t *testing.T) {
+	cases := map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		0.25:         "0.25",
+		3:            "3",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := formatFloat(math.NaN()); got != "NaN" {
+		t.Errorf("formatFloat(NaN) = %q", got)
+	}
+}
+
+func TestSeriesAccessor(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("s_total", "h", "k")
+	c.With("b").Add(2)
+	c.With("a").Inc()
+	got := c.Series()
+	if len(got) != 2 || got[0].Labels[0] != "a" || got[0].Value != 1 || got[1].Value != 2 {
+		t.Errorf("Series() = %+v, want sorted [a=1 b=2]", got)
+	}
+}

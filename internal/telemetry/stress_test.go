@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// counters, gauges, histograms, child creation, and scrapes all racing —
+// and then demands exact final values. Run under -race in CI.
+func TestRegistryConcurrency(t *testing.T) {
+	const (
+		goroutines = 16
+		iters      = 2000
+	)
+	r := NewRegistry()
+	c := r.Counter("stress_total", "c", "worker")
+	g := r.Gauge("stress_gauge", "g")
+	h := r.Histogram("stress_seconds", "h", []float64{0.5, 1})
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			// Alternate between two label values so child get-or-create
+			// races too.
+			me := []string{"even", "odd"}[w%2]
+			for i := 0; i < iters; i++ {
+				c.With(me).Inc()
+				g.With().Add(1)
+				h.With().Observe(float64(i%3) * 0.5)
+			}
+		}(w)
+	}
+	// Concurrent scrapes while writers run.
+	var scrapeWG sync.WaitGroup
+	stop := make(chan struct{})
+	for s := 0; s < 4; s++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					if err := r.WritePrometheus(io.Discard); err != nil {
+						t.Errorf("scrape during writes: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(stop)
+	scrapeWG.Wait()
+
+	const perLabel = goroutines / 2 * iters
+	if got := c.With("even").Value(); got != perLabel {
+		t.Errorf("even counter = %v, want %d", got, perLabel)
+	}
+	if got := c.With("odd").Value(); got != perLabel {
+		t.Errorf("odd counter = %v, want %d", got, perLabel)
+	}
+	if got := g.With().Value(); got != goroutines*iters {
+		t.Errorf("gauge = %v, want %d", got, goroutines*iters)
+	}
+	if got := h.With().Count(); got != goroutines*iters {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*iters)
+	}
+	// Each iteration observes (i%3)*0.5 ∈ {0, 0.5, 1}: all land within the
+	// bounded buckets, so the final scrape's +Inf bucket must equal count.
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("final scrape: %v", err)
+	}
+	fams, err := ParseText(&buf)
+	if err != nil {
+		t.Fatalf("final parse: %v", err)
+	}
+	hist, ok := Find(fams, "stress_seconds")
+	if !ok {
+		t.Fatal("stress_seconds missing from scrape")
+	}
+	for _, s := range hist.Series {
+		if s.Name == "stress_seconds_bucket" && s.Labels["le"] == "+Inf" {
+			if s.Value != goroutines*iters {
+				t.Errorf("+Inf bucket = %v, want %d", s.Value, goroutines*iters)
+			}
+		}
+	}
+}

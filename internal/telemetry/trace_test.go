@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// seqSource is a deterministic IDSource for tests.
+type seqSource struct{ next uint64 }
+
+func (s *seqSource) Uint64() uint64 { v := s.next; s.next++; return v }
+
+func TestMintAndHeaderRoundTrip(t *testing.T) {
+	src := &seqSource{} // first value is 0: Mint must skip it
+	sc := Mint(src)
+	if !sc.Valid() {
+		t.Fatal("minted context invalid")
+	}
+	if sc.TraceID != 1 || sc.SpanID != 2 {
+		t.Fatalf("mint consumed unexpected stream values: %+v", sc)
+	}
+	got, ok := ParseTraceHeader(sc.String())
+	if !ok || got != sc {
+		t.Fatalf("round-trip %q -> %+v ok=%v, want %+v", sc.String(), got, ok, sc)
+	}
+	if want := fmt.Sprintf("%016x-%016x", sc.TraceID, sc.SpanID); sc.String() != want {
+		t.Errorf("String() = %q, want %q", sc.String(), want)
+	}
+}
+
+func TestParseTraceHeaderMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"", "junk", "00000000000000010000000000000002", // no separator
+		"1-2",                                 // not 16 digits
+		"000000000000000z-0000000000000002",   // bad hex
+		"0000000000000000-0000000000000002",   // zero trace id
+		"00000000000000001-000000000000002",   // wrong widths
+		"0000000000000001-0000000000000002-3", // extra segment
+	} {
+		if sc, ok := ParseTraceHeader(bad); ok {
+			t.Errorf("ParseTraceHeader(%q) accepted -> %+v", bad, sc)
+		}
+	}
+}
+
+func TestChildKeepsTrace(t *testing.T) {
+	src := &seqSource{next: 5}
+	root := Mint(src)
+	child := root.Child(src)
+	if child.TraceID != root.TraceID {
+		t.Errorf("child switched traces: %+v vs %+v", child, root)
+	}
+	if child.SpanID == root.SpanID {
+		t.Error("child reused parent span id")
+	}
+	orphan := SpanContext{}.Child(src)
+	if !orphan.Valid() {
+		t.Error("child of invalid context must mint a root")
+	}
+}
+
+func TestContextCarriage(t *testing.T) {
+	if got := SpanFrom(context.Background()); got.Valid() {
+		t.Errorf("empty context carries %+v", got)
+	}
+	sc := SpanContext{TraceID: 7, SpanID: 9}
+	ctx := WithSpan(context.Background(), sc)
+	if got := SpanFrom(ctx); got != sc {
+		t.Errorf("SpanFrom = %+v, want %+v", got, sc)
+	}
+}
+
+func TestSpanRingEviction(t *testing.T) {
+	r := NewSpanRing(3)
+	for i := 1; i <= 5; i++ {
+		r.Record(Span{Name: fmt.Sprintf("s%d", i)})
+	}
+	got := r.Snapshot()
+	if len(got) != 3 || got[0].Name != "s3" || got[2].Name != "s5" {
+		t.Errorf("Snapshot = %+v, want oldest-first [s3 s4 s5]", got)
+	}
+}
+
+func TestSpanRingPartial(t *testing.T) {
+	r := NewSpanRing(8)
+	r.Record(Span{Name: "a"})
+	r.Record(Span{Name: "b"})
+	got := r.Snapshot()
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "b" {
+		t.Errorf("Snapshot = %+v, want [a b]", got)
+	}
+}
+
+func TestSpanRingNil(t *testing.T) {
+	var r *SpanRing
+	r.Record(Span{Name: "x"}) // must not panic
+	if got := r.Snapshot(); got != nil {
+		t.Errorf("nil ring snapshot = %+v", got)
+	}
+	if NewSpanRing(0) != nil {
+		t.Error("NewSpanRing(0) must return the discarding nil ring")
+	}
+}

@@ -1,0 +1,48 @@
+package tuners
+
+import (
+	"math"
+
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
+)
+
+// Instrumented wraps a Tuner so its convergence is observable live on a
+// telemetry registry: every Observe bumps the iteration counter and keeps a
+// best-cost gauge at the lowest observed time so far. Labels are the
+// algorithm name and the query signature — both from closed sets (the
+// algorithm roster and the managed signatures), per the cardinality rules in
+// DESIGN.md §8. Like every Tuner, it is not safe for concurrent use.
+type Instrumented struct {
+	Tuner
+	iterations telemetry.Counter
+	bestCost   telemetry.Gauge
+	best       float64
+}
+
+// Instrument wraps t with instruments bound to reg (nil reg discards). The
+// signature label distinguishes concurrent tuning loops in one registry.
+func Instrument(t Tuner, reg *telemetry.Registry, signature string) *Instrumented {
+	return &Instrumented{
+		Tuner: t,
+		iterations: reg.Counter("rockhopper_tuner_iterations_total",
+			"Observations fed to a tuning loop, by algorithm and query signature.",
+			"algo", "signature").With(t.Name(), signature),
+		bestCost: reg.Gauge("rockhopper_tuner_best_cost_ms",
+			"Lowest observed execution time (ms) so far, by algorithm and query signature.",
+			"algo", "signature").With(t.Name(), signature),
+		best: math.Inf(1),
+	}
+}
+
+// Observe implements Tuner, recording the outcome before accounting for it.
+func (i *Instrumented) Observe(o sparksim.Observation) {
+	i.Tuner.Observe(o)
+	i.iterations.Inc()
+	if o.Time < i.best {
+		i.best = o.Time
+		i.bestCost.Set(o.Time)
+	}
+}
+
+var _ Tuner = (*Instrumented)(nil)

@@ -1,0 +1,39 @@
+package tuners
+
+import (
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
+)
+
+// TestInstrumentedTuner checks the wrapper forwards the tuning contract and
+// keeps the iteration counter and best-cost gauge truthful.
+func TestInstrumentedTuner(t *testing.T) {
+	space := sparksim.QuerySpace()
+	reg := telemetry.NewRegistry()
+	tn := Instrument(NewRandomSearch(space, stats.NewRNG(1)), reg, "q1")
+	if tn.Name() != "random" {
+		t.Errorf("Name = %q, want passthrough", tn.Name())
+	}
+
+	for i, ms := range []float64{2000, 1500, 1800} {
+		cfg := tn.Propose(i, 1e9)
+		tn.Observe(sparksim.Observation{Config: cfg, DataSize: 1e9, Time: ms, Iteration: i})
+	}
+
+	iterations := reg.Counter("rockhopper_tuner_iterations_total", "", "algo", "signature")
+	if got := iterations.With("random", "q1").Value(); got != 3 {
+		t.Errorf("iterations = %v, want 3", got)
+	}
+	best := reg.Gauge("rockhopper_tuner_best_cost_ms", "", "algo", "signature")
+	if got := best.With("random", "q1").Value(); got != 1500 {
+		t.Errorf("best cost = %v, want 1500", got)
+	}
+
+	// The wrapped tuner saw every observation (history drives BestObserved).
+	if o, ok := tn.Tuner.(*RandomSearch).hist.BestObserved(); !ok || o.Time != 1500 {
+		t.Errorf("wrapped history best = %+v ok=%v, want 1500", o, ok)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
 )
 
 // Manager owns one Tuner per recurrent query signature — the per-query
@@ -16,10 +18,39 @@ type Manager struct {
 	space *Space
 	opts  []Option
 
-	mu     sync.Mutex
-	tuners map[string]*Tuner
-	seq    uint64
+	mu      sync.Mutex
+	tuners  map[string]*Tuner
+	seq     uint64
+	best    map[string]float64 // lowest observed time per signature
+	tripped map[string]bool    // guardrail edge detector per signature
+
+	iterations *telemetry.CounterVec // {algo, signature}
+	bestCost   *telemetry.GaugeVec   // {algo, signature}
+	trips      *telemetry.CounterVec // {signature}
 }
+
+// managedAlgo is the algorithm label the Manager publishes under: every
+// managed tuner runs the paper's Centroid Learning loop.
+const managedAlgo = "centroid"
+
+// bindMetrics registers the manager's instruments on reg. The families are
+// shared with tuners.Instrument, so a daemon mixing both publishes one
+// coherent catalogue.
+func (m *Manager) bindMetrics(reg *telemetry.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.iterations = reg.Counter("rockhopper_tuner_iterations_total",
+		"Observations fed to a tuning loop, by algorithm and query signature.", "algo", "signature")
+	m.bestCost = reg.Gauge("rockhopper_tuner_best_cost_ms",
+		"Lowest observed execution time (ms) so far, by algorithm and query signature.", "algo", "signature")
+	m.trips = reg.Counter("rockhopper_guardrail_trips_total",
+		"Guardrail reversions to the default configuration, by query signature.", "signature")
+}
+
+// SetMetrics publishes the manager's convergence instruments — per-signature
+// iteration counts, best-cost gauges, and guardrail trips — to reg. Call it
+// before traffic; the default is a discarding registry.
+func (m *Manager) SetMetrics(reg *telemetry.Registry) { m.bindMetrics(reg) }
 
 // NewManager builds a manager that creates tuners over space with the given
 // default options. Per-signature seeds are derived automatically so two
@@ -32,7 +63,15 @@ func NewManager(space *Space, opts ...Option) (*Manager, error) {
 	if _, err := NewTuner(space, opts...); err != nil {
 		return nil, err
 	}
-	return &Manager{space: space, opts: opts, tuners: make(map[string]*Tuner)}, nil
+	m := &Manager{
+		space:   space,
+		opts:    opts,
+		tuners:  make(map[string]*Tuner),
+		best:    make(map[string]float64),
+		tripped: make(map[string]bool),
+	}
+	m.bindMetrics(nil)
+	return m, nil
 }
 
 // Tuner returns the tuner for a query signature, creating it on first use.
@@ -73,7 +112,24 @@ func (m *Manager) Observe(signature string, o Observation) error {
 	if err != nil {
 		return err
 	}
-	return t.Report(o)
+	if err := t.Report(o); err != nil {
+		return err
+	}
+	disabled := t.Disabled()
+	m.mu.Lock()
+	m.iterations.With(managedAlgo, signature).Inc()
+	if b, ok := m.best[signature]; !ok || o.Time < b {
+		m.best[signature] = o.Time
+		m.bestCost.With(managedAlgo, signature).Set(o.Time)
+	}
+	// Count guardrail trips on the disable edge only: a long disabled
+	// stretch is one incident, not one per observation.
+	if disabled && !m.tripped[signature] {
+		m.trips.With(signature).Inc()
+	}
+	m.tripped[signature] = disabled
+	m.mu.Unlock()
+	return nil
 }
 
 // signatureSeed hashes the signature into a stable seed; seq breaks ties for
@@ -127,4 +183,6 @@ func (m *Manager) Forget(signature string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	delete(m.tuners, signature)
+	delete(m.best, signature)
+	delete(m.tripped, signature)
 }

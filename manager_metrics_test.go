@@ -1,0 +1,62 @@
+package rockhopper
+
+import (
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
+)
+
+// TestManagerMetrics drives one signature into a guardrail trip and checks
+// the manager publishes iterations, best cost, and exactly one trip (the
+// disable edge, not one per disabled observation).
+func TestManagerMetrics(t *testing.T) {
+	m, err := NewManager(QuerySpace(), WithGuardrail(5, 0.005, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	m.SetMetrics(reg)
+
+	const sig = "regressing"
+	iters := 0
+	growth := 1000.0
+	tn, _ := m.Tuner(sig)
+	for i := 0; i < 60 && !tn.Disabled(); i++ {
+		cfg, err := m.Suggest(sig, 1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Observe(sig, Observation{Config: cfg, DataSize: 1e9, Time: growth, Iteration: i}); err != nil {
+			t.Fatal(err)
+		}
+		iters++
+		growth *= 1.12
+	}
+	if !tn.Disabled() {
+		t.Fatal("guardrail never tripped")
+	}
+
+	iterations := reg.Counter("rockhopper_tuner_iterations_total", "", "algo", "signature")
+	if got := iterations.With("centroid", sig).Value(); got != float64(iters) {
+		t.Errorf("iterations = %v, want %d", got, iters)
+	}
+	best := reg.Gauge("rockhopper_tuner_best_cost_ms", "", "algo", "signature")
+	if got := best.With("centroid", sig).Value(); got != 1000 {
+		t.Errorf("best cost = %v, want 1000 (the first, cheapest run)", got)
+	}
+	trips := reg.Counter("rockhopper_guardrail_trips_total", "", "signature")
+	if got := trips.With(sig).Value(); got != 1 {
+		t.Errorf("guardrail trips = %v, want 1", got)
+	}
+
+	// Observations while disabled must not re-count the same incident.
+	for i := 0; i < 3; i++ {
+		cfg, _ := m.Suggest(sig, 1e9)
+		if err := m.Observe(sig, Observation{Config: cfg, DataSize: 1e9, Time: growth, Iteration: iters + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := trips.With(sig).Value(); got != 1 {
+		t.Errorf("trips after disabled stretch = %v, want still 1", got)
+	}
+}

@@ -1,8 +1,12 @@
 package rockhopper
 
 import (
+	"io"
+	"net/http"
+
 	"github.com/rockhopper-db/rockhopper/internal/monitor"
 	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
 )
 
 // Monitoring types re-exported for library users (Section 6.3's dashboard).
@@ -27,3 +31,40 @@ func NewDashboard(space *Space, signature string) *Dashboard {
 // identical plans at similar data magnitudes share a signature, which is the
 // key production models and tuners are partitioned by.
 func SignatureOf(p *Plan) string { return sparksim.Signature(p) }
+
+// Telemetry types re-exported for library users, so the embedded view is the
+// same one the daemons serve at /metrics (DESIGN.md §8).
+type (
+	// MetricsRegistry is a race-safe set of counters, gauges, and
+	// histograms rendered in the Prometheus text exposition format.
+	MetricsRegistry = telemetry.Registry
+	// MetricFamily is one parsed metric family from a /metrics scrape.
+	MetricFamily = telemetry.Family
+	// MetricSeries is one parsed series (label tuple and value).
+	MetricSeries = telemetry.Series
+	// SpanContext is the trace/span identity carried on a context and sent
+	// over the TraceHeader.
+	SpanContext = telemetry.SpanContext
+	// Span is one finished server-side span from the /api/trace ring.
+	Span = telemetry.Span
+)
+
+// TraceHeader is the HTTP header carrying the client-minted trace identity.
+const TraceHeader = telemetry.TraceHeader
+
+// Metrics returns the process-global registry the daemons expose at
+// /metrics. Components accept an injected *MetricsRegistry (Manager.
+// SetMetrics, client.Client.Metrics, store.DurableOptions.Metrics); passing
+// this one publishes them all on the shared endpoint.
+func Metrics() *MetricsRegistry { return telemetry.Default() }
+
+// MetricsHandler serves the global registry in Prometheus text format —
+// mount it at /metrics in an embedding application.
+func MetricsHandler() http.Handler { return telemetry.Default().Handler() }
+
+// WriteMetrics renders the global registry to w in Prometheus text format.
+func WriteMetrics(w io.Writer) error { return telemetry.Default().WritePrometheus(w) }
+
+// ParseMetrics parses a Prometheus text exposition (e.g. a /metrics scrape)
+// into metric families, name-sorted — the same parser cmd/rockmon uses.
+func ParseMetrics(r io.Reader) ([]MetricFamily, error) { return telemetry.ParseText(r) }
