@@ -381,7 +381,7 @@ func (s *Server) handleEventLog(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	runs, err := eventlog.Parse(bytesReader(body), s.Space)
+	runs, err := eventlog.ParseBytes(body, s.Space)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

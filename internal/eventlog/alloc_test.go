@@ -1,0 +1,75 @@
+package eventlog
+
+import (
+	"io"
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/testutil"
+)
+
+// Allocation budgets for the event codec hot paths. These are regression
+// tests, not benchmarks: the budgets are exact (zero) and a violation is a
+// performance bug. They skip under -race because the detector's
+// instrumentation allocates.
+
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if testutil.RaceEnabled {
+		t.Skip("allocation budgets are not meaningful under -race")
+	}
+}
+
+func TestAppendEventAllocFree(t *testing.T) {
+	skipIfRace(t)
+	task := Event{Event: EventTaskEnd, ExecutionID: 42, StageLabel: "shuffle-7", TaskMs: 12.5}
+	end := Event{Event: EventExecutionEnd, ExecutionID: 42, DurationMs: 901.25}
+	buf := make([]byte, 0, 512)
+	var sink int
+	if n := testing.AllocsPerRun(1000, func() {
+		b, err := AppendEvent(buf[:0], &task)
+		if err != nil {
+			panic(err)
+		}
+		b, err = AppendEvent(b, &end)
+		if err != nil {
+			panic(err)
+		}
+		sink += len(b)
+	}); n != 0 {
+		t.Fatalf("AppendEvent allocates %v times per task+end record pair; budget is 0", n)
+	}
+	if sink == 0 {
+		t.Fatal("encode produced no bytes")
+	}
+}
+
+func TestDecoderAllocFree(t *testing.T) {
+	skipIfRace(t)
+	line := []byte(`{"Event":"SparkListenerTaskEnd","executionId":7,"timestamp":0,"stage":"shuffle-3","taskDurationMs":12.25}` + "\n" +
+		`{"Event":"SparkListenerSQLExecutionEnd","executionId":7,"timestamp":0,"durationMs":901.5}` + "\n")
+	d := NewDecoder(line)
+	var ev Event
+	// Warm the intern table: the first pass pays one allocation per distinct
+	// string, by design.
+	if err := d.Next(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Next(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		d.Reset(line)
+		for {
+			if err := d.Next(&ev); err == io.EOF {
+				break
+			} else if err != nil {
+				panic(err)
+			}
+		}
+	}); n != 0 {
+		t.Fatalf("Decoder.Next allocates %v times per 2-record stream; budget is 0", n)
+	}
+	if ev.DurationMs != 901.5 {
+		t.Fatalf("decode drifted: %+v", ev)
+	}
+}

@@ -1,0 +1,518 @@
+package eventlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"unicode/utf8"
+	"unsafe"
+
+	"github.com/rockhopper-db/rockhopper/internal/jsonz"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+)
+
+// This file is the zero-allocation fast path of the event-log codec.
+// AppendEvent renders an Event byte-identically to encoding/json, and
+// Decoder parses the one-event-per-line streams WriteRun produces without
+// heap allocation in steady state (task and end events; start events carry a
+// plan and fall back to encoding/json once per run). Parse keeps full
+// encoding/json streaming semantics; ParseBytes is the drop-in equivalent
+// that takes the fast path when the stream is well-formed JSONL and defers
+// to Parse on any anomaly, so the two never disagree on verdict or content.
+
+// AppendEvent appends the JSON encoding of ev to dst and returns the
+// extended slice. The output is byte-identical to json.Marshal(ev) —
+// same field order, omitempty handling, string escaping, float formatting,
+// and sorted sparkConf keys. Task and end events encode with zero heap
+// allocations; start events allocate only for the plan (marshalled through
+// encoding/json) and the sorted key list. On error dst's extension is
+// unspecified and must be discarded.
+func AppendEvent(dst []byte, ev *Event) ([]byte, error) {
+	dst = append(dst, `{"Event":`...)
+	dst = jsonz.AppendString(dst, ev.Event)
+	dst = append(dst, `,"executionId":`...)
+	dst = jsonz.AppendInt(dst, ev.ExecutionID)
+	dst = append(dst, `,"timestamp":`...)
+	dst = jsonz.AppendInt(dst, ev.Timestamp)
+	if ev.QueryID != "" {
+		dst = append(dst, `,"queryId":`...)
+		dst = jsonz.AppendString(dst, ev.QueryID)
+	}
+	if ev.Plan != nil {
+		dst = append(dst, `,"physicalPlan":`...)
+		pb, err := json.Marshal(ev.Plan)
+		if err != nil {
+			return dst, fmt.Errorf("eventlog: encode plan: %w", err)
+		}
+		dst = append(dst, pb...)
+	}
+	if len(ev.SparkConf) > 0 {
+		dst = append(dst, `,"sparkConf":{`...)
+		keys := make([]string, 0, len(ev.SparkConf))
+		for k := range ev.SparkConf {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for ki, k := range keys {
+			if ki > 0 {
+				dst = append(dst, ',')
+			}
+			dst = jsonz.AppendString(dst, k)
+			dst = append(dst, ':')
+			var err error
+			if dst, err = jsonz.AppendFloat(dst, ev.SparkConf[k]); err != nil {
+				return dst, fmt.Errorf("eventlog: encode sparkConf[%s]: %w", k, err)
+			}
+		}
+		dst = append(dst, '}')
+	}
+	var err error
+	if dst, err = appendOptFloat(dst, `,"inputBytes":`, ev.InputBytes); err != nil {
+		return dst, err
+	}
+	if ev.StageLabel != "" {
+		dst = append(dst, `,"stage":`...)
+		dst = jsonz.AppendString(dst, ev.StageLabel)
+	}
+	if dst, err = appendOptFloat(dst, `,"taskDurationMs":`, ev.TaskMs); err != nil {
+		return dst, err
+	}
+	if dst, err = appendOptFloat(dst, `,"durationMs":`, ev.DurationMs); err != nil {
+		return dst, err
+	}
+	return append(dst, '}'), nil
+}
+
+func appendOptFloat(dst []byte, prefix string, v float64) ([]byte, error) {
+	if v == 0 {
+		return dst, nil
+	}
+	dst = append(dst, prefix...)
+	dst, err := jsonz.AppendFloat(dst, v)
+	if err != nil {
+		return dst, fmt.Errorf("eventlog: encode %s %w", prefix[2:len(prefix)-2], err)
+	}
+	return dst, nil
+}
+
+// internCap bounds the decoder's string-intern table so an adversarial
+// stream cannot grow it without bound; past the cap strings are simply
+// allocated.
+const internCap = 1 << 14
+
+// Decoder is the allocation-free streaming decoder for one-event-per-line
+// JSONL streams (the format WriteRun emits). Task and end events decode with
+// zero heap allocations in steady state: repeated strings (event names,
+// stage labels, query IDs) are interned and numbers are parsed in place.
+// Lines outside the fast path's strict subset — plans, escaped strings,
+// exotic numbers — transparently fall back to encoding/json for that line,
+// with identical semantics. A Decoder is not safe for concurrent use.
+type Decoder struct {
+	data []byte
+	off  int
+	strs map[string]string
+}
+
+// NewDecoder returns a Decoder reading from data.
+func NewDecoder(data []byte) *Decoder {
+	return &Decoder{data: data}
+}
+
+// Reset repoints the Decoder at a new stream, keeping the intern table warm.
+func (d *Decoder) Reset(data []byte) {
+	d.data = data
+	d.off = 0
+}
+
+// Next decodes the next event into *ev, overwriting it completely. It
+// returns io.EOF at end of stream and an error on a line that is not a
+// valid JSON event.
+func (d *Decoder) Next(ev *Event) error {
+	for d.off < len(d.data) {
+		var line []byte
+		if nl := bytes.IndexByte(d.data[d.off:], '\n'); nl < 0 {
+			line = d.data[d.off:]
+			d.off = len(d.data)
+		} else {
+			line = d.data[d.off : d.off+nl]
+			d.off += nl + 1
+		}
+		line = trimJSONSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		*ev = Event{}
+		if d.parseLine(line, ev) {
+			return nil
+		}
+		// Outside the strict fast subset: let encoding/json decide, with
+		// identical accept/reject semantics for any single-line value.
+		*ev = Event{}
+		if err := json.Unmarshal(line, ev); err != nil {
+			return fmt.Errorf("eventlog: parse: %w", err)
+		}
+		return nil
+	}
+	return io.EOF
+}
+
+// ParseBytes is Parse for in-memory streams. Well-formed one-event-per-line
+// input takes the zero-allocation fast path; anything else — multi-line
+// values, malformed lines, semantic errors — re-parses through Parse so
+// ParseBytes(data) and Parse(bytes.NewReader(data)) always agree on both
+// verdict and content.
+func ParseBytes(data []byte, space *sparksim.Space) ([]Run, error) {
+	d := NewDecoder(data)
+	runs, err := d.decodeRuns(space)
+	if err != nil {
+		return Parse(bytes.NewReader(data), space)
+	}
+	return runs, nil
+}
+
+// decodeRuns mirrors Parse's reassembly loop over the fast decoder.
+func (d *Decoder) decodeRuns(space *sparksim.Space) ([]Run, error) {
+	open := map[int64]*Run{}
+	var done []Run
+	var ev Event
+	for {
+		if err := d.Next(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		switch ev.Event {
+		case EventExecutionStart:
+			if ev.Plan == nil {
+				return nil, fmt.Errorf("eventlog: execution %d start without plan", ev.ExecutionID)
+			}
+			if err := ev.Plan.Validate(); err != nil {
+				return nil, fmt.Errorf("eventlog: execution %d: %w", ev.ExecutionID, err)
+			}
+			cfg := space.Default()
+			for i, p := range space.Params {
+				if v, ok := ev.SparkConf[p.Name]; ok {
+					cfg[i] = p.Snap(v)
+				}
+			}
+			open[ev.ExecutionID] = &Run{
+				ExecutionID: ev.ExecutionID,
+				QueryID:     ev.QueryID,
+				Plan:        ev.Plan,
+				Config:      cfg,
+				InputBytes:  ev.InputBytes,
+			}
+		case EventTaskEnd:
+			if run, ok := open[ev.ExecutionID]; ok {
+				run.TaskEvents++
+			}
+		case EventExecutionEnd:
+			run, ok := open[ev.ExecutionID]
+			if !ok {
+				continue
+			}
+			run.DurationMs = ev.DurationMs
+			done = append(done, *run)
+			delete(open, ev.ExecutionID)
+		}
+	}
+	return done, nil
+}
+
+// parseLine decodes one line holding exactly one JSON object within the
+// strict fast subset. It reports false — leaving ev in an unspecified
+// state — whenever the line needs the encoding/json fallback, either
+// because it is malformed or because it uses a feature the fast path does
+// not model (escapes, nested values, non-canonical numbers).
+func (d *Decoder) parseLine(b []byte, ev *Event) bool {
+	i := skipWS(b, 0)
+	if i >= len(b) || b[i] != '{' {
+		return false
+	}
+	i = skipWS(b, i+1)
+	if i < len(b) && b[i] == '}' {
+		return skipWS(b, i+1) == len(b)
+	}
+	for {
+		key, j, ok := scanSimpleString(b, i)
+		if !ok {
+			return false
+		}
+		i = skipWS(b, j)
+		if i >= len(b) || b[i] != ':' {
+			return false
+		}
+		i = skipWS(b, i+1)
+		switch string(key) {
+		case "Event":
+			if ev.Event, i, ok = d.stringValue(b, i); !ok {
+				return false
+			}
+		case "queryId":
+			if ev.QueryID, i, ok = d.stringValue(b, i); !ok {
+				return false
+			}
+		case "stage":
+			if ev.StageLabel, i, ok = d.stringValue(b, i); !ok {
+				return false
+			}
+		case "executionId":
+			if ev.ExecutionID, i, ok = intValue(b, i); !ok {
+				return false
+			}
+		case "timestamp":
+			if ev.Timestamp, i, ok = intValue(b, i); !ok {
+				return false
+			}
+		case "inputBytes":
+			if ev.InputBytes, i, ok = floatValue(b, i); !ok {
+				return false
+			}
+		case "taskDurationMs":
+			if ev.TaskMs, i, ok = floatValue(b, i); !ok {
+				return false
+			}
+		case "durationMs":
+			if ev.DurationMs, i, ok = floatValue(b, i); !ok {
+				return false
+			}
+		case "physicalPlan", "sparkConf":
+			// Nested values: once per run, the fallback handles them.
+			return false
+		default:
+			if i, ok = skipScalar(b, i); !ok {
+				return false
+			}
+		}
+		i = skipWS(b, i)
+		if i >= len(b) {
+			return false
+		}
+		if b[i] == ',' {
+			i = skipWS(b, i+1)
+			continue
+		}
+		if b[i] == '}' {
+			return skipWS(b, i+1) == len(b)
+		}
+		return false
+	}
+}
+
+// stringValue decodes a string (or null) value, interning the result so
+// repeated labels cost no allocation.
+func (d *Decoder) stringValue(b []byte, i int) (string, int, bool) {
+	if j, ok := scanNull(b, i); ok {
+		return "", j, true
+	}
+	content, j, ok := scanSimpleString(b, i)
+	if !ok || !utf8.Valid(content) {
+		// Escapes and invalid UTF-8 (which encoding/json coerces to U+FFFD)
+		// go through the fallback.
+		return "", 0, false
+	}
+	if s, hit := d.strs[string(content)]; hit {
+		return s, j, true
+	}
+	s := string(content)
+	if d.strs == nil {
+		d.strs = make(map[string]string, 16)
+	}
+	if len(d.strs) < internCap {
+		d.strs[s] = s
+	}
+	return s, j, true
+}
+
+func intValue(b []byte, i int) (int64, int, bool) {
+	if j, ok := scanNull(b, i); ok {
+		return 0, j, true
+	}
+	tok, j, ok := scanNumberToken(b, i)
+	if !ok || !validJSONInteger(tok) {
+		return 0, 0, false
+	}
+	v, err := strconv.ParseInt(byteString(tok), 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return v, j, true
+}
+
+func floatValue(b []byte, i int) (float64, int, bool) {
+	if j, ok := scanNull(b, i); ok {
+		return 0, j, true
+	}
+	tok, j, ok := scanNumberToken(b, i)
+	if !ok || !validJSONNumber(tok) {
+		return 0, 0, false
+	}
+	v, err := strconv.ParseFloat(byteString(tok), 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return v, j, true
+}
+
+// byteString views b as a string without copying. The view must not outlive
+// b or survive any mutation of it; it exists only to feed strconv.
+func byteString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// skipScalar advances past a scalar value (string without escapes, number,
+// true/false/null); anything else forces the fallback.
+func skipScalar(b []byte, i int) (int, bool) {
+	if i >= len(b) {
+		return 0, false
+	}
+	switch b[i] {
+	case '"':
+		_, j, ok := scanSimpleString(b, i)
+		return j, ok
+	case 't':
+		return scanLit(b, i, "true")
+	case 'f':
+		return scanLit(b, i, "false")
+	case 'n':
+		return scanLit(b, i, "null")
+	default:
+		tok, j, ok := scanNumberToken(b, i)
+		if !ok || !validJSONNumber(tok) {
+			return 0, false
+		}
+		return j, true
+	}
+}
+
+func scanNull(b []byte, i int) (int, bool) {
+	return scanLit(b, i, "null")
+}
+
+func scanLit(b []byte, i int, lit string) (int, bool) {
+	if len(b)-i < len(lit) || string(b[i:i+len(lit)]) != lit {
+		return 0, false
+	}
+	return i + len(lit), true
+}
+
+// scanSimpleString scans a quoted string containing no escapes and no raw
+// control characters, returning its contents and the index past the closing
+// quote.
+func scanSimpleString(b []byte, i int) ([]byte, int, bool) {
+	if i >= len(b) || b[i] != '"' {
+		return nil, 0, false
+	}
+	for j := i + 1; j < len(b); j++ {
+		switch c := b[j]; {
+		case c == '"':
+			return b[i+1 : j], j + 1, true
+		case c == '\\' || c < 0x20:
+			return nil, 0, false
+		}
+	}
+	return nil, 0, false
+}
+
+// scanNumberToken scans the maximal run of number characters; the caller
+// validates it against the JSON grammar.
+func scanNumberToken(b []byte, i int) ([]byte, int, bool) {
+	j := i
+	for j < len(b) {
+		switch c := b[j]; {
+		case c >= '0' && c <= '9', c == '-', c == '+', c == '.', c == 'e', c == 'E':
+			j++
+		default:
+			if j == i {
+				return nil, 0, false
+			}
+			return b[i:j], j, true
+		}
+	}
+	if j == i {
+		return nil, 0, false
+	}
+	return b[i:j], j, true
+}
+
+// validJSONNumber checks tok against RFC 8259's number grammar, which is
+// stricter than strconv.ParseFloat (no leading '+', '.5', '1.', '0x…').
+func validJSONNumber(tok []byte) bool {
+	i := 0
+	if i < len(tok) && tok[i] == '-' {
+		i++
+	}
+	switch {
+	case i < len(tok) && tok[i] == '0':
+		i++
+	case i < len(tok) && tok[i] >= '1' && tok[i] <= '9':
+		for i < len(tok) && isDigit(tok[i]) {
+			i++
+		}
+	default:
+		return false
+	}
+	if i < len(tok) && tok[i] == '.' {
+		i++
+		if i >= len(tok) || !isDigit(tok[i]) {
+			return false
+		}
+		for i < len(tok) && isDigit(tok[i]) {
+			i++
+		}
+	}
+	if i < len(tok) && (tok[i] == 'e' || tok[i] == 'E') {
+		i++
+		if i < len(tok) && (tok[i] == '+' || tok[i] == '-') {
+			i++
+		}
+		if i >= len(tok) || !isDigit(tok[i]) {
+			return false
+		}
+		for i < len(tok) && isDigit(tok[i]) {
+			i++
+		}
+	}
+	return i == len(tok)
+}
+
+// validJSONInteger additionally rejects fractions and exponents, matching
+// encoding/json's refusal to decode them into integer fields.
+func validJSONInteger(tok []byte) bool {
+	if !validJSONNumber(tok) {
+		return false
+	}
+	for _, c := range tok {
+		if c == '.' || c == 'e' || c == 'E' {
+			return false
+		}
+	}
+	return true
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func skipWS(b []byte, i int) int {
+	for i < len(b) && isJSONSpace(b[i]) {
+		i++
+	}
+	return i
+}
+
+func trimJSONSpace(b []byte) []byte {
+	for len(b) > 0 && isJSONSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && isJSONSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func isJSONSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }

@@ -1,0 +1,226 @@
+package eventlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/rockhopper-db/rockhopper/internal/workloads"
+)
+
+// randEvent builds arbitrary Events for the byte-identity property; plans
+// are drawn from the workload generator when the low bits say so.
+func randEvent(rawStrings func() string, rawFloat func() float64, rawInt func() int64, withPlan bool) Event {
+	ev := Event{
+		Event:       rawStrings(),
+		ExecutionID: rawInt(),
+		Timestamp:   rawInt(),
+		QueryID:     rawStrings(),
+		StageLabel:  rawStrings(),
+		InputBytes:  rawFloat(),
+		TaskMs:      rawFloat(),
+		DurationMs:  rawFloat(),
+	}
+	if withPlan {
+		ev.Plan = workloads.NewGenerator(7).Query(workloads.TPCDS, 1).Plan
+		ev.SparkConf = map[string]float64{
+			"spark.executor.memory": 4096,
+			"spark.sql.<shuffle>":   rawFloat(),
+			"häßlich":               -1.5,
+		}
+	}
+	return ev
+}
+
+// TestAppendEventMatchesEncodingJSON is the codec's core claim: AppendEvent
+// and json.Marshal produce identical bytes for every event shape, including
+// adversarial strings and float edge cases.
+func TestAppendEventMatchesEncodingJSON(t *testing.T) {
+	t.Parallel()
+	strs := []string{"", "plain", `esc "x" \y`, "html <&>", "unicode 日本", "ctrl\x01\n\t", "bad\xffutf8"}
+	floats := []float64{0, 1, -2.5, 1e-7, 3.4e21, math.MaxFloat64, 0.1}
+	ints := []int64{0, 1, -9, math.MaxInt64, math.MinInt64}
+	si, fi, ii := 0, 0, 0
+	nextS := func() string { si++; return strs[si%len(strs)] }
+	nextF := func() float64 { fi++; return floats[fi%len(floats)] }
+	nextI := func() int64 { ii++; return ints[ii%len(ints)] }
+	for trial := 0; trial < 200; trial++ {
+		ev := randEvent(nextS, nextF, nextI, trial%5 == 0)
+		want, err := json.Marshal(&ev)
+		if err != nil {
+			t.Fatalf("trial %d: json.Marshal: %v", trial, err)
+		}
+		got, err := AppendEvent(nil, &ev)
+		if err != nil {
+			t.Fatalf("trial %d: AppendEvent: %v", trial, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("trial %d:\n got %s\nwant %s", trial, got, want)
+		}
+	}
+	// Non-finite floats must fail, as they do for encoding/json.
+	bad := Event{Event: "x", DurationMs: math.NaN()}
+	if _, err := AppendEvent(nil, &bad); err == nil {
+		t.Fatal("AppendEvent accepted NaN")
+	}
+	if _, err := json.Marshal(&bad); err == nil {
+		t.Fatal("fixture invalid: encoding/json accepted NaN")
+	}
+}
+
+// TestWriteRunBytesUnchanged pins that the pooled AppendEvent path emits the
+// same stream the json.Encoder path used to: every line must round-trip
+// through json.Marshal as a fixed point.
+func TestWriteRunBytesUnchanged(t *testing.T) {
+	t.Parallel()
+	buf, _, _ := simulateRuns(t, 4)
+	lines := bytes.Split(bytes.TrimSuffix(buf.Bytes(), []byte("\n")), []byte("\n"))
+	if len(lines) < 8 {
+		t.Fatalf("suspiciously few event lines: %d", len(lines))
+	}
+	for i, line := range lines {
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("line %d does not parse: %v", i, err)
+		}
+		re, err := json.Marshal(&ev)
+		if err != nil {
+			t.Fatalf("line %d re-marshal: %v", i, err)
+		}
+		if !bytes.Equal(line, re) {
+			t.Fatalf("line %d is not an encoding/json fixed point:\n got %s\nwant %s", i, line, re)
+		}
+	}
+}
+
+// TestDecoderMatchesEncodingJSON feeds the fast decoder event lines both
+// inside and outside its strict subset and checks field-for-field agreement
+// with json.Unmarshal.
+func TestDecoderMatchesEncodingJSON(t *testing.T) {
+	t.Parallel()
+	lines := []string{
+		`{"Event":"SparkListenerTaskEnd","executionId":7,"timestamp":0,"stage":"shuffle-3","taskDurationMs":12.25}`,
+		`{"Event":"SparkListenerSQLExecutionEnd","executionId":7,"timestamp":0,"durationMs":901.5}`,
+		`{"Event":"x","executionId":-3,"timestamp":9223372036854775807}`,
+		`{"Event":"esc\"aped","executionId":1,"timestamp":2,"stage":"tab\tlabel"}`, // escapes: fallback path
+		`{"Event":"n","executionId":1,"timestamp":2,"durationMs":1e3}`,
+		`{"Event":"n","executionId":1,"timestamp":2,"durationMs":-0.5e-7}`,
+		`{"Event":"n","executionId":null,"timestamp":2,"stage":null}`,
+		`{"unknown":"skip","alsoUnknown":true,"more":null,"num":1.5,"Event":"u","executionId":4,"timestamp":5}`,
+		`  {"Event":"ws","executionId":1,"timestamp":2}  `,
+		`{}`,
+		`{"Event":"dup","executionId":1,"timestamp":2,"executionId":9}`,
+	}
+	for i, line := range lines {
+		var want Event
+		if err := json.Unmarshal([]byte(line), &want); err != nil {
+			t.Fatalf("fixture %d invalid: %v", i, err)
+		}
+		d := NewDecoder([]byte(line + "\n"))
+		var got Event
+		if err := d.Next(&got); err != nil {
+			t.Fatalf("line %d: Next: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("line %d:\n got %+v\nwant %+v", i, got, want)
+		}
+		if err := d.Next(&got); err != io.EOF {
+			t.Fatalf("line %d: expected EOF, got %v", i, err)
+		}
+	}
+	// Lines encoding/json rejects must be rejected too.
+	for i, line := range []string{
+		`{"Event":"x","executionId":1.5,"timestamp":2}`, // float into int64
+		`{"Event":"x","executionId":01,"timestamp":2}`,  // leading zero
+		`{"Event":"x","durationMs":.5}`,                 // bare fraction
+		`{"Event":"x","durationMs":1.}`,                 // trailing dot
+		`{"Event":"x","durationMs":0x10}`,               // hex
+		`{"Event":"x","durationMs":1e999}`,              // overflow
+		`not json at all`,
+		`{"Event":"x"`,                   // truncated
+		`{"Event":"x"} trailing`,         // trailing garbage
+		`{"Event":"x"}{"Event":"y"}`,     // two values on one line
+		"{\"Event\":\"raw\x01ctrl\"}",    // raw control char in string
+		`{"Event":"x","durationMs":"s"}`, // string into float
+	} {
+		var ref Event
+		if err := json.Unmarshal([]byte(line), &ref); err == nil {
+			t.Fatalf("reject fixture %d is actually valid for encoding/json", i)
+		}
+		d := NewDecoder([]byte(line))
+		var got Event
+		if err := d.Next(&got); err == nil {
+			t.Fatalf("reject fixture %d: fast decoder accepted %q", i, line)
+		}
+	}
+}
+
+// TestDecoderInvalidUTF8AgreesWithJSON pins the subtle case that forces the
+// UTF-8 validity check: encoding/json coerces invalid bytes to U+FFFD, so
+// the fast path must not pass raw bytes through.
+func TestDecoderInvalidUTF8AgreesWithJSON(t *testing.T) {
+	t.Parallel()
+	line := []byte("{\"Event\":\"bad\xffbyte\",\"executionId\":1,\"timestamp\":2}")
+	var want Event
+	if err := json.Unmarshal(line, &want); err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	var got Event
+	if err := NewDecoder(line).Next(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Event != want.Event {
+		t.Fatalf("invalid UTF-8 diverged: %q vs %q", got.Event, want.Event)
+	}
+}
+
+// TestParseBytesEquivalence checks ParseBytes ≡ Parse on generated streams,
+// streams with truncation, and random byte soup.
+func TestParseBytesEquivalence(t *testing.T) {
+	t.Parallel()
+	buf, space, _ := simulateRuns(t, 5)
+	data := buf.Bytes()
+	checkEquiv := func(data []byte) {
+		t.Helper()
+		fast, fastErr := ParseBytes(data, space)
+		ref, refErr := Parse(bytes.NewReader(data), space)
+		if (fastErr == nil) != (refErr == nil) {
+			t.Fatalf("verdict diverged: fast=%v ref=%v", fastErr, refErr)
+		}
+		if fastErr != nil {
+			return
+		}
+		if len(fast) != len(ref) {
+			t.Fatalf("run count diverged: %d vs %d", len(fast), len(ref))
+		}
+		for i := range fast {
+			f, r := fast[i], ref[i]
+			if f.ExecutionID != r.ExecutionID || f.QueryID != r.QueryID ||
+				f.InputBytes != r.InputBytes || f.DurationMs != r.DurationMs ||
+				f.TaskEvents != r.TaskEvents || !reflect.DeepEqual(f.Config, r.Config) {
+				t.Fatalf("run %d diverged:\nfast %+v\nref  %+v", i, f, r)
+			}
+		}
+	}
+	checkEquiv(data)
+	checkEquiv(data[:len(data)/2])
+	checkEquiv([]byte{})
+	checkEquiv([]byte("\n\n  \n"))
+	checkEquiv([]byte(`{"Event":"SparkListenerSQLExecutionEnd","executionId":1,"timestamp":0,"durationMs":5}`))
+	// Multi-line JSON values: the fast path cannot frame them and must
+	// defer to Parse, not reject.
+	pretty := bytes.ReplaceAll(data[:bytes.IndexByte(data, '\n')], []byte(","), []byte(",\n"))
+	checkEquiv(pretty)
+	f := func(soup []byte) bool {
+		fast, fastErr := ParseBytes(soup, space)
+		ref, refErr := Parse(bytes.NewReader(soup), space)
+		return (fastErr == nil) == (refErr == nil) && len(fast) == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

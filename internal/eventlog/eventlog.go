@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 
 	"github.com/rockhopper-db/rockhopper/internal/embedding"
 	"github.com/rockhopper-db/rockhopper/internal/flighting"
@@ -47,12 +48,36 @@ type Event struct {
 	DurationMs float64 `json:"durationMs,omitempty"`
 }
 
+// encBufPool recycles WriteRun's encode buffers; under ingest load a run is
+// rendered into one pooled buffer and flushed with a single Write.
+var encBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // WriteRun serializes one simulated execution as an event stream: start
 // (plan + effective Spark conf + input size), up to maxTasks sampled task
-// events, and the end event with the observed duration.
+// events, and the end event with the observed duration. The whole run is
+// rendered into a pooled buffer through the zero-allocation AppendEvent
+// codec and written with one Write call; the bytes are identical to the
+// former json.Encoder output.
 func WriteRun(w io.Writer, execID int64, space *sparksim.Space, q *sparksim.Query,
 	o sparksim.Observation, stages []sparksim.StageStat, maxTasks int) error {
-	enc := json.NewEncoder(w)
+	bp := encBufPool.Get().(*[]byte)
+	buf, err := appendRun((*bp)[:0], execID, space, q, o, stages, maxTasks)
+	if err != nil {
+		encBufPool.Put(bp)
+		return err
+	}
+	_, werr := w.Write(buf)
+	*bp = buf
+	encBufPool.Put(bp)
+	if werr != nil {
+		return fmt.Errorf("eventlog: write run: %w", werr)
+	}
+	return nil
+}
+
+// appendRun renders the full event stream of one execution into dst.
+func appendRun(dst []byte, execID int64, space *sparksim.Space, q *sparksim.Query,
+	o sparksim.Observation, stages []sparksim.StageStat, maxTasks int) ([]byte, error) {
 	conf := make(map[string]float64, space.Dim())
 	for i, p := range space.Params {
 		conf[p.Name] = o.Config[i]
@@ -66,10 +91,13 @@ func WriteRun(w io.Writer, execID int64, space *sparksim.Space, q *sparksim.Quer
 		SparkConf:   conf,
 		InputBytes:  o.DataSize,
 	}
-	if err := enc.Encode(&start); err != nil {
-		return fmt.Errorf("eventlog: write start: %w", err)
+	var err error
+	if dst, err = AppendEvent(dst, &start); err != nil {
+		return dst, fmt.Errorf("eventlog: write start: %w", err)
 	}
+	dst = append(dst, '\n')
 	n := 0
+	ev := Event{Event: EventTaskEnd, ExecutionID: execID}
 	for _, st := range stages {
 		if n >= maxTasks {
 			break
@@ -77,14 +105,12 @@ func WriteRun(w io.Writer, execID int64, space *sparksim.Space, q *sparksim.Quer
 		if st.Tasks == 0 {
 			continue
 		}
-		if err := enc.Encode(&Event{
-			Event:       EventTaskEnd,
-			ExecutionID: execID,
-			StageLabel:  st.Label,
-			TaskMs:      st.TimeMs / float64(st.Tasks),
-		}); err != nil {
-			return fmt.Errorf("eventlog: write task: %w", err)
+		ev.StageLabel = st.Label
+		ev.TaskMs = st.TimeMs / float64(st.Tasks)
+		if dst, err = AppendEvent(dst, &ev); err != nil {
+			return dst, fmt.Errorf("eventlog: write task: %w", err)
 		}
+		dst = append(dst, '\n')
 		n++
 	}
 	end := Event{
@@ -92,10 +118,10 @@ func WriteRun(w io.Writer, execID int64, space *sparksim.Space, q *sparksim.Quer
 		ExecutionID: execID,
 		DurationMs:  o.Time,
 	}
-	if err := enc.Encode(&end); err != nil {
-		return fmt.Errorf("eventlog: write end: %w", err)
+	if dst, err = AppendEvent(dst, &end); err != nil {
+		return dst, fmt.Errorf("eventlog: write end: %w", err)
 	}
-	return nil
+	return append(dst, '\n'), nil
 }
 
 // Run is one reassembled execution.
@@ -162,10 +188,13 @@ func Parse(r io.Reader, space *sparksim.Space) ([]Run, error) {
 }
 
 // ETL converts parsed runs into surrogate training traces, computing each
-// plan's workload embedding — the Embedding ETL streaming job.
+// plan's workload embedding — the Embedding ETL streaming job. Embeddings
+// are memoized per query signature (EmbedSig), so the recurring jobs that
+// dominate production ingest pay the plan walk once; the resulting vectors
+// are shared and must be treated as read-only.
 func ETL(runs []Run, embedder *embedding.Embedder) []flighting.Trace {
 	if embedder == nil {
-		embedder = embedding.NewVirtual()
+		embedder = defaultETLEmbedder
 	}
 	out := make([]flighting.Trace, 0, len(runs))
 	for _, run := range runs {
@@ -174,7 +203,7 @@ func ETL(runs []Run, embedder *embedding.Embedder) []flighting.Trace {
 		}
 		out = append(out, flighting.Trace{
 			QueryID:   run.QueryID,
-			Embedding: embedder.Embed(run.Plan),
+			Embedding: embedder.EmbedSig(run.QueryID, run.Plan),
 			Config:    run.Config,
 			DataSize:  run.InputBytes,
 			TimeMs:    run.DurationMs,
@@ -182,3 +211,7 @@ func ETL(runs []Run, embedder *embedding.Embedder) []flighting.Trace {
 	}
 	return out
 }
+
+// defaultETLEmbedder is shared across ETL calls so its signature memo
+// survives between ingest batches.
+var defaultETLEmbedder = embedding.NewVirtual()

@@ -72,6 +72,17 @@ func FuzzEventLogRoundTrip(f *testing.F) {
 	f.Add([]byte(`{"Event":"SparkListenerSQLExecutionStart","executionId":2,"sparkConf":{},"physicalPlan":null}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The fast in-memory parser must agree with the reference parser on
+		// every input: same verdict, same run count.
+		fastRuns, fastErr := ParseBytes(data, space)
+		refRuns, refErr := Parse(bytes.NewReader(data), space)
+		if (fastErr == nil) != (refErr == nil) {
+			t.Fatalf("ParseBytes verdict diverged from Parse: %v vs %v", fastErr, refErr)
+		}
+		if fastErr == nil && len(fastRuns) != len(refRuns) {
+			t.Fatalf("ParseBytes run count diverged: %d vs %d", len(fastRuns), len(refRuns))
+		}
+
 		events, err := decodeEvents(data)
 		if err != nil {
 			// Undecodable input: Parse must reject it without panicking.

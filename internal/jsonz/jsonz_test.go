@@ -1,0 +1,121 @@
+package jsonz
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestAppendStringMatchesEncodingJSON pins byte-for-byte equality with
+// encoding/json across adversarial and random strings — the codec's whole
+// claim to compatibility rests on this.
+func TestAppendStringMatchesEncodingJSON(t *testing.T) {
+	t.Parallel()
+	fixed := []string{
+		"",
+		"plain",
+		`quotes " and \ backslash`,
+		"tabs\tnewlines\nreturns\r",
+		"control\x00\x01\x1f",
+		"html <b>&amp;</b>",
+		"unicode: héllo wörld 日本語",
+		"line separators   and  ",
+		"invalid utf8: \xff\xfe",
+		"mixed \xc3\x28 truncated",
+		strings.Repeat("long ascii ", 100),
+	}
+	for _, s := range fixed {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("json.Marshal(%q): %v", s, err)
+		}
+		got := AppendString(nil, s)
+		if string(got) != string(want) {
+			t.Fatalf("AppendString(%q) = %s; want %s", s, got, want)
+		}
+	}
+	f := func(s string) bool {
+		want, err := json.Marshal(s)
+		if err != nil {
+			return true
+		}
+		return string(AppendString(nil, s)) == string(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendFloatMatchesEncodingJSON pins float formatting, including the
+// short-exponent cleanup and the f/e format switchover thresholds.
+func TestAppendFloatMatchesEncodingJSON(t *testing.T) {
+	t.Parallel()
+	fixed := []float64{
+		0, 1, -1, 0.5, 1e-6, 9.9e-7, 1e21, 9.99e20, 1e-9, -2.5e-9,
+		3.141592653589793, 1234567.875, math.MaxFloat64, math.SmallestNonzeroFloat64,
+		-0.0,
+	}
+	for _, v := range fixed {
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("json.Marshal(%v): %v", v, err)
+		}
+		got, err := AppendFloat(nil, v)
+		if err != nil {
+			t.Fatalf("AppendFloat(%v): %v", v, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("AppendFloat(%v) = %s; want %s", v, got, want)
+		}
+	}
+	if _, err := AppendFloat(nil, math.NaN()); err == nil {
+		t.Fatal("AppendFloat accepted NaN")
+	}
+	if _, err := AppendFloat(nil, math.Inf(1)); err == nil {
+		t.Fatal("AppendFloat accepted +Inf")
+	}
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		want, _ := json.Marshal(v)
+		got, err := AppendFloat(nil, v)
+		return err == nil && string(got) == string(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendBase64MatchesEncodingJSON pins []byte rendering.
+func TestAppendBase64MatchesEncodingJSON(t *testing.T) {
+	t.Parallel()
+	f := func(b []byte) bool {
+		want, _ := json.Marshal(b)
+		if b == nil {
+			// encoding/json renders nil []byte as null; callers handle nil
+			// before reaching AppendBase64.
+			return true
+		}
+		return string(AppendBase64(nil, b)) == string(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(AppendBase64(nil, []byte{})); got != `""` {
+		t.Fatalf("empty slice = %s; want \"\"", got)
+	}
+}
+
+// TestAppendIntUint spot-checks the integer helpers.
+func TestAppendIntUint(t *testing.T) {
+	t.Parallel()
+	if got := string(AppendInt(nil, -42)); got != "-42" {
+		t.Fatalf("AppendInt = %s", got)
+	}
+	if got := string(AppendUint(nil, 18446744073709551615)); got != "18446744073709551615" {
+		t.Fatalf("AppendUint = %s", got)
+	}
+}

@@ -23,6 +23,36 @@ var ErrShape = errors.New("mat: dimension mismatch")
 // precision.
 var ErrSingular = errors.New("mat: matrix is singular to working precision")
 
+// ErrNotPositiveDefinite is returned (wrapped in a *NotPDError) when a
+// Cholesky factorization, downdate, or append encounters a matrix that is
+// not positive definite to working precision. It is distinct from ErrShape:
+// a dimension mismatch is a caller bug, while loss of positive definiteness
+// is a numerical property of the data that callers may legitimately handle
+// (e.g. by adding jitter and retrying).
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// NotPDError reports exactly where a Cholesky operation lost positive
+// definiteness: the pivot index and the offending (non-positive or
+// non-finite) pivot value. It matches both ErrNotPositiveDefinite and, for
+// backward compatibility, ErrSingular under errors.Is.
+type NotPDError struct {
+	// Op is the operation that failed: "factor", "downdate", or "append".
+	Op string
+	// Pivot is the zero-based pivot index at which definiteness was lost.
+	Pivot int
+	// Value is the offending squared-pivot value (≤ 0 or NaN).
+	Value float64
+}
+
+func (e *NotPDError) Error() string {
+	return fmt.Sprintf("mat: %s: not positive definite at pivot %d (value %g)", e.Op, e.Pivot, e.Value)
+}
+
+// Unwrap lets errors.Is match both the specific and the legacy sentinel.
+func (e *NotPDError) Unwrap() []error {
+	return []error{ErrNotPositiveDefinite, ErrSingular}
+}
+
 // Dense is a row-major dense matrix.
 type Dense struct {
 	rows, cols int
@@ -205,99 +235,350 @@ func AddDiag(m *Dense, v float64) {
 
 // Cholesky holds the lower-triangular factor L of a symmetric positive
 // definite matrix A = L Lᵀ.
+//
+// The factor is stored in a row-major block whose row stride may exceed the
+// logical order n: AppendRow grows the factor by one observation in
+// amortized O(n²) (doubling the backing capacity when exhausted) instead of
+// refactorizing in O(n³), and Update/Downdate apply rank-1 modifications
+// A ± x xᵀ in O(n²). This is the substrate of the incremental surrogate
+// path in internal/ml.
 type Cholesky struct {
-	l *Dense
+	n       int       // logical order of the factor
+	stride  int       // row stride of data; n ≤ stride
+	data    []float64 // stride×stride backing; L occupies the leading n×n block
+	scratch []float64 // reusable workspace for rank-1 ops (len ≥ n)
+	backup  []float64 // snapshot buffer so a failed downdate leaves L intact
 }
 
 // NewCholesky factors the symmetric positive definite matrix a. Only the
-// lower triangle of a is read. It returns ErrSingular if a is not positive
-// definite to working precision.
+// lower triangle of a is read. It returns a *NotPDError (matching both
+// ErrNotPositiveDefinite and ErrSingular) if a is not positive definite to
+// working precision, and ErrShape if a is not square.
 func NewCholesky(a *Dense) (*Cholesky, error) {
 	if a.rows != a.cols {
 		return nil, fmt.Errorf("%w: Cholesky of %dx%d", ErrShape, a.rows, a.cols)
 	}
 	n := a.rows
-	l := NewDense(n, n)
+	c := &Cholesky{n: n, stride: n, data: make([]float64, n*n)}
 	for j := 0; j < n; j++ {
 		var d float64 = a.At(j, j)
-		lrow := l.Row(j)
+		lrow := c.data[j*c.stride : j*c.stride+j+1]
 		for k := 0; k < j; k++ {
 			d -= lrow[k] * lrow[k]
 		}
 		if d <= 0 || math.IsNaN(d) {
-			return nil, fmt.Errorf("%w: pivot %d = %g", ErrSingular, j, d)
+			return nil, &NotPDError{Op: "factor", Pivot: j, Value: d}
 		}
 		dj := math.Sqrt(d)
 		lrow[j] = dj
 		for i := j + 1; i < n; i++ {
 			s := a.At(i, j)
-			irow := l.Row(i)
+			irow := c.data[i*c.stride : i*c.stride+j+1]
 			for k := 0; k < j; k++ {
 				s -= irow[k] * lrow[k]
 			}
 			irow[j] = s / dj
 		}
 	}
-	return &Cholesky{l: l}, nil
+	return c, nil
 }
 
-// L returns the lower-triangular factor (shared storage).
-func (c *Cholesky) L() *Dense { return c.l }
+// Size returns the order n of the factored matrix.
+func (c *Cholesky) Size() int { return c.n }
+
+// at reads L[i][j] from the strided backing block.
+func (c *Cholesky) at(i, j int) float64 { return c.data[i*c.stride+j] }
+
+// L returns a copy of the lower-triangular factor as an n×n Dense.
+func (c *Cholesky) L() *Dense {
+	out := NewDense(c.n, c.n)
+	for i := 0; i < c.n; i++ {
+		copy(out.Row(i)[:i+1], c.data[i*c.stride:i*c.stride+i+1])
+	}
+	return out
+}
+
+// Reconstruct returns L Lᵀ, the matrix the factor currently represents.
+// Intended for tests and diagnostics; it allocates a fresh n×n Dense.
+func (c *Cholesky) Reconstruct() *Dense {
+	out := NewDense(c.n, c.n)
+	for i := 0; i < c.n; i++ {
+		li := c.data[i*c.stride:]
+		for j := 0; j <= i; j++ {
+			lj := c.data[j*c.stride:]
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += li[k] * lj[k]
+			}
+			out.Set(i, j, s)
+			out.Set(j, i, s)
+		}
+	}
+	return out
+}
 
 // LogDet returns log det(A) = 2 Σ log L_ii.
 func (c *Cholesky) LogDet() float64 {
 	var s float64
-	n := c.l.rows
-	for i := 0; i < n; i++ {
-		s += math.Log(c.l.At(i, i))
+	for i := 0; i < c.n; i++ {
+		s += math.Log(c.at(i, i))
 	}
 	return 2 * s
 }
 
 // SolveVec solves A x = b in place of a fresh vector, using the factorization.
 func (c *Cholesky) SolveVec(b []float64) ([]float64, error) {
-	n := c.l.rows
+	n := c.n
 	if len(b) != n {
 		return nil, fmt.Errorf("%w: solve %d with rhs %d", ErrShape, n, len(b))
 	}
 	x := make([]float64, n)
 	copy(x, b)
-	// Forward substitution: L y = b.
-	for i := 0; i < n; i++ {
-		row := c.l.Row(i)
-		s := x[i]
-		for k := 0; k < i; k++ {
-			s -= row[k] * x[k]
-		}
-		x[i] = s / row[i]
-	}
-	// Back substitution: Lᵀ x = y.
-	for i := n - 1; i >= 0; i-- {
-		s := x[i]
-		for k := i + 1; k < n; k++ {
-			s -= c.l.At(k, i) * x[k]
-		}
-		x[i] = s / c.l.At(i, i)
+	if err := c.SolveVecInPlace(x); err != nil {
+		return nil, err
 	}
 	return x, nil
 }
 
+// SolveVecInPlace solves A x = b, overwriting b with the solution. It
+// performs no allocation; the zero-allocation prediction path in internal/ml
+// depends on that.
+func (c *Cholesky) SolveVecInPlace(b []float64) error {
+	n := c.n
+	if len(b) != n {
+		return fmt.Errorf("%w: solve %d with rhs %d", ErrShape, n, len(b))
+	}
+	// Forward substitution: L y = b.
+	for i := 0; i < n; i++ {
+		row := c.data[i*c.stride : i*c.stride+i+1]
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * b[k]
+		}
+		b[i] = s / row[i]
+	}
+	// Back substitution: Lᵀ x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.at(k, i) * b[k]
+		}
+		b[i] = s / c.at(i, i)
+	}
+	return nil
+}
+
 // SolveTriLower solves L y = b for lower-triangular L.
 func (c *Cholesky) SolveTriLower(b []float64) ([]float64, error) {
-	n := c.l.rows
+	n := c.n
 	if len(b) != n {
 		return nil, fmt.Errorf("%w: solve %d with rhs %d", ErrShape, n, len(b))
 	}
 	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		row := c.l.Row(i)
-		s := b[i]
-		for k := 0; k < i; k++ {
-			s -= row[k] * y[k]
-		}
-		y[i] = s / row[i]
+	copy(y, b)
+	if err := c.SolveTriLowerInPlace(y); err != nil {
+		return nil, err
 	}
 	return y, nil
+}
+
+// SolveTriLowerInPlace solves L y = b, overwriting b with y, without
+// allocating.
+func (c *Cholesky) SolveTriLowerInPlace(b []float64) error {
+	n := c.n
+	if len(b) != n {
+		return fmt.Errorf("%w: solve %d with rhs %d", ErrShape, n, len(b))
+	}
+	for i := 0; i < n; i++ {
+		row := c.data[i*c.stride : i*c.stride+i+1]
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * b[k]
+		}
+		b[i] = s / row[i]
+	}
+	return nil
+}
+
+// grow ensures the backing block has room for order want, re-laying the
+// factor at a doubled stride when the current capacity is exhausted.
+func (c *Cholesky) grow(want int) {
+	if want <= c.stride {
+		return
+	}
+	stride := c.stride * 2
+	if stride < want {
+		stride = want
+	}
+	if stride < 4 {
+		stride = 4
+	}
+	data := make([]float64, stride*stride)
+	for i := 0; i < c.n; i++ {
+		copy(data[i*stride:i*stride+i+1], c.data[i*c.stride:i*c.stride+i+1])
+	}
+	c.data, c.stride = data, stride
+}
+
+// ensureScratch returns the reusable workspace, at least n long.
+func (c *Cholesky) ensureScratch(n int) []float64 {
+	if cap(c.scratch) < n {
+		c.scratch = make([]float64, n)
+	}
+	c.scratch = c.scratch[:n]
+	return c.scratch
+}
+
+// AppendRow grows the factorization from order n to n+1, conditioning on one
+// new observation: the represented matrix becomes
+//
+//	[ A    a12 ]
+//	[ a12ᵀ a22 ]
+//
+// in O(n²) time via one triangular solve (the new off-diagonal row solves
+// L l = a12 and the new pivot is √(a22 − lᵀl)). It returns ErrShape when
+// len(a12) ≠ n and a *NotPDError when the bordered matrix is not positive
+// definite; on error the factor is unchanged.
+func (c *Cholesky) AppendRow(a12 []float64, a22 float64) error {
+	n := c.n
+	if len(a12) != n {
+		return fmt.Errorf("%w: append row of %d to order %d", ErrShape, len(a12), n)
+	}
+	c.grow(n + 1)
+	l := c.data[n*c.stride : n*c.stride+n+1]
+	d := a22
+	for i := 0; i < n; i++ {
+		row := c.data[i*c.stride : i*c.stride+i+1]
+		s := a12[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * l[k]
+		}
+		li := s / row[i]
+		l[i] = li
+		d -= li * li
+	}
+	if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+		return &NotPDError{Op: "append", Pivot: n, Value: d}
+	}
+	l[n] = math.Sqrt(d)
+	c.n = n + 1
+	return nil
+}
+
+// Shrink drops the last row and column of the factor, inverting AppendRow:
+// the factor of a leading principal submatrix is the leading block of L, so
+// this is O(1). Shrinking an empty factor is a no-op.
+func (c *Cholesky) Shrink() {
+	if c.n > 0 {
+		c.n--
+	}
+}
+
+// Update applies the rank-1 update A ← A + x xᵀ to the factorization in
+// O(n²) (LINPACK dchud via Givens rotations). x is not modified. A rank-1
+// update of a positive definite matrix stays positive definite, so Update
+// fails only on non-finite input, returning a *NotPDError with the factor
+// restored.
+func (c *Cholesky) Update(x []float64) error {
+	n := c.n
+	if len(x) != n {
+		return fmt.Errorf("%w: update of order %d with vector %d", ErrShape, n, len(x))
+	}
+	c.snapshot()
+	w := c.ensureScratch(n)
+	copy(w, x)
+	for k := 0; k < n; k++ {
+		lkk := c.at(k, k)
+		r := math.Hypot(lkk, w[k])
+		if !(r > 0) || math.IsInf(r, 0) || math.IsNaN(r) {
+			c.restore(n)
+			return &NotPDError{Op: "update", Pivot: k, Value: r}
+		}
+		cth, sth := r/lkk, w[k]/lkk
+		c.data[k*c.stride+k] = r
+		for i := k + 1; i < n; i++ {
+			v := (c.data[i*c.stride+k] + sth*w[i]) / cth
+			w[i] = cth*w[i] - sth*v
+			c.data[i*c.stride+k] = v
+		}
+	}
+	// Overflow on extreme (finite) inputs can contaminate trailing columns
+	// after the last pivot check; verify and roll back rather than keep a
+	// poisoned factor.
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if v := c.at(i, j); math.IsNaN(v) || math.IsInf(v, 0) {
+				c.restore(n)
+				return &NotPDError{Op: "update", Pivot: i, Value: v}
+			}
+		}
+	}
+	return nil
+}
+
+// Downdate applies the rank-1 downdate A ← A − x xᵀ in O(n²). x is not
+// modified. If the downdated matrix is not positive definite to working
+// precision the factor is left exactly as it was and a *NotPDError
+// identifies the failing pivot.
+func (c *Cholesky) Downdate(x []float64) error {
+	n := c.n
+	if len(x) != n {
+		return fmt.Errorf("%w: downdate of order %d with vector %d", ErrShape, n, len(x))
+	}
+	c.snapshot()
+	w := c.ensureScratch(n)
+	copy(w, x)
+	for k := 0; k < n; k++ {
+		lkk := c.at(k, k)
+		d := lkk*lkk - w[k]*w[k]
+		if d <= 0 || math.IsNaN(d) {
+			c.restore(n)
+			return &NotPDError{Op: "downdate", Pivot: k, Value: d}
+		}
+		r := math.Sqrt(d)
+		cth, sth := r/lkk, w[k]/lkk
+		c.data[k*c.stride+k] = r
+		for i := k + 1; i < n; i++ {
+			v := (c.data[i*c.stride+k] - sth*w[i]) / cth
+			w[i] = cth*w[i] - sth*v
+			c.data[i*c.stride+k] = v
+		}
+	}
+	// A successful downdate can still have contaminated later columns with
+	// rounding-induced non-finite values on adversarial input; verify.
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			if v := c.at(i, j); math.IsNaN(v) || math.IsInf(v, 0) {
+				c.restore(n)
+				return &NotPDError{Op: "downdate", Pivot: i, Value: v}
+			}
+		}
+	}
+	return nil
+}
+
+// snapshot saves the leading n columns of the factor so a failed rank-1
+// operation can restore them. The buffer is reused across calls.
+func (c *Cholesky) snapshot() {
+	need := c.n * c.stride
+	if cap(c.backup) < need {
+		c.backup = make([]float64, need)
+	}
+	c.backup = c.backup[:need]
+	copy(c.backup, c.data[:need])
+}
+
+// restore copies the first upTo rows back from the snapshot; failed rank-1
+// operations restore every row they may have touched.
+func (c *Cholesky) restore(upTo int) {
+	if upTo > c.n {
+		upTo = c.n
+	}
+	n := upTo * c.stride
+	if n > len(c.backup) {
+		n = len(c.backup)
+	}
+	copy(c.data[:n], c.backup[:n])
 }
 
 // SolveRidge solves (XᵀX + λI) β = Xᵀy, the ridge-regression normal

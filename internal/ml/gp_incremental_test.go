@@ -1,0 +1,168 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+// gpEquivTol is the agreement bound between the incremental and batch paths:
+// the factor grown by AppendRow and the factor from a fresh O(n³)
+// factorization must be the same linear map to well below solver noise.
+const gpEquivTol = 1e-9
+
+func synthPoint(rng *stats.RNG, dim int) ([]float64, float64) {
+	x := make([]float64, dim)
+	s := 0.0
+	for j := range x {
+		x[j] = rng.NormFloat64()
+		s += math.Sin(x[j]) * float64(j+1)
+	}
+	return x, s + 0.1*rng.NormFloat64()
+}
+
+func closeWithin(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+// TestGPIncrementalMatchesBatch is the incremental-surrogate correctness
+// property: a GP grown one Observe at a time — in a randomized order, and
+// including a remove-then-readd round trip through ForgetLast — produces the
+// same posterior means AND variances as a single batch Fit on the full set,
+// within 1e-9, across multiple seeds. Standardization is off so both paths
+// see the identical feature map (Observe freezes the scaler by contract;
+// batch Fit re-estimates it).
+func TestGPIncrementalMatchesBatch(t *testing.T) {
+	t.Parallel()
+	const dim, total, probes = 5, 40, 25
+	for _, seed := range []uint64{3, 17, 91} {
+		rng := stats.NewRNG(seed)
+		xs := make([][]float64, total)
+		ys := make([]float64, total)
+		for i := range xs {
+			xs[i], ys[i] = synthPoint(rng, dim)
+		}
+		// Randomize the observation order per seed.
+		order := rng.Perm(total)
+		px := make([][]float64, total)
+		py := make([]float64, total)
+		for i, o := range order {
+			px[i], py[i] = xs[o], ys[o]
+		}
+
+		batch := NewGP()
+		batch.Standardize = false
+		if err := batch.Fit(px, py); err != nil {
+			t.Fatalf("seed %d: batch fit: %v", seed, err)
+		}
+
+		inc := NewGP()
+		inc.Standardize = false
+		if err := inc.Observe(px[0], py[0]); err != ErrNotFitted {
+			t.Fatalf("seed %d: Observe before Fit = %v; want ErrNotFitted", seed, err)
+		}
+		if err := inc.Fit(px[:2], py[:2]); err != nil {
+			t.Fatalf("seed %d: seed fit: %v", seed, err)
+		}
+		for i := 2; i < total; i++ {
+			if err := inc.Observe(px[i], py[i]); err != nil {
+				t.Fatalf("seed %d: observe %d: %v", seed, i, err)
+			}
+		}
+		// Remove-then-readd round trip: drop the newest observation and
+		// condition on it again; the posterior must be unchanged.
+		if err := inc.ForgetLast(); err != nil {
+			t.Fatalf("seed %d: forget: %v", seed, err)
+		}
+		if inc.Len() != total-1 {
+			t.Fatalf("seed %d: Len after forget = %d; want %d", seed, inc.Len(), total-1)
+		}
+		if err := inc.Observe(px[total-1], py[total-1]); err != nil {
+			t.Fatalf("seed %d: readd: %v", seed, err)
+		}
+		if inc.Len() != total {
+			t.Fatalf("seed %d: Len = %d; want %d", seed, inc.Len(), total)
+		}
+
+		for p := 0; p < probes; p++ {
+			q, _ := synthPoint(rng, dim)
+			bm, bv := batch.PredictVar(q)
+			im, iv := inc.PredictVar(q)
+			if !closeWithin(bm, im, gpEquivTol) {
+				t.Fatalf("seed %d probe %d: mean %g (batch) vs %g (incremental)", seed, p, bm, im)
+			}
+			if !closeWithin(bv, iv, gpEquivTol) {
+				t.Fatalf("seed %d probe %d: variance %g (batch) vs %g (incremental)", seed, p, bv, iv)
+			}
+			bei := batch.ExpectedImprovement(q, 0.5, 0.01)
+			iei := inc.ExpectedImprovement(q, 0.5, 0.01)
+			if !closeWithin(bei, iei, 1e-8) {
+				t.Fatalf("seed %d probe %d: EI %g (batch) vs %g (incremental)", seed, p, bei, iei)
+			}
+		}
+	}
+}
+
+// TestGPObserveStandardized covers the frozen-scaler contract: observing
+// through a standardized GP keeps predictions finite and conditions on the
+// new point (its residual shrinks), even though the scaler is not refitted.
+func TestGPObserveStandardized(t *testing.T) {
+	t.Parallel()
+	rng := stats.NewRNG(5)
+	const dim = 4
+	xs := make([][]float64, 12)
+	ys := make([]float64, 12)
+	for i := range xs {
+		xs[i], ys[i] = synthPoint(rng, dim)
+	}
+	g := NewGP()
+	if err := g.Fit(xs[:8], ys[:8]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 8; i < 12; i++ {
+		before := math.Abs(g.Predict(xs[i]) - ys[i])
+		if err := g.Observe(xs[i], ys[i]); err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+		after := math.Abs(g.Predict(xs[i]) - ys[i])
+		if math.IsNaN(after) || math.IsInf(after, 0) {
+			t.Fatalf("non-finite prediction after observe %d", i)
+		}
+		if after > before+1e-9 {
+			t.Fatalf("observe %d did not condition on the point: residual %g -> %g", i, before, after)
+		}
+	}
+	// The wrong feature width must be rejected, not absorbed.
+	if err := g.Observe(make([]float64, dim+1), 0); err == nil {
+		t.Fatal("Observe accepted a mis-sized feature vector")
+	}
+}
+
+// TestGPForgetLastBounds pins the edge cases of ForgetLast.
+func TestGPForgetLastBounds(t *testing.T) {
+	t.Parallel()
+	g := NewGP()
+	if err := g.ForgetLast(); err != ErrNotFitted {
+		t.Fatalf("ForgetLast unfitted = %v; want ErrNotFitted", err)
+	}
+	rng := stats.NewRNG(9)
+	xs := make([][]float64, 2)
+	ys := make([]float64, 2)
+	for i := range xs {
+		xs[i], ys[i] = synthPoint(rng, 3)
+	}
+	g.Standardize = false
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ForgetLast(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.ForgetLast(); err == nil {
+		t.Fatal("ForgetLast emptied the model")
+	}
+}

@@ -104,10 +104,15 @@ func FitScaler(x [][]float64) (*Scaler, error) {
 // Transform returns a standardized copy of x.
 func (s *Scaler) Transform(x []float64) []float64 {
 	out := make([]float64, len(x))
-	for j, v := range x {
-		out[j] = (v - s.Mean[j]) / s.Scale[j]
-	}
+	s.TransformTo(out, x)
 	return out
+}
+
+// TransformTo standardizes x into dst (same length), without allocating.
+func (s *Scaler) TransformTo(dst, x []float64) {
+	for j, v := range x {
+		dst[j] = (v - s.Mean[j]) / s.Scale[j]
+	}
 }
 
 // TransformAll standardizes every row of x into a new matrix.

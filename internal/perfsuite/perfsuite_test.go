@@ -1,0 +1,136 @@
+package perfsuite
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func report(results []Result, derived map[string]float64) *Report {
+	r := &Report{Schema: Schema, Suite: SuiteName, Results: results, Derived: derived}
+	if r.Derived == nil {
+		r.Derived = map[string]float64{}
+	}
+	return r
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	oldRep := report([]Result{{Name: "eventlog_encode", NsPerOp: 100, AllocsPerOp: 0}}, nil)
+	newRep := report([]Result{{Name: "eventlog_encode", NsPerOp: 100, AllocsPerOp: 2}}, nil)
+	regs, _ := Compare(oldRep, newRep, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0].Metric, "allocs/op") {
+		t.Fatalf("want one allocs/op regression, got %v", regs)
+	}
+	// The reverse direction (fewer allocations) is an improvement, not a
+	// regression.
+	regs, _ = Compare(newRep, oldRep, 0.25)
+	if len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}
+
+func TestCompareDerivedRatioTolerance(t *testing.T) {
+	oldRep := report(nil, map[string]float64{"gp_update_speedup_n1024": 40})
+	within := report(nil, map[string]float64{"gp_update_speedup_n1024": 31})
+	beyond := report(nil, map[string]float64{"gp_update_speedup_n1024": 29})
+	if regs, _ := Compare(oldRep, within, 0.25); len(regs) != 0 {
+		t.Fatalf("drop within tolerance flagged: %v", regs)
+	}
+	regs, _ := Compare(oldRep, beyond, 0.25)
+	if len(regs) != 1 || regs[0].Metric != "gp_update_speedup_n1024" {
+		t.Fatalf("want ratio regression, got %v", regs)
+	}
+	// A higher ratio is never a regression.
+	if regs, _ := Compare(oldRep, report(nil, map[string]float64{"gp_update_speedup_n1024": 400}), 0.25); len(regs) != 0 {
+		t.Fatalf("speedup flagged as regression: %v", regs)
+	}
+}
+
+func TestCompareNsPerOpIsAdvisoryOnly(t *testing.T) {
+	oldRep := report([]Result{{Name: "wal_append", NsPerOp: 100}}, nil)
+	newRep := report([]Result{{Name: "wal_append", NsPerOp: 1000}}, nil)
+	regs, notes := Compare(oldRep, newRep, 0.25)
+	if len(regs) != 0 {
+		t.Fatalf("raw ns/op must never fail a comparison, got %v", regs)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "advisory") {
+		t.Fatalf("want one advisory note, got %v", notes)
+	}
+}
+
+func TestCheckFloors(t *testing.T) {
+	good := report(
+		[]Result{{Name: "eventlog_encode"}, {Name: "eventlog_decode"}},
+		map[string]float64{"gp_update_speedup_n1024": 12},
+	)
+	if bad := CheckFloors(good); len(bad) != 0 {
+		t.Fatalf("clean report failed floors: %v", bad)
+	}
+	slow := report(nil, map[string]float64{"gp_update_speedup_n1024": 3})
+	if bad := CheckFloors(slow); len(bad) != 1 {
+		t.Fatalf("want speedup floor violation, got %v", bad)
+	}
+	leaky := report(
+		[]Result{{Name: "eventlog_decode", AllocsPerOp: 4}},
+		map[string]float64{"gp_update_speedup_n1024": 12},
+	)
+	if bad := CheckFloors(leaky); len(bad) != 1 {
+		t.Fatalf("want alloc floor violation, got %v", bad)
+	}
+	missing := report(nil, nil)
+	if bad := CheckFloors(missing); len(bad) != 1 {
+		t.Fatalf("full report without the n=1024 ratio must fail, got %v", bad)
+	}
+	missing.Short = true
+	if bad := CheckFloors(missing); len(bad) != 0 {
+		t.Fatalf("short report wrongly held to the n=1024 floor: %v", bad)
+	}
+}
+
+// TestRunShortSuite executes the real short suite end to end: every spec
+// must complete, the report must round-trip through JSON, and the floors
+// that apply to short runs must hold. This is the same code path
+// `rockbench -json -short` takes in CI.
+func TestRunShortSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full short benchmark suite; skipped with -short")
+	}
+	rep, err := Run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != len(Specs(true)) {
+		t.Fatalf("got %d results for %d specs", len(rep.Results), len(Specs(true)))
+	}
+	for _, r := range rep.Results {
+		if r.Iterations <= 0 || r.NsPerOp <= 0 {
+			t.Fatalf("degenerate measurement: %+v", r)
+		}
+	}
+	if v, ok := rep.Derived["gp_update_speedup_n256"]; !ok || v <= 1 {
+		t.Fatalf("incremental update not faster than refit at n=256: %v (ok=%v)", v, ok)
+	}
+	if bad := CheckFloors(rep); len(bad) != 0 {
+		t.Fatalf("short suite violates floors: %v", bad)
+	}
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != Schema || back.Suite != SuiteName || len(back.Results) != len(rep.Results) {
+		t.Fatalf("report did not round-trip: %+v", back)
+	}
+}
+
+// BenchmarkSuite exposes every pinned spec under `go test -bench` so
+// individual entries can be profiled with the standard toolchain flags
+// (-benchtime, -cpuprofile, ...).
+func BenchmarkSuite(b *testing.B) {
+	for _, s := range Specs(true) {
+		b.Run(s.Name, s.Fn)
+	}
+}

@@ -1,0 +1,31 @@
+package store
+
+import (
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/testutil"
+)
+
+// TestAppendWALRecordAllocFree pins the WAL framing hot path to zero
+// allocations once the line buffer has grown: every fsynced mutation pays
+// encode cost, so regressions here tax the whole durability path. Skipped
+// under -race (detector instrumentation allocates).
+func TestAppendWALRecordAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation budgets are not meaningful under -race")
+	}
+	put := walRecord{Seq: 9, Op: opPut, Path: "models/sig-17.gob", Data: make([]byte, 256), Created: 171717}
+	del := walRecord{Seq: 10, Op: opDel, Path: "models/sig-17.gob"}
+	buf := make([]byte, 0, 1024)
+	var sink int
+	if n := testing.AllocsPerRun(1000, func() {
+		b := appendWALRecord(buf[:0], put)
+		b = appendWALRecord(b, del)
+		sink += len(b)
+	}); n != 0 {
+		t.Fatalf("appendWALRecord allocates %v times per put+del pair; budget is 0", n)
+	}
+	if sink == 0 {
+		t.Fatal("framing produced no bytes")
+	}
+}

@@ -135,7 +135,8 @@ type DurableStore struct {
 	snapSeq  uint64 // sequence number the on-disk snapshot covers
 	walCount int    // records appended since the last snapshot
 	lastSnap time.Time
-	down     error // non-nil once the store refuses mutations (crash/close)
+	down     error  // non-nil once the store refuses mutations (crash/close)
+	lineBuf  []byte // reusable WAL line buffer (guarded by mu)
 }
 
 // OpenDurable opens (creating if needed) the durable store rooted at dir,
@@ -273,9 +274,14 @@ func (d *DurableStore) crashLocked(p CrashPoint) error {
 // durable and the sequence counter advances; on any failure the store goes
 // down, because a half-written log must not accept further appends.
 func (d *DurableStore) appendLocked(rec walRecord) error {
-	line, err := encodeWALRecord(rec)
-	if err != nil {
-		return err
+	// Render into the store-owned buffer (mu is held): after warmup the
+	// append path allocates nothing for framing.
+	d.lineBuf = appendWALRecord(d.lineBuf[:0], rec)
+	line := d.lineBuf
+	if cap(line) > 1<<20 {
+		// A huge put (model blob) inflated the buffer; let it go after this
+		// write rather than pinning megabytes for the common tiny records.
+		d.lineBuf = nil
 	}
 	if err := d.crashLocked(CrashPreWrite); err != nil {
 		return err

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"strconv"
+
+	"github.com/rockhopper-db/rockhopper/internal/jsonz"
 )
 
 // WAL operation codes.
@@ -93,6 +95,52 @@ func encodeWALRecord(rec walRecord) ([]byte, error) {
 		return nil, fmt.Errorf("store: encode WAL record: %w", err)
 	}
 	return frame(payload), nil
+}
+
+// appendWALRecord appends rec as a framed line to dst, byte-identical to
+// encodeWALRecord but without allocating beyond dst's growth: the payload is
+// rendered in place after a reserved checksum prefix, then the CRC is
+// written back into it. Record fields (strings, integers, byte blobs) have
+// no failure mode, so unlike the json.Marshal path there is no error to
+// return. The append/fsync hot path passes a store-owned reusable buffer.
+func appendWALRecord(dst []byte, rec walRecord) []byte {
+	head := len(dst)
+	dst = append(dst, "00000000 "...)
+	body := len(dst)
+	dst = append(dst, `{"seq":`...)
+	dst = jsonz.AppendUint(dst, rec.Seq)
+	dst = append(dst, `,"op":`...)
+	dst = jsonz.AppendString(dst, rec.Op)
+	if rec.Path != "" {
+		dst = append(dst, `,"path":`...)
+		dst = jsonz.AppendString(dst, rec.Path)
+	}
+	if len(rec.Paths) > 0 {
+		dst = append(dst, `,"paths":[`...)
+		for i, p := range rec.Paths {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = jsonz.AppendString(dst, p)
+		}
+		dst = append(dst, ']')
+	}
+	if len(rec.Data) > 0 {
+		dst = append(dst, `,"data":`...)
+		dst = jsonz.AppendBase64(dst, rec.Data)
+	}
+	if rec.Created != 0 {
+		dst = append(dst, `,"created":`...)
+		dst = jsonz.AppendInt(dst, rec.Created)
+	}
+	dst = append(dst, '}')
+	sum := crc32.ChecksumIEEE(dst[body:])
+	const hexDigits = "0123456789abcdef"
+	for i := 7; i >= 0; i-- {
+		dst[head+i] = hexDigits[sum&0xF]
+		sum >>= 4
+	}
+	return append(dst, '\n')
 }
 
 // decodeWALRecord parses and validates one framed line (without newline).

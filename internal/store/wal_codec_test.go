@@ -1,0 +1,74 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestAppendWALRecordMatchesEncode is the WAL fast path's compatibility
+// property: appendWALRecord must produce byte-identical framed lines to the
+// json.Marshal-based encodeWALRecord for every record shape, so logs written
+// by either encoder replay through the same decoder.
+func TestAppendWALRecordMatchesEncode(t *testing.T) {
+	t.Parallel()
+	fixed := []walRecord{
+		{Seq: 1, Op: opPut, Path: "models/a.gob", Data: []byte{1, 2, 3}, Created: 1234},
+		{Seq: 2, Op: opDel, Path: "models/a.gob"},
+		{Seq: 3, Op: opSweep, Paths: []string{"x", "y/z", "with space"}},
+		{Seq: 18446744073709551615, Op: opPut, Path: `esc "quote" \slash`, Created: -5},
+		{Seq: 7, Op: opPut, Path: "unicode/日本/ログ", Data: []byte{}},
+		{Seq: 8, Op: opPut, Path: "html<&>" + string(rune(0x2028)), Data: bytes.Repeat([]byte{0xFF}, 300)},
+		{Seq: 9, Op: ""},
+		{Seq: 10, Op: opPut, Path: "ctrl\x01\ttab"},
+	}
+	for i, rec := range fixed {
+		want, err := encodeWALRecord(rec)
+		if err != nil {
+			t.Fatalf("fixture %d: encodeWALRecord: %v", i, err)
+		}
+		got := appendWALRecord(nil, rec)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("fixture %d:\n got %q\nwant %q", i, got, want)
+		}
+		// And the fast line must decode back to the same record when valid.
+		if validWALOp(rec) && rec.Seq != 0 {
+			back, err := decodeWALRecord(got[:len(got)-1])
+			if err != nil {
+				t.Fatalf("fixture %d: decode of fast line: %v", i, err)
+			}
+			if back.Seq != rec.Seq || back.Op != rec.Op || back.Path != rec.Path {
+				t.Fatalf("fixture %d: round trip drifted: %+v vs %+v", i, back, rec)
+			}
+		}
+	}
+	f := func(seq uint64, op, path string, paths []string, data []byte, created int64) bool {
+		rec := walRecord{Seq: seq, Op: op, Path: path, Paths: paths, Data: data, Created: created}
+		want, err := encodeWALRecord(rec)
+		if err != nil {
+			return true
+		}
+		return bytes.Equal(appendWALRecord(nil, rec), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAppendWALRecordReusesBuffer pins the in-place reuse contract: a second
+// render into the same backing array must not allocate a new one.
+func TestAppendWALRecordReusesBuffer(t *testing.T) {
+	t.Parallel()
+	buf := appendWALRecord(nil, walRecord{Seq: 1, Op: opPut, Path: "a", Data: []byte("payload")})
+	grown := appendWALRecord(buf[:0], walRecord{Seq: 2, Op: opDel, Path: "b"})
+	if &grown[0] != &buf[0] {
+		t.Fatal("small record did not reuse the existing buffer")
+	}
+	want, err := encodeWALRecord(walRecord{Seq: 2, Op: opDel, Path: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(grown, want) {
+		t.Fatalf("reused render drifted: %q vs %q", grown, want)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the race detector is compiled in. Allocation
+// budget tests skip under -race: the detector instruments allocations and
+// the budgets would measure it, not the code.
+const RaceEnabled = true

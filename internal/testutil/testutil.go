@@ -1,0 +1,5 @@
+// Package testutil holds small helpers shared by the repository's tests:
+// build-tag detection for the race detector (allocation budgets are
+// meaningless under its instrumentation) and nothing else — it must stay
+// dependency-free so any package can import it.
+package testutil

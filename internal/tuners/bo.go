@@ -50,9 +50,23 @@ type BO struct {
 	// heavy-tailed, and the log transform is what keeps spikes from
 	// dominating the GP fit.
 	LogTime bool
+	// RefitEvery caps how many incremental O(n²) GP.Observe extensions run
+	// between full O(n³) refits (default 32). A full refit also triggers
+	// whenever the design has grown ≥50% since the last one, so the frozen
+	// feature scaler tracks the data while the model is small and refits
+	// become rare as it grows; 1 restores the legacy refit-every-iteration
+	// behavior.
+	RefitEvery int
 
 	hist History
 	name string
+
+	// Incremental-surrogate state: the persistent GP, the number of design
+	// rows it has absorbed, and the incremental extensions since the last
+	// full refit.
+	gp       *ml.GP
+	gpRows   int
+	sinceFit int
 }
 
 // NewBO returns a vanilla Bayesian Optimization tuner.
@@ -80,8 +94,37 @@ func NewCBO(space *sparksim.Space, rng *stats.RNG, context []float64, warm []Bas
 // Name implements Tuner.
 func (b *BO) Name() string { return b.name }
 
-// Observe implements Tuner.
-func (b *BO) Observe(o sparksim.Observation) { b.hist.Add(o) }
+// Observe implements Tuner. When a surrogate is live and under its row cap,
+// the observation is folded in through the O(n²) incremental GP.Observe path
+// instead of scheduling an O(n³) refit; past the cap (or the RefitEvery
+// staleness bound) the surrogate is dropped so the next Propose refits on
+// the capped window, exactly as before.
+func (b *BO) Observe(o sparksim.Observation) {
+	b.hist.Add(o)
+	if b.gp == nil {
+		return
+	}
+	maxRows := b.MaxRows
+	if maxRows <= 0 {
+		maxRows = 220
+	}
+	refitEvery := b.RefitEvery
+	if refitEvery <= 0 {
+		refitEvery = 32
+	}
+	grownHalf := b.sinceFit > 0 && 2*b.sinceFit >= b.gpRows-b.sinceFit
+	if b.gpRows >= maxRows || b.sinceFit >= refitEvery || grownHalf {
+		b.gp = nil
+		return
+	}
+	x := ConfigFeatures(b.Space, b.Context, o.Config, o.DataSize)
+	if err := b.gp.Observe(x, b.transform(o.Time)); err != nil {
+		b.gp = nil
+		return
+	}
+	b.gpRows++
+	b.sinceFit++
+}
 
 // Propose implements Tuner.
 func (b *BO) Propose(t int, dataSize float64) sparksim.Config {
@@ -124,9 +167,24 @@ func (b *BO) candidateSet() []sparksim.Config {
 	return out
 }
 
-// fitSurrogate trains the GP on warm-start plus query history and returns
-// the incumbent best (transformed) response.
+// fitSurrogate returns the live incremental GP, or trains a fresh one on
+// warm-start plus query history, together with the incumbent best
+// (transformed) response.
 func (b *BO) fitSurrogate(dataSize float64) (*ml.GP, float64, bool) {
+	if b.gp != nil {
+		return b.gp, b.incumbent(), true
+	}
+	gp, rows, ok := b.fullFit(dataSize)
+	if !ok {
+		return nil, 0, false
+	}
+	b.gp, b.gpRows, b.sinceFit = gp, rows, 0
+	return b.gp, b.incumbent(), true
+}
+
+// fullFit trains the GP from scratch on warm-start plus query history and
+// returns the number of design rows it absorbed.
+func (b *BO) fullFit(dataSize float64) (*ml.GP, int, bool) {
 	n := len(b.Warm) + b.hist.Len()
 	if n < 2 {
 		return nil, 0, false
@@ -169,20 +227,31 @@ func (b *BO) fitSurrogate(dataSize float64) (*ml.GP, float64, bool) {
 	if err := gp.Fit(x, y); err != nil {
 		return nil, 0, false
 	}
-	// The EI incumbent is the best of THIS query's own observations. Warm
-	// points describe other workloads whose absolute times are not
-	// comparable; using their global minimum would flatten EI to near zero
-	// for any slower target query.
+	return gp, len(x), true
+}
+
+// incumbent is the EI reference: the best of THIS query's own observations.
+// Warm points describe other workloads whose absolute times are not
+// comparable; using their global minimum would flatten EI to near zero for
+// any slower target query. With no own history yet it falls back to the
+// surrogate's training minimum.
+func (b *BO) incumbent() float64 {
 	best := math.Inf(1)
 	for _, o := range b.hist.Obs {
 		if v := b.transform(o.Time); v < best {
 			best = v
 		}
 	}
-	if math.IsInf(best, 1) {
-		best = stats.Min(y)
+	if math.IsInf(best, 1) && b.gp != nil {
+		// No own observations: fall back to the warm-start minimum on the
+		// transformed scale.
+		for _, w := range b.Warm {
+			if v := b.transform(w.Time); v < best {
+				best = v
+			}
+		}
 	}
-	return gp, best, true
+	return best
 }
 
 func (b *BO) transform(t float64) float64 {
