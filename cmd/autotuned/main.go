@@ -34,6 +34,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -65,6 +67,12 @@ func main() {
 		"durable store directory (snapshot + WAL); empty keeps the store in memory only")
 	snapInterval := flag.Duration("snapshot-interval", 10*time.Minute,
 		"WAL compaction cadence for -data-dir stores (0 disables time-based compaction)")
+	tenantRate := flag.Float64("tenant-rate", 0,
+		"per-tenant ingest rate limit in events/second (0 disables rate limiting)")
+	tenantBurst := flag.Float64("tenant-burst", 0,
+		"per-tenant token-bucket burst capacity (0 means the default)")
+	tenantWeights := flag.String("tenant-weights", "",
+		"comma-separated tenant=weight pairs for Model Updater fair scheduling, e.g. etl=4,adhoc=1")
 	flag.Parse()
 
 	if *secret == "" || *signingKey == "" {
@@ -104,6 +112,19 @@ func main() {
 	srv := backend.New(space, st, *secret, uint64(time.Now().UnixNano()))
 	srv.Logger = logger
 	srv.RequestTimeout = *reqTimeout
+	srv.TenantRate = *tenantRate
+	srv.TenantBurst = *tenantBurst
+	if *tenantWeights != "" {
+		for _, pair := range strings.Split(*tenantWeights, ",") {
+			name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			w, err := strconv.Atoi(val)
+			if !ok || name == "" || err != nil || w < 1 {
+				fmt.Fprintf(os.Stderr, "autotuned: bad -tenant-weights entry %q (want tenant=weight, weight >= 1)\n", pair)
+				os.Exit(2)
+			}
+			srv.SetTenantWeight(name, w)
+		}
+	}
 	// Publish on the process-global registry so the store's durability
 	// instruments and the backend's request accounting share one /metrics.
 	srv.SetMetrics(telemetry.Default())

@@ -123,9 +123,15 @@ type Server struct {
 	// deadline. New sets DefaultRequestTimeout.
 	RequestTimeout time.Duration
 	// MaxPendingUpdates is the Model Updater backlog at which ingest
-	// endpoints start shedding with 429 + Retry-After; <= 0 means the queue
-	// channel's capacity.
+	// endpoints start shedding with 429 + Retry-After; <= 0 means
+	// DefaultMaxPendingUpdates.
 	MaxPendingUpdates int
+	// TenantRate is each tenant's token-bucket refill in events/second;
+	// <= 0 disables per-tenant rate limiting. Set before serving traffic.
+	TenantRate float64
+	// TenantBurst is the token-bucket capacity; <= 0 means
+	// DefaultTenantBurst.
+	TenantBurst float64
 	// Logger receives operational messages; nil silences them.
 	Logger *log.Logger
 
@@ -153,14 +159,28 @@ type Server struct {
 	seqMu sync.Mutex
 	seqs  map[string]int
 
-	// Model Updater queue. pending counts enqueued-but-unprocessed updates
-	// so tests and shutdown can Flush deterministically.
-	updates chan updateJob
-	mu      sync.Mutex
-	cond    *sync.Cond
-	pending int
-	closed  bool
-	wg      sync.WaitGroup
+	// Model Updater scheduling. pending counts admitted-but-unprocessed
+	// updates (reserved at admission, released when the retrain finishes) so
+	// tests and shutdown can Flush deterministically; peakPending is its
+	// high-water mark, pinning the atomic-admission invariant in tests. The
+	// jobs themselves live in per-tenant sub-queues drained weighted
+	// round-robin — there is no channel, so enqueue cannot race Close into a
+	// send-on-closed panic. cond signals both "work available" (the updater
+	// waits on it) and "a job finished" (Flush waits on it).
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queue       fairQueue
+	pending     int
+	peakPending int
+	closed      bool
+	wg          sync.WaitGroup
+
+	// Per-tenant ingest admission state (token buckets + bounded metric
+	// labels), guarded separately so rate decisions never contend with the
+	// updater lock.
+	tenantMu     sync.Mutex
+	buckets      map[string]*tokenBucket
+	tenantLabels map[string]bool
 }
 
 type updateJob struct {
@@ -174,6 +194,10 @@ type updateJob struct {
 // DefaultRequestTimeout is the per-request deadline New installs.
 const DefaultRequestTimeout = 15 * time.Second
 
+// DefaultMaxPendingUpdates is the Model Updater backlog shed threshold when
+// MaxPendingUpdates is unset.
+const DefaultMaxPendingUpdates = 256
+
 // New constructs a backend server and starts its streaming jobs.
 func New(space *sparksim.Space, st ObjectStore, clusterSecret string, seed uint64) *Server {
 	s := &Server{
@@ -185,7 +209,6 @@ func New(space *sparksim.Space, st ObjectStore, clusterSecret string, seed uint6
 		RequestTimeout: DefaultRequestTimeout,
 		rng:            stats.NewRNG(seed),
 		seqs:           make(map[string]int),
-		updates:        make(chan updateJob, 256),
 	}
 	s.bindTelemetry(telemetry.NewRegistry())
 	s.metrics.start = s.clock().Now()
@@ -212,14 +235,15 @@ func (s *Server) clock() resilience.Clock {
 	return resilience.RealClock{}
 }
 
-// Close stops the streaming jobs after draining the queue.
+// Close stops the streaming jobs after draining the queue. Closing flips
+// closed under the updater lock and wakes the updater; there is no channel
+// to close, so an ingest racing Close either enqueues before the flag (and
+// is drained) or observes it and releases its reservation.
 func (s *Server) Close() {
 	s.Flush()
 	s.mu.Lock()
-	if !s.closed {
-		s.closed = true
-		close(s.updates)
-	}
+	s.closed = true
+	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.wg.Wait()
 }
@@ -261,6 +285,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/object", s.instrument("get_object", s.handleGetObject))
 	mux.HandleFunc("PUT /api/object", s.instrument("put_object", s.handlePutObject))
 	mux.HandleFunc("POST /api/events", s.instrument("events", s.handleEvents))
+	mux.HandleFunc("POST /api/events/batch", s.instrument("events_batch", s.handleEventBatch))
 	mux.HandleFunc("POST /api/eventlog", s.instrument("eventlog", s.handleEventLog))
 	mux.HandleFunc("GET /api/appcache", s.instrument("get_appcache", s.handleGetAppCache))
 	mux.HandleFunc("POST /api/appcache", s.instrument("compute_appcache", s.handleComputeAppCache))
@@ -322,28 +347,40 @@ func (s *Server) handlePutObject(w http.ResponseWriter, r *http.Request) {
 // signature, persists it as an event file, and enqueues a model update —
 // the Event Hub trigger of Figure 7.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	if s.shedIfSaturated(w, "events") {
-		return
-	}
 	q := r.URL.Query()
 	user, signature, jobID := q.Get("user"), q.Get("signature"), q.Get("job_id")
 	if user == "" || signature == "" || jobID == "" {
 		http.Error(w, "user, signature, job_id required", http.StatusBadRequest)
 		return
 	}
+	start := s.clock().Now()
+	admitted := 0
+	defer func() { s.observeIngest(user, start, admitted) }()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	// Validate the payload parses before persisting.
-	if _, err := flighting.ReadTraces(bytesReader(body)); err != nil {
+	traces, err := flighting.ReadTraces(bytesReader(body))
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if ok, retry := s.admitTenant(user, float64(len(traces))); !ok {
+		s.shedRateLimited(w, "events", user, retry)
+		return
+	}
+	// Reserve the updater slot atomically (see tryAdmit); every error path
+	// below must release it.
+	if !s.tryAdmit(1) {
+		s.shedQueueFull(w, "events", user)
 		return
 	}
 	seq := s.nextSeq(jobID)
 	p := store.EventPath(jobID, seq)
 	if err := s.Store.Put(r.Header.Get(SASTokenHeader), p, body); err != nil {
+		s.releaseAdmit(1)
 		http.Error(w, err.Error(), storeStatus(err))
 		return
 	}
@@ -354,10 +391,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// orphaned (and eventually reaped) behind a 202.
 	s.Store.PutInternal(signatureIndexPath(user, signature, jobID, seq), nil)
 	if err := s.storeErr(); err != nil {
+		s.releaseAdmit(1)
 		http.Error(w, fmt.Sprintf("store: index commit not persisted: %v", err), http.StatusInternalServerError)
 		return
 	}
-	s.enqueue(updateJob{user: user, signature: signature, trace: telemetry.SpanFrom(r.Context())})
+	s.enqueueReserved(updateJob{user: user, signature: signature, trace: telemetry.SpanFrom(r.Context())})
+	admitted = len(traces)
 	w.WriteHeader(http.StatusAccepted)
 }
 
@@ -367,15 +406,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 // triggered exactly as for pre-digested events. The signature is derived
 // from each execution's plan, so one log may feed several signatures.
 func (s *Server) handleEventLog(w http.ResponseWriter, r *http.Request) {
-	if s.shedIfSaturated(w, "eventlog") {
-		return
-	}
 	q := r.URL.Query()
 	user, jobID := q.Get("user"), q.Get("job_id")
 	if user == "" || jobID == "" {
 		http.Error(w, "user and job_id required", http.StatusBadRequest)
 		return
 	}
+	start := s.clock().Now()
+	admitted := 0
+	defer func() { s.observeIngest(user, start, admitted) }()
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 256<<20))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -388,6 +427,10 @@ func (s *Server) handleEventLog(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(runs) == 0 {
 		http.Error(w, "event log contains no complete executions", http.StatusUnprocessableEntity)
+		return
+	}
+	if ok, retry := s.admitTenant(user, float64(len(runs))); !ok {
+		s.shedRateLimited(w, "eventlog", user, retry)
 		return
 	}
 	// Group digested traces by plan signature.
@@ -408,6 +451,12 @@ func (s *Server) handleEventLog(w http.ResponseWriter, r *http.Request) {
 		sigs = append(sigs, sig)
 	}
 	sort.Strings(sigs)
+	// One updater slot per signature, reserved atomically up front so the
+	// whole log is admitted or shed as a unit.
+	if !s.tryAdmit(len(sigs)) {
+		s.shedQueueFull(w, "eventlog", user)
+		return
+	}
 	// Two-phase ingest so a mid-loop store failure cannot leave some
 	// signature batches persisted+enqueued and others lost behind a 5xx.
 	// Phase 1 stages every event file; only after all writes succeed does
@@ -422,16 +471,19 @@ func (s *Server) handleEventLog(w http.ResponseWriter, r *http.Request) {
 	var commits []staged
 	for _, sig := range sigs {
 		if err := r.Context().Err(); err != nil {
+			s.releaseAdmit(len(sigs))
 			http.Error(w, "request deadline exceeded", http.StatusServiceUnavailable)
 			return
 		}
 		var buf bytes.Buffer
 		if err := flighting.WriteTraces(&buf, bySig[sig]); err != nil {
+			s.releaseAdmit(len(sigs))
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 		seq := s.nextSeq(jobID)
 		if err := s.Store.Put(tok, store.EventPath(jobID, seq), buf.Bytes()); err != nil {
+			s.releaseAdmit(len(sigs))
 			http.Error(w, err.Error(), storeStatus(err))
 			return
 		}
@@ -439,7 +491,7 @@ func (s *Server) handleEventLog(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, c := range commits {
 		s.Store.PutInternal(signatureIndexPath(user, c.sig, jobID, c.seq), nil)
-		s.enqueue(updateJob{user: user, signature: c.sig, trace: telemetry.SpanFrom(r.Context())})
+		s.enqueueReserved(updateJob{user: user, signature: c.sig, trace: telemetry.SpanFrom(r.Context())})
 	}
 	// Same phase-2 durability check as handleEvents: if any index commit
 	// hit a latched store failure, surface a 5xx so the client retries
@@ -448,7 +500,140 @@ func (s *Server) handleEventLog(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("store: index commit not persisted: %v", err), http.StatusInternalServerError)
 		return
 	}
+	admitted = len(runs)
 	w.WriteHeader(http.StatusAccepted)
+}
+
+// BatchResponse acknowledges a batched ingest: how many signatures were
+// indexed and how many traces they carried.
+type BatchResponse struct {
+	Signatures int `json:"signatures"`
+	Events     int `json:"events"`
+}
+
+// batchPutter is the optional group-commit surface a store may expose.
+// Both store flavors implement it; wrappers (fault injection) that don't
+// fall back to the two-phase per-entry path.
+type batchPutter interface {
+	PutBatch([]store.BatchEntry) error
+}
+
+// handleEventBatch ingests pre-digested traces spanning many query
+// signatures in ONE call: the body is the same JSON-lines trace format as
+// /api/events, but each trace's queryId names its signature. The whole
+// batch — every event file and every index entry — is committed as a
+// single store group commit (one WAL append + one fsync), so a 202 means
+// the entire batch is durable and a crash can never surface part of it.
+func (s *Server) handleEventBatch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	user, jobID := q.Get("user"), q.Get("job_id")
+	if user == "" || jobID == "" {
+		http.Error(w, "user and job_id required", http.StatusBadRequest)
+		return
+	}
+	start := s.clock().Now()
+	admitted := 0
+	defer func() { s.observeIngest(user, start, admitted) }()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	traces, err := flighting.ReadTraces(bytesReader(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(traces) == 0 {
+		http.Error(w, "batch contains no traces", http.StatusUnprocessableEntity)
+		return
+	}
+	bySig := map[string][]flighting.Trace{}
+	for i, tr := range traces {
+		if tr.QueryID == "" {
+			http.Error(w, fmt.Sprintf("trace %d has no queryId (the batch signature key)", i), http.StatusBadRequest)
+			return
+		}
+		bySig[tr.QueryID] = append(bySig[tr.QueryID], tr)
+	}
+	if ok, retry := s.admitTenant(user, float64(len(traces))); !ok {
+		s.shedRateLimited(w, "events_batch", user, retry)
+		return
+	}
+	// Verify the write token against the job's event folder BEFORE burning
+	// sequence numbers or updater slots.
+	tok := r.Header.Get(SASTokenHeader)
+	if err := s.Store.Verify(tok, "events/"+jobID+"/", store.PermWrite); err != nil {
+		http.Error(w, err.Error(), storeStatus(err))
+		return
+	}
+	sigs := make([]string, 0, len(bySig))
+	for sig := range bySig {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	if !s.tryAdmit(len(sigs)) {
+		s.shedQueueFull(w, "events_batch", user)
+		return
+	}
+	// Render every signature's event file and its index entry into one
+	// entry list, in stable signature order.
+	entries := make([]store.BatchEntry, 0, 2*len(sigs))
+	type staged struct {
+		sig string
+		seq int
+	}
+	commits := make([]staged, 0, len(sigs))
+	for _, sig := range sigs {
+		var buf bytes.Buffer
+		if err := flighting.WriteTraces(&buf, bySig[sig]); err != nil {
+			s.releaseAdmit(len(sigs))
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		seq := s.nextSeq(jobID)
+		entries = append(entries,
+			store.BatchEntry{Path: store.EventPath(jobID, seq), Data: buf.Bytes()},
+			store.BatchEntry{Path: signatureIndexPath(user, sig, jobID, seq)},
+		)
+		commits = append(commits, staged{sig: sig, seq: seq})
+	}
+	if bs, ok := s.Store.(batchPutter); ok {
+		// Group commit: event files + index entries behind one WAL record.
+		if err := bs.PutBatch(entries); err != nil {
+			s.releaseAdmit(len(sigs))
+			http.Error(w, fmt.Sprintf("store: batch commit not persisted: %v", err), storeStatus(err))
+			return
+		}
+	} else {
+		// Two-phase fallback for stores without group commit (wrapped
+		// stores): stage event files, then commit index entries, with the
+		// same latched-failure check as the other ingest paths.
+		for i := 0; i < len(entries); i += 2 {
+			if err := s.Store.Put(tok, entries[i].Path, entries[i].Data); err != nil {
+				s.releaseAdmit(len(sigs))
+				http.Error(w, err.Error(), storeStatus(err))
+				return
+			}
+		}
+		for i := 1; i < len(entries); i += 2 {
+			s.Store.PutInternal(entries[i].Path, nil)
+		}
+		if err := s.storeErr(); err != nil {
+			s.releaseAdmit(len(sigs))
+			http.Error(w, fmt.Sprintf("store: index commit not persisted: %v", err), http.StatusInternalServerError)
+			return
+		}
+	}
+	for _, c := range commits {
+		s.enqueueReserved(updateJob{user: user, signature: c.sig, trace: telemetry.SpanFrom(r.Context())})
+	}
+	admitted = len(traces)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	if err := json.NewEncoder(w).Encode(BatchResponse{Signatures: len(sigs), Events: len(traces)}); err != nil {
+		s.logf("backend: encode batch response: %v", err)
+	}
 }
 
 // nextSeq allocates the next event-file sequence number for a job. The
@@ -484,22 +669,41 @@ func parseIndexEntry(rest string) (jobID string, seq int, err error) {
 	return rest[:i], seq, nil
 }
 
-func (s *Server) enqueue(j updateJob) {
+// enqueueReserved hands an admitted job to the fair queue. The caller has
+// already reserved its updater slot via tryAdmit; the push happens entirely
+// under s.mu, so a racing Close either sees the job (and drains it) or has
+// already flipped closed — in which case the job is dropped here and its
+// reservation released. The old implementation released the lock and then
+// sent on a channel Close could concurrently close; that panic window is
+// structurally gone.
+func (s *Server) enqueueReserved(j updateJob) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
+		s.pending--
+		s.cond.Broadcast()
 		return
 	}
-	s.pending++
-	s.mu.Unlock()
-	s.updates <- j
+	s.queue.push(j.user, j)
+	s.cond.Broadcast()
 }
 
 // modelUpdater is the streaming Model Updater: it retrains the signature's
 // surrogate from all of its event files and stores the serialized model.
+// Jobs come off the per-tenant fair queue, so one tenant's backlog cannot
+// starve another's retrains.
 func (s *Server) modelUpdater() {
 	defer s.wg.Done()
-	for j := range s.updates {
+	for {
+		s.mu.Lock()
+		for s.queue.size == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		j, ok := s.queue.pop()
+		s.mu.Unlock()
+		if !ok {
+			return // closed and drained
+		}
 		s.retrain(j)
 		s.mu.Lock()
 		s.pending--
@@ -562,7 +766,36 @@ func (s *Server) retrain(j updateJob) {
 	s.tele.retrains.Inc()
 	s.tele.retrainSeconds.Observe(s.clock().Now().Sub(started).Seconds())
 	s.tele.bestCost.With(user, signature).Set(best)
+	s.persistBestCost(j.trace, user, signature, best)
 	s.logfCtx(j.trace, "backend: retrained %s/%s on %d traces", user, signature, len(traces))
+}
+
+// bestCostRecord is the durable form of one rockhopper_model_best_cost_ms
+// gauge sample, persisted so a restarted daemon re-registers the series
+// instead of showing a false improvement to zero. The identifying fields
+// live in the blob, not the path, because user and signature are free-form
+// and may contain '/'.
+type bestCostRecord struct {
+	User      string  `json:"user"`
+	Signature string  `json:"signature"`
+	BestMs    float64 `json:"best_ms"`
+}
+
+// bestCostPrefix is the store folder holding persisted best-cost records.
+// It is outside "events/", so the retention sweep never reaps it.
+const bestCostPrefix = "meta/bestcost/"
+
+func bestCostPath(user, signature string) string {
+	return bestCostPrefix + user + "/" + signature
+}
+
+func (s *Server) persistBestCost(sc telemetry.SpanContext, user, signature string, best float64) {
+	blob, err := json.Marshal(bestCostRecord{User: user, Signature: signature, BestMs: best})
+	if err != nil {
+		s.logfCtx(sc, "backend: encode best-cost record %s/%s: %v", user, signature, err)
+		return
+	}
+	s.Store.PutInternal(bestCostPath(user, signature), blob)
 }
 
 func (s *Server) handleGetAppCache(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,597 @@
+package backend
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rockhopper-db/rockhopper/internal/flighting"
+	"github.com/rockhopper-db/rockhopper/internal/resilience"
+	"github.com/rockhopper-db/rockhopper/internal/resilience/faultinject"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/store"
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
+)
+
+// sigTraces builds perSig traces for each signature, round-robin, so a batch
+// body spans several signatures the way a real multi-query app run does.
+func sigTraces(sigs []string, perSig int, seed uint64) []flighting.Trace {
+	base := traceBatch(len(sigs)*perSig, seed)
+	for i := range base {
+		base[i].QueryID = sigs[i%len(sigs)]
+	}
+	return base
+}
+
+// postBatch ships traces to POST /api/events/batch. Unlike postTracedEvents
+// it returns errors instead of calling t.Fatal, so stress tests can hammer
+// it from many goroutines.
+func postBatch(srv *Server, hs, user, jobID string, traces []flighting.Trace) (int, *BatchResponse, error) {
+	tok := srv.Store.Sign("events/", store.PermWrite, srv.TokenTTL)
+	var buf bytes.Buffer
+	if err := flighting.WriteTraces(&buf, traces); err != nil {
+		return 0, nil, err
+	}
+	req, err := http.NewRequest("POST", hs+"/api/events/batch?user="+user+"&job_id="+jobID, &buf)
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set(SASTokenHeader, tok)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return resp.StatusCode, nil, nil
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, &br, nil
+}
+
+// tenantEventCount walks a tenant's signature index and counts the traces in
+// every event file it references — the store-side truth for "events this
+// tenant was acknowledged for".
+func tenantEventCount(t *testing.T, st ObjectStore, user string) int {
+	t.Helper()
+	total := 0
+	prefix := "index/" + user + "/"
+	for _, p := range st.List(prefix) {
+		rest := p[len(prefix):]
+		slash := strings.IndexByte(rest, '/')
+		if slash < 0 {
+			t.Fatalf("malformed index path %q", p)
+		}
+		jobID, seq, err := parseIndexEntry(rest[slash+1:])
+		if err != nil {
+			t.Fatalf("index entry %q: %v", p, err)
+		}
+		blob, err := st.GetInternal(store.EventPath(jobID, seq))
+		if err != nil {
+			t.Fatalf("index entry %q points at unreadable event file: %v", p, err)
+		}
+		traces, err := flighting.ReadTraces(bytesReader(blob))
+		if err != nil {
+			t.Fatalf("corrupt event file behind %q: %v", p, err)
+		}
+		total += len(traces)
+	}
+	return total
+}
+
+// histP99 computes a scraped histogram's p99 upper bound from its cumulative
+// buckets, filtered to one tenant label.
+func histP99(t *testing.T, fams []telemetry.Family, name, tenant string) float64 {
+	t.Helper()
+	fam, ok := telemetry.Find(fams, name)
+	if !ok {
+		t.Fatalf("histogram %s missing from scrape", name)
+	}
+	type bkt struct {
+		le  float64
+		cum float64
+	}
+	var buckets []bkt
+	var count float64
+	for _, s := range fam.Series {
+		if s.Labels["tenant"] != tenant {
+			continue
+		}
+		switch s.Name {
+		case name + "_bucket":
+			le, err := strconv.ParseFloat(s.Labels["le"], 64)
+			if err != nil {
+				t.Fatalf("bucket le %q: %v", s.Labels["le"], err)
+			}
+			buckets = append(buckets, bkt{le: le, cum: s.Value})
+		case name + "_count":
+			count = s.Value
+		}
+	}
+	if count == 0 || len(buckets) == 0 {
+		t.Fatalf("histogram %s has no samples for tenant %q", name, tenant)
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	need := 0.99 * count
+	for _, b := range buckets {
+		if b.cum >= need {
+			return b.le
+		}
+	}
+	return math.Inf(1)
+}
+
+// TestFairQueueWeightedRoundRobin pins the scheduling law: equal-weight
+// tenants alternate one job per turn regardless of backlog depth, and a
+// weighted tenant drains weight jobs per turn.
+func TestFairQueueWeightedRoundRobin(t *testing.T) {
+	job := func(sig string) updateJob { return updateJob{signature: sig} }
+	popSig := func(q *fairQueue) string {
+		j, ok := q.pop()
+		if !ok {
+			t.Fatal("pop on non-empty queue returned nothing")
+		}
+		return j.signature
+	}
+
+	var q fairQueue
+	// noisy floods 4 jobs before quiet enqueues 2.
+	for i := 0; i < 4; i++ {
+		q.push("noisy", job(fmt.Sprintf("n%d", i)))
+	}
+	q.push("quiet", job("q0"))
+	q.push("quiet", job("q1"))
+	want := []string{"n0", "q0", "n1", "q1", "n2", "n3"}
+	for i, w := range want {
+		if got := popSig(&q); got != w {
+			t.Fatalf("equal-weight pop %d = %q, want %q", i, got, w)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("drained queue still pops")
+	}
+
+	// A weight-2 tenant takes two jobs per rotation.
+	var wq fairQueue
+	wq.setWeight("heavy", 2)
+	for i := 0; i < 4; i++ {
+		wq.push("heavy", job(fmt.Sprintf("h%d", i)))
+	}
+	wq.push("light", job("l0"))
+	wq.push("light", job("l1"))
+	want = []string{"h0", "h1", "l0", "h2", "h3", "l1"}
+	for i, w := range want {
+		if got := popSig(&wq); got != w {
+			t.Fatalf("weighted pop %d = %q, want %q", i, got, w)
+		}
+	}
+	// The weighted tenant's sub-queue survives drain (its weight must too);
+	// the default-weight tenant is pruned.
+	if _, ok := wq.queues["heavy"]; !ok {
+		t.Error("weighted tenant pruned on drain — its weight is lost")
+	}
+	if _, ok := wq.queues["light"]; ok {
+		t.Error("default-weight tenant retained on drain — the map would grow unbounded")
+	}
+}
+
+// TestTenantRateLimit drives the token bucket through drain, shed, and
+// refill on a fake clock, and checks the per-tenant admitted/shed counters.
+func TestTenantRateLimit(t *testing.T) {
+	srv, hs := newServer(t)
+	fc := resilience.NewFakeClock(time.Unix(50000, 0))
+	srv.SetClock(fc)
+	srv.TenantRate = 1 // 1 event/second
+	srv.TenantBurst = 4
+
+	// 4 traces drain the burst exactly.
+	if code := postTracedEvents(t, srv, hs.URL, nil, 4); code != http.StatusAccepted {
+		t.Fatalf("first batch status = %d, want 202", code)
+	}
+	// The bucket is empty: the next single trace sheds with Retry-After.
+	tok := srv.Store.Sign("events/", store.PermWrite, srv.TokenTTL)
+	var buf bytes.Buffer
+	if err := flighting.WriteTraces(&buf, traceBatch(1, 9)); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest("POST", hs.URL+"/api/events?user=u&signature=s&job_id=j", &buf)
+	req.Header.Set(SASTokenHeader, tok)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("drained-bucket status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("rate-limited 429 without Retry-After")
+	}
+	if got := srv.tele.tenantShed.With("u", "rate_limit").Value(); got != 1 {
+		t.Errorf("tenant shed(rate_limit) = %v, want 1", got)
+	}
+
+	// Four fake seconds refill four tokens.
+	fc.Advance(4 * time.Second)
+	if code := postTracedEvents(t, srv, hs.URL, nil, 4); code != http.StatusAccepted {
+		t.Fatalf("post-refill status = %d, want 202", code)
+	}
+	if got := srv.tele.tenantAdmitted.With("u").Value(); got != 8 {
+		t.Errorf("tenant admitted = %v, want 8", got)
+	}
+	srv.Flush()
+}
+
+// TestEventBatchEndpoint: one POST /api/events/batch spanning two signatures
+// lands both event files and both index entries, triggers both retrains, and
+// accounts every trace to the tenant.
+func TestEventBatchEndpoint(t *testing.T) {
+	srv, hs := newServer(t)
+	traces := sigTraces([]string{"sigA", "sigB"}, 4, 3)
+	code, br, err := postBatch(srv, hs.URL, "u", "j", traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusAccepted {
+		t.Fatalf("batch status = %d, want 202", code)
+	}
+	if br.Signatures != 2 || br.Events != 8 {
+		t.Fatalf("batch response = %+v, want 2 signatures / 8 events", br)
+	}
+	if got := len(srv.Store.List("events/j/")); got != 2 {
+		t.Errorf("event files = %d, want 2 (one per signature)", got)
+	}
+	for _, sig := range []string{"sigA", "sigB"} {
+		if got := len(srv.Store.List("index/u/" + sig + "/")); got != 1 {
+			t.Errorf("index entries for %s = %d, want 1", sig, got)
+		}
+	}
+	srv.Flush()
+	for _, sig := range []string{"sigA", "sigB"} {
+		if _, err := srv.Store.GetInternal(store.ModelPath("u", sig)); err != nil {
+			t.Errorf("no model for %s after flush: %v", sig, err)
+		}
+	}
+	if got := srv.tele.tenantAdmitted.With("u").Value(); got != 8 {
+		t.Errorf("tenant admitted = %v, want 8", got)
+	}
+	if got := tenantEventCount(t, srv.Store, "u"); got != 8 {
+		t.Errorf("indexed tenant events = %d, want 8", got)
+	}
+}
+
+// TestEventBatchValidation pins the endpoint's reject paths: missing params,
+// empty body, and traces without a queryId signature key.
+func TestEventBatchValidation(t *testing.T) {
+	srv, hs := newServer(t)
+	if code, _, _ := postBatch(srv, hs.URL, "", "j", sigTraces([]string{"s"}, 1, 3)); code != http.StatusBadRequest {
+		t.Errorf("missing user status = %d, want 400", code)
+	}
+	if code, _, _ := postBatch(srv, hs.URL, "u", "j", nil); code != http.StatusUnprocessableEntity {
+		t.Errorf("empty batch status = %d, want 422", code)
+	}
+	bad := sigTraces([]string{"s"}, 2, 3)
+	bad[1].QueryID = ""
+	if code, _, _ := postBatch(srv, hs.URL, "u", "j", bad); code != http.StatusBadRequest {
+		t.Errorf("unsigned trace status = %d, want 400", code)
+	}
+	// Nothing was persisted by the rejects.
+	if got := len(srv.Store.List("events/")); got != 0 {
+		t.Errorf("rejected batches left %d event files", got)
+	}
+}
+
+// TestEventBatchFallbackStore routes the batch through a store wrapper with
+// no PutBatch, exercising the two-phase per-entry path.
+func TestEventBatchFallbackStore(t *testing.T) {
+	wrapped := &faultinject.Store{Inner: store.New([]byte("key"))}
+	srv := New(sparksim.QuerySpace(), wrapped, secret, 1)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+
+	if _, ok := srv.Store.(batchPutter); ok {
+		t.Fatal("faultinject wrapper unexpectedly exposes PutBatch; the fallback path is untested")
+	}
+	code, br, err := postBatch(srv, hs.URL, "u", "j", sigTraces([]string{"sigA", "sigB"}, 4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusAccepted || br.Signatures != 2 || br.Events != 8 {
+		t.Fatalf("fallback batch: code=%d resp=%+v, want 202 with 2/8", code, br)
+	}
+	srv.Flush()
+	if got := tenantEventCount(t, srv.Store, "u"); got != 8 {
+		t.Errorf("fallback indexed events = %d, want 8", got)
+	}
+}
+
+// TestEventBatchCrashAtomicity tears the WAL mid-batch-record: the client
+// gets a 5xx (not a 202), and recovery surfaces none of the batch — no event
+// files, no index entries. All-or-nothing.
+func TestEventBatchCrashAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	armed := true
+	st, err := store.OpenDurable(dir, []byte("key"), store.DurableOptions{
+		NoSync: true,
+		Hooks: func(p store.CrashPoint) error {
+			if p == store.CrashMidRecord && armed {
+				armed = false
+				return fmt.Errorf("injected crash")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sparksim.QuerySpace(), st, secret, 1)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+
+	code, _, err := postBatch(srv, hs.URL, "u", "j", sigTraces([]string{"sigA", "sigB"}, 4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code < 500 {
+		t.Fatalf("torn batch status = %d, want 5xx", code)
+	}
+	// Recover from disk: the torn record is discarded wholesale.
+	rec, err := store.OpenDurable(dir, []byte("key"), store.DurableOptions{NoSync: true})
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer rec.Close()
+	if got := len(rec.List("events/")); got != 0 {
+		t.Errorf("recovered store has %d event files from a torn batch, want 0", got)
+	}
+	if got := len(rec.List("index/")); got != 0 {
+		t.Errorf("recovered store has %d index entries from a torn batch, want 0", got)
+	}
+}
+
+// TestEnqueueCloseRaceRegression hammers the admission/enqueue path against
+// Close. The old implementation enqueued by sending on a channel that Close
+// concurrently closed — under -race (or just bad luck) that paniced with
+// "send on closed channel". The fixed path does everything under one mutex,
+// so this must run clean.
+func TestEnqueueCloseRaceRegression(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		srv := New(sparksim.QuerySpace(), store.New([]byte("key")), secret, 1)
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					if srv.tryAdmit(1) {
+						srv.enqueueReserved(updateJob{user: fmt.Sprintf("u%d", g), signature: "s"})
+					}
+				}
+			}(g)
+		}
+		srv.Close() // races the enqueues above
+		wg.Wait()
+	}
+}
+
+// TestAdmissionReservationNoOvershoot is the TOCTOU regression test: with
+// MaxPendingUpdates=4 and 16 goroutines posting concurrently, the observed
+// pending high-water mark must never exceed 4. The old check-then-enqueue
+// read the depth without holding the reservation, so concurrent requests all
+// passed the stale check and overshot the bound.
+func TestAdmissionReservationNoOvershoot(t *testing.T) {
+	srv, hs := newServer(t)
+	srv.MaxPendingUpdates = 4
+
+	traces := sigTraces([]string{"s"}, 4, 3)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	shed := 0
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				code, _, err := postBatch(srv, hs.URL, fmt.Sprintf("u%d", g), fmt.Sprintf("j%d", g), traces)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if code == http.StatusTooManyRequests {
+					mu.Lock()
+					shed++
+					mu.Unlock()
+				} else if code != http.StatusAccepted {
+					t.Errorf("unexpected status %d", code)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	srv.Flush()
+	srv.mu.Lock()
+	peak := srv.peakPending
+	srv.mu.Unlock()
+	if peak > 4 {
+		t.Errorf("peak pending = %d, want <= MaxPendingUpdates (4) — admission overshoot", peak)
+	}
+	if peak == 0 {
+		t.Error("peak pending = 0; the test admitted nothing and proves nothing")
+	}
+	t.Logf("peak=%d shed=%d", peak, shed)
+}
+
+// TestHostileTenantStress is the multi-tenant SLO test: one hostile tenant
+// floods batches until it is shed, while three well-behaved tenants ingest
+// within their budget. All SLO traffic must land 202 with bounded p99, the
+// hostile tenant must see 429s, and after a kill/restart the store must hold
+// exactly the events each tenant was acknowledged for — zero loss, zero
+// phantom.
+func TestHostileTenantStress(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.OpenDurable(dir, []byte("key"), store.DurableOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sparksim.QuerySpace(), st, secret, 1)
+	srv.TenantRate = 100
+	srv.TenantBurst = 120
+	hs := httptest.NewServer(srv.Handler())
+
+	traces2 := sigTraces([]string{"sigA", "sigB"}, 4, 3) // 8 events, 2 sigs
+	traces1 := sigTraces([]string{"sigC"}, 4, 5)         // 4 events, 1 sig
+
+	acked := make(map[string]int) // tenant -> acknowledged events
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+
+	// Hostile tenant: flood until shed (or a generous cap — rate 100/s with
+	// burst 120 sheds a tight loop of 8-event batches almost immediately).
+	hostileShed := false
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 400; i++ {
+			code, _, err := postBatch(srv, hs.URL, "hostile", "jh", traces2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			switch code {
+			case http.StatusAccepted:
+				mu.Lock()
+				acked["hostile"] += 8
+				mu.Unlock()
+			case http.StatusTooManyRequests:
+				mu.Lock()
+				hostileShed = true
+				mu.Unlock()
+				return
+			default:
+				t.Errorf("hostile post status %d", code)
+				return
+			}
+		}
+	}()
+
+	// SLO tenants: 15 posts of 4 events each = 60 events, well under the
+	// 120 burst — every one must be accepted even while hostile floods.
+	for _, tenant := range []string{"slo1", "slo2", "slo3"} {
+		wg.Add(1)
+		go func(tenant string) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				code, _, err := postBatch(srv, hs.URL, tenant, "j"+tenant, traces1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if code != http.StatusAccepted {
+					t.Errorf("SLO tenant %s shed with %d on post %d", tenant, code, i)
+					return
+				}
+				mu.Lock()
+				acked[tenant] += 4
+				mu.Unlock()
+			}
+		}(tenant)
+	}
+	wg.Wait()
+	srv.Flush()
+
+	if !hostileShed {
+		t.Error("hostile tenant was never rate-limited")
+	}
+	fams := scrape(t, hs.URL)
+	if shed, ok := telemetry.Find(fams, "rockhopper_tenant_shed_total"); !ok {
+		t.Error("tenant shed counter missing from scrape")
+	} else {
+		found := false
+		for _, s := range shed.Series {
+			if s.Labels["tenant"] == "hostile" && s.Value > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no shed series for hostile tenant: %+v", shed.Series)
+		}
+	}
+	for _, tenant := range []string{"slo1", "slo2", "slo3"} {
+		if p99 := histP99(t, fams, "rockhopper_tenant_ingest_seconds", tenant); p99 > 2.5 {
+			t.Errorf("tenant %s ingest p99 bound = %vs, want <= 2.5s", tenant, p99)
+		}
+	}
+
+	// Kill: drop the server and the HTTP front end WITHOUT closing the store
+	// cleanly, then recover from disk. Every acknowledged event must be
+	// there; nothing more.
+	hs.Close()
+	srv.Close()
+	rec, err := store.OpenDurable(dir, []byte("key"), store.DurableOptions{NoSync: true})
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer rec.Close()
+	for tenant, want := range acked {
+		if got := tenantEventCount(t, rec, tenant); got != want {
+			t.Errorf("tenant %s: recovered %d events, acknowledged %d — %s",
+				tenant, got, want, map[bool]string{true: "acknowledged loss", false: "phantom events"}[got < want])
+		}
+	}
+}
+
+// TestBestCostGaugeSurvivesRestart: the per-signature best-cost gauge is
+// persisted with the model and re-registered on boot, so a restarted
+// daemon's dashboards don't see a false improvement to zero.
+func TestBestCostGaugeSurvivesRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	st, err := store.OpenDurable(dir, []byte("key"), store.DurableOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(sparksim.QuerySpace(), st, secret, 1)
+	hs := httptest.NewServer(srv.Handler())
+	if code := postTracedEvents(t, srv, hs.URL, nil, 8); code != http.StatusAccepted {
+		t.Fatalf("ingest status = %d", code)
+	}
+	srv.Flush()
+	want := srv.tele.bestCost.With("u", "s").Value()
+	if want <= 0 {
+		t.Fatalf("best cost after retrain = %v, want > 0", want)
+	}
+	hs.Close()
+	srv.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: fresh store handle, fresh server, fresh registry.
+	st2, err := store.OpenDurable(dir, []byte("key"), store.DurableOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := New(sparksim.QuerySpace(), st2, secret, 1)
+	t.Cleanup(func() { srv2.Close(); st2.Close() })
+	if got := srv2.tele.bestCost.With("u", "s").Value(); got != want {
+		t.Errorf("restarted best cost = %v, want %v (restored from the store)", got, want)
+	}
+	// Rebinding onto another registry restores again.
+	srv2.SetMetrics(telemetry.NewRegistry())
+	if got := srv2.tele.bestCost.With("u", "s").Value(); got != want {
+		t.Errorf("rebound best cost = %v, want %v", got, want)
+	}
+}

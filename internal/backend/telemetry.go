@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"encoding/json"
 	"net/http"
 	"strconv"
 	"time"
@@ -25,6 +26,13 @@ type backendTelemetry struct {
 	retrainSeconds telemetry.Histogram
 	bestCost       *telemetry.GaugeVec // {user, signature}
 
+	// Per-tenant ingest series. The tenant label is bounded by
+	// maxTenantLabelValues (overflow lumps into "other") per the §8
+	// cardinality rule.
+	tenantAdmitted      *telemetry.CounterVec   // {tenant}
+	tenantShed          *telemetry.CounterVec   // {tenant, reason}
+	tenantIngestSeconds *telemetry.HistogramVec // {tenant}
+
 	spans *telemetry.SpanRing
 }
 
@@ -48,7 +56,13 @@ func (s *Server) bindTelemetry(reg *telemetry.Registry) {
 		latency: reg.Histogram("rockhopper_http_request_duration_seconds",
 			"Request handling latency in seconds.", nil, "endpoint"),
 		shed: reg.Counter("rockhopper_shed_total",
-			"Ingest requests shed with 429 because the Model Updater queue was saturated.", "endpoint"),
+			"Ingest requests shed with 429 (updater queue saturated or tenant rate limit).", "endpoint"),
+		tenantAdmitted: reg.Counter("rockhopper_tenant_admitted_total",
+			"Events accepted for ingest, by tenant (label bounded; overflow is \"other\").", "tenant"),
+		tenantShed: reg.Counter("rockhopper_tenant_shed_total",
+			"Ingest requests shed with 429, by tenant and reason (rate_limit or queue_full).", "tenant", "reason"),
+		tenantIngestSeconds: reg.Histogram("rockhopper_tenant_ingest_seconds",
+			"Ingest request handling latency in seconds, by tenant.", nil, "tenant"),
 		retrains: reg.Counter("rockhopper_updater_retrains_total",
 			"Model Updater retrain passes that produced a model.").With(),
 		retrainSeconds: reg.Histogram("rockhopper_updater_retrain_seconds",
@@ -68,6 +82,22 @@ func (s *Server) bindTelemetry(reg *telemetry.Registry) {
 			"Objects resident in the backend object store.", func() float64 {
 				return float64(lener.Len())
 			})
+	}
+	// Re-register persisted best-cost gauges (bestCostPrefix records) so a
+	// restarted daemon's dashboards keep their per-signature series instead
+	// of seeing a false improvement to zero after every deploy.
+	if s.Store != nil {
+		for _, p := range s.Store.List(bestCostPrefix) {
+			blob, err := s.Store.GetInternal(p)
+			if err != nil {
+				continue
+			}
+			var rec bestCostRecord
+			if json.Unmarshal(blob, &rec) != nil || rec.User == "" || rec.Signature == "" {
+				continue
+			}
+			t.bestCost.With(rec.User, rec.Signature).Set(rec.BestMs)
+		}
 	}
 	s.tele = t
 }
@@ -115,26 +145,9 @@ func (s *Server) recordSpan(sc telemetry.SpanContext, name string, start time.Ti
 	})
 }
 
-// shedIfSaturated answers 429 + Retry-After when the Model Updater backlog
-// has reached the shed threshold, so ingest pressure degrades into client
-// backoff (the classifier treats 429 as retryable) instead of blocked
-// handlers queueing behind a full channel.
-func (s *Server) shedIfSaturated(w http.ResponseWriter, endpoint string) bool {
-	s.mu.Lock()
-	pending := s.pending
-	s.mu.Unlock()
-	if pending < s.maxPending() {
-		return false
-	}
-	s.tele.shed.With(endpoint).Inc()
-	w.Header().Set("Retry-After", "1")
-	http.Error(w, "model updater queue saturated; retry later", http.StatusTooManyRequests)
-	return true
-}
-
 func (s *Server) maxPending() int {
 	if s.MaxPendingUpdates > 0 {
 		return s.MaxPendingUpdates
 	}
-	return cap(s.updates)
+	return DefaultMaxPendingUpdates
 }

@@ -173,7 +173,7 @@ func TestLoadShedding(t *testing.T) {
 
 	// Saturate the backlog without racing the real updater.
 	srv.mu.Lock()
-	srv.pending = cap(srv.updates)
+	srv.pending = DefaultMaxPendingUpdates
 	srv.mu.Unlock()
 
 	tok := srv.Store.Sign("events/", store.PermWrite, srv.TokenTTL)

@@ -1,0 +1,186 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/rockhopper-db/rockhopper/internal/backend"
+	"github.com/rockhopper-db/rockhopper/internal/flighting"
+	"github.com/rockhopper-db/rockhopper/internal/store"
+)
+
+// PostEventBatch ships traces spanning many query signatures in one call to
+// POST /api/events/batch — each trace's queryId names its signature, and the
+// backend commits the whole batch as a single store group commit. This is
+// the amortized path for chatty listeners: one round trip and one fsync per
+// flush instead of one per signature.
+func (c *Client) PostEventBatch(ctx context.Context, user, jobID string, traces []flighting.Trace) (backend.BatchResponse, error) {
+	var ack backend.BatchResponse
+	if len(traces) == 0 {
+		return ack, nil
+	}
+	for i, tr := range traces {
+		if tr.QueryID == "" {
+			return ack, fmt.Errorf("client: batch trace %d has no QueryID (the signature key)", i)
+		}
+	}
+	tok, err := c.Token(ctx, "events/"+jobID+"/", store.PermWrite)
+	if err != nil {
+		return ack, err
+	}
+	var buf bytes.Buffer
+	if err := flighting.WriteTraces(&buf, traces); err != nil {
+		return ack, err
+	}
+	body := buf.Bytes()
+	url := fmt.Sprintf("%s/api/events/batch?user=%s&job_id=%s", c.BaseURL, user, jobID)
+	err = c.do(ctx, "post_events_batch", "post event batch "+jobID, http.StatusAccepted,
+		func(ctx context.Context) (*http.Request, error) {
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set(backend.SASTokenHeader, tok)
+			return req, nil
+		},
+		func(resp *http.Response) error {
+			return json.NewDecoder(resp.Body).Decode(&ack)
+		})
+	return ack, err
+}
+
+// Batcher default thresholds.
+const (
+	DefaultBatchMaxEvents     = 64
+	DefaultBatchFlushInterval = 5 * time.Second
+)
+
+// Batcher buffers traces client-side and flushes them through
+// PostEventBatch when the buffer reaches MaxEvents or FlushInterval
+// elapses — the query listener's answer to "don't fsync per query". It is
+// safe for concurrent Add.
+type Batcher struct {
+	client *Client
+	user   string
+	jobID  string
+
+	// MaxEvents triggers a size flush; <= 0 means DefaultBatchMaxEvents.
+	MaxEvents int
+	// FlushInterval is the background flush cadence; <= 0 means
+	// DefaultBatchFlushInterval.
+	FlushInterval time.Duration
+	// OnError observes failed background flushes (the failed traces are
+	// re-buffered); nil logs through the client's Logger.
+	OnError func(error)
+
+	mu  sync.Mutex
+	buf []flighting.Trace
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	once   sync.Once
+}
+
+// NewBatcher returns a Batcher shipping to user/jobID through c. Start the
+// background interval flusher with Start; without it the Batcher still
+// flushes on size and on Close.
+func (c *Client) NewBatcher(user, jobID string) *Batcher {
+	return &Batcher{client: c, user: user, jobID: jobID}
+}
+
+// Start launches the interval flusher, bounded by ctx and by Close.
+func (b *Batcher) Start(ctx context.Context) {
+	b.once.Do(func() {
+		ctx, cancel := context.WithCancel(ctx)
+		b.cancel = cancel
+		b.wg.Add(1)
+		go b.loop(ctx)
+	})
+}
+
+func (b *Batcher) loop(ctx context.Context) {
+	defer b.wg.Done()
+	interval := b.FlushInterval
+	if interval <= 0 {
+		interval = DefaultBatchFlushInterval
+	}
+	for {
+		if err := b.client.clock().Sleep(ctx, interval); err != nil {
+			return // Close cancelled the context
+		}
+		b.flush(ctx)
+	}
+}
+
+// Add buffers one trace, flushing synchronously when the buffer reaches
+// MaxEvents. The flush error (if any) surfaces here so the caller's retry
+// classifier sees it.
+func (b *Batcher) Add(ctx context.Context, tr flighting.Trace) error {
+	max := b.MaxEvents
+	if max <= 0 {
+		max = DefaultBatchMaxEvents
+	}
+	b.mu.Lock()
+	b.buf = append(b.buf, tr)
+	full := len(b.buf) >= max
+	b.mu.Unlock()
+	if full {
+		return b.Flush(ctx)
+	}
+	return nil
+}
+
+// Len reports the currently buffered trace count.
+func (b *Batcher) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf)
+}
+
+// Flush ships everything buffered now. On failure the traces are put back
+// at the front of the buffer, so nothing is dropped and a later flush
+// retries them.
+func (b *Batcher) Flush(ctx context.Context) error {
+	b.mu.Lock()
+	batch := b.buf
+	b.buf = nil
+	b.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	if _, err := b.client.PostEventBatch(ctx, b.user, b.jobID, batch); err != nil {
+		b.mu.Lock()
+		b.buf = append(batch, b.buf...)
+		b.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// flush is the background loop's Flush: errors go to OnError (or the
+// client's logger) instead of a caller.
+func (b *Batcher) flush(ctx context.Context) {
+	if err := b.Flush(ctx); err != nil {
+		if b.OnError != nil {
+			b.OnError(err)
+			return
+		}
+		b.client.logf("client: background batch flush: %v", err)
+	}
+}
+
+// Close stops the interval flusher (if started) and ships whatever is
+// buffered. The final flush uses the caller's context, not the (cancelled)
+// loop context.
+func (b *Batcher) Close(ctx context.Context) error {
+	if b.cancel != nil {
+		b.cancel()
+	}
+	b.wg.Wait()
+	return b.Flush(ctx)
+}

@@ -1,0 +1,192 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/rockhopper-db/rockhopper/internal/backend"
+	"github.com/rockhopper-db/rockhopper/internal/flighting"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/store"
+	"github.com/rockhopper-db/rockhopper/internal/workloads"
+)
+
+// batchTraces builds n traces round-robin across the given signatures.
+func batchTraces(t *testing.T, space *sparksim.Space, sigs []string, n int) []flighting.Trace {
+	t.Helper()
+	e := sparksim.NewEngine(space)
+	q := workloads.NewGenerator(7).Query(workloads.TPCDS, 2)
+	out := makeTraces(e, q, n, 7)
+	for i := range out {
+		out[i].QueryID = sigs[i%len(sigs)]
+	}
+	return out
+}
+
+func TestPostEventBatch(t *testing.T) {
+	space := sparksim.QuerySpace()
+	srv, c := newStack(t, space)
+	traces := batchTraces(t, space, []string{"sigA", "sigB"}, 8)
+	ack, err := c.PostEventBatch(context.Background(), "u", "job1", traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Signatures != 2 || ack.Events != 8 {
+		t.Fatalf("ack = %+v, want 2 signatures / 8 events", ack)
+	}
+	srv.Flush()
+	for _, sig := range []string{"sigA", "sigB"} {
+		if _, err := srv.Store.GetInternal(store.ModelPath("u", sig)); err != nil {
+			t.Errorf("no model for %s after batch ingest: %v", sig, err)
+		}
+	}
+
+	// Unsigned traces are rejected client-side, before any network call.
+	bad := batchTraces(t, space, []string{"s"}, 2)
+	bad[1].QueryID = ""
+	if _, err := c.PostEventBatch(context.Background(), "u", "job1", bad); err == nil {
+		t.Error("batch with an unsigned trace should fail client-side")
+	}
+	// An empty batch is a no-op, not an error.
+	if _, err := c.PostEventBatch(context.Background(), "u", "job1", nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+}
+
+// TestBatcherSizeFlush: Add flushes synchronously when the buffer hits
+// MaxEvents, and Close ships the remainder.
+func TestBatcherSizeFlush(t *testing.T) {
+	space := sparksim.QuerySpace()
+	srv, c := newStack(t, space)
+	b := c.NewBatcher("u", "job1")
+	b.MaxEvents = 4
+	traces := batchTraces(t, space, []string{"sigA", "sigB"}, 6)
+	for _, tr := range traces {
+		if err := b.Add(context.Background(), tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 6 adds with MaxEvents=4: one size flush at 4, two left buffered.
+	if got := b.Len(); got != 2 {
+		t.Fatalf("buffered after size flush = %d, want 2", got)
+	}
+	if got := len(srv.Store.List("events/job1/")); got != 2 {
+		t.Fatalf("event files after size flush = %d, want 2 (sigA+sigB)", got)
+	}
+	if err := b.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Len(); got != 0 {
+		t.Errorf("buffered after Close = %d, want 0", got)
+	}
+	srv.Flush()
+	if got := len(srv.Store.List("index/u/")); got != 4 {
+		t.Errorf("index entries = %d, want 4 (2 sigs x 2 flushes)", got)
+	}
+}
+
+// TestBatcherIntervalFlush: the background loop ships the buffer on its
+// cadence without any size trigger.
+func TestBatcherIntervalFlush(t *testing.T) {
+	space := sparksim.QuerySpace()
+	srv, c := newStack(t, space)
+	b := c.NewBatcher("u", "job1")
+	b.FlushInterval = 10 * time.Millisecond
+	b.Start(context.Background())
+	defer b.Close(context.Background())
+	if err := b.Add(context.Background(), batchTraces(t, space, []string{"sigA"}, 1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Len() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("interval flusher never shipped the buffer")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := len(srv.Store.List("events/job1/")); got != 1 {
+		t.Errorf("event files = %d, want 1", got)
+	}
+	_ = srv
+}
+
+// TestBatcherRebuffersOnFailure: a failed flush keeps the traces (in order)
+// for the next attempt instead of dropping acknowledged-to-caller data.
+func TestBatcherRebuffersOnFailure(t *testing.T) {
+	space := sparksim.QuerySpace()
+	st := store.New([]byte("signing-key"))
+	srv := backend.New(space, st, secret, 1)
+	hs := httptest.NewServer(srv.Handler())
+	c := New(hs.URL, secret)
+	c.Retry.MaxAttempts = 1
+
+	b := c.NewBatcher("u", "job1")
+	traces := batchTraces(t, space, []string{"sigA"}, 3)
+	for _, tr := range traces {
+		if err := b.Add(context.Background(), tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the token cache, then kill the backend: the flush must fail and
+	// re-buffer.
+	if _, err := c.Token(context.Background(), "events/job1/", store.PermWrite); err != nil {
+		t.Fatal(err)
+	}
+	hs.Close()
+	srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := b.Flush(ctx); err == nil {
+		t.Fatal("flush against a dead backend should fail")
+	}
+	if got := b.Len(); got != 3 {
+		t.Errorf("buffered after failed flush = %d, want 3 (re-buffered)", got)
+	}
+}
+
+// TestBatcherConcurrentAdd: concurrent Adds with size flushes race-free and
+// lose nothing.
+func TestBatcherConcurrentAdd(t *testing.T) {
+	space := sparksim.QuerySpace()
+	srv, c := newStack(t, space)
+	b := c.NewBatcher("u", "job1")
+	b.MaxEvents = 8
+	traces := batchTraces(t, space, []string{"sigA", "sigB"}, 48)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g * 12; i < (g+1)*12; i++ {
+				if err := b.Add(context.Background(), traces[i]); err != nil && !errors.Is(err, context.Canceled) {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := b.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv.Flush()
+	total := 0
+	for _, p := range srv.Store.List("events/job1/") {
+		blob, err := srv.Store.GetInternal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := flighting.ReadTraces(bytes.NewReader(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(ts)
+	}
+	if total != 48 {
+		t.Errorf("persisted traces = %d, want 48 (no loss, no duplication)", total)
+	}
+}

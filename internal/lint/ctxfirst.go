@@ -195,13 +195,16 @@ func DefaultRules() []Rule {
 		GlobalRand{},
 		MapOrder{},
 		LockDiscipline{},
+		GoroutineLeak{},
 		CtxFirst{Packages: []string{"internal/client", "internal/backend"}},
 		// The durability contract (a nil return means the WAL record is on
 		// disk) and the session upload path both turn a dropped error into
 		// silently lost data.
 		UnusedResult{Funcs: []string{
 			"(*" + module + "/internal/store.Store).Put",
+			"(*" + module + "/internal/store.Store).PutBatch",
 			"(*" + module + "/internal/store.DurableStore).Put",
+			"(*" + module + "/internal/store.DurableStore).PutBatch",
 			"(*" + module + "/internal/store.DurableStore).Delete",
 			"(*" + module + "/internal/store.DurableStore).Compact",
 			"(" + module + "/internal/backend.ObjectStore).Put",

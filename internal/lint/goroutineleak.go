@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLeak flags `go` statements that spawn a goroutine with no
+// visible termination signal. A goroutine is judged lifecycle-safe when the
+// spawned body (a function literal, or a same-package function resolved
+// through go/types) shows any of the coordination shapes this codebase
+// uses to bound goroutine lifetimes:
+//
+//   - it references a context.Context (cancellation reaches it),
+//   - it performs a channel operation — receive, send, range over a
+//     channel, or select — (a peer can unblock and end it),
+//   - it calls a method on a sync.WaitGroup (a joiner awaits it), or
+//   - it waits on a sync.Cond (a closer can Broadcast it awake).
+//
+// A spawn whose body cannot be resolved (cross-package callee, method
+// value) is flagged too: the rule cannot prove it terminates, and an
+// //rocklint:allow waiver documents why the owner believes it does. The
+// rule skips _test.go files — t.Cleanup-joined helpers and deliberately
+// leaky harness goroutines would drown the signal.
+type GoroutineLeak struct{}
+
+// Name implements Rule.
+func (GoroutineLeak) Name() string { return "goroutineleak" }
+
+// Doc implements Rule.
+func (GoroutineLeak) Doc() string {
+	return "spawned goroutines must show a termination signal: a context, a channel op, a WaitGroup, or a Cond"
+}
+
+// IncludeTests implements Rule.
+func (GoroutineLeak) IncludeTests() bool { return false }
+
+// Check implements Rule.
+func (r GoroutineLeak) Check(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			// A context argument at the spawn site is an explicit lifetime
+			// hand-off even when the body is out of reach.
+			for _, arg := range g.Call.Args {
+				if isContextType(pass, arg) {
+					return true
+				}
+			}
+			body := spawnedBody(pass, g.Call)
+			if body == nil {
+				pass.Reportf(g.Pos(), "goroutine body is out of analysis reach and shows no termination signal; pass a context or waive with a reason")
+				return true
+			}
+			if !bodyCoordinates(pass, body) {
+				pass.Reportf(g.Pos(), "goroutine has no termination signal (context, channel op, WaitGroup, or Cond); it can leak past its owner's lifetime")
+			}
+			return true
+		})
+	}
+}
+
+// spawnedBody resolves the block the go statement runs: the literal's body,
+// or the body of a same-package function/method declaration.
+func spawnedBody(pass *Pass, call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			if pass.Pkg.Info.Defs[decl.Name] == fn {
+				return decl.Body
+			}
+		}
+	}
+	return nil
+}
+
+// bodyCoordinates reports whether body contains any recognized termination
+// signal. Nested function literals are inspected too: a loop body hoisted
+// into a closure still coordinates for the goroutine running it.
+func bodyCoordinates(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SelectStmt, *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if _, ok := pass.TypeOf(x.X).Underlying().(*types.Chan); ok {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && isSyncCoordinator(pass.TypeOf(sel.X)) {
+				found = true
+			}
+		case *ast.Ident:
+			if isContextType(pass, x) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSyncCoordinator reports whether t is sync.WaitGroup or sync.Cond
+// (possibly behind a pointer) — the join/wake primitives whose presence in
+// a body marks it awaited.
+func isSyncCoordinator(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "WaitGroup" || obj.Name() == "Cond"
+}

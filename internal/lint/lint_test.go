@@ -318,6 +318,17 @@ func TestDiagnosticsSorted(t *testing.T) {
 	}
 }
 
+func TestGoroutineLeakFixture(t *testing.T) {
+	diags := runFixture(t, "goroutineleak", GoroutineLeak{})
+	sup := suppressed(diags)
+	if len(sup) != 1 {
+		t.Fatalf("want 1 suppressed goroutineleak finding, got %d", len(sup))
+	}
+	if want := "fire-and-forget by design"; !strings.Contains(sup[0].SuppressReason, want) {
+		t.Errorf("suppress reason = %q, want it to contain %q", sup[0].SuppressReason, want)
+	}
+}
+
 func TestUnusedResultFixture(t *testing.T) {
 	rule := UnusedResult{Funcs: []string{
 		"(*fixture/unusedresult.Store).Put",

@@ -1,0 +1,127 @@
+// Package goroutineleak seeds spawns with and without termination signals
+// for the goroutineleak rule.
+package goroutineleak
+
+import (
+	"context"
+	"sync"
+)
+
+// leakyLoop never checks anything that could end it: flagged.
+func leakyLoop() {
+	go func() { // want "goroutine has no termination signal"
+		for {
+			work()
+		}
+	}()
+}
+
+// leakyDecl spawns a same-package function with no signal in its body.
+func leakyDecl() {
+	go spin() // want "goroutine has no termination signal"
+}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+// ctxArg hands a context at the spawn site: the lifetime is the caller's
+// problem, and the rule trusts the hand-off even without seeing the body.
+func ctxArg(ctx context.Context) {
+	go runUntil(ctx)
+}
+
+func runUntil(ctx context.Context) {
+	for ctx.Err() == nil {
+		work()
+	}
+}
+
+// ctxBody references a captured context inside the body.
+func ctxBody(ctx context.Context) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			work()
+		}
+	}()
+}
+
+// channelOps: receive, send, select, and range-over-channel all count as
+// coordination.
+func channelOps(stop chan struct{}, in chan int, out chan int) {
+	go func() {
+		<-stop
+	}()
+	go func() {
+		out <- 1
+	}()
+	go func() {
+		select {
+		case <-stop:
+		case v := <-in:
+			_ = v
+		}
+	}()
+	go func() {
+		for v := range in {
+			_ = v
+		}
+	}()
+}
+
+// waitGroupJoin: a Done on a WaitGroup marks the goroutine awaited.
+func waitGroupJoin(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// condWait: a sync.Cond wait is this repo's updater-loop shape — a closer
+// Broadcasts it awake.
+func condWait(c *sync.Cond, done *bool) {
+	go func() {
+		c.L.Lock()
+		for !*done {
+			c.Wait()
+		}
+		c.L.Unlock()
+	}()
+}
+
+// declJoin resolves a same-package FuncDecl whose body coordinates.
+func declJoin(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go worker(wg)
+}
+
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}
+
+// rangeSlice: ranging over a non-channel must NOT count as coordination.
+func rangeSlice(items []int) {
+	go func() { // want "goroutine has no termination signal"
+		for _, v := range items {
+			use(v)
+		}
+	}()
+}
+
+// unresolved spawns through a function value: out of analysis reach,
+// flagged with the reach message — and waivable.
+func unresolved(f func()) {
+	go f() // want "out of analysis reach"
+	//rocklint:allow goroutineleak -- fixture: fire-and-forget by design, bounded by the process
+	go f()
+}
+
+func work()     {}
+func use(v int) {}

@@ -26,6 +26,10 @@ func drops(s *Store, sess *Session, sink Sink) {
 	sess.Complete(true) // want "result of ..fixture/unusedresult.Session..Complete is dropped"
 	Save("x")           // want "result of fixture/unusedresult.Save is dropped"
 	sink.Put("b", nil)  // want "result of .fixture/unusedresult.Sink..Put is dropped"
+	// defer and go discard call results by language rule — the drop is just
+	// as silent there.
+	defer s.Put("g", nil) // want "result of ..fixture/unusedresult.Store..Put is dropped"
+	go sink.Put("h", nil) // want "result of .fixture/unusedresult.Sink..Put is dropped"
 }
 
 func handles(s *Store, sink Sink) error {

@@ -43,12 +43,19 @@ func (r UnusedResult) Check(pass *Pass) {
 	}
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			stmt, ok := n.(*ast.ExprStmt)
-			if !ok {
-				return true
+			// Statement-position calls drop their results in all three
+			// shapes: plain expression statements, and defer/go statements,
+			// whose call results are discarded by the language itself.
+			var call *ast.CallExpr
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = stmt.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = stmt.Call
+			case *ast.GoStmt:
+				call = stmt.Call
 			}
-			call, ok := stmt.X.(*ast.CallExpr)
-			if !ok {
+			if call == nil {
 				return true
 			}
 			fn := calleeFunc(pass, call)

@@ -102,6 +102,14 @@ func deriveRatios(rep *Report) {
 			rep.Derived[fmt.Sprintf("gp_update_speedup_n%d", n)] = fit / upd
 		}
 	}
+	// Group-commit amortization: how much cheaper 512 mutations are as one
+	// batch (one WAL record, one fsync) than as 512 standalone synced
+	// appends. Both sides pay real fsyncs, so this is the production win.
+	single, okS := ns["wal_append_sync"]
+	batch, okB := ns[fmt.Sprintf("wal_batch_append_%d", 512)]
+	if okS && okB && batch > 0 {
+		rep.Derived["wal_batch_amortization_512"] = single * 512 / batch
+	}
 	// The embedding memo's win is allocation-freeness, not ns/op (the
 	// fingerprint guard walks the plan just as Embed does), so it gets no
 	// derived ratio; its raw results carry the alloc counts Compare enforces.

@@ -50,6 +50,8 @@ func Specs(short bool) []Spec {
 		Spec{Name: "eventlog_encode", Fn: benchEventlogEncode},
 		Spec{Name: "eventlog_decode", Fn: benchEventlogDecode},
 		Spec{Name: "wal_append", Fn: benchWALAppend},
+		Spec{Name: "wal_append_sync", Fn: benchWALAppendSync},
+		Spec{Name: fmt.Sprintf("wal_batch_append_%d", walBatchEntries), Fn: benchWALBatchAppend},
 		Spec{Name: "wal_replay", Fn: benchWALReplay},
 		Spec{Name: "embedding_compute", Fn: benchEmbeddingCompute},
 		Spec{Name: "embedding_memoized", Fn: benchEmbeddingMemoized},
@@ -226,6 +228,67 @@ func benchWALAppend(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st.PutInternal("bench/blob", data)
+	}
+}
+
+// walBatchEntries is the group-commit batch size benchmarked against
+// per-record appends.
+const walBatchEntries = 512
+
+// benchWALAppendSync measures one acknowledged mutation with the per-record
+// fsync ON — the production durability cost one solo Put actually pays, and
+// the baseline the group-commit amortization ratio divides by.
+func benchWALAppendSync(b *testing.B) {
+	dir, err := os.MkdirTemp("", "perfsuite-wal-append-sync-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.OpenDurable(dir, nil, store.DurableOptions{CompactEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.PutInternal("bench/blob", data)
+	}
+}
+
+// benchWALBatchAppend measures one group commit of walBatchEntries entries
+// with fsync ON — the store path behind POST /api/events/batch. One
+// operation lands 512 mutations behind a single WAL record and a single
+// fsync, so the dominant per-mutation cost (the sync) is amortized 512-way;
+// the wal_batch_amortization_512 derived ratio pins that against
+// wal_append_sync.
+func benchWALBatchAppend(b *testing.B) {
+	dir, err := os.MkdirTemp("", "perfsuite-wal-batch-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.OpenDurable(dir, nil, store.DurableOptions{CompactEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	entries := make([]store.BatchEntry, walBatchEntries)
+	for i := range entries {
+		entries[i] = store.BatchEntry{Path: fmt.Sprintf("bench/blob-%03d", i), Data: data}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.PutBatch(entries); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -221,6 +221,10 @@ func (d *DurableStore) replay() error {
 			for _, p := range rec.Paths {
 				d.mem.Delete(p)
 			}
+		case opBatch:
+			for _, e := range rec.Entries {
+				d.mem.putAt(e.Path, e.Data, time.Unix(0, e.Created))
+			}
 		}
 	}
 	d.seq = lastSeq
@@ -366,6 +370,38 @@ func (d *DurableStore) PutInternal(p string, data []byte) {
 
 // GetInternal reads without a token.
 func (d *DurableStore) GetInternal(p string) ([]byte, error) { return d.mem.GetInternal(p) }
+
+// PutBatch is the group-commit primitive: it logs a whole batch of internal
+// writes as ONE WAL record — one append and one fsync no matter how many
+// entries — then applies them to the in-memory image. Replay applies the
+// record all-or-nothing, so a crash can never surface a partial batch: the
+// batched ingest endpoint relies on this for event-file + index atomicity.
+func (d *DurableStore) PutBatch(entries []BatchEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.down != nil {
+		return d.down
+	}
+	created := d.clock.Now().UnixNano()
+	es := make([]snapEntry, len(entries))
+	for i, e := range entries {
+		if e.Path == "" {
+			return fmt.Errorf("store: batch entry %d has an empty path", i)
+		}
+		es[i] = snapEntry{Path: e.Path, Data: e.Data, Created: created}
+	}
+	if err := d.appendLocked(walRecord{Seq: d.seq + 1, Op: opBatch, Entries: es}); err != nil {
+		return err
+	}
+	for _, e := range es {
+		d.mem.putAt(e.Path, e.Data, time.Unix(0, e.Created))
+	}
+	d.maybeCompactCountLocked()
+	return nil
+}
 
 // List returns the paths under prefix, sorted.
 func (d *DurableStore) List(prefix string) []string { return d.mem.List(prefix) }

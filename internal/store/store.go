@@ -191,6 +191,28 @@ func (s *Store) getUnchecked(p string) ([]byte, error) {
 // store directly, mirroring the admin-workspace trust boundary.
 func (s *Store) PutInternal(p string, data []byte) { s.putUnchecked(p, data) }
 
+// BatchEntry is one mutation in a PutBatch group commit.
+type BatchEntry struct {
+	Path string
+	Data []byte
+}
+
+// PutBatch applies a group of internal writes. The in-memory store has no
+// log to amortize, so the entries are applied one by one after an upfront
+// shape check; the durable store commits the same batch behind a single
+// WAL record (one append + fsync) and replays it atomically.
+func (s *Store) PutBatch(entries []BatchEntry) error {
+	for i, e := range entries {
+		if e.Path == "" {
+			return fmt.Errorf("store: batch entry %d has an empty path", i)
+		}
+	}
+	for _, e := range entries {
+		s.putUnchecked(e.Path, e.Data)
+	}
+	return nil
+}
+
 // GetInternal reads without a token.
 func (s *Store) GetInternal(p string) ([]byte, error) { return s.getUnchecked(p) }
 

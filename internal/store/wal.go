@@ -30,6 +30,7 @@ const (
 	opPut   = "put"
 	opDel   = "del"
 	opSweep = "sweep"
+	opBatch = "batch"
 )
 
 // ErrWALGap marks a log whose first record skips past the snapshot's
@@ -41,7 +42,7 @@ var ErrWALGap = errors.New("store: WAL begins past the snapshot sequence (acknow
 type walRecord struct {
 	// Seq is the strictly increasing record number.
 	Seq uint64 `json:"seq"`
-	// Op is opPut, opDel, or opSweep.
+	// Op is opPut, opDel, opSweep, or opBatch.
 	Op string `json:"op"`
 	// Path is the object path a put or del targets.
 	Path string `json:"path,omitempty"`
@@ -53,6 +54,10 @@ type walRecord struct {
 	// Created is the put's creation timestamp, Unix nanoseconds, so replay
 	// reconstructs retention state exactly.
 	Created int64 `json:"created,omitempty"`
+	// Entries is the group commit one batch op applies — many object writes
+	// behind a single record (one append + fsync), and atomically on replay:
+	// either the whole batch survives a crash or none of it does.
+	Entries []snapEntry `json:"entries,omitempty"`
 }
 
 // snapEntry is one object in a snapshot; it shares the walRecord field
@@ -133,6 +138,25 @@ func appendWALRecord(dst []byte, rec walRecord) []byte {
 		dst = append(dst, `,"created":`...)
 		dst = jsonz.AppendInt(dst, rec.Created)
 	}
+	if len(rec.Entries) > 0 {
+		dst = append(dst, `,"entries":[`...)
+		for i, e := range rec.Entries {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = append(dst, `{"path":`...)
+			dst = jsonz.AppendString(dst, e.Path)
+			if len(e.Data) > 0 {
+				dst = append(dst, `,"data":`...)
+				dst = jsonz.AppendBase64(dst, e.Data)
+			}
+			// snapEntry's created has no omitempty: always emitted.
+			dst = append(dst, `,"created":`...)
+			dst = jsonz.AppendInt(dst, e.Created)
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
 	dst = append(dst, '}')
 	sum := crc32.ChecksumIEEE(dst[body:])
 	const hexDigits = "0123456789abcdef"
@@ -160,13 +184,24 @@ func decodeWALRecord(line []byte) (walRecord, error) {
 }
 
 // validWALOp checks the op-specific shape of a decoded record: puts and
-// dels target exactly one path, sweeps carry a non-empty batch.
+// dels target exactly one path, sweeps carry a non-empty path batch, and
+// group commits carry a non-empty entry batch with per-entry paths.
 func validWALOp(rec walRecord) bool {
 	switch rec.Op {
 	case opPut, opDel:
 		return rec.Path != ""
 	case opSweep:
 		return rec.Path == "" && len(rec.Paths) > 0
+	case opBatch:
+		if rec.Path != "" || len(rec.Paths) > 0 || len(rec.Entries) == 0 {
+			return false
+		}
+		for _, e := range rec.Entries {
+			if e.Path == "" {
+				return false
+			}
+		}
+		return true
 	}
 	return false
 }

@@ -21,6 +21,12 @@ func TestAppendWALRecordMatchesEncode(t *testing.T) {
 		{Seq: 8, Op: opPut, Path: "html<&>" + string(rune(0x2028)), Data: bytes.Repeat([]byte{0xFF}, 300)},
 		{Seq: 9, Op: ""},
 		{Seq: 10, Op: opPut, Path: "ctrl\x01\ttab"},
+		{Seq: 11, Op: opBatch, Entries: []snapEntry{
+			{Path: "events/j/run-000000.jsonl", Data: []byte("payload"), Created: 77},
+			{Path: "index/u/sig/j-000000", Created: 0},
+			{Path: `esc "batch" \entry`, Data: []byte{}, Created: -3},
+		}},
+		{Seq: 12, Op: opBatch, Entries: []snapEntry{{Path: "solo", Created: 1}}},
 	}
 	for i, rec := range fixed {
 		want, err := encodeWALRecord(rec)
@@ -42,8 +48,15 @@ func TestAppendWALRecordMatchesEncode(t *testing.T) {
 			}
 		}
 	}
-	f := func(seq uint64, op, path string, paths []string, data []byte, created int64) bool {
+	f := func(seq uint64, op, path string, paths []string, data []byte, created int64, entryPaths []string, entryData []byte) bool {
 		rec := walRecord{Seq: seq, Op: op, Path: path, Paths: paths, Data: data, Created: created}
+		for i, p := range entryPaths {
+			e := snapEntry{Path: p, Created: created + int64(i)}
+			if i%2 == 0 {
+				e.Data = entryData
+			}
+			rec.Entries = append(rec.Entries, e)
+		}
 		want, err := encodeWALRecord(rec)
 		if err != nil {
 			return true

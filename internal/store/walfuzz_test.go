@@ -50,6 +50,13 @@ func referenceReplay(data []byte) (ref *Store, gap bool) {
 			valid = rec.Path != ""
 		case opSweep:
 			valid = rec.Path == "" && len(rec.Paths) > 0
+		case opBatch:
+			valid = rec.Path == "" && len(rec.Paths) == 0 && len(rec.Entries) > 0
+			for _, e := range rec.Entries {
+				if e.Path == "" {
+					valid = false
+				}
+			}
 		}
 		if rec.Seq == 0 || !valid {
 			break
@@ -71,6 +78,10 @@ func referenceReplay(data []byte) (ref *Store, gap bool) {
 			for _, p := range rec.Paths {
 				ref.Delete(p)
 			}
+		case opBatch:
+			for _, e := range rec.Entries {
+				ref.putAt(e.Path, e.Data, time.Unix(0, e.Created))
+			}
 		}
 	}
 	return ref, false
@@ -87,6 +98,10 @@ func validWALImage(tb testing.TB) []byte {
 		{Seq: 4, Op: opPut, Path: "models/u/a.model", Data: []byte("alpha-v2"), Created: 9002},
 		{Seq: 5, Op: opPut, Path: "events/j/run-000001.jsonl", Data: []byte("e1"), Created: 9003},
 		{Seq: 6, Op: opSweep, Paths: []string{"events/j/run-000001.jsonl", "events/j/run-000002.jsonl"}},
+		{Seq: 7, Op: opBatch, Entries: []snapEntry{
+			{Path: "events/j/run-000003.jsonl", Data: []byte("e3"), Created: 9004},
+			{Path: "index/u/sig/j-000003", Created: 9004},
+		}},
 	}
 	for _, rec := range recs {
 		line, err := encodeWALRecord(rec)
