@@ -7,10 +7,14 @@
 //
 // Usage:
 //
-//	rocklint [-tests=false] [-suppressed] [-list] [packages]
+//	rocklint [-tests=false] [-suppressed] [-list] [-json] [-parallel=false] [packages]
 //
 // packages default to ./... — patterns are module-relative directories,
-// with /... for subtrees. Deliberate exceptions are annotated in source:
+// with /... for subtrees. -parallel (the default) loads and checks
+// packages across GOMAXPROCS workers in module-import dependency order;
+// its output is byte-identical to the serial engine, which CI asserts.
+// -json emits a machine-readable report instead of the line-per-finding
+// text form. Deliberate exceptions are annotated in source:
 //
 //	//rocklint:allow <rule>[,<rule>] -- <reason>
 //
@@ -18,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +36,8 @@ func main() {
 	tests := flag.Bool("tests", true, "analyze _test.go files (rules that opt in)")
 	suppressed := flag.Bool("suppressed", false, "also print suppressed findings with their reasons")
 	list := flag.Bool("list", false, "list the registered rules and exit")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON on stdout")
+	parallel := flag.Bool("parallel", true, "load and check packages across GOMAXPROCS workers")
 	flag.Parse()
 
 	rules := lint.DefaultRules()
@@ -46,7 +53,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rocklint:", err)
 		os.Exit(2)
 	}
-	pkgs, err := loader.LoadAll()
+	var pkgs []*lint.Package
+	if *parallel {
+		pkgs, err = loader.LoadAllParallel(0)
+	} else {
+		pkgs, err = loader.LoadAll()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rocklint:", err)
 		os.Exit(2)
@@ -67,8 +79,16 @@ func main() {
 
 	cfg := lint.DefaultConfig()
 	cfg.IncludeTests = *tests
-	diags := lint.Run(pkgs, rules, cfg)
+	var diags []lint.Diagnostic
+	if *parallel {
+		diags = lint.RunParallel(pkgs, rules, cfg, 0)
+	} else {
+		diags = lint.Run(pkgs, rules, cfg)
+	}
 
+	if *jsonOut {
+		os.Exit(reportJSON(pkgs, rules, diags))
+	}
 	findings := 0
 	for _, d := range diags {
 		if d.Suppressed {
@@ -87,6 +107,61 @@ func main() {
 	fmt.Fprintf(os.Stderr, "rocklint: ok (%d packages, %d rules)\n", len(pkgs), len(rules))
 }
 
+// jsonDiag is one diagnostic in -json output.
+type jsonDiag struct {
+	Rule   string `json:"rule"`
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Col    int    `json:"col"`
+	Msg    string `json:"msg"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// jsonReport is the -json document: counts up front for job summaries,
+// findings and waived (suppressed) diagnostics as separate lists.
+type jsonReport struct {
+	Packages int        `json:"packages"`
+	Rules    []string   `json:"rules"`
+	Findings []jsonDiag `json:"findings"`
+	Waived   []jsonDiag `json:"waived"`
+}
+
+// reportJSON renders the run as JSON and returns the process exit code.
+func reportJSON(pkgs []*lint.Package, rules []lint.Rule, diags []lint.Diagnostic) int {
+	rep := jsonReport{Packages: len(pkgs), Findings: []jsonDiag{}, Waived: []jsonDiag{}}
+	for _, r := range rules {
+		rep.Rules = append(rep.Rules, r.Name())
+	}
+	wd, _ := os.Getwd()
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if wd != "" {
+			if r, err := filepath.Rel(wd, file); err == nil && !strings.HasPrefix(r, "..") {
+				file = r
+			}
+		}
+		jd := jsonDiag{Rule: d.Rule, File: file, Line: d.Pos.Line, Col: d.Pos.Column, Msg: d.Msg}
+		if d.Suppressed {
+			jd.Reason = d.SuppressReason
+			rep.Waived = append(rep.Waived, jd)
+		} else {
+			rep.Findings = append(rep.Findings, jd)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "rocklint:", err)
+		return 2
+	}
+	if len(rep.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "rocklint: %d finding(s) in %d package(s)\n", len(rep.Findings), len(pkgs))
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "rocklint: ok (%d packages, %d rules)\n", len(pkgs), len(rules))
+	return 0
+}
+
 // rel renders a diagnostic with a working-directory-relative path.
 func rel(d lint.Diagnostic) string {
 	if wd, err := os.Getwd(); err == nil {
@@ -102,16 +177,30 @@ func rel(d lint.Diagnostic) string {
 // module packages), so naming one on the command line is an explicit
 // request — that is how CI proves rocklint exits nonzero on the seeded
 // golden fixtures under internal/lint/testdata.
+//
+// A `<pkg>/testdata/src` tree is loaded as its own miniature module with
+// import path "fixture" (the same convention the golden tests use), so
+// fixtures may import each other — `fixture/telemetry` — and still
+// type-check fully.
 func loadTestdata(loader *lint.Loader, patterns []string) ([]*lint.Package, error) {
 	var out []*lint.Package
+	loaders := map[string]*lint.Loader{loader.ModuleRoot: loader}
 	for _, pat := range patterns {
 		pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
 		if !strings.Contains(pat, "testdata") {
 			continue
 		}
+		ld := loader
+		if i := strings.Index(pat, "testdata/src"); i >= 0 {
+			fixRoot := filepath.Join(loader.ModuleRoot, filepath.FromSlash(pat[:i+len("testdata/src")]))
+			if loaders[fixRoot] == nil {
+				loaders[fixRoot] = lint.NewLoaderAt(fixRoot, "fixture")
+			}
+			ld = loaders[fixRoot]
+		}
 		root := filepath.Join(loader.ModuleRoot, filepath.FromSlash(strings.TrimSuffix(pat, "/...")))
 		if !strings.HasSuffix(pat, "/...") {
-			got, err := loader.LoadDir(root)
+			got, err := ld.LoadDir(root)
 			if err != nil {
 				return nil, err
 			}
@@ -122,7 +211,7 @@ func loadTestdata(loader *lint.Loader, patterns []string) ([]*lint.Package, erro
 			if err != nil || !d.IsDir() {
 				return err
 			}
-			got, err := loader.LoadDir(path)
+			got, err := ld.LoadDir(path)
 			if err != nil {
 				return err
 			}

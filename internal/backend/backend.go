@@ -765,6 +765,7 @@ func (s *Server) retrain(j updateJob) {
 	s.Store.PutInternal(store.ModelPath(user, signature), blob)
 	s.tele.retrains.Inc()
 	s.tele.retrainSeconds.Observe(s.clock().Now().Sub(started).Seconds())
+	//rocklint:allow metriccardinality -- best-cost gauge is partitioned by the model store's own user/signature set; DESIGN.md §8 blesses these labels on model gauges
 	s.tele.bestCost.With(user, signature).Set(best)
 	s.persistBestCost(j.trace, user, signature, best)
 	s.logfCtx(j.trace, "backend: retrained %s/%s on %d traces", user, signature, len(traces))

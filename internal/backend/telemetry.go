@@ -96,6 +96,7 @@ func (s *Server) bindTelemetry(reg *telemetry.Registry) {
 			if json.Unmarshal(blob, &rec) != nil || rec.User == "" || rec.Signature == "" {
 				continue
 			}
+			//rocklint:allow metriccardinality -- boot-time restore: labels are exactly the persisted best-cost records already on disk (DESIGN.md §8 model-gauge blessing)
 			t.bestCost.With(rec.User, rec.Signature).Set(rec.BestMs)
 		}
 	}

@@ -11,6 +11,7 @@ import (
 
 	"github.com/rockhopper-db/rockhopper/internal/backend"
 	"github.com/rockhopper-db/rockhopper/internal/flighting"
+	"github.com/rockhopper-db/rockhopper/internal/resilience"
 	"github.com/rockhopper-db/rockhopper/internal/store"
 )
 
@@ -58,18 +59,30 @@ func (c *Client) PostEventBatch(ctx context.Context, user, jobID string, traces 
 const (
 	DefaultBatchMaxEvents     = 64
 	DefaultBatchFlushInterval = 5 * time.Second
+	// MinBatchFlushEvents floors the adaptive flush target: shedding can
+	// shrink batches down to single-trace requests but never stop them.
+	MinBatchFlushEvents = 1
 )
 
 // Batcher buffers traces client-side and flushes them through
-// PostEventBatch when the buffer reaches MaxEvents or FlushInterval
+// PostEventBatch when the buffer reaches the flush target or FlushInterval
 // elapses — the query listener's answer to "don't fsync per query". It is
 // safe for concurrent Add.
+//
+// The flush target is adaptive (AIMD): it starts at MaxEvents and reacts
+// to backend shedding. A flush the backend rejects with 429 + Retry-After
+// halves the target — multiplicative decrease sheds load as fast as the
+// backend signals distress — and each accepted flush adds one back up to
+// MaxEvents, probing for recovered capacity gently enough not to
+// re-trigger the shed. Flush ships the buffer in target-sized requests, so
+// the halved size applies to in-flight work too, not just the trigger.
 type Batcher struct {
 	client *Client
 	user   string
 	jobID  string
 
-	// MaxEvents triggers a size flush; <= 0 means DefaultBatchMaxEvents.
+	// MaxEvents is the flush-target ceiling; <= 0 means
+	// DefaultBatchMaxEvents.
 	MaxEvents int
 	// FlushInterval is the background flush cadence; <= 0 means
 	// DefaultBatchFlushInterval.
@@ -78,8 +91,9 @@ type Batcher struct {
 	// re-buffered); nil logs through the client's Logger.
 	OnError func(error)
 
-	mu  sync.Mutex
-	buf []flighting.Trace
+	mu     sync.Mutex
+	buf    []flighting.Trace
+	target int // adaptive flush threshold; 0 until first use
 
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -117,17 +131,38 @@ func (b *Batcher) loop(ctx context.Context) {
 	}
 }
 
-// Add buffers one trace, flushing synchronously when the buffer reaches
-// MaxEvents. The flush error (if any) surfaces here so the caller's retry
-// classifier sees it.
-func (b *Batcher) Add(ctx context.Context, tr flighting.Trace) error {
-	max := b.MaxEvents
-	if max <= 0 {
-		max = DefaultBatchMaxEvents
+// ceiling is the configured flush-target upper bound.
+func (b *Batcher) ceiling() int {
+	if b.MaxEvents > 0 {
+		return b.MaxEvents
 	}
+	return DefaultBatchMaxEvents
+}
+
+// targetLocked returns the adaptive flush threshold, initializing it to
+// the ceiling on first use. Callers hold b.mu.
+func (b *Batcher) targetLocked() int {
+	if b.target <= 0 {
+		b.target = b.ceiling()
+	}
+	return b.target
+}
+
+// FlushTarget reports the current adaptive flush threshold — MaxEvents
+// until the backend sheds, smaller while the Batcher is backing off.
+func (b *Batcher) FlushTarget() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.targetLocked()
+}
+
+// Add buffers one trace, flushing synchronously when the buffer reaches
+// the adaptive flush target. The flush error (if any) surfaces here so
+// the caller's retry classifier sees it.
+func (b *Batcher) Add(ctx context.Context, tr flighting.Trace) error {
 	b.mu.Lock()
 	b.buf = append(b.buf, tr)
-	full := len(b.buf) >= max
+	full := len(b.buf) >= b.targetLocked()
 	b.mu.Unlock()
 	if full {
 		return b.Flush(ctx)
@@ -142,22 +177,40 @@ func (b *Batcher) Len() int {
 	return len(b.buf)
 }
 
-// Flush ships everything buffered now. On failure the traces are put back
-// at the front of the buffer, so nothing is dropped and a later flush
-// retries them.
+// Flush ships everything buffered at the time of the call, in requests of
+// at most the current flush target. On failure the unshipped traces are
+// put back at the front of the buffer — nothing is dropped, nothing
+// already acknowledged is re-sent — and a later flush retries them. A 429
+// rejection halves the flush target; each accepted request adds one back.
 func (b *Batcher) Flush(ctx context.Context) error {
 	b.mu.Lock()
 	batch := b.buf
 	b.buf = nil
 	b.mu.Unlock()
-	if len(batch) == 0 {
-		return nil
-	}
-	if _, err := b.client.PostEventBatch(ctx, b.user, b.jobID, batch); err != nil {
+	for len(batch) > 0 {
+		n := b.FlushTarget()
+		if n > len(batch) {
+			n = len(batch)
+		}
+		if _, err := b.client.PostEventBatch(ctx, b.user, b.jobID, batch[:n:n]); err != nil {
+			b.mu.Lock()
+			if resilience.StatusOf(err) == http.StatusTooManyRequests {
+				// The backend said "too much, come back later": halve the
+				// target so the retry (and the trigger) respect the shed.
+				if b.target = b.targetLocked() / 2; b.target < MinBatchFlushEvents {
+					b.target = MinBatchFlushEvents
+				}
+			}
+			b.buf = append(batch, b.buf...)
+			b.mu.Unlock()
+			return err
+		}
 		b.mu.Lock()
-		b.buf = append(batch, b.buf...)
+		if t := b.targetLocked(); t < b.ceiling() {
+			b.target = t + 1
+		}
 		b.mu.Unlock()
-		return err
+		batch = batch[n:]
 	}
 	return nil
 }

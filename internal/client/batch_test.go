@@ -4,13 +4,16 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"github.com/rockhopper-db/rockhopper/internal/backend"
 	"github.com/rockhopper-db/rockhopper/internal/flighting"
+	"github.com/rockhopper-db/rockhopper/internal/resilience"
 	"github.com/rockhopper-db/rockhopper/internal/sparksim"
 	"github.com/rockhopper-db/rockhopper/internal/store"
 	"github.com/rockhopper-db/rockhopper/internal/workloads"
@@ -102,17 +105,19 @@ func TestBatcherIntervalFlush(t *testing.T) {
 	if err := b.Add(context.Background(), batchTraces(t, space, []string{"sigA"}, 1)[0]); err != nil {
 		t.Fatal(err)
 	}
+	// Wait for the flush to land in the store, not merely for the buffer to
+	// drain: Flush snapshots (and empties) the buffer before the POST
+	// completes, so Len()==0 races the actual ship.
 	deadline := time.Now().Add(5 * time.Second)
-	for b.Len() > 0 {
+	for len(srv.Store.List("events/job1/")) == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("interval flusher never shipped the buffer")
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if got := len(srv.Store.List("events/job1/")); got != 1 {
-		t.Errorf("event files = %d, want 1", got)
+	if got := b.Len(); got != 0 {
+		t.Errorf("buffered after interval flush = %d, want 0", got)
 	}
-	_ = srv
 }
 
 // TestBatcherRebuffersOnFailure: a failed flush keeps the traces (in order)
@@ -146,6 +151,92 @@ func TestBatcherRebuffersOnFailure(t *testing.T) {
 	}
 	if got := b.Len(); got != 3 {
 		t.Errorf("buffered after failed flush = %d, want 3 (re-buffered)", got)
+	}
+	// A transport failure carries no status: the adaptive target must not
+	// shrink — only the backend's own 429 shed signal does that.
+	if got := b.FlushTarget(); got != DefaultBatchMaxEvents {
+		t.Errorf("flush target after transport failure = %d, want %d (unchanged)", got, DefaultBatchMaxEvents)
+	}
+}
+
+// TestBatcherAdaptiveFlushTarget drives the AIMD flush sizing on a fake
+// clock: 429 + Retry-After halves the target down to the floor, accepted
+// flushes add one back toward MaxEvents, and a recovered backlog drains in
+// target-sized requests.
+func TestBatcherAdaptiveFlushTarget(t *testing.T) {
+	space := sparksim.QuerySpace()
+	st := store.New([]byte("signing-key"))
+	srv := backend.New(space, st, secret, 1)
+
+	var shedding atomic.Bool
+	var batchCalls atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/api/events/batch" {
+			batchCalls.Add(1)
+			if shedding.Load() {
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "shed", http.StatusTooManyRequests)
+				return
+			}
+		}
+		srv.Handler().ServeHTTP(w, r)
+	})
+	hs := httptest.NewServer(h)
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+
+	c := New(hs.URL, secret)
+	c.Clock = resilience.NewFakeClock(time.Unix(0, 0)) // no real sleeps, deterministic
+	c.Retry.MaxAttempts = 1                            // surface each 429 to the Batcher
+
+	b := c.NewBatcher("u", "job1")
+	b.MaxEvents = 16
+	if got := b.FlushTarget(); got != 16 {
+		t.Fatalf("initial flush target = %d, want MaxEvents (16)", got)
+	}
+
+	ctx := context.Background()
+	traces := batchTraces(t, space, []string{"sigA"}, 16)
+	for _, tr := range traces[:15] {
+		if err := b.Add(ctx, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shedding.Store(true)
+	if err := b.Add(ctx, traces[15]); err == nil {
+		t.Fatal("size flush during shed should surface the 429")
+	}
+	if got := b.FlushTarget(); got != 8 {
+		t.Fatalf("target after one 429 = %d, want 8 (halved)", got)
+	}
+	if got := b.Len(); got != 16 {
+		t.Fatalf("buffered after failed flush = %d, want 16 (re-buffered)", got)
+	}
+
+	// Repeated sheds keep halving but never go below the floor.
+	for i := 0; i < 10; i++ {
+		if err := b.Flush(ctx); err == nil {
+			t.Fatal("flush during shed should fail")
+		}
+	}
+	if got := b.FlushTarget(); got != MinBatchFlushEvents {
+		t.Fatalf("target after sustained shedding = %d, want floor %d", got, MinBatchFlushEvents)
+	}
+
+	// Recovery: the backlog drains in target-sized requests, each accepted
+	// one raising the target by one (1,2,3,4,5 then the final 1 = 6 calls).
+	shedding.Store(false)
+	batchCalls.Store(0)
+	if err := b.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Len(); got != 0 {
+		t.Fatalf("buffered after recovered flush = %d, want 0", got)
+	}
+	if got := batchCalls.Load(); got != 6 {
+		t.Fatalf("recovered drain used %d requests, want 6 (additive growth)", got)
+	}
+	if got := b.FlushTarget(); got != 7 {
+		t.Fatalf("target after 6 accepted flushes = %d, want 7", got)
 	}
 }
 

@@ -197,6 +197,18 @@ func DefaultRules() []Rule {
 		LockDiscipline{},
 		GoroutineLeak{},
 		CtxFirst{Packages: []string{"internal/client", "internal/backend"}},
+		DeadlockCycle{},
+		CtxFlow{},
+		MetricCardinality{BoundedFuncs: []string{
+			// tenantLabel caps its output at maxTenantLabelValues distinct
+			// tenants plus "other" — the canonical tenant-capped set of
+			// DESIGN.md §8.
+			"(*" + module + "/internal/backend.Server).tenantLabel",
+			// BO.name is only ever assigned the literals "bo"/"cbo" (the
+			// field exists so one struct serves both algorithm variants);
+			// the checker's field rule cannot see that closed set.
+			"(*" + module + "/internal/tuners.BO).Name",
+		}},
 		// The durability contract (a nil return means the WAL record is on
 		// disk) and the session upload path both turn a dropped error into
 		// silently lost data.

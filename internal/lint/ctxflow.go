@@ -1,0 +1,216 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow is the interprocedural context-plumbing rule. ctxfirst (PR 3)
+// checks signatures — exported I/O functions must accept a ctx; CtxFlow
+// checks dataflow — a context that was accepted must actually travel:
+//
+//   - a function that receives a context.Context (as a parameter, or
+//     lexically for a closure) must forward a context to every
+//     ctx-accepting callee; calling one without any ctx argument severs
+//     cancellation at that hop;
+//   - context.Background()/TODO() inside a ctx-bearing function — or in a
+//     function the call graph shows is reachable from one — mints a fresh,
+//     uncancellable root below an entry point, which is how shutdown
+//     deadlines stop propagating.
+//
+// Entry points (main, tests, handlers invoked through net/http) are
+// naturally exempt: nothing ctx-bearing reaches them through module call
+// edges. The `if ctx == nil { ctx = context.Background() }` defaulting
+// guard is recognized and allowed.
+type CtxFlow struct{}
+
+// Name implements Rule.
+func (CtxFlow) Name() string { return "ctxflow" }
+
+// Doc implements Rule.
+func (CtxFlow) Doc() string {
+	return "received contexts must flow to ctx-accepting callees; no fresh Background()/TODO() below entry points"
+}
+
+// IncludeTests implements Rule.
+func (CtxFlow) IncludeTests() bool { return false }
+
+// NeedsModule marks the rule interprocedural.
+func (CtxFlow) NeedsModule() {}
+
+// Check implements Rule.
+func (r CtxFlow) Check(pass *Pass) {
+	if pass.Module == nil {
+		return
+	}
+	findings := pass.Module.Memo("ctxflow", func() any {
+		return ctxflowAnalyze(pass.Module)
+	}).([]modFinding)
+	for _, f := range findings {
+		if f.Pkg == pass.Pkg {
+			pass.Reportf(f.Pos, "%s", f.Msg)
+		}
+	}
+}
+
+func ctxflowAnalyze(m *Module) []modFinding {
+	var findings []modFinding
+	for _, key := range m.Order {
+		fi := m.Funcs[key]
+		sum := fi.Summary()
+		switch {
+		case sum.HasCtx:
+			findings = append(findings, ctxRootFindings(fi, "function receives a context but calls context.%s(); use the caller's ctx so cancellation propagates")...)
+			findings = append(findings, ctxForwardFindings(m, fi)...)
+		case sum.CtxDown:
+			findings = append(findings, ctxRootFindings(fi, "context.%s() in a function reachable from ctx-bearing "+sum.CtxWitness+"; plumb the context through the call chain")...)
+		}
+	}
+	return findings
+}
+
+// ctxRootFindings reports context.Background()/TODO() calls in fi's own
+// body, excluding the nil-defaulting guard idiom (a call lexically inside
+// `if <ctx> == nil { ... }`).
+func ctxRootFindings(fi *FuncInfo, format string) []modFinding {
+	var findings []modFinding
+	var walk func(n ast.Node, nilGuard bool)
+	walk = func(n ast.Node, nilGuard bool) {
+		if n == nil {
+			return
+		}
+		if ifStmt, ok := n.(*ast.IfStmt); ok && isCtxNilGuard(fi, ifStmt.Cond) {
+			walk(ifStmt.Cond, nilGuard)
+			walk(ifStmt.Body, true)
+			walk(ifStmt.Else, nilGuard)
+			return
+		}
+		ast.Inspect(n, func(x ast.Node) bool {
+			if x == n {
+				return true
+			}
+			if lit, ok := x.(*ast.FuncLit); ok && lit != fi.Lit {
+				return false
+			}
+			if inner, ok := x.(*ast.IfStmt); ok && isCtxNilGuard(fi, inner.Cond) {
+				walk(inner, nilGuard)
+				return false
+			}
+			if call, ok := x.(*ast.CallExpr); ok && !nilGuard {
+				if name, ok := ctxRootCall(fi.Pkg, call); ok {
+					findings = append(findings, modFinding{
+						Pkg: fi.Pkg,
+						Pos: call.Pos(),
+						Msg: fmt.Sprintf(format, name),
+					})
+				}
+			}
+			return true
+		})
+	}
+	walk(fi.Body, false)
+	return findings
+}
+
+// ctxRootCall matches context.Background() / context.TODO().
+func ctxRootCall(pkg *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "context" {
+		return "", false
+	}
+	if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// isCtxNilGuard matches `<expr of type context.Context> == nil`.
+func isCtxNilGuard(fi *FuncInfo, cond ast.Expr) bool {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || bin.Op.String() != "==" {
+		return false
+	}
+	x, y := bin.X, bin.Y
+	if isNilIdent(y) {
+		return isContextParam(typeOrNil(fi, x))
+	}
+	if isNilIdent(x) {
+		return isContextParam(typeOrNil(fi, y))
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func typeOrNil(fi *FuncInfo, e ast.Expr) types.Type {
+	return fi.Pkg.Info.TypeOf(e)
+}
+
+// ctxForwardFindings reports call sites where fi, which has a context in
+// scope, calls a ctx-accepting callee without passing any context value.
+func ctxForwardFindings(m *Module, fi *FuncInfo) []modFinding {
+	var findings []modFinding
+	for _, cs := range fi.Calls {
+		name, ok := ctxAcceptingCallee(m, cs)
+		if !ok {
+			continue
+		}
+		forwarded := false
+		for _, arg := range cs.Call.Args {
+			if isContextParam(fi.Pkg.Info.TypeOf(arg)) {
+				forwarded = true
+				break
+			}
+		}
+		if !forwarded {
+			findings = append(findings, modFinding{
+				Pkg: fi.Pkg,
+				Pos: cs.Call.Pos(),
+				Msg: "has a ctx in scope but calls " + name + " without forwarding it; pass the ctx (or a derived one)",
+			})
+		}
+	}
+	return findings
+}
+
+// ctxAcceptingCallee reports whether the call site's callee takes a
+// context.Context parameter, and its display name. Only statically
+// resolved callees count: for interface calls the interface method's own
+// signature decides (every implementation shares it).
+func ctxAcceptingCallee(m *Module, cs *CallSite) (string, bool) {
+	// In-module resolution (direct or literal).
+	if len(cs.Callees) > 0 && !cs.Interface {
+		callee := cs.Callees[0]
+		if callee.CtxParamIndex() >= 0 {
+			return callee.Name, true
+		}
+		return "", false
+	}
+	// Interface and external calls: consult the declared signature.
+	fn := calleeOf(cs.Caller.Pkg, cs.Call)
+	if fn == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextParam(sig.Params().At(i).Type()) {
+			return displayName(fn), true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,276 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// DeadlockCycle is the interprocedural deadlock rule. It builds a global
+// lock-acquisition-order graph from the per-function held-lock scans: an
+// edge A→B means some call path acquires lock class B while already holding
+// class A (directly, or because a callee's summary says it acquires B). Two
+// findings come out of it:
+//
+//   - a cycle in the order graph (two lock classes taken in inconsistent
+//     order on any pair of paths) — the classic ABBA deadlock;
+//   - a lock held across a blocking operation — channel send/receive,
+//     select without default, fsync, network I/O — reached directly or
+//     transitively through callees.
+//
+// Lock classes are receiver-instance-insensitive (every `s.mu` of the same
+// struct type is one class), so two *different* instances locked in
+// sequence do not produce a self-edge finding; that trade and the
+// unresolved-call soundness limits are documented in DESIGN.md §11.
+type DeadlockCycle struct{}
+
+// Name implements Rule.
+func (DeadlockCycle) Name() string { return "deadlockcycle" }
+
+// Doc implements Rule.
+func (DeadlockCycle) Doc() string {
+	return "lock-order cycles and locks held across blocking calls, found via call-graph summaries"
+}
+
+// IncludeTests implements Rule; deadlock analysis covers production code
+// (the module graph is built from non-test files only).
+func (DeadlockCycle) IncludeTests() bool { return false }
+
+// NeedsModule marks the rule interprocedural.
+func (DeadlockCycle) NeedsModule() {}
+
+// modFinding is a whole-module finding routed back to the package that owns
+// its position (module rules run once, report per package).
+type modFinding struct {
+	Pkg *Package
+	Pos token.Pos
+	Msg string
+}
+
+// Check implements Rule.
+func (r DeadlockCycle) Check(pass *Pass) {
+	if pass.Module == nil {
+		return
+	}
+	findings := pass.Module.Memo("deadlockcycle", func() any {
+		return deadlockAnalyze(pass.Module)
+	}).([]modFinding)
+	for _, f := range findings {
+		if f.Pkg == pass.Pkg {
+			pass.Reportf(f.Pos, "%s", f.Msg)
+		}
+	}
+}
+
+// lockEdge is one order-graph edge with its first (deterministic) witness.
+type lockEdge struct {
+	From, To         string
+	FromDisp, ToDisp string
+	Pkg              *Package
+	Pos              token.Pos
+	Via              string // callee name for interprocedural edges, "" for direct
+}
+
+func deadlockAnalyze(m *Module) []modFinding {
+	var findings []modFinding
+	edges := make(map[[2]string]*lockEdge)
+	addEdge := func(e *lockEdge) {
+		key := [2]string{e.From, e.To}
+		if _, ok := edges[key]; !ok {
+			edges[key] = e
+		}
+	}
+
+	for _, key := range m.Order {
+		fi := m.Funcs[key]
+		scan := scanHeld(fi)
+		// Direct nested acquisitions.
+		for _, acq := range scan.Acqs {
+			if isLocalLockClass(acq.Class) {
+				continue
+			}
+			for _, h := range acq.Held {
+				if isLocalLockClass(h.Class) || h.Class == acq.Class {
+					continue
+				}
+				addEdge(&lockEdge{From: h.Class, To: acq.Class, FromDisp: h.Display, ToDisp: acq.Display, Pkg: fi.Pkg, Pos: acq.Pos})
+			}
+		}
+		// Call sites reached with locks held: callee acquisitions extend the
+		// order graph; callee blocking operations are held-across findings.
+		for _, hc := range scan.Calls {
+			cs := hc.Site
+			if cs.Go {
+				continue // runs on another goroutine: no held-across relation
+			}
+			for _, callee := range cs.Callees {
+				sum := callee.Summary()
+				classes := make([]string, 0, len(sum.Acquires))
+				for c := range sum.Acquires {
+					classes = append(classes, c)
+				}
+				sort.Strings(classes)
+				for _, c := range classes {
+					for _, h := range hc.Held {
+						if isLocalLockClass(h.Class) || h.Class == c {
+							continue
+						}
+						addEdge(&lockEdge{From: h.Class, To: c, FromDisp: h.Display, ToDisp: classDisplay(c), Pkg: fi.Pkg, Pos: cs.Call.Pos(), Via: callee.Name})
+					}
+				}
+			}
+			if cs.Defer {
+				continue // deferred calls run at return; held set there is a different question
+			}
+			if cause, who := blockingCallee(cs); cause != "" {
+				findings = append(findings, modFinding{
+					Pkg: fi.Pkg,
+					Pos: cs.Call.Pos(),
+					Msg: fmt.Sprintf("lock %s held across blocking call to %s (%s)", strings.Join(heldDisplays(hc.Held), ", "), who, cause),
+				})
+			}
+		}
+		// Direct blocking operations under a lock.
+		for _, hb := range scan.Blocks {
+			findings = append(findings, modFinding{
+				Pkg: fi.Pkg,
+				Pos: hb.Pos,
+				Msg: fmt.Sprintf("lock %s held across %s", strings.Join(heldDisplays(hb.Held), ", "), hb.Cause),
+			})
+		}
+	}
+
+	findings = append(findings, cycleFindings(m, edges)...)
+	return findings
+}
+
+// blockingCallee reports the blocking cause of a call site, if any: an
+// in-module callee whose summary blocks, or a known blocking external.
+func blockingCallee(cs *CallSite) (cause, who string) {
+	for _, callee := range cs.Callees {
+		if s := callee.Summary(); s.Blocks {
+			return s.BlockCause, callee.Name
+		}
+	}
+	if cs.External != nil {
+		if c := blockingExternal(cs.External); c != "" {
+			return c, cs.External.Name()
+		}
+	}
+	return "", ""
+}
+
+// classDisplay shortens a lock class ("path/to/pkg.Type.field" →
+// "Type.field") for diagnostics.
+func classDisplay(class string) string {
+	if i := strings.LastIndex(class, "/"); i >= 0 {
+		class = class[i+1:]
+	}
+	if i := strings.Index(class, "."); i >= 0 {
+		return class[i+1:]
+	}
+	return class
+}
+
+// cycleFindings runs Tarjan's SCC over the order graph and reports, for
+// every edge inside a multi-node SCC, a finding at that edge's witness
+// position naming the cycle and the reverse witness when one exists.
+func cycleFindings(m *Module, edges map[[2]string]*lockEdge) []modFinding {
+	adj := make(map[string][]string)
+	nodes := make(map[string]bool)
+	for key := range edges {
+		nodes[key[0]], nodes[key[1]] = true, true
+		adj[key[0]] = append(adj[key[0]], key[1])
+	}
+	order := make([]string, 0, len(nodes))
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+	for n := range adj {
+		sort.Strings(adj[n])
+	}
+
+	// Tarjan, recursive (the graph is a handful of lock classes).
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	scc := make(map[string]int) // node → component id
+	var stack []string
+	next, comp := 0, 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc[w] = comp
+				if w == v {
+					break
+				}
+			}
+			comp++
+		}
+	}
+	for _, v := range order {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+
+	compSize := make(map[int]int)
+	for _, c := range scc {
+		compSize[c]++
+	}
+
+	edgeKeys := make([][2]string, 0, len(edges))
+	for k := range edges {
+		edgeKeys = append(edgeKeys, k)
+	}
+	sort.Slice(edgeKeys, func(i, j int) bool {
+		if edgeKeys[i][0] != edgeKeys[j][0] {
+			return edgeKeys[i][0] < edgeKeys[j][0]
+		}
+		return edgeKeys[i][1] < edgeKeys[j][1]
+	})
+
+	var findings []modFinding
+	for _, key := range edgeKeys {
+		e := edges[key]
+		if scc[e.From] != scc[e.To] || compSize[scc[e.From]] < 2 {
+			continue
+		}
+		members := make([]string, 0, 2)
+		for n, c := range scc {
+			if c == scc[e.From] {
+				members = append(members, classDisplay(n))
+			}
+		}
+		sort.Strings(members)
+		msg := fmt.Sprintf("lock order cycle {%s}: %s acquired while holding %s", strings.Join(members, ", "), e.ToDisp, e.FromDisp)
+		if e.Via != "" {
+			msg += fmt.Sprintf(" (via %s)", e.Via)
+		}
+		if rev, ok := edges[[2]string{e.To, e.From}]; ok {
+			msg += fmt.Sprintf("; reverse order at %s", rev.Pkg.Fset.Position(rev.Pos))
+		}
+		findings = append(findings, modFinding{Pkg: e.Pkg, Pos: e.Pos, Msg: msg})
+	}
+	return findings
+}

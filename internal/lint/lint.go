@@ -31,8 +31,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding at one position.
@@ -80,6 +82,11 @@ type Pass struct {
 	// Files are the files the rule should inspect — test files are
 	// already filtered out for rules that exclude them.
 	Files []*ast.File
+	// Module is the whole-program call graph with computed summaries. It is
+	// non-nil only when at least one registered rule is a ModuleRule; such
+	// rules run their module-wide analysis once (via Module.Memo) and
+	// report the findings that land in Pkg.
+	Module *Module
 
 	rule    string
 	reportf func(Diagnostic)
@@ -160,42 +167,107 @@ func (c Config) allowed(rule, relPath string) bool {
 // included, flagged) sorted by position. Engine findings — malformed and
 // unused directives — are appended under the rule name "rocklint".
 func Run(pkgs []*Package, rules []Rule, cfg Config) []Diagnostic {
+	return run(pkgs, rules, cfg, moduleFor(pkgs, rules))
+}
+
+// RunParallel is Run with package checking fanned out over up to workers
+// goroutines (GOMAXPROCS when workers <= 0). The module graph, when any
+// rule needs it, is built serially up front; the module-wide analyses the
+// rules memoize through Module.Memo run exactly once regardless of which
+// worker gets there first. Each package's diagnostics land in a
+// per-package slot and the slots are concatenated in package order before
+// the same final sort Run uses, so the output is byte-identical to the
+// serial engine for any worker count.
+func RunParallel(pkgs []*Package, rules []Rule, cfg Config, workers int) []Diagnostic {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	mod := moduleFor(pkgs, rules)
+	slots := make([][]Diagnostic, len(pkgs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			slots[i] = checkPackage(pkgs[i], rules, cfg, mod)
+		}(i)
+	}
+	wg.Wait()
+	var out []Diagnostic
+	for _, s := range slots {
+		out = append(out, s...)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// moduleFor builds the call graph iff some registered rule is a ModuleRule.
+func moduleFor(pkgs []*Package, rules []Rule) *Module {
+	for _, rule := range rules {
+		if _, ok := rule.(ModuleRule); ok {
+			return BuildModule(pkgs)
+		}
+	}
+	return nil
+}
+
+// run is the serial engine body.
+func run(pkgs []*Package, rules []Rule, cfg Config, mod *Module) []Diagnostic {
 	var out []Diagnostic
 	for _, pkg := range pkgs {
-		dirs, malformed := collectDirectives(pkg)
-		out = append(out, malformed...)
-
-		executed := make(map[string]bool)
-		var raw []Diagnostic
-		for _, rule := range rules {
-			if cfg.allowed(rule.Name(), pkg.RelPath) {
-				continue
-			}
-			executed[rule.Name()] = true
-			files := pkg.Files
-			if !cfg.IncludeTests || !rule.IncludeTests() {
-				files = pkg.NonTestFiles()
-			}
-			pass := &Pass{
-				Fset:    pkg.Fset,
-				Pkg:     pkg,
-				Files:   files,
-				rule:    rule.Name(),
-				reportf: func(d Diagnostic) { raw = append(raw, d) },
-			}
-			rule.Check(pass)
-		}
-
-		for i := range raw {
-			if dir := dirs.match(raw[i].Rule, raw[i].Pos); dir != nil {
-				raw[i].Suppressed = true
-				raw[i].SuppressReason = dir.Reason
-				dir.used = true
-			}
-		}
-		out = append(out, raw...)
-		out = append(out, dirs.unused(executed)...)
+		out = append(out, checkPackage(pkg, rules, cfg, mod)...)
 	}
+	sortDiagnostics(out)
+	return out
+}
+
+// checkPackage runs every rule over one package and applies its
+// suppression directives. It touches no state outside the package except
+// the read-only module graph (whose memoized analyses are themselves
+// concurrency-safe), so RunParallel may call it from many goroutines.
+func checkPackage(pkg *Package, rules []Rule, cfg Config, mod *Module) []Diagnostic {
+	dirs, malformed := collectDirectives(pkg)
+	out := malformed
+
+	executed := make(map[string]bool)
+	var raw []Diagnostic
+	for _, rule := range rules {
+		if cfg.allowed(rule.Name(), pkg.RelPath) {
+			continue
+		}
+		executed[rule.Name()] = true
+		files := pkg.Files
+		if !cfg.IncludeTests || !rule.IncludeTests() {
+			files = pkg.NonTestFiles()
+		}
+		pass := &Pass{
+			Fset:    pkg.Fset,
+			Pkg:     pkg,
+			Files:   files,
+			Module:  mod,
+			rule:    rule.Name(),
+			reportf: func(d Diagnostic) { raw = append(raw, d) },
+		}
+		rule.Check(pass)
+	}
+
+	for i := range raw {
+		if dir := dirs.match(raw[i].Rule, raw[i].Pos); dir != nil {
+			raw[i].Suppressed = true
+			raw[i].SuppressReason = dir.Reason
+			dir.used = true
+		}
+	}
+	out = append(out, raw...)
+	out = append(out, dirs.unused(executed)...)
+	return out
+}
+
+// sortDiagnostics orders diagnostics by file, line, column, then rule.
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -209,5 +281,4 @@ func Run(pkgs []*Package, rules []Rule, cfg Config) []Diagnostic {
 		}
 		return out[i].Rule < out[j].Rule
 	})
-	return out
 }

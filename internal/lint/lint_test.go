@@ -329,6 +329,77 @@ func TestGoroutineLeakFixture(t *testing.T) {
 	}
 }
 
+func TestDeadlockCycleFixture(t *testing.T) {
+	diags := runFixture(t, "deadlockcycle", DeadlockCycle{})
+	sup := suppressed(diags)
+	if len(sup) != 1 {
+		t.Fatalf("want 1 suppressed deadlockcycle finding, got %d", len(sup))
+	}
+	if want := "serialization point"; !strings.Contains(sup[0].SuppressReason, want) {
+		t.Errorf("suppress reason = %q, want it to contain %q", sup[0].SuppressReason, want)
+	}
+	// The interprocedural edge must carry its callee witness: lockCD's
+	// finding exists only because takeD's summary says it acquires d.
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Msg, "lock order cycle") && strings.Contains(d.Msg, "via") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no cycle finding flowed through a callee summary (want a 'via' edge from lockCD → takeD)")
+	}
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	diags := runFixture(t, "ctxflow", CtxFlow{})
+	sup := suppressed(diags)
+	if len(sup) != 1 {
+		t.Fatalf("want 1 suppressed ctxflow finding, got %d", len(sup))
+	}
+	if want := "outlive the request"; !strings.Contains(sup[0].SuppressReason, want) {
+		t.Errorf("suppress reason = %q, want it to contain %q", sup[0].SuppressReason, want)
+	}
+	// The below-entry-point finding must name its ctx-bearing witness.
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Msg, "reachable from ctx-bearing") && strings.Contains(d.Msg, "fetchAll") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("reachability finding does not name its witness caller fetchAll")
+	}
+}
+
+func TestMetricCardinalityFixture(t *testing.T) {
+	rule := MetricCardinality{BoundedFuncs: []string{"fixture/metriccardinality.tenant"}}
+	diags := runFixture(t, "metriccardinality", rule)
+	sup := suppressed(diags)
+	if len(sup) != 1 {
+		t.Fatalf("want 1 suppressed metriccardinality finding, got %d", len(sup))
+	}
+	if want := "legacy dashboard"; !strings.Contains(sup[0].SuppressReason, want) {
+		t.Errorf("suppress reason = %q, want it to contain %q", sup[0].SuppressReason, want)
+	}
+}
+
+// TestMetricCardinalityBlessing proves BoundedFuncs is load-bearing: the
+// same fixture without the blessing flags the capped mapping too.
+func TestMetricCardinalityBlessing(t *testing.T) {
+	pkg := fixture(t, "metriccardinality")
+	diags := Run([]*Package{pkg}, []Rule{MetricCardinality{}}, Config{})
+	found := false
+	for _, d := range diags {
+		if !d.Suppressed && strings.Contains(d.Msg, "label value tenant(") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("without BoundedFuncs, tenant(user) must be flagged — blessing is doing the work")
+	}
+}
+
 func TestUnusedResultFixture(t *testing.T) {
 	rule := UnusedResult{Funcs: []string{
 		"(*fixture/unusedresult.Store).Put",

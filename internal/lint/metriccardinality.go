@@ -1,0 +1,369 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MetricCardinality mechanically enforces DESIGN.md §8's cardinality
+// rules: every label value passed to a telemetry vector's With(...) must
+// be provably bounded, because an unbounded label (user input, job IDs,
+// raw durations) grows one time series per distinct value until the
+// registry — and every scrape — is the size of the traffic log.
+//
+// "Provably bounded" is a provenance lattice evaluated over the module
+// call graph:
+//
+//   - constants and string literals are bounded;
+//   - a call is bounded when every return path of every possible callee
+//     (interface calls resolve to the module's implementations) is
+//     bounded, or the callee is explicitly blessed in BoundedFuncs (the
+//     tenant-capped label set of backend.tenantLabel is the canonical
+//     entry: it maps arbitrary users into ≤64 values + "other");
+//   - a parameter is bounded when every call site in the module passes a
+//     bounded value — unless the function is exported, in which case
+//     unknown external callers could pass anything and the obligation
+//     surfaces as a finding at the With site;
+//   - concatenation of bounded parts is bounded; everything else (fields,
+//     map lookups, conversions of unbounded values) is not.
+//
+// Recursion resolves optimistically (a cycle is bounded unless something
+// on it is not), i.e. the greatest fixed point.
+type MetricCardinality struct {
+	// BoundedFuncs lists types.Func full names whose results are blessed
+	// as bounded with a justification the checker cannot see (e.g. a
+	// capped tracking set). Each entry should say why in DefaultRules.
+	BoundedFuncs []string
+}
+
+// vecTypeNames are the telemetry vector types whose With method takes
+// label values.
+var vecTypeNames = map[string]bool{
+	"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
+}
+
+// Name implements Rule.
+func (MetricCardinality) Name() string { return "metriccardinality" }
+
+// Doc implements Rule.
+func (MetricCardinality) Doc() string {
+	return "telemetry label values must be provably bounded (constants, bounded callees, tenant-capped sets)"
+}
+
+// IncludeTests implements Rule.
+func (MetricCardinality) IncludeTests() bool { return false }
+
+// NeedsModule marks the rule interprocedural.
+func (MetricCardinality) NeedsModule() {}
+
+// Check implements Rule.
+func (r MetricCardinality) Check(pass *Pass) {
+	if pass.Module == nil {
+		return
+	}
+	findings := pass.Module.Memo("metriccardinality", func() any {
+		c := &cardinality{
+			m:         pass.Module,
+			bless:     make(map[string]bool, len(r.BoundedFuncs)),
+			funcMemo:  make(map[string]int8),
+			paramMemo: make(map[string]int8),
+		}
+		for _, name := range r.BoundedFuncs {
+			c.bless[name] = true
+		}
+		return c.analyze()
+	}).([]modFinding)
+	for _, f := range findings {
+		if f.Pkg == pass.Pkg {
+			pass.Reportf(f.Pos, "%s", f.Msg)
+		}
+	}
+}
+
+const (
+	vUnknown int8 = iota // not yet computed (treated bounded while in progress)
+	vBounded
+	vUnbounded
+)
+
+type cardinality struct {
+	m         *Module
+	bless     map[string]bool
+	funcMemo  map[string]int8 // func key → return-value boundedness
+	paramMemo map[string]int8 // func key + "#i" → parameter boundedness
+}
+
+func (c *cardinality) analyze() []modFinding {
+	var findings []modFinding
+	for _, key := range c.m.Order {
+		fi := c.m.Funcs[key]
+		walkOwn(fi, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isVecWith(fi.Pkg, call) {
+				return true
+			}
+			if call.Ellipsis != token.NoPos {
+				findings = append(findings, modFinding{
+					Pkg: fi.Pkg, Pos: call.Pos(),
+					Msg: "label values spread with ... cannot be proven bounded (DESIGN.md §8)",
+				})
+				return true
+			}
+			for _, arg := range call.Args {
+				if !c.boundedExpr(fi, arg, 0) {
+					findings = append(findings, modFinding{
+						Pkg: fi.Pkg, Pos: arg.Pos(),
+						Msg: fmt.Sprintf("label value %s is not provably bounded; use a constant, a bounded mapping, or a capped set like tenantLabel (DESIGN.md §8)", exprString(arg)),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// isVecWith matches <telemetry vec>.With(...).
+func isVecWith(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "With" {
+		return false
+	}
+	s := pkg.Info.Selections[sel]
+	if s == nil {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || !vecTypeNames[named.Obj().Name()] {
+		return false
+	}
+	path := ""
+	if named.Obj().Pkg() != nil {
+		path = named.Obj().Pkg().Path()
+	}
+	return path == "telemetry" || strings.HasSuffix(path, "/telemetry")
+}
+
+const maxProvenanceDepth = 24
+
+// boundedExpr classifies the provenance of one expression in fi's scope.
+func (c *cardinality) boundedExpr(fi *FuncInfo, e ast.Expr, depth int) bool {
+	if depth > maxProvenanceDepth {
+		return false
+	}
+	e = ast.Unparen(e)
+	// Constants (literals, const idents, constant-folded concats).
+	if tv, ok := fi.Pkg.Info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD {
+			return c.boundedExpr(fi, x.X, depth+1) && c.boundedExpr(fi, x.Y, depth+1)
+		}
+	case *ast.CallExpr:
+		return c.boundedCall(fi, x, depth)
+	case *ast.Ident:
+		return c.boundedIdent(fi, x, depth)
+	}
+	return false
+}
+
+// boundedCall classifies a call used as a label value.
+func (c *cardinality) boundedCall(fi *FuncInfo, call *ast.CallExpr, depth int) bool {
+	fn := calleeOf(fi.Pkg, call)
+	if fn == nil {
+		return false // func value, literal, conversion: no provenance
+	}
+	if c.bless[fn.FullName()] {
+		return true
+	}
+	if recvIsInterface(fn) {
+		impls := c.m.implementations(fn)
+		if len(impls) == 0 {
+			return false
+		}
+		for _, impl := range impls {
+			if !c.boundedReturns(impl, depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if target := c.m.Funcs[fn.FullName()]; target != nil {
+		return c.boundedReturns(target, depth+1)
+	}
+	return false // external callee: unknown value set
+}
+
+// boundedReturns reports whether every return path of fi yields a bounded
+// value. In-progress recursion resolves bounded (greatest fixed point).
+func (c *cardinality) boundedReturns(fi *FuncInfo, depth int) bool {
+	if c.bless[fi.Key] {
+		return true // Key is FullName for declared functions
+	}
+	switch c.funcMemo[fi.Key] {
+	case vBounded:
+		return true
+	case vUnbounded:
+		return false
+	}
+	c.funcMemo[fi.Key] = vBounded // optimistic while in progress
+	bounded := true
+	if fi.Sig == nil || fi.Sig.Results().Len() != 1 {
+		bounded = false
+	} else {
+		sawReturn := false
+		walkOwn(fi, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			sawReturn = true
+			if len(ret.Results) != 1 || !c.boundedExpr(fi, ret.Results[0], depth+1) {
+				bounded = false
+			}
+			return true
+		})
+		if !sawReturn {
+			bounded = false // panic-only or naked-return shapes: give up
+		}
+	}
+	if bounded {
+		c.funcMemo[fi.Key] = vBounded
+	} else {
+		c.funcMemo[fi.Key] = vUnbounded
+	}
+	return bounded
+}
+
+// boundedIdent classifies a plain identifier: a parameter delegates to the
+// call-site obligation; a single-assignment local follows its sources. A
+// closure looks the identifier up through its lexical Parent chain —
+// captured parameters keep their caller obligation, captured locals keep
+// their assignment provenance.
+func (c *cardinality) boundedIdent(fi *FuncInfo, id *ast.Ident, depth int) bool {
+	obj, ok := fi.Pkg.Info.Uses[id].(*types.Var)
+	if !ok {
+		return false
+	}
+	for owner := fi; owner != nil; owner = owner.Parent {
+		if owner.Sig != nil {
+			for i := 0; i < owner.Sig.Params().Len(); i++ {
+				if owner.Sig.Params().At(i) == obj {
+					return c.boundedParam(owner, i, depth)
+				}
+			}
+		}
+	}
+	if obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+		return false // mutable package-level var
+	}
+	if obj.IsField() {
+		return false
+	}
+	for owner := fi; owner != nil; owner = owner.Parent {
+		if assigned, bounded := c.boundedLocal(owner, obj, depth); assigned {
+			return bounded
+		}
+	}
+	return false
+}
+
+// boundedParam reports whether parameter i of fi only ever receives
+// bounded values. Exported functions can be called from outside the
+// module, so their parameters are never provably bounded.
+func (c *cardinality) boundedParam(fi *FuncInfo, i int, depth int) bool {
+	key := fmt.Sprintf("%s#%d", fi.Key, i)
+	switch c.paramMemo[key] {
+	case vBounded:
+		return true
+	case vUnbounded:
+		return false
+	}
+	c.paramMemo[key] = vBounded // optimistic while in progress
+	bounded := c.paramBoundedAtCallers(fi, i, depth)
+	if bounded {
+		c.paramMemo[key] = vBounded
+	} else {
+		c.paramMemo[key] = vUnbounded
+	}
+	return bounded
+}
+
+func (c *cardinality) paramBoundedAtCallers(fi *FuncInfo, i int, depth int) bool {
+	if fi.Exported {
+		return false
+	}
+	if fi.Sig.Variadic() && i >= fi.Sig.Params().Len()-1 {
+		return false
+	}
+	if len(fi.Callers) == 0 {
+		// Never called statically: reached through a func value or an
+		// interface we did not resolve — unknown callers, unknown values.
+		return false
+	}
+	for _, cs := range fi.Callers {
+		call := cs.Call
+		if call.Ellipsis != token.NoPos || i >= len(call.Args) {
+			return false
+		}
+		if !c.boundedExpr(cs.Caller, call.Args[i], depth+1) {
+			return false
+		}
+	}
+	return true
+}
+
+// boundedLocal follows a local variable to its assignments in fi's own
+// body: assigned reports whether any were found there (the caller then
+// tries enclosing functions), bounded whether every assigned value is.
+func (c *cardinality) boundedLocal(fi *FuncInfo, obj *types.Var, depth int) (assignedOut, boundedOut bool) {
+	bounded := true
+	assigned := false
+	// The full body is searched, nested closures included: the variable
+	// belongs to fi's scope, so an assignment anywhere in its lexical
+	// extent is a source.
+	ast.Inspect(fi.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for li, lhs := range asg.Lhs {
+			lid, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var lobj types.Object
+			if d := fi.Pkg.Info.Defs[lid]; d != nil {
+				lobj = d
+			} else {
+				lobj = fi.Pkg.Info.Uses[lid]
+			}
+			if lobj != obj {
+				continue
+			}
+			assigned = true
+			// Only 1:1 assignments are followed; tuple unpacking (multi-value
+			// call, map/type-assert comma-ok) has no single source expr.
+			if len(asg.Rhs) != len(asg.Lhs) {
+				bounded = false
+				continue
+			}
+			if !c.boundedExpr(fi, asg.Rhs[li], depth+1) {
+				bounded = false
+			}
+		}
+		return true
+	})
+	// Range clauses etc. never mark assigned; an identifier with no
+	// visible source is not provable.
+	return assigned, bounded
+}

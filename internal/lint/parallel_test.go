@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// These tests pin the parallel engine's contract: LoadAllParallel yields
+// the same packages in the same order as LoadAll, and RunParallel yields
+// byte-identical diagnostics to Run for any worker count. The fixture tree
+// under testdata/src doubles as the corpus — every rule fires there, so
+// ordering bugs have plenty of diagnostics to scramble.
+
+// parallelRules is a fresh all-rules set targeting the fixture module.
+func parallelRules() []Rule {
+	return []Rule{
+		WallClock{},
+		GlobalRand{},
+		MapOrder{},
+		LockDiscipline{},
+		CtxFirst{},
+		GoroutineLeak{},
+		UnusedResult{},
+		DeadlockCycle{},
+		CtxFlow{},
+		MetricCardinality{BoundedFuncs: []string{"fixture/metriccardinality.tenant"}},
+	}
+}
+
+func TestLoadAllParallelMatchesSerial(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := NewLoaderAt(root, "fixture").LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		par, err := NewLoaderAt(root, "fixture").LoadAllParallel(workers)
+		if err != nil {
+			t.Fatalf("LoadAllParallel(%d): %v", workers, err)
+		}
+		if len(par) != len(serial) {
+			t.Fatalf("LoadAllParallel(%d): %d packages, serial loaded %d", workers, len(par), len(serial))
+		}
+		for i := range serial {
+			if par[i].Path != serial[i].Path {
+				t.Errorf("LoadAllParallel(%d): package %d is %s, serial has %s", workers, i, par[i].Path, serial[i].Path)
+			}
+			if len(par[i].Files) != len(serial[i].Files) {
+				t.Errorf("LoadAllParallel(%d): %s has %d files, serial %d", workers, par[i].Path, len(par[i].Files), len(serial[i].Files))
+			}
+		}
+	}
+}
+
+func TestRunParallelMatchesSerial(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewLoaderAt(root, "fixture").LoadAllParallel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no fixture packages loaded")
+	}
+	cfg := Config{IncludeTests: true}
+	serial := Run(pkgs, parallelRules(), cfg)
+	if len(serial) == 0 {
+		t.Fatal("fixture corpus produced no diagnostics; the comparison would be vacuous")
+	}
+	for _, workers := range []int{1, 2, 8} {
+		par := RunParallel(pkgs, parallelRules(), cfg, workers)
+		if !reflect.DeepEqual(par, serial) {
+			t.Fatalf("RunParallel(workers=%d) diverged from Run:\nserial: %d diags\nparallel: %d diags", workers, len(serial), len(par))
+		}
+	}
+}

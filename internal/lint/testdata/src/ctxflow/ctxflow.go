@@ -1,0 +1,75 @@
+// Package ctxflow seeds severed-context patterns for the interprocedural
+// ctxflow rule — fresh Background() roots below entry points, nil ctx
+// arguments — plus the benign shapes: true entry points, the nil-guard
+// defaulting idiom, and properly forwarded or derived contexts.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+func query(ctx context.Context, q string) error {
+	_ = ctx
+	_ = q
+	return nil
+}
+
+// fetch receives a ctx but mints a fresh root for its callee: the caller's
+// deadline and cancellation stop here.
+func fetch(ctx context.Context, q string) error {
+	return query(context.Background(), q) // want "receives a context but calls context.Background"
+}
+
+// dropNil passes nil where the received ctx would do: query's nil-guard
+// (if it has one) turns this into an uncancellable root.
+func dropNil(ctx context.Context, q string) error {
+	return query(nil, q) // want "without forwarding"
+}
+
+// helper sits below ctx-bearing fetchAll in the call graph: the context
+// existed one frame up and should have been plumbed through.
+func helper(q string) error {
+	return query(context.Background(), q) // want "reachable from ctx-bearing"
+}
+
+func fetchAll(ctx context.Context) {
+	_ = ctx
+	_ = helper("x")
+}
+
+// forwarded passes the received ctx straight through: compliant.
+func forwarded(ctx context.Context, q string) error {
+	return query(ctx, q)
+}
+
+// derived narrows the received ctx with a deadline: still the caller's
+// cancellation tree, compliant.
+func derived(ctx context.Context, q string) error {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return query(c, q)
+}
+
+// entry is an entry point: nothing ctx-bearing reaches it, so the fresh
+// root is exactly where it belongs.
+func entry() {
+	ctx := context.Background()
+	_ = query(ctx, "boot")
+}
+
+// defaulted mirrors the client's nil-guard idiom, which the rule allows:
+// the Background is a fallback, not a severed chain.
+func defaulted(ctx context.Context, q string) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return query(ctx, q)
+}
+
+// audit needs a span that outlives the request; the waiver records why.
+func audit(ctx context.Context, q string) error {
+	_ = ctx
+	//rocklint:allow ctxflow -- fixture: audit span must outlive the request on purpose
+	return query(context.Background(), q)
+}

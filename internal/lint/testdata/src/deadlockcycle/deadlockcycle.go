@@ -1,0 +1,124 @@
+// Package deadlockcycle seeds lock-order cycles and blocking-under-lock
+// patterns for the interprocedural deadlockcycle rule, plus the benign
+// shapes it must accept: consistent nested ordering, local mutexes, and
+// goroutine launches.
+package deadlockcycle
+
+import (
+	"os"
+	"sync"
+)
+
+type pair struct {
+	a, b sync.Mutex // the ABBA pair
+	c, d sync.Mutex // the interprocedural pair
+	e, g sync.Mutex // always taken e-then-g: consistent, benign
+	mu   sync.Mutex
+	ch   chan int
+	f    *os.File
+}
+
+// lockAB and lockBA take the same two locks in opposite orders — the
+// classic ABBA deadlock the order graph exists to catch.
+func (p *pair) lockAB() {
+	p.a.Lock()
+	p.b.Lock() // want "lock order cycle"
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) lockBA() {
+	p.b.Lock()
+	p.a.Lock() // want "lock order cycle"
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// lockCD reaches d through a helper while holding c: the edge comes from
+// takeD's summary, not this body. lockDC closes the cycle directly.
+func (p *pair) lockCD() {
+	p.c.Lock()
+	defer p.c.Unlock()
+	p.takeD() // want "lock order cycle"
+}
+
+func (p *pair) takeD() {
+	p.d.Lock()
+	p.d.Unlock()
+}
+
+func (p *pair) lockDC() {
+	p.d.Lock()
+	p.c.Lock() // want "lock order cycle"
+	p.c.Unlock()
+	p.d.Unlock()
+}
+
+// sendUnderLock parks the goroutine with mu held: any reader of ch that
+// needs mu deadlocks the process.
+func (p *pair) sendUnderLock(v int) {
+	p.mu.Lock()
+	p.ch <- v // want "held across channel send"
+	p.mu.Unlock()
+}
+
+// syncUnderLock reaches an fsync transitively while holding mu.
+func (p *pair) syncUnderLock() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.flush() // want "held across blocking call"
+}
+
+func (p *pair) flush() {
+	p.f.Sync()
+}
+
+// eThenG1/eThenG2 nest locks in a consistent order on every path — one
+// direct, one through a helper. No cycle, no finding.
+func (p *pair) eThenG1() {
+	p.e.Lock()
+	p.g.Lock()
+	p.g.Unlock()
+	p.e.Unlock()
+}
+
+func (p *pair) eThenG2() {
+	p.e.Lock()
+	defer p.e.Unlock()
+	p.takeG()
+}
+
+func (p *pair) takeG() {
+	p.g.Lock()
+	p.g.Unlock()
+}
+
+// localUnderGlobal: a function-local mutex cannot participate in
+// cross-function lock ordering.
+func localUnderGlobal(p *pair) {
+	var m sync.Mutex
+	p.e.Lock()
+	m.Lock()
+	m.Unlock()
+	p.e.Unlock()
+}
+
+// spawnUnderLock: launching a goroutine is not a blocking operation, and
+// the spawned body blocks on its own stack, not under mu.
+func (p *pair) spawnUnderLock() {
+	p.mu.Lock()
+	go p.waitForWork()
+	p.mu.Unlock()
+}
+
+func (p *pair) waitForWork() {
+	<-p.ch
+}
+
+// ackPath blocks under mu deliberately; the waiver records the contract.
+func (p *pair) ackPath(v int) {
+	p.mu.Lock()
+	//rocklint:allow deadlockcycle -- fixture: ack-before-unlock is the serialization point of this queue
+	p.ch <- v
+	p.mu.Unlock()
+}

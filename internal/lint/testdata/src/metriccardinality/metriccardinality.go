@@ -1,0 +1,110 @@
+// Package metriccardinality seeds bounded and unbounded label provenance
+// for the metriccardinality rule: constants and closed enums pass, values
+// that trace back to user input, struct fields, or exported parameters are
+// flagged, and a capped mapping blessed via BoundedFuncs is accepted.
+package metriccardinality
+
+import "fixture/telemetry"
+
+var (
+	reqs = &telemetry.CounterVec{}
+	lat  = &telemetry.HistogramVec{}
+	best = &telemetry.GaugeVec{}
+)
+
+const kindPut = "put"
+
+// constLabel: literals and constants are bounded.
+func constLabel() {
+	reqs.With("get", kindPut).Inc()
+}
+
+// enumLabel: outcome's all-literal returns form a closed enum.
+func enumLabel(code int) {
+	reqs.With(outcome(code)).Inc()
+}
+
+func outcome(code int) string {
+	if code < 400 {
+		return "ok"
+	}
+	return "error"
+}
+
+// record's kind parameter only ever receives literals from its module
+// callers, so the obligation discharges interprocedurally.
+func record(kind string) {
+	lat.With(kind).Observe(1)
+}
+
+func recordAll() {
+	record("scan")
+	record("join")
+}
+
+// algoLabel: an interface call is bounded when every module implementation
+// returns bounded values.
+type namer interface{ Name() string }
+
+type alpha struct{}
+
+func (alpha) Name() string { return "alpha" }
+
+type beta struct{}
+
+func (beta) Name() string { return "beta" }
+
+func algoLabel(n namer) {
+	reqs.With(n.Name()).Inc()
+}
+
+// viaBoundedLocal: a local whose every assignment is bounded stays bounded.
+func viaBoundedLocal(ok bool) {
+	label := "hit"
+	if !ok {
+		label = "miss"
+	}
+	lat.With(label).Observe(1)
+}
+
+// tenant caps its output; the golden test blesses it via BoundedFuncs the
+// way DefaultRules blesses backend.tenantLabel.
+func tenant(user string) string {
+	if len(user) > 3 {
+		return "other"
+	}
+	return user
+}
+
+func tenantBounded(user string) {
+	best.With(tenant(user)).Set(1)
+}
+
+// UserLabel is exported: unknown external callers could pass anything.
+func UserLabel(user string) {
+	reqs.With(user).Inc() // want "not provably bounded"
+}
+
+// jobLabel: struct-field provenance is unbounded.
+type job struct{ id string }
+
+func jobLabel(j job) {
+	lat.With(j.id).Observe(1) // want "not provably bounded"
+}
+
+// viaLocal: the local inherits the unbounded parameter it copies.
+func viaLocal(raw string) {
+	label := raw
+	reqs.With(label).Inc() // want "not provably bounded"
+}
+
+// spread: variadic forwarding defeats provenance entirely.
+func spread(lvs []string) {
+	reqs.With(lvs...).Inc() // want "spread"
+}
+
+// migration keeps a legacy series alive; the waiver records the debt.
+func migration(legacy string) {
+	//rocklint:allow metriccardinality -- fixture: legacy dashboard series, removal tracked
+	reqs.With(legacy).Inc()
+}

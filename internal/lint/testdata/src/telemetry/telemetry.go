@@ -1,0 +1,40 @@
+// Package telemetry is a minimal stub of the real registry's vector types
+// so the metriccardinality fixture can exercise With-call provenance
+// without importing the production module.
+package telemetry
+
+// Counter is a single labeled counter series.
+type Counter struct{}
+
+// Inc bumps the counter.
+func (Counter) Inc() {}
+
+// Gauge is a single labeled gauge series.
+type Gauge struct{}
+
+// Set sets the gauge.
+func (Gauge) Set(float64) {}
+
+// Histogram is a single labeled histogram series.
+type Histogram struct{}
+
+// Observe records one sample.
+func (Histogram) Observe(float64) {}
+
+// CounterVec fans a counter out over label values.
+type CounterVec struct{}
+
+// With resolves one child series.
+func (*CounterVec) With(lvs ...string) Counter { return Counter{} }
+
+// GaugeVec fans a gauge out over label values.
+type GaugeVec struct{}
+
+// With resolves one child series.
+func (*GaugeVec) With(lvs ...string) Gauge { return Gauge{} }
+
+// HistogramVec fans a histogram out over label values.
+type HistogramVec struct{}
+
+// With resolves one child series.
+func (*HistogramVec) With(lvs ...string) Histogram { return Histogram{} }

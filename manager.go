@@ -117,14 +117,17 @@ func (m *Manager) Observe(signature string, o Observation) error {
 	}
 	disabled := t.Disabled()
 	m.mu.Lock()
+	//rocklint:allow metriccardinality -- signature labels are the managed-signature set this Manager owns; DESIGN.md §8 blesses signature on tuning series
 	m.iterations.With(managedAlgo, signature).Inc()
 	if b, ok := m.best[signature]; !ok || o.Time < b {
 		m.best[signature] = o.Time
+		//rocklint:allow metriccardinality -- signature labels are the managed-signature set this Manager owns; DESIGN.md §8 blesses signature on tuning series
 		m.bestCost.With(managedAlgo, signature).Set(o.Time)
 	}
 	// Count guardrail trips on the disable edge only: a long disabled
 	// stretch is one incident, not one per observation.
 	if disabled && !m.tripped[signature] {
+		//rocklint:allow metriccardinality -- signature labels are the managed-signature set this Manager owns; DESIGN.md §8 blesses signature on tuning series
 		m.trips.With(signature).Inc()
 	}
 	m.tripped[signature] = disabled
