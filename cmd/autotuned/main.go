@@ -16,6 +16,17 @@
 // trained models survive without retraining. Without it the store is
 // memory-only and state dies with the process.
 //
+// Fleet mode shards the backend across several daemons:
+//
+//	autotuned -node-id a -peers a=http://h1:8080,b=http://h2:8080,c=http://h3:8080 \
+//	          -replicas 2 -data-dir /var/lib/autotuned-a ...
+//
+// Every node must be started with the same -peers, -replicas, -vnodes, and
+// -ring-seed. Each node owns the signatures the consistent-hash ring maps
+// to it, bounces misrouted writes with 421 + the owner's address, ships its
+// WAL to follower replicas before acknowledging ingest, and heartbeats the
+// owners it follows so a dead node's shard fails over to its replica.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests drain, the
 // model-updater queue flushes, and the durable store takes a final snapshot.
 //
@@ -40,6 +51,7 @@ import (
 	"time"
 
 	"github.com/rockhopper-db/rockhopper/internal/backend"
+	"github.com/rockhopper-db/rockhopper/internal/fleet"
 	"github.com/rockhopper-db/rockhopper/internal/sparksim"
 	"github.com/rockhopper-db/rockhopper/internal/store"
 	"github.com/rockhopper-db/rockhopper/internal/telemetry"
@@ -73,6 +85,18 @@ func main() {
 		"per-tenant token-bucket burst capacity (0 means the default)")
 	tenantWeights := flag.String("tenant-weights", "",
 		"comma-separated tenant=weight pairs for Model Updater fair scheduling, e.g. etl=4,adhoc=1")
+	nodeID := flag.String("node-id", "",
+		"this node's fleet identity; setting it enables sharded fleet mode (requires -peers and -data-dir)")
+	peersFlag := flag.String("peers", "",
+		"comma-separated id=url pairs for every fleet node including this one, e.g. a=http://h1:8080,b=http://h2:8080")
+	replicas := flag.Int("replicas", 2,
+		"fleet replica-set size per shard, including the owner")
+	vnodes := flag.Int("vnodes", 0,
+		"virtual nodes per fleet member on the hash ring (0 means the default)")
+	ringSeed := flag.Uint64("ring-seed", 1,
+		"hash-ring placement seed; must match on every node and client")
+	heartbeat := flag.Duration("heartbeat", 5*time.Second,
+		"fleet peer heartbeat interval (0 disables failure detection)")
 	flag.Parse()
 
 	if *secret == "" || *signingKey == "" {
@@ -93,23 +117,70 @@ func main() {
 	logger := log.New(os.Stderr, "autotuned: ", log.LstdFlags)
 	var st objectStore
 	var durable *store.DurableStore
-	if *dataDir != "" {
-		ds, err := store.OpenDurable(*dataDir, []byte(*signingKey), store.DurableOptions{
-			SnapshotInterval: *snapInterval,
-			Logger:           logger,
-			Metrics:          telemetry.Default(),
+	var srv *backend.Server
+	var node *fleet.Node
+	var handler http.Handler
+	if *nodeID != "" {
+		if *peersFlag == "" || *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "autotuned: fleet mode (-node-id) requires -peers and -data-dir")
+			os.Exit(2)
+		}
+		peers, err := parsePeers(*peersFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "autotuned: %v\n", err)
+			os.Exit(2)
+		}
+		if _, ok := peers[*nodeID]; !ok {
+			fmt.Fprintf(os.Stderr, "autotuned: -node-id %q is not listed in -peers\n", *nodeID)
+			os.Exit(2)
+		}
+		n, err := fleet.NewNode(fleet.NodeOptions{
+			ID:                *nodeID,
+			Peers:             peers,
+			Replicas:          *replicas,
+			Vnodes:            *vnodes,
+			Seed:              *ringSeed,
+			Space:             space,
+			DataDir:           *dataDir,
+			StoreSecret:       []byte(*signingKey),
+			ClusterSecret:     *secret,
+			Metrics:           telemetry.Default(),
+			Logger:            logger,
+			SnapshotInterval:  *snapInterval,
+			HeartbeatInterval: *heartbeat,
 		})
 		if err != nil {
 			logger.Fatal(err)
 		}
-		logger.Printf("durable store open at %s (%d objects recovered, snapshot-interval=%v)",
-			*dataDir, ds.Len(), *snapInterval)
-		st, durable = ds, ds
+		node, srv = n, n.Backend()
+		st, durable = n.Store(), n.Store()
+		handler = n.Handler()
+		logger.Printf("fleet node %s: %d peers, replicas=%d, vnodes=%d, ring-seed=%d, heartbeat=%v (%d objects recovered)",
+			*nodeID, len(peers), *replicas, *vnodes, *ringSeed, *heartbeat, n.Store().Len())
 	} else {
-		st = store.New([]byte(*signingKey))
+		if *dataDir != "" {
+			ds, err := store.OpenDurable(*dataDir, []byte(*signingKey), store.DurableOptions{
+				SnapshotInterval: *snapInterval,
+				Logger:           logger,
+				Metrics:          telemetry.Default(),
+			})
+			if err != nil {
+				logger.Fatal(err)
+			}
+			logger.Printf("durable store open at %s (%d objects recovered, snapshot-interval=%v)",
+				*dataDir, ds.Len(), *snapInterval)
+			st, durable = ds, ds
+		} else {
+			st = store.New([]byte(*signingKey))
+		}
+		//rocklint:allow wallclock -- daemon startup entropy for the backend seed; not an experiment path
+		srv = backend.New(space, st, *secret, uint64(time.Now().UnixNano()))
+		// Publish on the process-global registry so the store's durability
+		// instruments and the backend's request accounting share one
+		// /metrics. (Fleet nodes wire the registry through NodeOptions.)
+		srv.SetMetrics(telemetry.Default())
+		handler = srv.Handler()
 	}
-	//rocklint:allow wallclock -- daemon startup entropy for the backend seed; not an experiment path
-	srv := backend.New(space, st, *secret, uint64(time.Now().UnixNano()))
 	srv.Logger = logger
 	srv.RequestTimeout = *reqTimeout
 	srv.TenantRate = *tenantRate
@@ -125,12 +196,12 @@ func main() {
 			srv.SetTenantWeight(name, w)
 		}
 	}
-	// Publish on the process-global registry so the store's durability
-	// instruments and the backend's request accounting share one /metrics.
-	srv.SetMetrics(telemetry.Default())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if node != nil {
+		node.Start(ctx)
+	}
 
 	// Storage Manager housekeeping: retention sweep plus WAL compaction.
 	go func() {
@@ -163,7 +234,7 @@ func main() {
 		}
 	}()
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	go func() {
 		<-ctx.Done()
 		logger.Print("shutting down (draining requests)")
@@ -181,6 +252,14 @@ func main() {
 	}
 	// Drain the model updater before the final snapshot so the flush
 	// captures every retrained model.
+	if node != nil {
+		if err := node.Close(); err != nil {
+			logger.Printf("fleet node close: %v", err)
+		} else {
+			logger.Print("fleet node flushed")
+		}
+		return
+	}
 	srv.Close()
 	if durable != nil {
 		if err := durable.Close(); err != nil {
@@ -189,4 +268,20 @@ func main() {
 			logger.Print("durable store flushed")
 		}
 	}
+}
+
+// parsePeers parses the -peers flag: comma-separated id=url pairs.
+func parsePeers(s string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		id, url, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=url)", pair)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate node id %q in -peers", id)
+		}
+		peers[id] = url
+	}
+	return peers, nil
 }

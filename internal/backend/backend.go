@@ -10,6 +10,7 @@ package backend
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -92,6 +93,67 @@ var (
 	_ ObjectStore = (*store.DurableStore)(nil)
 )
 
+// FleetHooks is the sharding surface a fleet node installs on its backend
+// with SetFleet. The backend stays ignorant of rings and replication
+// protocols; it only needs two facts per request: "is this signature mine?"
+// (misrouted requests are bounced with 421 + the owner's address so the
+// client re-routes) and "is this commit on every follower yet?" (the 202
+// may not outrun replication, or an acknowledged event could die with this
+// node).
+type FleetHooks interface {
+	// OwnerOf resolves a signature to the address of its current live
+	// owner; self reports whether this node is that owner.
+	OwnerOf(signature string) (owner string, self bool)
+	// AwaitReplication blocks until every mutation committed so far is
+	// acknowledged by all follower replicas.
+	AwaitReplication(ctx context.Context) error
+}
+
+// SetFleet installs the sharding hooks. Call before serving traffic; a nil
+// hook set (the default) keeps the single-node behavior.
+func (s *Server) SetFleet(h FleetHooks) { s.fleet = h }
+
+// MisroutedResponse is the 421 body a misrouted ingest gets back: the
+// address of the live owner the client should retry against.
+type MisroutedResponse struct {
+	Owner     string `json:"owner"`
+	Signature string `json:"signature"`
+}
+
+// checkOwnership bounces a request for a signature this node does not own.
+// It reports whether the request may proceed.
+func (s *Server) checkOwnership(w http.ResponseWriter, endpoint, signature string) bool {
+	if s.fleet == nil {
+		return true
+	}
+	owner, self := s.fleet.OwnerOf(signature)
+	if self {
+		return true
+	}
+	s.tele.misrouted.With(endpoint).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusMisdirectedRequest)
+	if err := json.NewEncoder(w).Encode(MisroutedResponse{Owner: owner, Signature: signature}); err != nil {
+		s.logf("backend: encode misrouted response: %v", err)
+	}
+	return false
+}
+
+// awaitReplication gates an ingest acknowledgement on follower replicas.
+// On failure the commit is locally durable and the model update enqueued,
+// but the client must NOT treat the request as acknowledged — it retries,
+// and a duplicate event file is harmless noise the retrain tolerates.
+func (s *Server) awaitReplication(ctx context.Context, w http.ResponseWriter) bool {
+	if s.fleet == nil {
+		return true
+	}
+	if err := s.fleet.AwaitReplication(ctx); err != nil {
+		http.Error(w, fmt.Sprintf("fleet: replication not confirmed: %v", err), http.StatusServiceUnavailable)
+		return false
+	}
+	return true
+}
+
 // storeErrer is the optional health surface a store may expose:
 // DurableStore latches a durability failure and reports it here, because
 // PutInternal has no error slot of its own.
@@ -147,6 +209,10 @@ type Server struct {
 	// behind /metrics and /api/trace. New binds a per-server registry;
 	// SetMetrics rebinds (daemons pass telemetry.Default()).
 	tele *backendTelemetry
+
+	// fleet is the sharding surface a fleet node installs (SetFleet); nil
+	// means single-node behavior. Set before serving traffic.
+	fleet FleetHooks
 
 	// rngMu guards rng: handlers run on arbitrary net/http goroutines, and
 	// Split advances the parent stream.
@@ -353,6 +419,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "user, signature, job_id required", http.StatusBadRequest)
 		return
 	}
+	if !s.checkOwnership(w, "events", signature) {
+		return
+	}
 	start := s.clock().Now()
 	admitted := 0
 	defer func() { s.observeIngest(user, start, admitted) }()
@@ -396,6 +465,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.enqueueReserved(updateJob{user: user, signature: signature, trace: telemetry.SpanFrom(r.Context())})
+	if !s.awaitReplication(r.Context(), w) {
+		return
+	}
 	admitted = len(traces)
 	w.WriteHeader(http.StatusAccepted)
 }
@@ -500,6 +572,12 @@ func (s *Server) handleEventLog(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("store: index commit not persisted: %v", err), http.StatusInternalServerError)
 		return
 	}
+	// Raw event logs are accepted on any node — the signatures inside are
+	// unknown until the ETL runs, so clients cannot route them — but the
+	// acknowledgement is still replication-gated.
+	if !s.awaitReplication(r.Context(), w) {
+		return
+	}
 	admitted = len(runs)
 	w.WriteHeader(http.StatusAccepted)
 }
@@ -555,6 +633,21 @@ func (s *Server) handleEventBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		bySig[tr.QueryID] = append(bySig[tr.QueryID], tr)
+	}
+	// A batch must be wholly owned by this node: the group commit is
+	// all-or-nothing, so a partially misrouted batch is bounced before any
+	// admission state is touched (the router partitions batches by owner).
+	if s.fleet != nil {
+		misrouted := make([]string, 0, len(bySig))
+		for sig := range bySig {
+			misrouted = append(misrouted, sig)
+		}
+		sort.Strings(misrouted)
+		for _, sig := range misrouted {
+			if !s.checkOwnership(w, "events_batch", sig) {
+				return
+			}
+		}
 	}
 	if ok, retry := s.admitTenant(user, float64(len(traces))); !ok {
 		s.shedRateLimited(w, "events_batch", user, retry)
@@ -627,6 +720,9 @@ func (s *Server) handleEventBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, c := range commits {
 		s.enqueueReserved(updateJob{user: user, signature: c.sig, trace: telemetry.SpanFrom(r.Context())})
+	}
+	if !s.awaitReplication(r.Context(), w) {
+		return
 	}
 	admitted = len(traces)
 	w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,135 @@
+package backend
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/flighting"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/store"
+)
+
+// stubFleet is a FleetHooks double: ownership by signature prefix, and a
+// programmable replication-wait outcome.
+type stubFleet struct {
+	ownURL  string
+	mine    func(sig string) bool
+	replErr error
+}
+
+func (s stubFleet) OwnerOf(sig string) (string, bool) {
+	if s.mine(sig) {
+		return s.ownURL, true
+	}
+	return s.ownURL, false
+}
+
+func (s stubFleet) AwaitReplication(ctx context.Context) error { return s.replErr }
+
+func traceBody(t *testing.T, sigs ...string) *bytes.Buffer {
+	t.Helper()
+	space := sparksim.QuerySpace()
+	var traces []flighting.Trace
+	for _, sig := range sigs {
+		traces = append(traces, flighting.Trace{
+			QueryID: sig, Config: space.Default(), DataSize: 1, TimeMs: 100,
+		})
+	}
+	var buf bytes.Buffer
+	if err := flighting.WriteTraces(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func postTraces(t *testing.T, srv *Server, hs string, url string, body *bytes.Buffer) *http.Response {
+	t.Helper()
+	tok := srv.Store.Sign("events/", store.PermWrite, srv.TokenTTL)
+	req, err := http.NewRequest(http.MethodPost, hs+url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(SASTokenHeader, tok)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestFleetMisroutedIngestBounces(t *testing.T) {
+	srv, hs := newServer(t)
+	srv.SetFleet(stubFleet{
+		ownURL: "http://owner.example",
+		mine:   func(sig string) bool { return strings.HasPrefix(sig, "mine-") },
+	})
+
+	resp := postTraces(t, srv, hs.URL, "/api/events?user=u&signature=theirs-1&job_id=j", traceBody(t, "theirs-1"))
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("misrouted event: status = %d, want 421", resp.StatusCode)
+	}
+	var mr MisroutedResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Owner != "http://owner.example" || mr.Signature != "theirs-1" {
+		t.Fatalf("misroute body = %+v", mr)
+	}
+	if n := len(srv.Store.List("events/")); n != 0 {
+		t.Fatalf("misrouted ingest persisted %d files", n)
+	}
+
+	resp = postTraces(t, srv, hs.URL, "/api/events?user=u&signature=mine-1&job_id=j", traceBody(t, "mine-1"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("owned event: status = %d, want 202", resp.StatusCode)
+	}
+}
+
+func TestFleetBatchMustBeWhollyOwned(t *testing.T) {
+	srv, hs := newServer(t)
+	srv.SetFleet(stubFleet{
+		ownURL: "http://owner.example",
+		mine:   func(sig string) bool { return strings.HasPrefix(sig, "mine-") },
+	})
+
+	// One foreign signature poisons the whole batch: nothing may persist.
+	resp := postTraces(t, srv, hs.URL, "/api/events/batch?user=u&job_id=j",
+		traceBody(t, "mine-1", "theirs-1", "mine-2"))
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("mixed batch: status = %d, want 421", resp.StatusCode)
+	}
+	if n := len(srv.Store.List("events/")); n != 0 {
+		t.Fatalf("bounced batch persisted %d files", n)
+	}
+
+	resp = postTraces(t, srv, hs.URL, "/api/events/batch?user=u&job_id=j",
+		traceBody(t, "mine-1", "mine-2"))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("owned batch: status = %d, want 202", resp.StatusCode)
+	}
+}
+
+func TestFleetReplicationFailureFailsTheAck(t *testing.T) {
+	srv, hs := newServer(t)
+	srv.SetFleet(stubFleet{
+		ownURL:  "http://self.example",
+		mine:    func(string) bool { return true },
+		replErr: errors.New("followers unreachable"),
+	})
+
+	resp := postTraces(t, srv, hs.URL, "/api/events?user=u&signature=s&job_id=j", traceBody(t, "s"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unreplicated event: status = %d, want 503", resp.StatusCode)
+	}
+
+	resp = postTraces(t, srv, hs.URL, "/api/events/batch?user=u&job_id=j", traceBody(t, "s"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unreplicated batch: status = %d, want 503", resp.StatusCode)
+	}
+}

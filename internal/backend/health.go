@@ -63,10 +63,11 @@ type serverMetrics struct {
 }
 
 // observe feeds one finished request into the registry instruments and the
-// last-error bookkeeping.
-func (s *Server) observe(name string, status int, errBody string, timedOut bool, dur time.Duration, now time.Time) {
+// last-error bookkeeping. A valid sc pins the request's span identity as
+// the latency bucket's exemplar, linking the scrape to the trace.
+func (s *Server) observe(name string, status int, errBody string, timedOut bool, dur time.Duration, now time.Time, sc telemetry.SpanContext) {
 	s.tele.requests.With(name, codeClass(status)).Inc()
-	s.tele.latency.With(name).Observe(dur.Seconds())
+	s.tele.latency.With(name).ObserveTraced(dur.Seconds(), sc)
 	if timedOut {
 		s.tele.timeouts.With(name).Inc()
 	}
@@ -170,7 +171,7 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(rec, r.WithContext(ctx))
 		now := s.clock().Now()
-		s.observe(name, rec.code, string(rec.errBody), ctx.Err() != nil, now.Sub(start), now)
+		s.observe(name, rec.code, string(rec.errBody), ctx.Err() != nil, now.Sub(start), now, sc)
 		if traced {
 			s.recordSpan(sc, name, start, now.Sub(start), rec.code)
 			if rec.code >= 400 {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/rockhopper-db/rockhopper/internal/resilience"
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
 )
 
 // TestHealthReportFakeClock pins the health endpoint's time semantics to
@@ -43,7 +44,7 @@ func TestHealthReportFakeClock(t *testing.T) {
 	}
 
 	// A server error at t=90s opens the one-minute degraded window.
-	srv.observe("events", http.StatusInternalServerError, "boom", false, 0, clk.Now())
+	srv.observe("events", http.StatusInternalServerError, "boom", false, 0, clk.Now(), telemetry.SpanContext{})
 	if h = getHealth(); h.Status != "degraded" {
 		t.Fatalf("status after 5xx = %q, want degraded", h.Status)
 	}

@@ -24,7 +24,8 @@ type backendTelemetry struct {
 
 	retrains       telemetry.Counter
 	retrainSeconds telemetry.Histogram
-	bestCost       *telemetry.GaugeVec // {user, signature}
+	bestCost       *telemetry.GaugeVec   // {user, signature}
+	misrouted      *telemetry.CounterVec // {endpoint}: 421 bounces to the owning shard
 
 	// Per-tenant ingest series. The tenant label is bounded by
 	// maxTenantLabelValues (overflow lumps into "other") per the §8
@@ -69,6 +70,8 @@ func (s *Server) bindTelemetry(reg *telemetry.Registry) {
 			"Model retrain duration in seconds.", nil).With(),
 		bestCost: reg.Gauge("rockhopper_model_best_cost_ms",
 			"Best observed execution time (ms) across a signature's training traces.", "user", "signature"),
+		misrouted: reg.Counter("rockhopper_fleet_misrouted_total",
+			"Ingest requests bounced with 421 because another node owns the signature.", "endpoint"),
 		spans: telemetry.NewSpanRing(spanRingSize),
 	}
 	reg.GaugeFunc("rockhopper_updater_queue_depth",

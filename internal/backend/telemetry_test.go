@@ -256,3 +256,41 @@ func TestHealthMatchesRegistry(t *testing.T) {
 		t.Errorf("registry 4xx = %v, health ClientErrors = %d — must agree", reg, e.ClientErrors)
 	}
 }
+
+// TestLatencyExemplarLinksTraceToBucket proves the full wiring: a traced
+// request's span identity must surface as an OpenMetrics exemplar on the
+// endpoint's latency histogram when /metrics is scraped.
+func TestLatencyExemplarLinksTraceToBucket(t *testing.T) {
+	srv, hs := newServer(t)
+	sc := telemetry.SpanContext{TraceID: 0x1111222233334444, SpanID: 0x5555666677778888}
+	status := postTracedEvents(t, srv, hs.URL, map[string]string{telemetry.TraceHeader: sc.String()}, 2)
+	if status != http.StatusAccepted {
+		t.Fatalf("traced ingest status = %d", status)
+	}
+
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fams, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape parse: %v", err)
+	}
+	fam, ok := telemetry.Find(fams, "rockhopper_http_request_duration_seconds")
+	if !ok {
+		t.Fatal("latency family missing from scrape")
+	}
+	for _, s := range fam.Series {
+		if !strings.HasSuffix(s.Name, "_bucket") || s.Labels["endpoint"] != "events" {
+			continue
+		}
+		if s.Exemplar != nil {
+			if s.Exemplar.TraceID != sc.TraceHex() || s.Exemplar.SpanID != sc.SpanHex() {
+				t.Fatalf("exemplar identity = %+v, want %s-%s", s.Exemplar, sc.TraceHex(), sc.SpanHex())
+			}
+			return
+		}
+	}
+	t.Fatal("no latency bucket carries the traced request's exemplar")
+}

@@ -527,6 +527,10 @@ type RemoteSelector struct {
 	Signature string
 	// Fallback handles the cold start; must be non-nil.
 	Fallback core.Selector
+	// Fetch overrides the model source; nil means Client.FetchModel. The
+	// shard router injects its fleet-routed fetch here so inference
+	// follows shard ownership across failover.
+	Fetch func(ctx context.Context, user, signature string) (ml.Regressor, error)
 
 	mu       sync.Mutex
 	degraded bool
@@ -537,7 +541,11 @@ type RemoteSelector struct {
 //
 //rocklint:allow ctxfirst -- core.Selector interface signature is fixed; FetchModel is bounded by the client CallTimeout
 func (rs *RemoteSelector) Select(cands []sparksim.Config, window []sparksim.Observation, dataSize float64) int {
-	model, err := rs.Client.FetchModel(context.Background(), rs.User, rs.Signature)
+	fetch := rs.Client.FetchModel
+	if rs.Fetch != nil {
+		fetch = rs.Fetch
+	}
+	model, err := fetch(context.Background(), rs.User, rs.Signature)
 	if err != nil {
 		rs.noteDegraded(err)
 		rs.Client.tele().fallbacks.With(fallbackError).Inc()

@@ -1,0 +1,257 @@
+// Package fleettest is the fleet-scale verification harness: it spins up
+// an in-process sharded, replicated backend fleet over real HTTP and real
+// durable stores, drives sustained load through the batch ingest path, and
+// gates the result on p99 latency SLOs read from the nodes' telemetry
+// registries. The drill tests kill shard owners at exact store crash
+// points mid-ingest and prove zero acknowledged-event loss: every 202 the
+// dead owner issued is served byte-identically by the promoted replica.
+package fleettest
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"github.com/rockhopper-db/rockhopper/internal/fleet"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/store"
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
+)
+
+// ClusterOptions parameterizes NewCluster.
+type ClusterOptions struct {
+	// IDs are the node identifiers.
+	IDs []string
+	// Replicas is the replica-set size including the owner.
+	Replicas int
+	// Vnodes and Seed are the ring parameters.
+	Vnodes int
+	Seed   uint64
+	// StoreSecret and ClusterSecret are shared fleet credentials.
+	StoreSecret   []byte
+	ClusterSecret string
+	// NoSync skips fsync in the stores (load runs that measure the HTTP
+	// path, not the disk).
+	NoSync bool
+	// MaxPendingUpdates widens each backend's updater queue so bulk load
+	// is not shed by the admission path under test.
+	MaxPendingUpdates int
+	// RequestTimeout overrides each backend's per-request deadline when
+	// non-zero (load runs on instrumented builds outlive the default).
+	RequestTimeout time.Duration
+	// Hooks installs a crash-point injector on one node's primary store.
+	Hooks map[string]func(store.CrashPoint) error
+	// CompactEvery lowers the WAL compaction threshold so drills can reach
+	// the snapshot-rename crash points within a short ingest run.
+	CompactEvery int
+	// RetryDelay tunes replication retry pacing.
+	RetryDelay time.Duration
+}
+
+// Cluster is an in-process fleet: every node serves real HTTP on loopback
+// and replicates over it.
+type Cluster struct {
+	Nodes      map[string]*fleet.Node
+	Servers    map[string]*httptest.Server
+	Peers      map[string]string
+	Registries map[string]*telemetry.Registry
+
+	cancel context.CancelFunc
+}
+
+// swapHandler lets servers start (fixing their URLs) before the nodes that
+// will serve on them exist.
+type swapHandler struct{ h atomic.Value }
+
+func (s *swapHandler) set(h http.Handler) { s.h.Store(h) }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h, ok := s.h.Load().(http.Handler); ok {
+		h.ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "node not ready", http.StatusServiceUnavailable)
+}
+
+// NewCluster builds and starts a fleet. dirFor supplies each node's data
+// directory (tests pass t.TempDir-backed paths).
+func NewCluster(dirFor func(id string) string, opts ClusterOptions) (*Cluster, error) {
+	c := &Cluster{
+		Nodes:      make(map[string]*fleet.Node),
+		Servers:    make(map[string]*httptest.Server),
+		Peers:      make(map[string]string),
+		Registries: make(map[string]*telemetry.Registry),
+	}
+	swaps := make(map[string]*swapHandler)
+	for _, id := range opts.IDs {
+		sw := &swapHandler{}
+		srv := httptest.NewServer(sw)
+		swaps[id] = sw
+		c.Servers[id] = srv
+		c.Peers[id] = srv.URL
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c.cancel = cancel
+	for _, id := range opts.IDs {
+		reg := telemetry.NewRegistry()
+		n, err := fleet.NewNode(fleet.NodeOptions{
+			ID:            id,
+			Peers:         c.Peers,
+			Replicas:      opts.Replicas,
+			Vnodes:        opts.Vnodes,
+			Seed:          opts.Seed,
+			Space:         sparksim.QuerySpace(),
+			DataDir:       dirFor(id),
+			StoreSecret:   opts.StoreSecret,
+			ClusterSecret: opts.ClusterSecret,
+			Metrics:       reg,
+			NoSync:        opts.NoSync,
+			Hooks:         opts.Hooks[id],
+			CompactEvery:  opts.CompactEvery,
+			RetryDelay:    opts.RetryDelay,
+		})
+		if err != nil {
+			cancel()
+			c.Close()
+			return nil, fmt.Errorf("fleettest: node %s: %w", id, err)
+		}
+		if opts.MaxPendingUpdates > 0 {
+			n.Backend().MaxPendingUpdates = opts.MaxPendingUpdates
+		}
+		if opts.RequestTimeout != 0 {
+			n.Backend().RequestTimeout = opts.RequestTimeout
+		}
+		c.Nodes[id] = n
+		c.Registries[id] = reg
+		swaps[id].set(n.Handler())
+	}
+	for _, n := range c.Nodes {
+		n.Start(ctx)
+	}
+	return c, nil
+}
+
+// KillNode closes a node's HTTP server — the fleet-visible death. The
+// node's stores stay on disk for post-mortem comparison.
+func (c *Cluster) KillNode(id string) { c.Servers[id].Close() }
+
+// Close tears the whole fleet down.
+func (c *Cluster) Close() {
+	if c.cancel != nil {
+		c.cancel()
+	}
+	for _, srv := range c.Servers {
+		srv.Close()
+	}
+	for _, n := range c.Nodes {
+		n.Close()
+	}
+}
+
+// Scrape renders and re-parses one node's registry — the same round trip
+// rockmon's scrape mode performs.
+func Scrape(reg *telemetry.Registry) ([]telemetry.Family, error) {
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		return nil, err
+	}
+	return telemetry.ParseText(&buf)
+}
+
+// HistogramQuantile computes quantile q (0..1) of a scraped histogram by
+// linear interpolation inside the owning bucket — the same estimate
+// histogram_quantile gives in PromQL. match filters the series by labels
+// (le excluded). ok is false when no matching observations exist.
+func HistogramQuantile(fams []telemetry.Family, name string, match map[string]string, q float64) (float64, bool) {
+	fam, found := telemetry.Find(fams, name)
+	if !found {
+		return 0, false
+	}
+	type bucket struct {
+		le  float64
+		cum float64
+	}
+	var buckets []bucket
+	for _, s := range fam.Series {
+		if s.Name != name+"_bucket" {
+			continue
+		}
+		ok := true
+		for k, v := range match {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		le, err := parseLE(s.Labels["le"])
+		if err != nil {
+			continue
+		}
+		buckets = append(buckets, bucket{le: le, cum: s.Value})
+	}
+	if len(buckets) == 0 {
+		return 0, false
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	total := buckets[len(buckets)-1].cum // +Inf bucket
+	if total == 0 {
+		return 0, false
+	}
+	rank := q * total
+	prevBound, prevCum := 0.0, 0.0
+	for _, b := range buckets {
+		if b.cum >= rank {
+			if b.le > 1e300 { // +Inf bucket: clamp to the last finite bound
+				return prevBound, true
+			}
+			if b.cum == prevCum {
+				return b.le, true
+			}
+			return prevBound + (b.le-prevBound)*(rank-prevCum)/(b.cum-prevCum), true
+		}
+		prevBound, prevCum = b.le, b.cum
+	}
+	return prevBound, true
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return 1e308, nil
+	}
+	var v float64
+	_, err := fmt.Sscanf(s, "%g", &v)
+	return v, err
+}
+
+// SeriesValue reads one sample value from a scrape; ok is false when the
+// series is absent.
+func SeriesValue(fams []telemetry.Family, name string, match map[string]string) (float64, bool) {
+	fam, found := telemetry.Find(fams, name)
+	if !found {
+		return 0, false
+	}
+	for _, s := range fam.Series {
+		if s.Name != name {
+			continue
+		}
+		ok := true
+		for k, v := range match {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}

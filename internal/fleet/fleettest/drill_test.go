@@ -1,0 +1,219 @@
+package fleettest
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/rockhopper-db/rockhopper/internal/backend"
+	"github.com/rockhopper-db/rockhopper/internal/flighting"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/store"
+)
+
+const (
+	drillSeed   = 42
+	drillVnodes = 16
+	drillBatch  = 4
+)
+
+// TestFailoverDrillZeroAckedLoss is the failover drill matrix: for every
+// store crash point, a two-node fleet ingests batches into the shard owner
+// until an injected fault kills its durable store mid-ingest. The owner is
+// then taken off the network and the surviving follower promoted. The
+// invariant under test is the fleet's ack contract: every event the owner
+// acknowledged with a 202 — and only those are tracked — must be served
+// byte-identically (data and creation timestamp) by the promoted replica,
+// and the promoted node must accept fresh writes for the absorbed shard.
+func TestFailoverDrillZeroAckedLoss(t *testing.T) {
+	points := []struct {
+		point store.CrashPoint
+		// fireAt is the 1-based hit count of the point at which the
+		// injected fault fires: late enough that earlier batches were
+		// acknowledged, so the drill has acked state to lose.
+		fireAt int
+	}{
+		{store.CrashPreWrite, 7},
+		{store.CrashMidRecord, 7},
+		// The rename points live inside snapshot compaction; CompactEvery
+		// below makes compaction run every few batches, and firing on the
+		// second compaction leaves acked batches on both sides of a
+		// completed snapshot.
+		{store.CrashPreRename, 2},
+		{store.CrashPostRename, 2},
+	}
+	for _, tc := range points {
+		t.Run(tc.point.String(), func(t *testing.T) {
+			runFailoverDrill(t, tc.point, tc.fireAt)
+		})
+	}
+}
+
+func runFailoverDrill(t *testing.T, point store.CrashPoint, fireAt int) {
+	errInjected := fmt.Errorf("drill: injected fault at %s", point)
+	var hits atomic.Int64
+	cluster, err := NewCluster(func(string) string { return t.TempDir() }, ClusterOptions{
+		IDs:           []string{"a", "b"},
+		Replicas:      2,
+		Vnodes:        drillVnodes,
+		Seed:          drillSeed,
+		StoreSecret:   []byte("drill-secret"),
+		ClusterSecret: "drill-cluster",
+		CompactEvery:  8,
+		RetryDelay:    2 * time.Millisecond,
+		Hooks: map[string]func(store.CrashPoint) error{
+			"a": func(p store.CrashPoint) error {
+				if p == point && hits.Add(1) == int64(fireAt) {
+					return errInjected
+				}
+				return nil
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	owner := cluster.Nodes["a"]
+	sigs := drillSignatures(owner, "a", 400)
+
+	// Ingest batches into the owner until the injected fault latches its
+	// store. Only batches the owner answered with 202 enter the acked set —
+	// those are the fleet's promise.
+	ackedJobs := map[string]int{}
+	crashed := false
+	for i := 0; i*drillBatch+drillBatch <= len(sigs); i++ {
+		job := fmt.Sprintf("drill-%03d", i)
+		batch := sigs[i*drillBatch : (i+1)*drillBatch]
+		status := postBatch(t, cluster, "a", job, batch)
+		if status == http.StatusAccepted {
+			ackedJobs[job] = len(batch)
+			continue
+		}
+		if status >= 500 {
+			crashed = true
+			break
+		}
+		t.Fatalf("batch %s: unexpected status %d", job, status)
+	}
+	if !crashed {
+		t.Fatalf("injected fault at %s never latched the owner's store (%d hits)", point, hits.Load())
+	}
+	if len(ackedJobs) == 0 {
+		t.Fatalf("drill acked nothing before the %s crash: the matrix point fired too early", point)
+	}
+
+	// The fleet-visible death, then promotion of the surviving follower.
+	cluster.KillNode("a")
+	survivor := cluster.Nodes["b"]
+	survivor.Promote("a")
+
+	// Zero acknowledged-event loss: every event file under an acked job is
+	// on the owner's disk (it was durable before the ack) and the promoted
+	// replica serves the identical bytes and creation timestamp.
+	ownerEvents := eventFiles(owner.Store())
+	promotedEvents := eventFiles(survivor.Store())
+	checked := 0
+	for path, want := range ownerEvents {
+		job := strings.SplitN(strings.TrimPrefix(path, "events/"), "/", 2)[0]
+		if _, acked := ackedJobs[job]; !acked {
+			continue
+		}
+		got, ok := promotedEvents[path]
+		if !ok {
+			t.Fatalf("%s: acked event %s lost in failover", point, path)
+		}
+		if !bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("%s: acked event %s corrupted in failover: %d bytes vs %d", point, path, len(got.Data), len(want.Data))
+		}
+		if !got.Created.Equal(want.Created) {
+			t.Fatalf("%s: acked event %s lost its timestamp: %v vs %v", point, path, got.Created, want.Created)
+		}
+		checked++
+	}
+	perJob := map[string]int{}
+	for path := range ownerEvents {
+		job := strings.SplitN(strings.TrimPrefix(path, "events/"), "/", 2)[0]
+		perJob[job]++
+	}
+	for job, want := range ackedJobs {
+		if perJob[job] != want {
+			t.Fatalf("%s: acked job %s has %d event files on the owner, want %d — the ack outran durability",
+				point, job, perJob[job], want)
+		}
+	}
+	t.Logf("%s: %d acked batches, %d events verified byte-identical on the promoted replica", point, len(ackedJobs), checked)
+
+	// The absorbed shard must keep taking writes: the promoted node now
+	// owns the dead node's signatures and must ack without a dead peer in
+	// its replication set.
+	if status := postBatch(t, cluster, "b", "drill-post", sigs[:drillBatch]); status != http.StatusAccepted {
+		t.Fatalf("%s: promoted node refused new ingest for the absorbed shard: status %d", point, status)
+	}
+}
+
+// drillSignatures returns n signatures the given node owns under the drill
+// ring parameters.
+func drillSignatures(n interface {
+	OwnerOf(string) (string, bool)
+}, id string, max int) []string {
+	var sigs []string
+	for i := 0; len(sigs) < max && i < max*8; i++ {
+		sig := fmt.Sprintf("drill-sig-%04d", i)
+		if _, mine := n.OwnerOf(sig); mine {
+			sigs = append(sigs, sig)
+		}
+	}
+	return sigs
+}
+
+// postBatch posts one wholly-owned trace batch straight to a node and
+// returns the HTTP status. Errors reaching the node at all count as 503 —
+// from the drill's perspective an unreachable owner and a latched store are
+// the same non-ack.
+func postBatch(t *testing.T, c *Cluster, node, jobID string, sigs []string) int {
+	t.Helper()
+	space := sparksim.QuerySpace()
+	traces := make([]flighting.Trace, 0, len(sigs))
+	for _, sig := range sigs {
+		traces = append(traces, flighting.Trace{
+			QueryID: sig, Config: space.Default(), DataSize: 1, TimeMs: 100,
+		})
+	}
+	var buf bytes.Buffer
+	if err := flighting.WriteTraces(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	n := c.Nodes[node]
+	tok := n.Store().Sign("events/", store.PermWrite, n.Backend().TokenTTL)
+	req, err := http.NewRequest(http.MethodPost,
+		c.Peers[node]+"/api/events/batch?user=drill&job_id="+jobID, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(backend.SASTokenHeader, tok)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return http.StatusServiceUnavailable
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}
+
+// eventFiles maps event-file path to its stored entry for one store.
+func eventFiles(s *store.DurableStore) map[string]store.Entry {
+	out := make(map[string]store.Entry)
+	for _, e := range s.Export() {
+		if strings.HasPrefix(e.Path, "events/") {
+			out[e.Path] = e
+		}
+	}
+	return out
+}

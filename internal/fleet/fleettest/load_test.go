@@ -1,0 +1,163 @@
+package fleettest
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/rockhopper-db/rockhopper/internal/client"
+	"github.com/rockhopper-db/rockhopper/internal/flighting"
+	"github.com/rockhopper-db/rockhopper/internal/parallel"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
+)
+
+const (
+	loadSeed   = 1337
+	loadVnodes = 32
+	loadBatch  = 500
+	// Latency SLOs the harness gates on, in seconds. They are deliberately
+	// loose — the gate exists to catch order-of-magnitude regressions
+	// (lock contention, accidental per-event fsync, replication stalls),
+	// not to benchmark the host.
+	sloBatchP99 = 2.5
+	sloReplP99  = 2.5
+)
+
+// TestFleetLoadMeetsP99SLO drives hundreds of thousands of synthetic
+// signatures (a bounded slice in -short) through a 3-node replicated
+// fleet's batch ingest path via the parallel pool, then gates on p99
+// latency SLOs read back from the nodes' telemetry registries. Every 202
+// in this run was replication-gated, so a passing run also proves the
+// synchronous-ack pipeline sustains the load.
+func TestFleetLoadMeetsP99SLO(t *testing.T) {
+	sigs := 200_000
+	if raceEnabled {
+		sigs = 10_000 // the detector slows ingest ~30x; keep the run bounded
+	}
+	if testing.Short() {
+		sigs = 4_000
+	}
+	ids := []string{"n1", "n2", "n3"}
+	cluster, err := NewCluster(func(string) string { return t.TempDir() }, ClusterOptions{
+		IDs:               ids,
+		Replicas:          2,
+		Vnodes:            loadVnodes,
+		Seed:              loadSeed,
+		StoreSecret:       []byte("fleettest-secret"),
+		ClusterSecret:     "fleettest-cluster",
+		NoSync:            true, // the load run measures the pipeline, not the disk
+		MaxPendingUpdates: sigs + 1,
+		RequestTimeout:    2 * time.Minute,
+		RetryDelay:        2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	router := client.NewShardRouter(client.ShardRouterOptions{
+		Peers:         cluster.Peers,
+		Replicas:      2,
+		Vnodes:        loadVnodes,
+		Seed:          loadSeed,
+		ClusterSecret: "fleettest-cluster",
+		Configure: func(id string, c *client.Client) {
+			// The harness measures the fleet's latency via the server-side
+			// histograms; the driving clients must not self-throttle or
+			// give up while the instrumented pipeline is merely slow.
+			c.CallTimeout = 2 * time.Minute
+			c.Breaker = nil
+		},
+	})
+
+	space := sparksim.QuerySpace()
+	nBatches := (sigs + loadBatch - 1) / loadBatch
+	// The batch path is I/O-bound (HTTP + replication waits), so ask for
+	// more workers than cores; Workers still clamps to the batch count.
+	// Under the race detector the pipeline is CPU-bound instead — fewer
+	// in-flight batches keeps per-request latency bounded.
+	requested := 16
+	if raceEnabled {
+		requested = 4
+	}
+	workers := parallel.Workers(requested, nBatches)
+	var accepted atomic.Int64
+	start := time.Now()
+	err = parallel.Each(context.Background(), nBatches, workers, func(ctx context.Context, i int) error {
+		lo := i * loadBatch
+		hi := lo + loadBatch
+		if hi > sigs {
+			hi = sigs
+		}
+		traces := make([]flighting.Trace, 0, hi-lo)
+		for s := lo; s < hi; s++ {
+			traces = append(traces, flighting.Trace{
+				QueryID:  fmt.Sprintf("sig-%06d", s),
+				Config:   space.Default(),
+				DataSize: float64(s%7 + 1),
+				TimeMs:   float64(50 + s%200),
+			})
+		}
+		resp, err := router.PostEventBatch(ctx, "load", fmt.Sprintf("job-%04d", i), traces)
+		if err != nil {
+			return fmt.Errorf("batch %d: %w", i, err)
+		}
+		accepted.Add(int64(resp.Events))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if got := accepted.Load(); got != int64(sigs) {
+		t.Fatalf("accepted %d events, want %d", got, sigs)
+	}
+	t.Logf("fleet load: %d signatures in %v (%.0f events/s, %d workers, %d-node fleet)",
+		sigs, elapsed.Round(time.Millisecond), float64(sigs)/elapsed.Seconds(), workers, len(ids))
+
+	// Every signature must be durable exactly once across the fleet's
+	// primaries — sharding must neither drop nor duplicate.
+	total := 0
+	for id, n := range cluster.Nodes {
+		files := len(n.Store().List("events/"))
+		if files == 0 {
+			t.Errorf("node %s ingested nothing: the ring failed to spread load", id)
+		}
+		total += files
+	}
+	if total != sigs {
+		t.Fatalf("fleet holds %d event files, want %d", total, sigs)
+	}
+
+	// SLO gates, read from each node's own registry — the same series
+	// rockmon scrapes in CI. Latency from a race-instrumented binary gates
+	// nothing, so only the correctness assertions run under the detector.
+	for id, reg := range cluster.Registries {
+		fams, err := Scrape(reg)
+		if err != nil {
+			t.Fatalf("scrape %s: %v", id, err)
+		}
+		if !raceEnabled {
+			if p99, ok := HistogramQuantile(fams, "rockhopper_http_request_duration_seconds",
+				map[string]string{"endpoint": "events_batch"}, 0.99); ok && p99 > sloBatchP99 {
+				t.Errorf("node %s: batch ingest p99 = %.3fs, SLO %.1fs", id, p99, sloBatchP99)
+			}
+			if p99, ok := HistogramQuantile(fams, "rockhopper_fleet_replication_wait_seconds",
+				nil, 0.99); ok && p99 > sloReplP99 {
+				t.Errorf("node %s: replication wait p99 = %.3fs, SLO %.1fs", id, p99, sloReplP99)
+			}
+		}
+		// With every request acknowledged, no follower may still lag.
+		if fam, ok := telemetry.Find(fams, "rockhopper_fleet_replication_lag_records"); ok {
+			for _, s := range fam.Series {
+				if s.Value != 0 {
+					t.Errorf("node %s: follower %s still lags %v records after quiesce",
+						id, s.Labels["peer"], s.Value)
+				}
+			}
+		}
+	}
+}

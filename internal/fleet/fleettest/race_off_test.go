@@ -1,0 +1,6 @@
+//go:build !race
+
+package fleettest
+
+// raceEnabled mirrors race_on_test.go for non-instrumented builds.
+const raceEnabled = false

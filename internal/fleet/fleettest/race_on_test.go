@@ -1,0 +1,9 @@
+//go:build race
+
+package fleettest
+
+// raceEnabled reports whether the race detector is compiled in. The load
+// harness shrinks its signature count and skips wall-clock SLO gates under
+// the detector: the drills' correctness invariants still run in full, but
+// latency numbers from an instrumented binary gate nothing meaningful.
+const raceEnabled = true

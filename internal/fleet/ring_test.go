@@ -1,0 +1,207 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+// ringNodes returns n synthetic node IDs.
+func ringNodes(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node-%02d", i)
+	}
+	return out
+}
+
+// ringKeys returns k synthetic signature keys.
+func ringKeys(k int) []string {
+	out := make([]string, k)
+	for i := range out {
+		out[i] = fmt.Sprintf("sig-%06d", i)
+	}
+	return out
+}
+
+// TestRingDeterministicPlacement: placement is a pure function of
+// (member set, vnodes, seed) — independent of insertion order and of the
+// process that computes it, because clients and nodes must agree with no
+// coordination.
+func TestRingDeterministicPlacement(t *testing.T) {
+	t.Parallel()
+	nodes, keys := ringNodes(7), ringKeys(5000)
+	a := NewRing(64, 42)
+	for _, n := range nodes {
+		a.Add(n)
+	}
+	b := NewRing(64, 42)
+	r := stats.NewRNG(1)
+	perm := r.Perm(len(nodes))
+	for _, i := range perm {
+		b.Add(nodes[i])
+	}
+	for _, k := range keys {
+		if ao, bo := a.Lookup(k), b.Lookup(k); ao != bo {
+			t.Fatalf("placement differs for %q: %q vs %q (insertion order must not matter)", k, ao, bo)
+		}
+	}
+	// A different seed must produce a genuinely different placement.
+	c := NewRing(64, 43)
+	for _, n := range nodes {
+		c.Add(n)
+	}
+	moved := 0
+	for _, k := range keys {
+		if a.Lookup(k) != c.Lookup(k) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("seed has no effect on placement")
+	}
+}
+
+// TestRingRebalanceBound: a membership change may move only the keys that
+// have to move. On Remove, exactly the removed node's keys move (every
+// other key keeps its owner); on Add, keys move only TO the new node. Both
+// counts stay within K/N + ε, ε = K/(2N) for vnode placement variance.
+func TestRingRebalanceBound(t *testing.T) {
+	t.Parallel()
+	const N, K = 10, 20000
+	nodes, keys := ringNodes(N), ringKeys(K)
+	ring := NewRing(0, 7)
+	for _, n := range nodes {
+		ring.Add(n)
+	}
+	before := make(map[string]string, K)
+	for _, k := range keys {
+		before[k] = ring.Lookup(k)
+	}
+
+	// Leave: node-03 departs permanently.
+	ring.Remove("node-03")
+	movedOnLeave := 0
+	for _, k := range keys {
+		now := ring.Lookup(k)
+		if before[k] == "node-03" {
+			movedOnLeave++
+			if now == "node-03" {
+				t.Fatalf("key %q still routes to the removed node", k)
+			}
+		} else if now != before[k] {
+			t.Fatalf("collateral movement on leave: %q moved %q -> %q", k, before[k], now)
+		}
+	}
+	bound := K/N + K/(2*N)
+	if movedOnLeave > bound {
+		t.Fatalf("leave moved %d keys, bound %d (K/N + ε)", movedOnLeave, bound)
+	}
+
+	// Join: a brand-new node arrives.
+	ring.Add("node-99")
+	movedOnJoin := 0
+	for _, k := range keys {
+		now := ring.Lookup(k)
+		was := before[k]
+		if was == "node-03" {
+			continue // re-homed by the leave above
+		}
+		if now != was {
+			movedOnJoin++
+			if now != "node-99" {
+				t.Fatalf("collateral movement on join: %q moved %q -> %q", k, was, now)
+			}
+		}
+	}
+	if movedOnJoin > bound {
+		t.Fatalf("join moved %d keys, bound %d (K/N + ε)", movedOnJoin, bound)
+	}
+	if movedOnLeave == 0 || movedOnJoin == 0 {
+		t.Fatalf("degenerate rebalance: leave=%d join=%d", movedOnLeave, movedOnJoin)
+	}
+}
+
+// TestRingLoadSpread: with DefaultVnodes no node owns a pathological share.
+func TestRingLoadSpread(t *testing.T) {
+	t.Parallel()
+	const N, K = 8, 40000
+	ring := NewRing(0, 11)
+	for _, n := range ringNodes(N) {
+		ring.Add(n)
+	}
+	load := make(map[string]int, N)
+	for _, k := range ringKeys(K) {
+		load[ring.Lookup(k)]++
+	}
+	for _, n := range ring.Nodes() {
+		share := load[n]
+		if share == 0 {
+			t.Fatalf("node %s owns no keys", n)
+		}
+		if share > 2*K/N {
+			t.Fatalf("node %s owns %d of %d keys (> 2x fair share)", n, share, K)
+		}
+	}
+}
+
+// TestRingLookupN: replica sets are distinct nodes, owner first, and agree
+// with Lookup.
+func TestRingLookupN(t *testing.T) {
+	t.Parallel()
+	ring := NewRing(32, 5)
+	for _, n := range ringNodes(5) {
+		ring.Add(n)
+	}
+	for _, k := range ringKeys(500) {
+		set := ring.LookupN(k, 3)
+		if len(set) != 3 {
+			t.Fatalf("LookupN(%q, 3) = %v", k, set)
+		}
+		if set[0] != ring.Lookup(k) {
+			t.Fatalf("LookupN head %q != Lookup %q", set[0], ring.Lookup(k))
+		}
+		seen := map[string]bool{}
+		for _, n := range set {
+			if seen[n] {
+				t.Fatalf("duplicate node in replica set %v", set)
+			}
+			seen[n] = true
+		}
+	}
+	if got := ring.LookupN("k", 99); len(got) != 5 {
+		t.Fatalf("LookupN beyond fleet size = %v, want all 5 members", got)
+	}
+}
+
+// FuzzRingLookup: for arbitrary keys and membership mutations the ring
+// never panics and Lookup always returns a current member.
+func FuzzRingLookup(f *testing.F) {
+	f.Add("sig-1", uint8(3), uint64(42))
+	f.Add("", uint8(1), uint64(0))
+	f.Add("a/very/long\xff\x00key", uint8(9), uint64(1<<63))
+	f.Fuzz(func(t *testing.T, key string, n uint8, seed uint64) {
+		members := int(n%16) + 1
+		ring := NewRing(int(n%8)*16, seed) // vnodes 0 (default) .. 112
+		for _, id := range ringNodes(members) {
+			ring.Add(id)
+		}
+		// Churn: remove one member, re-add it, and add a stranger.
+		ring.Remove(fmt.Sprintf("node-%02d", int(seed)%members))
+		ring.Add("node-zz")
+		live := map[string]bool{}
+		for _, id := range ring.Nodes() {
+			live[id] = true
+		}
+		owner := ring.Lookup(key)
+		if !live[owner] {
+			t.Fatalf("Lookup(%q) = %q, not a live member of %v", key, owner, ring.Nodes())
+		}
+		for _, id := range ring.LookupN(key, members) {
+			if !live[id] {
+				t.Fatalf("LookupN(%q) includes dead node %q", key, id)
+			}
+		}
+	})
+}

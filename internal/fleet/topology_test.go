@@ -1,0 +1,95 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTopologyFollowerChain(t *testing.T) {
+	t.Parallel()
+	topo := NewTopology([]string{"c", "a", "b", "d"}, 3, 16, 1)
+	if got := topo.Nodes(); !reflect.DeepEqual(got, []string{"a", "b", "c", "d"}) {
+		t.Fatalf("Nodes() = %v", got)
+	}
+	// Followers are cyclic successors in sorted ID order, replicas-1 wide.
+	cases := map[string][]string{
+		"a": {"b", "c"},
+		"c": {"d", "a"},
+		"d": {"a", "b"},
+	}
+	for node, want := range cases {
+		if got := topo.FollowersOf(node); !reflect.DeepEqual(got, want) {
+			t.Fatalf("FollowersOf(%s) = %v, want %v", node, got, want)
+		}
+	}
+	if got := topo.FollowersOf("nope"); got != nil {
+		t.Fatalf("FollowersOf(unknown) = %v", got)
+	}
+}
+
+func TestTopologyPromotionWalk(t *testing.T) {
+	t.Parallel()
+	topo := NewTopology([]string{"a", "b", "c"}, 2, 16, 9)
+	sig := "sig-route"
+	home := topo.HomeOwner(sig)
+	if home == "" || topo.Owner(sig) != home {
+		t.Fatalf("healthy fleet: owner %q, home %q", topo.Owner(sig), home)
+	}
+	wantPromoted := topo.FollowersOf(home)[0]
+	promoted, changed := topo.MarkDead(home)
+	if !changed || promoted != wantPromoted {
+		t.Fatalf("MarkDead(%s) = (%q, %v), want (%q, true)", home, promoted, changed, wantPromoted)
+	}
+	if got := topo.Owner(sig); got != wantPromoted {
+		t.Fatalf("after owner death, Owner = %q, want first live follower %q", got, wantPromoted)
+	}
+	if topo.HomeOwner(sig) != home {
+		t.Fatal("MarkDead must not re-hash placement")
+	}
+	// Double death: the walk continues past the dead follower.
+	if _, changed := topo.MarkDead(wantPromoted); !changed {
+		t.Fatal("second MarkDead not recorded")
+	}
+	third := topo.Owner(sig)
+	if third == home || third == wantPromoted || third == "" {
+		t.Fatalf("double death routed to %q", third)
+	}
+	// Whole fleet down routes nowhere; recovery routes home again.
+	topo.MarkDead(third)
+	if got := topo.Owner(sig); got != "" {
+		t.Fatalf("all-dead fleet still routes to %q", got)
+	}
+	if !topo.MarkLive(home) || topo.MarkLive(home) {
+		t.Fatal("MarkLive change reporting broken")
+	}
+	if got := topo.Owner(sig); got != home {
+		t.Fatalf("after recovery Owner = %q, want %q", got, home)
+	}
+}
+
+func TestTopologyReplicaSet(t *testing.T) {
+	t.Parallel()
+	topo := NewTopology([]string{"n1", "n2", "n3", "n4"}, 3, 16, 2)
+	for _, sig := range []string{"x", "y", "z", "sig-42"} {
+		set := topo.ReplicaSet(sig)
+		if len(set) != 3 {
+			t.Fatalf("ReplicaSet(%q) = %v", sig, set)
+		}
+		if set[0] != topo.HomeOwner(sig) {
+			t.Fatalf("replica set head %q is not the home owner", set[0])
+		}
+		if want := topo.FollowersOf(set[0]); !reflect.DeepEqual(set[1:], want) {
+			t.Fatalf("replica tail %v, want followers %v", set[1:], want)
+		}
+	}
+}
+
+func TestTopologyReplicasClamped(t *testing.T) {
+	t.Parallel()
+	if got := NewTopology([]string{"a", "b"}, 5, 8, 0).Replicas(); got != 2 {
+		t.Fatalf("replicas clamped to %d, want 2", got)
+	}
+	if got := NewTopology([]string{"a", "b", "c"}, 0, 8, 0).Replicas(); got != 1 {
+		t.Fatalf("replicas clamped to %d, want 1", got)
+	}
+}

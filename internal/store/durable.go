@@ -104,6 +104,13 @@ type DurableOptions struct {
 	// Metrics receives the durability instruments (WAL appends, fsync and
 	// snapshot latencies, replayed record counts); nil discards them.
 	Metrics *telemetry.Registry
+	// OnAppend observes every durably appended WAL frame — the log-shipping
+	// tap the fleet replicator hangs off. It is called under the store lock
+	// immediately after the frame is on disk; the frame slice (trailing
+	// newline included) is only valid for the duration of the call, so the
+	// observer must copy it and must not call back into the store. Nil
+	// disables the tap.
+	OnAppend func(seq uint64, frame []byte)
 }
 
 // DefaultCompactEvery is the record-count compaction threshold.
@@ -114,11 +121,12 @@ const DefaultCompactEvery = 4096
 // in-memory image, mutations are logged before they are applied. All
 // methods are safe for concurrent use.
 type DurableStore struct {
-	mem    *Store
-	dir    string
-	clock  resilience.Clock
-	logger *log.Logger
-	hooks  func(CrashPoint) error
+	mem      *Store
+	dir      string
+	clock    resilience.Clock
+	logger   *log.Logger
+	hooks    func(CrashPoint) error
+	onAppend func(seq uint64, frame []byte)
 
 	interval     time.Duration
 	compactEvery int
@@ -157,6 +165,7 @@ func OpenDurable(dir string, secret []byte, opts DurableOptions) (*DurableStore,
 		clock:        clock,
 		logger:       opts.Logger,
 		hooks:        opts.Hooks,
+		onAppend:     opts.OnAppend,
 		interval:     opts.SnapshotInterval,
 		compactEvery: opts.CompactEvery,
 		noSync:       opts.NoSync,
@@ -212,20 +221,7 @@ func (d *DurableStore) replay() error {
 		return err
 	}
 	for _, rec := range recs {
-		switch rec.Op {
-		case opPut:
-			d.mem.putAt(rec.Path, rec.Data, time.Unix(0, rec.Created))
-		case opDel:
-			d.mem.Delete(rec.Path)
-		case opSweep:
-			for _, p := range rec.Paths {
-				d.mem.Delete(p)
-			}
-		case opBatch:
-			for _, e := range rec.Entries {
-				d.mem.putAt(e.Path, e.Data, time.Unix(0, e.Created))
-			}
-		}
+		d.applyLocked(rec)
 	}
 	d.seq = lastSeq
 	d.walCount = len(recs)
@@ -316,6 +312,9 @@ func (d *DurableStore) appendLocked(rec walRecord) error {
 	d.seq = rec.Seq
 	d.walCount++
 	d.walAppends.Inc()
+	if d.onAppend != nil {
+		d.onAppend(rec.Seq, line)
+	}
 	return nil
 }
 

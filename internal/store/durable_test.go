@@ -55,6 +55,7 @@ func mustOpen(t *testing.T, dir string, opts DurableOptions) *DurableStore {
 		CompactEvery:     opts.CompactEvery,
 		NoSync:           true,
 		Hooks:            opts.Hooks,
+		OnAppend:         opts.OnAppend,
 	})
 	if err != nil {
 		t.Fatal(err)

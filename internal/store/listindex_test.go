@@ -1,0 +1,109 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+)
+
+// naiveList is the reference implementation the key index must match: a
+// full scan of the object map.
+func naiveList(s *Store, prefix string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for p := range s.objects {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func listsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestListIndexMatchesNaiveScan drives the sorted-key index through every
+// structural regime — pure overflow, merged snapshot, tombstones, delete +
+// re-put across a merge boundary — and checks List against a full map scan
+// after each step. The operation count crosses the merge threshold several
+// times so both the merged and unmerged paths are exercised.
+func TestListIndexMatchesNaiveScan(t *testing.T) {
+	s := New([]byte("k"))
+	rng := stats.NewRNG(7)
+	prefixes := []string{"", "events/", "events/job-1/", "index/u/", "models/", "zzz/"}
+	check := func(step int) {
+		t.Helper()
+		for _, p := range prefixes {
+			got, want := s.List(p), naiveList(s, p)
+			if !listsEqual(got, want) {
+				t.Fatalf("step %d: List(%q) = %d paths, naive scan = %d\ngot:  %v\nwant: %v",
+					step, p, len(got), len(want), got, want)
+			}
+		}
+	}
+	var live []string
+	for step := 0; step < 4*overflowMergeThreshold; step++ {
+		switch op := rng.Intn(10); {
+		case op < 6 || len(live) == 0: // put a fresh key
+			p := fmt.Sprintf("%sobj-%05d", prefixes[rng.Intn(len(prefixes))], step)
+			s.PutInternal(p, []byte("v"))
+			live = append(live, p)
+		case op < 8: // overwrite an existing key (no index growth)
+			s.PutInternal(live[rng.Intn(len(live))], []byte("v2"))
+		default: // delete, sometimes followed by an immediate re-put
+			i := rng.Intn(len(live))
+			p := live[i]
+			s.Delete(p)
+			if rng.Intn(2) == 0 {
+				s.PutInternal(p, []byte("v3"))
+			} else {
+				live = append(live[:i], live[i+1:]...)
+			}
+		}
+		if step%97 == 0 {
+			check(step)
+		}
+	}
+	check(-1)
+
+	// Mass deletion must compact the tombstones out of the snapshot, not
+	// leave List scanning a dead index.
+	for _, p := range live {
+		s.Delete(p)
+	}
+	check(-2)
+	if got := s.List(""); len(got) != 0 {
+		t.Fatalf("emptied store still lists %d paths: %v", len(got), got[:min(len(got), 5)])
+	}
+}
+
+// BenchmarkListPointLookup is the Model Updater's access pattern: one List
+// of a single signature's index folder while the store holds many others.
+// The amortized key index keeps this O(log n + matches); the former full
+// map scan made bulk ingest quadratic in fleet-scale runs.
+func BenchmarkListPointLookup(b *testing.B) {
+	s := New([]byte("k"))
+	for i := 0; i < 100_000; i++ {
+		s.PutInternal(fmt.Sprintf("index/u/sig-%06d/job-%d", i, i), nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.List(fmt.Sprintf("index/u/sig-%06d/", i%100_000)); len(got) != 1 {
+			b.Fatalf("point lookup returned %d paths", len(got))
+		}
+	}
+}

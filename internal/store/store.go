@@ -86,7 +86,26 @@ type Store struct {
 
 	mu      sync.RWMutex
 	objects map[string]object
+
+	// keys and overflow index List. keys is a sorted snapshot of the key
+	// set (it may retain recently deleted keys — the objects map stays the
+	// source of truth and filters them out); overflow holds keys put since
+	// the last merge. A List binary-searches keys for the prefix range and
+	// scans only the bounded overflow, so it costs O(log n + matches)
+	// amortized instead of a full map walk — the difference between linear
+	// and quadratic total work for callers that List once per inserted key,
+	// like the Model Updater retraining behind bulk ingest.
+	keys     []string
+	overflow []string
+	// stale counts deletions not yet compacted out of keys; crossing the
+	// merge threshold forces a compaction so List never scans a key slice
+	// dominated by tombstones.
+	stale int
 }
+
+// overflowMergeThreshold bounds the unsorted overflow a List must scan;
+// reaching it merges the overflow into the sorted key snapshot.
+const overflowMergeThreshold = 512
 
 type object struct {
 	data    []byte
@@ -173,7 +192,67 @@ func (s *Store) putUnchecked(p string, data []byte) {
 func (s *Store) putAt(p string, data []byte, created time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	_, exists := s.objects[p]
 	s.objects[p] = object{data: append([]byte(nil), data...), created: created}
+	if !exists {
+		// Index after the insert: the merge filters through the objects
+		// map, and must see the key it is about to fold in as live.
+		s.overflow = append(s.overflow, p)
+		if len(s.overflow) >= overflowMergeThreshold {
+			s.mergeKeysLocked()
+		}
+	}
+}
+
+// mergeKeysLocked folds the overflow into the sorted key snapshot and drops
+// tombstones, restoring List's O(log n + matches) bound.
+func (s *Store) mergeKeysLocked() {
+	sort.Strings(s.overflow)
+	merged := make([]string, 0, len(s.keys)+len(s.overflow))
+	i, j := 0, 0
+	for i < len(s.keys) || j < len(s.overflow) {
+		var k string
+		switch {
+		case i >= len(s.keys):
+			k = s.overflow[j]
+			j++
+		case j >= len(s.overflow):
+			k = s.keys[i]
+			i++
+		case s.keys[i] < s.overflow[j]:
+			k = s.keys[i]
+			i++
+		case s.keys[i] > s.overflow[j]:
+			k = s.overflow[j]
+			j++
+		default: // same key reinserted after a delete: emit once
+			k = s.keys[i]
+			i++
+			j++
+		}
+		if len(merged) > 0 && merged[len(merged)-1] == k {
+			continue // duplicate within the overflow (delete + re-put)
+		}
+		if _, live := s.objects[k]; live {
+			merged = append(merged, k)
+		}
+	}
+	s.keys = merged
+	s.overflow = s.overflow[:0]
+	s.stale = 0
+}
+
+// deleteLocked removes an object and compacts the key index once tombstones
+// dominate it.
+func (s *Store) deleteLocked(p string) {
+	if _, ok := s.objects[p]; !ok {
+		return
+	}
+	delete(s.objects, p)
+	s.stale++
+	if s.stale > len(s.keys)/2+overflowMergeThreshold {
+		s.mergeKeysLocked()
+	}
 }
 
 // getUnchecked bypasses token checks; for backend-internal readers.
@@ -216,17 +295,68 @@ func (s *Store) PutBatch(entries []BatchEntry) error {
 // GetInternal reads without a token.
 func (s *Store) GetInternal(p string) ([]byte, error) { return s.getUnchecked(p) }
 
-// List returns the paths under prefix, sorted.
+// List returns the paths under prefix, sorted. It reads the sorted key
+// snapshot through a binary search plus the bounded overflow, never the
+// whole object map.
 func (s *Store) List(prefix string) []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	lo := sort.SearchStrings(s.keys, prefix)
 	var out []string
-	for p := range s.objects {
-		if strings.HasPrefix(p, prefix) {
-			out = append(out, p)
+	for i := lo; i < len(s.keys) && strings.HasPrefix(s.keys[i], prefix); i++ {
+		if _, live := s.objects[s.keys[i]]; live {
+			out = append(out, s.keys[i])
 		}
 	}
-	sort.Strings(out)
+	if len(s.overflow) == 0 {
+		return out
+	}
+	snap := len(out)
+	for _, k := range s.overflow {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		if _, live := s.objects[k]; !live {
+			continue
+		}
+		// Skip keys already emitted from the snapshot range (a key lands in
+		// the overflow again when it is deleted and re-put before a merge).
+		if idx := sort.SearchStrings(s.keys, k); idx < len(s.keys) && s.keys[idx] == k {
+			continue
+		}
+		out = append(out, k)
+	}
+	if len(out) > snap {
+		sort.Strings(out[snap:])
+		out = mergeSortedDedup(out[:snap], out[snap:])
+	}
+	return out
+}
+
+// mergeSortedDedup merges two sorted string slices, dropping duplicates.
+func mergeSortedDedup(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var k string
+		switch {
+		case i >= len(a):
+			k = b[j]
+			j++
+		case j >= len(b):
+			k = a[i]
+			i++
+		case a[i] <= b[j]:
+			k = a[i]
+			i++
+		default:
+			k = b[j]
+			j++
+		}
+		if len(out) == 0 || out[len(out)-1] != k {
+			out = append(out, k)
+		}
+	}
 	return out
 }
 
@@ -234,7 +364,7 @@ func (s *Store) List(prefix string) []string {
 func (s *Store) Delete(p string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.objects, p)
+	s.deleteLocked(p)
 }
 
 // Len returns the number of stored objects.
@@ -270,7 +400,7 @@ func (s *Store) sweepExpired(retention time.Duration) []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, p := range reaped {
-		delete(s.objects, p)
+		s.deleteLocked(p)
 	}
 	return reaped
 }

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestExemplarRendersAndParsesBack(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("demo_seconds", "Demo latency.", []float64{0.1, 1}, "endpoint").With("events")
+	sc := SpanContext{TraceID: 0x0123456789abcdef, SpanID: 0xfedcba9876543210}
+	h.ObserveTraced(0.05, sc) // first bucket
+	h.ObserveTraced(42, sc)   // beyond the last bound: +Inf bucket
+	h.Observe(0.5)            // untraced; must not grow an exemplar
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, `# {trace_id="0123456789abcdef",span_id="fedcba9876543210"} 0.05`) {
+		t.Fatalf("rendered text lacks the bucket exemplar:\n%s", text)
+	}
+
+	fams, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseText on exemplar output: %v", err)
+	}
+	fam, ok := Find(fams, "demo_seconds")
+	if !ok {
+		t.Fatal("demo_seconds family missing")
+	}
+	byLE := map[string]*Series{}
+	for i := range fam.Series {
+		s := &fam.Series[i]
+		if strings.HasSuffix(s.Name, "_bucket") {
+			byLE[s.Labels["le"]] = s
+		}
+	}
+	first := byLE["0.1"]
+	if first == nil || first.Exemplar == nil {
+		t.Fatalf("first bucket lost its exemplar: %+v", first)
+	}
+	if first.Exemplar.TraceID != sc.TraceHex() || first.Exemplar.SpanID != sc.SpanHex() {
+		t.Fatalf("exemplar identity = %+v, want trace %s span %s", first.Exemplar, sc.TraceHex(), sc.SpanHex())
+	}
+	if first.Exemplar.Value != 0.05 {
+		t.Fatalf("exemplar value = %v, want 0.05", first.Exemplar.Value)
+	}
+	inf := byLE["+Inf"]
+	if inf == nil || inf.Exemplar == nil || inf.Exemplar.Value != 42 {
+		t.Fatalf("+Inf bucket exemplar = %+v, want value 42", inf)
+	}
+	mid := byLE["1"]
+	if mid == nil || mid.Exemplar != nil {
+		t.Fatalf("untraced bucket grew an exemplar: %+v", mid)
+	}
+	// The histogram's own accounting must be untouched by exemplar wiring.
+	if inf.Value != 3 {
+		t.Fatalf("+Inf cumulative count = %v, want 3", inf.Value)
+	}
+}
+
+// TestExemplarSurvivesScrape drives the same path rockmon's scrape mode
+// uses: GET the registry handler, parse the body, read the exemplar.
+func TestExemplarSurvivesScrape(t *testing.T) {
+	reg := NewRegistry()
+	sc := SpanContext{TraceID: 0xaaaa, SpanID: 0xbbbb}
+	reg.Histogram("scrape_seconds", "Scrape demo.", []float64{1}).With().ObserveTraced(0.2, sc)
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fams, err := ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape parse: %v", err)
+	}
+	fam, ok := Find(fams, "scrape_seconds")
+	if !ok {
+		t.Fatal("scrape_seconds family missing from scrape")
+	}
+	for _, s := range fam.Series {
+		if s.Name == "scrape_seconds_bucket" && s.Labels["le"] == "1" {
+			if s.Exemplar == nil {
+				t.Fatal("scraped bucket lost its exemplar")
+			}
+			if s.Exemplar.TraceID != sc.TraceHex() || s.Exemplar.SpanID != sc.SpanHex() {
+				t.Fatalf("scraped exemplar = %+v", s.Exemplar)
+			}
+			return
+		}
+	}
+	t.Fatal("bucket series missing from scrape")
+}
+
+func TestExemplarAbsentKeepsPlainFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("plain_seconds", "No traces.", []float64{1}).With().Observe(0.5)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "#  {") || strings.Contains(buf.String(), "} 0.5 #") {
+		t.Fatalf("untraced histogram emitted an exemplar:\n%s", buf.String())
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "plain_seconds_bucket") && strings.Contains(line, "#") {
+			t.Fatalf("untraced bucket line carries an exemplar: %q", line)
+		}
+	}
+}

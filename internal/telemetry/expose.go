@@ -63,11 +63,13 @@ func (f *family) write(w *bufio.Writer) error {
 			var cum uint64
 			for i, ub := range f.buckets {
 				cum += c.counts[i].Load()
-				fmt.Fprintf(w, "%s_bucket%s %d\n",
-					f.name, labelString(f.labels, c.values, "le", formatFloat(ub)), cum)
+				fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+					f.name, labelString(f.labels, c.values, "le", formatFloat(ub)), cum,
+					exemplarString(c.exemplars[i].Load()))
 			}
-			fmt.Fprintf(w, "%s_bucket%s %d\n",
-				f.name, labelString(f.labels, c.values, "le", "+Inf"), c.count.Load())
+			fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+				f.name, labelString(f.labels, c.values, "le", "+Inf"), c.count.Load(),
+				exemplarString(c.exemplars[len(f.buckets)].Load()))
 			fmt.Fprintf(w, "%s_sum%s %s\n",
 				f.name, labelString(f.labels, c.values, "", ""), formatFloat(math.Float64frombits(c.sumBits.Load())))
 			fmt.Fprintf(w, "%s_count%s %d\n",
@@ -78,6 +80,18 @@ func (f *family) write(w *bufio.Writer) error {
 		}
 	}
 	return nil
+}
+
+// exemplarString renders a bucket's exemplar suffix in the OpenMetrics
+// form ` # {trace_id="...",span_id="..."} value`, or nothing when the
+// bucket has no traced observation — untraced registries keep emitting the
+// exact byte stream the golden conformance test pins.
+func exemplarString(ex *Exemplar) string {
+	if ex == nil {
+		return ""
+	}
+	return fmt.Sprintf(` # {trace_id="%s",span_id="%s"} %s`,
+		escapeLabel(ex.TraceID), escapeLabel(ex.SpanID), formatFloat(ex.Value))
 }
 
 // labelString renders {k="v",...}; extraK/extraV append a synthetic label

@@ -20,11 +20,13 @@ type Family struct {
 
 // Series is one parsed sample line. Name keeps the full sample name
 // (including any _bucket/_sum/_count suffix) so histogram invariants can be
-// checked by consumers.
+// checked by consumers. Exemplar is non-nil when the line carried an
+// OpenMetrics exemplar suffix.
 type Series struct {
-	Name   string
-	Labels map[string]string
-	Value  float64
+	Name     string
+	Labels   map[string]string
+	Value    float64
+	Exemplar *Exemplar
 }
 
 // ParseText parses Prometheus text exposition format — the inverse of
@@ -134,6 +136,16 @@ func parseSample(line string) (Series, error) {
 		}
 	}
 	valStr := strings.TrimSpace(rest)
+	// An exemplar suffix (` # {...} value`) splits off before the
+	// trailing-fields check — it is the one legal thing after the value.
+	if i := strings.Index(valStr, "#"); i >= 0 {
+		ex, err := parseExemplar(strings.TrimSpace(valStr[i+1:]))
+		if err != nil {
+			return s, fmt.Errorf("%v in %q", err, line)
+		}
+		s.Exemplar = ex
+		valStr = strings.TrimSpace(valStr[:i])
+	}
 	// A trailing timestamp would appear as a second field; we never emit one.
 	if strings.ContainsAny(valStr, " \t") {
 		return s, fmt.Errorf("unexpected trailing fields in %q", line)
@@ -144,6 +156,23 @@ func parseSample(line string) (Series, error) {
 	}
 	s.Value = v
 	return s, nil
+}
+
+// parseExemplar decodes `{trace_id="...",span_id="..."} value`.
+func parseExemplar(s string) (*Exemplar, error) {
+	if !strings.HasPrefix(s, "{") {
+		return nil, fmt.Errorf("malformed exemplar %q", s)
+	}
+	labels := map[string]string{}
+	rest, err := parseLabels(s[1:], labels)
+	if err != nil {
+		return nil, fmt.Errorf("exemplar: %v", err)
+	}
+	v, err := parseValue(strings.TrimSpace(rest))
+	if err != nil {
+		return nil, fmt.Errorf("bad exemplar value in %q", s)
+	}
+	return &Exemplar{TraceID: labels["trace_id"], SpanID: labels["span_id"], Value: v}, nil
 }
 
 // parseLabels consumes `name="value",...}` and returns the remainder after

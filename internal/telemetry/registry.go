@@ -99,6 +99,15 @@ type family struct {
 	fn       func() float64 // gauge callback; nil for plain families
 }
 
+// Exemplar links one histogram bucket to the trace that produced its most
+// recent observation — the OpenMetrics exemplar mechanism, which lets a
+// dashboard jump from a latency bucket straight to the span behind it.
+type Exemplar struct {
+	TraceID string
+	SpanID  string
+	Value   float64
+}
+
 // child is one series: a label-value tuple plus its value cells. Counters
 // and gauges live in bits (math.Float64bits); histograms use per-bucket
 // counts plus sumBits/count. All cells are atomics so observation never
@@ -109,6 +118,9 @@ type child struct {
 	counts  []atomic.Uint64 // one per bucket; +Inf is implicit in count
 	sumBits atomic.Uint64
 	count   atomic.Uint64
+	// exemplars holds one slot per bucket plus the +Inf bucket (last),
+	// each the most recent traced observation to land there.
+	exemplars []atomic.Pointer[Exemplar]
 }
 
 func addFloat(bits *atomic.Uint64, v float64) {
@@ -189,6 +201,7 @@ func (f *family) childFor(values []string) *child {
 		c = &child{values: append([]string(nil), values...)}
 		if f.kind == KindHistogram {
 			c.counts = make([]atomic.Uint64, len(f.buckets))
+			c.exemplars = make([]atomic.Pointer[Exemplar], len(f.buckets)+1)
 		}
 		f.children[key] = c
 	}
@@ -319,7 +332,13 @@ type Histogram struct {
 }
 
 // Observe records one sample.
-func (h Histogram) Observe(v float64) {
+func (h Histogram) Observe(v float64) { h.ObserveTraced(v, SpanContext{}) }
+
+// ObserveTraced records one sample and, when sc is a valid span identity,
+// pins it as the bucket's exemplar — the renderer emits it so a scrape can
+// link the bucket to the exact request trace that landed there. An invalid
+// sc degrades to a plain Observe.
+func (h Histogram) ObserveTraced(v float64, sc SpanContext) {
 	// First bucket whose upper bound admits v; beyond the last bound the
 	// sample lands only in the implicit +Inf bucket (count).
 	i := sort.SearchFloat64s(h.f.buckets, v)
@@ -328,6 +347,9 @@ func (h Histogram) Observe(v float64) {
 	}
 	addFloat(&h.c.sumBits, v)
 	h.c.count.Add(1)
+	if sc.Valid() {
+		h.c.exemplars[i].Store(&Exemplar{TraceID: sc.TraceHex(), SpanID: sc.SpanHex(), Value: v})
+	}
 }
 
 // Count returns the number of observations.

@@ -214,7 +214,6 @@ func NewTuner(space *Space, opts ...Option) (*Tuner, error) {
 func (t *Tuner) Recommend(iteration int, expectedInputBytes float64) Config {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	//rocklint:allow deadlockcycle -- Propose fetches the remote model at most once per session under t.mu; the call is bounded by the client CallTimeout and Tuner is deliberately serialized per signature
 	return t.cl.Propose(iteration, expectedInputBytes)
 }
 
@@ -225,7 +224,6 @@ func (t *Tuner) Recommend(iteration int, expectedInputBytes float64) Config {
 func (t *Tuner) Suggest(expectedInputBytes float64) Config {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	//rocklint:allow deadlockcycle -- Propose fetches the remote model at most once per session under t.mu; the call is bounded by the client CallTimeout and Tuner is deliberately serialized per signature
 	return t.cl.Propose(t.cl.Iterations(), expectedInputBytes)
 }
 
