@@ -32,8 +32,12 @@
 //
 // Liveness and per-endpoint error accounting are exposed unauthenticated at
 // GET /api/health; Prometheus text metrics (request latencies, WAL timings,
-// updater queue depth, tuner gauges) at GET /metrics; and the recent span
-// ring at GET /api/trace.
+// updater queue depth, tuner gauges) at GET /metrics; the recent span ring
+// at GET /api/trace (sized by -trace-ring, filterable with ?trace=<id>);
+// and the flight-recorder event ring at GET /api/flightrec. -slo-latency
+// arms the black box: a request over the objective snapshots the recorder
+// to -data-dir. -debug-addr opens a separate net/http/pprof listener for
+// profiling (off by default).
 package main
 
 import (
@@ -43,6 +47,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -52,6 +57,7 @@ import (
 
 	"github.com/rockhopper-db/rockhopper/internal/backend"
 	"github.com/rockhopper-db/rockhopper/internal/fleet"
+	"github.com/rockhopper-db/rockhopper/internal/flightrec"
 	"github.com/rockhopper-db/rockhopper/internal/sparksim"
 	"github.com/rockhopper-db/rockhopper/internal/store"
 	"github.com/rockhopper-db/rockhopper/internal/telemetry"
@@ -97,6 +103,14 @@ func main() {
 		"hash-ring placement seed; must match on every node and client")
 	heartbeat := flag.Duration("heartbeat", 5*time.Second,
 		"fleet peer heartbeat interval (0 disables failure detection)")
+	traceRing := flag.Int("trace-ring", backend.DefaultTraceRingSpans,
+		"spans retained in the /api/trace ring (rockhopper_trace_spans_evicted_total counts overflow)")
+	debugAddr := flag.String("debug-addr", "",
+		"separate listener for net/http/pprof profiling endpoints (empty disables; never expose publicly)")
+	sloLatency := flag.Duration("slo-latency", 0,
+		"per-request latency objective; a breach dumps the flight recorder to -data-dir (0 disables)")
+	flightEvents := flag.Int("flightrec-events", 512,
+		"events retained in the flight-recorder ring served at /api/flightrec (0 disables)")
 	flag.Parse()
 
 	if *secret == "" || *signingKey == "" {
@@ -115,6 +129,15 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "autotuned: ", log.LstdFlags)
+	recNode := *nodeID
+	if recNode == "" {
+		recNode = "autotuned"
+	}
+	//rocklint:allow wallclock -- the flight recorder timestamps operational events, not tuning state
+	flightRec := flightrec.New(*flightEvents, recNode, *dataDir, time.Now)
+	flightRec.OnDump(func(reason, path string) {
+		logger.Printf("flight recorder dumped (%s) to %s", reason, path)
+	})
 	var st objectStore
 	var durable *store.DurableStore
 	var srv *backend.Server
@@ -148,6 +171,9 @@ func main() {
 			Logger:            logger,
 			SnapshotInterval:  *snapInterval,
 			HeartbeatInterval: *heartbeat,
+			TraceRingSpans:    *traceRing,
+			SLOLatency:        *sloLatency,
+			FlightRecorder:    flightRec,
 		})
 		if err != nil {
 			logger.Fatal(err)
@@ -175,10 +201,19 @@ func main() {
 		}
 		//rocklint:allow wallclock -- daemon startup entropy for the backend seed; not an experiment path
 		srv = backend.New(space, st, *secret, uint64(time.Now().UnixNano()))
+		// Identity, ring sizing, and the SLO check must land before
+		// SetMetrics: bindTelemetry bakes them into the tracer it builds.
+		srv.NodeName = recNode
+		srv.TraceRingSpans = *traceRing
+		srv.SLOLatency = *sloLatency
 		// Publish on the process-global registry so the store's durability
 		// instruments and the backend's request accounting share one
 		// /metrics. (Fleet nodes wire the registry through NodeOptions.)
 		srv.SetMetrics(telemetry.Default())
+		srv.SetFlightRecorder(flightRec)
+		if durable != nil {
+			durable.SetTracer(srv.Tracer())
+		}
 		handler = srv.Handler()
 	}
 	srv.Logger = logger
@@ -195,6 +230,24 @@ func main() {
 			}
 			srv.SetTenantWeight(name, w)
 		}
+	}
+
+	// Profiling listener: explicit pprof mux on its own address, never on
+	// the service listener, so operators opt in and firewalls can fence it.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		//rocklint:allow goroutineleak -- the debug listener is process-lifetime by design: it serves pprof until the daemon exits and dies with it
+		go func() {
+			logger.Printf("pprof debug listener on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				logger.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -7,21 +7,37 @@
 //
 //	rockmon -traces traces.jsonl [-signature sig] [-space query|full] [-every 5]
 //	rockmon -scrape http://localhost:8080/metrics [-require name,name,...]
+//	rockmon -trace <16-hex-id> -nodes http://h1:8080,http://h2:8080,http://h3:8080 \
+//	        [-require-spans wal_fsync,replication_wait]
+//	rockmon -flightrec /var/lib/autotuned/flightrec-slo_breach-001.json
 //
 // Without -signature, every signature found in the file is reported. With
 // -require, the scrape exits non-zero unless every named metric family is
 // present — the CI liveness check.
+//
+// -trace gathers one trace's span fragments from every listed daemon's
+// /api/trace ring and renders the assembled cross-node causal tree with
+// timings. The exit code is non-zero when the fragments do not form one
+// connected tree (orphaned spans mean broken propagation) or when a
+// -require-spans name is missing (a name matches exactly or as the prefix
+// of a ":"-suffixed span, so replication_wait matches replication_wait:b).
+//
+// -flightrec replays a flight-recorder snapshot written by a daemon as a
+// readable event timeline.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strings"
 
 	"github.com/rockhopper-db/rockhopper/internal/flighting"
+	"github.com/rockhopper-db/rockhopper/internal/flightrec"
 	"github.com/rockhopper-db/rockhopper/internal/monitor"
 	"github.com/rockhopper-db/rockhopper/internal/sparksim"
 	"github.com/rockhopper-db/rockhopper/internal/telemetry"
@@ -34,8 +50,19 @@ func main() {
 	every := flag.Int("every", 5, "sample the configuration trace every N events")
 	scrape := flag.String("scrape", "", "scrape a /metrics URL instead of reading traces")
 	require := flag.String("require", "", "comma-separated metric families that must be present in the scrape")
+	traceID := flag.String("trace", "", "gather and render one trace ID (16 hex) from the -nodes daemons")
+	nodes := flag.String("nodes", "", "comma-separated daemon base URLs to gather trace spans from")
+	requireSpans := flag.String("require-spans", "",
+		"comma-separated span names that must appear in the assembled trace (exact or name:* prefix match)")
+	flightrecPath := flag.String("flightrec", "", "render a flight-recorder snapshot file as an event timeline")
 	flag.Parse()
 
+	if *flightrecPath != "" {
+		os.Exit(renderFlightrec(*flightrecPath))
+	}
+	if *traceID != "" {
+		os.Exit(gatherTrace(*traceID, *nodes, *requireSpans))
+	}
 	if *scrape != "" {
 		os.Exit(scrapeMetrics(*scrape, *require))
 	}
@@ -103,6 +130,83 @@ func main() {
 		d.ConfigTrace(os.Stdout, *every)
 		fmt.Println()
 	}
+}
+
+// gatherTrace pulls one trace's span fragments from every node's /api/trace
+// ring, assembles the cross-node causal tree, renders it, and verifies the
+// tree is connected (single root, zero orphans) plus any -require-spans
+// names. Returns the process exit code.
+func gatherTrace(traceID, nodes, requireSpans string) int {
+	var bases []string
+	for _, b := range strings.Split(nodes, ",") {
+		if b = strings.TrimRight(strings.TrimSpace(b), "/"); b != "" {
+			bases = append(bases, b)
+		}
+	}
+	if len(bases) == 0 {
+		fmt.Fprintln(os.Stderr, "rockmon: -trace requires -nodes")
+		return 2
+	}
+	var spans []telemetry.Span
+	for _, base := range bases {
+		resp, err := http.Get(base + "/api/trace?trace=" + url.QueryEscape(traceID))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rockmon: gather %s: %v\n", base, err)
+			return 1
+		}
+		var part []telemetry.Span
+		err = json.NewDecoder(resp.Body).Decode(&part)
+		resp.Body.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rockmon: gather %s: %v\n", base, err)
+			return 1
+		}
+		spans = append(spans, part...)
+	}
+	tree := telemetry.AssembleTrace(traceID, spans)
+	if len(tree.Roots) == 0 && len(tree.Orphans) == 0 {
+		fmt.Fprintf(os.Stderr, "rockmon: no spans for trace %s on %d node(s)\n", traceID, len(bases))
+		return 1
+	}
+	telemetry.RenderTree(os.Stdout, tree)
+
+	code := 0
+	if !tree.Connected() {
+		fmt.Fprintf(os.Stderr, "rockmon: trace %s is not a single connected tree (%d roots, %d orphans)\n",
+			traceID, len(tree.Roots), len(tree.Orphans))
+		code = 1
+	}
+	assembled := tree.Spans()
+	for _, want := range strings.Split(requireSpans, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		found := false
+		for _, sp := range assembled {
+			if sp.Name == want || strings.HasPrefix(sp.Name, want+":") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "rockmon: required span %q missing from trace %s\n", want, traceID)
+			code = 1
+		}
+	}
+	return code
+}
+
+// renderFlightrec replays one flight-recorder snapshot as a readable
+// timeline. Returns the process exit code.
+func renderFlightrec(path string) int {
+	snap, err := flightrec.Load(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rockmon: %v\n", err)
+		return 1
+	}
+	flightrec.Render(os.Stdout, snap)
+	return 0
 }
 
 // scrapeMetrics fetches a Prometheus text exposition, renders a compact

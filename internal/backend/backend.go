@@ -27,7 +27,9 @@ import (
 	"github.com/rockhopper-db/rockhopper/internal/applevel"
 	"github.com/rockhopper-db/rockhopper/internal/eventlog"
 	"github.com/rockhopper-db/rockhopper/internal/flighting"
+	"github.com/rockhopper-db/rockhopper/internal/flightrec"
 	"github.com/rockhopper-db/rockhopper/internal/ml"
+	"github.com/rockhopper-db/rockhopper/internal/monitor"
 	"github.com/rockhopper-db/rockhopper/internal/resilience"
 	"github.com/rockhopper-db/rockhopper/internal/sparksim"
 	"github.com/rockhopper-db/rockhopper/internal/stats"
@@ -194,6 +196,16 @@ type Server struct {
 	// TenantBurst is the token-bucket capacity; <= 0 means
 	// DefaultTenantBurst.
 	TenantBurst float64
+	// NodeName stamps every span this server records with the fleet node's
+	// identity (empty for a standalone daemon). Set before SetMetrics.
+	NodeName string
+	// TraceRingSpans is the span-ring capacity behind /api/trace; <= 0
+	// means DefaultTraceRingSpans. Set before SetMetrics.
+	TraceRingSpans int
+	// SLOLatency is the per-request latency objective: a slower request is
+	// an SLO breach, recorded in the flight recorder and triggering a
+	// black-box snapshot. <= 0 disables the check.
+	SLOLatency time.Duration
 	// Logger receives operational messages; nil silences them.
 	Logger *log.Logger
 
@@ -218,6 +230,27 @@ type Server struct {
 	// Split advances the parent stream.
 	rngMu sync.Mutex
 	rng   *stats.RNG
+
+	// traceRNG mints span IDs. It is a dedicated stream derived from
+	// traceSeed — never a Split of rng — so enabling or rebinding tracing
+	// can never shift the draw sequence the experiment paths depend on.
+	// bindTelemetry folds NodeName into the derivation: fleet nodes share
+	// one Seed, and span IDs must still be unique across nodes or trace
+	// assembly dedups one node's spans as another's.
+	traceSeed uint64
+	traceRNG  *stats.RNG
+
+	// flightRec is the node's black-box recorder (nil discards). Set via
+	// SetFlightRecorder before serving traffic.
+	flightRec *flightrec.Recorder
+
+	// driftMu guards the per-model drift detectors and the count of
+	// training traces each has already consumed. The detectors are fed
+	// only from the updater goroutine; the mutex covers SetMetrics-time
+	// resets and test inspection.
+	driftMu  sync.Mutex
+	drift    map[string]*monitor.DriftDetector
+	driftFed map[string]int
 
 	// seqMu guards seqs, the per-job event-file sequence allocator. Reading
 	// len(Store.List(...)) per request would race: two concurrent ingests
@@ -274,7 +307,10 @@ func New(space *sparksim.Space, st ObjectStore, clusterSecret string, seed uint6
 		TokenTTL:       15 * time.Minute,
 		RequestTimeout: DefaultRequestTimeout,
 		rng:            stats.NewRNG(seed),
+		traceSeed:      seed ^ 0x9e3779b97f4a7c15,
 		seqs:           make(map[string]int),
+		drift:          make(map[string]*monitor.DriftDetector),
+		driftFed:       make(map[string]int),
 	}
 	s.bindTelemetry(telemetry.NewRegistry())
 	s.metrics.start = s.clock().Now()
@@ -299,6 +335,56 @@ func (s *Server) clock() resilience.Clock {
 		return s.clk
 	}
 	return resilience.RealClock{}
+}
+
+// traceIDs is the ID stream the server's tracer mints span IDs from.
+func (s *Server) traceIDs() *stats.RNG { return s.traceRNG }
+
+// SetFlightRecorder installs the node's black-box recorder (nil discards).
+// Set before serving traffic.
+func (s *Server) SetFlightRecorder(r *flightrec.Recorder) { s.flightRec = r }
+
+// FlightRecorder returns the installed recorder (possibly nil).
+func (s *Server) FlightRecorder() *flightrec.Recorder { return s.flightRec }
+
+// handleFlightRec serves the live flight-recorder ring, oldest event first,
+// in the same Snapshot shape Dump writes — the black box is readable before
+// anything has gone wrong, not only from its on-disk dumps.
+func (s *Server) handleFlightRec(w http.ResponseWriter, r *http.Request) {
+	evs := s.flightRec.Events()
+	if evs == nil {
+		evs = []flightrec.Event{}
+	}
+	writeJSON(w, flightrec.Snapshot{Node: s.NodeName, Reason: "live", Events: evs})
+}
+
+// The optional context-carrying store surfaces: a DurableStore that traces
+// its WAL commit path implements these, so the request's span identity
+// reaches the wal_append/wal_fsync spans. Plain stores (and fault-injection
+// wrappers) fall back to the untraced methods.
+type ctxPutter interface {
+	PutCtx(ctx context.Context, tok, p string, data []byte) error
+}
+type ctxInternalPutter interface {
+	PutInternalCtx(ctx context.Context, p string, data []byte)
+}
+type ctxBatchPutter interface {
+	PutBatchCtx(ctx context.Context, entries []store.BatchEntry) error
+}
+
+func (s *Server) storePut(ctx context.Context, tok, p string, data []byte) error {
+	if cp, ok := s.Store.(ctxPutter); ok {
+		return cp.PutCtx(ctx, tok, p, data)
+	}
+	return s.Store.Put(tok, p, data)
+}
+
+func (s *Server) storePutInternal(ctx context.Context, p string, data []byte) {
+	if cp, ok := s.Store.(ctxInternalPutter); ok {
+		cp.PutInternalCtx(ctx, p, data)
+		return
+	}
+	s.Store.PutInternal(p, data)
 }
 
 // Close stops the streaming jobs after draining the queue. Closing flips
@@ -358,6 +444,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/health", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /api/trace", s.handleTrace)
+	mux.HandleFunc("GET /api/flightrec", s.handleFlightRec)
 	return mux
 }
 
@@ -448,7 +535,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	seq := s.nextSeq(jobID)
 	p := store.EventPath(jobID, seq)
-	if err := s.Store.Put(r.Header.Get(SASTokenHeader), p, body); err != nil {
+	if err := s.storePut(r.Context(), r.Header.Get(SASTokenHeader), p, body); err != nil {
 		s.releaseAdmit(1)
 		http.Error(w, err.Error(), storeStatus(err))
 		return
@@ -458,7 +545,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// log the entry is only visible through its latched Err — check it
 	// before acknowledging, or the unindexed event file would be silently
 	// orphaned (and eventually reaped) behind a 202.
-	s.Store.PutInternal(signatureIndexPath(user, signature, jobID, seq), nil)
+	s.storePutInternal(r.Context(), signatureIndexPath(user, signature, jobID, seq), nil)
 	if err := s.storeErr(); err != nil {
 		s.releaseAdmit(1)
 		http.Error(w, fmt.Sprintf("store: index commit not persisted: %v", err), http.StatusInternalServerError)
@@ -554,7 +641,7 @@ func (s *Server) handleEventLog(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		seq := s.nextSeq(jobID)
-		if err := s.Store.Put(tok, store.EventPath(jobID, seq), buf.Bytes()); err != nil {
+		if err := s.storePut(r.Context(), tok, store.EventPath(jobID, seq), buf.Bytes()); err != nil {
 			s.releaseAdmit(len(sigs))
 			http.Error(w, err.Error(), storeStatus(err))
 			return
@@ -562,7 +649,7 @@ func (s *Server) handleEventLog(w http.ResponseWriter, r *http.Request) {
 		commits = append(commits, staged{sig: sig, seq: seq})
 	}
 	for _, c := range commits {
-		s.Store.PutInternal(signatureIndexPath(user, c.sig, jobID, c.seq), nil)
+		s.storePutInternal(r.Context(), signatureIndexPath(user, c.sig, jobID, c.seq), nil)
 		s.enqueueReserved(updateJob{user: user, signature: c.sig, trace: telemetry.SpanFrom(r.Context())})
 	}
 	// Same phase-2 durability check as handleEvents: if any index commit
@@ -691,8 +778,15 @@ func (s *Server) handleEventBatch(w http.ResponseWriter, r *http.Request) {
 		)
 		commits = append(commits, staged{sig: sig, seq: seq})
 	}
-	if bs, ok := s.Store.(batchPutter); ok {
+	if bs, ok := s.Store.(ctxBatchPutter); ok {
 		// Group commit: event files + index entries behind one WAL record.
+		if err := bs.PutBatchCtx(r.Context(), entries); err != nil {
+			s.releaseAdmit(len(sigs))
+			http.Error(w, fmt.Sprintf("store: batch commit not persisted: %v", err), storeStatus(err))
+			return
+		}
+	} else if bs, ok := s.Store.(batchPutter); ok {
+		// Group commit without the context surface (wrapped batch stores).
 		if err := bs.PutBatch(entries); err != nil {
 			s.releaseAdmit(len(sigs))
 			http.Error(w, fmt.Sprintf("store: batch commit not persisted: %v", err), storeStatus(err))
@@ -703,14 +797,14 @@ func (s *Server) handleEventBatch(w http.ResponseWriter, r *http.Request) {
 		// stores): stage event files, then commit index entries, with the
 		// same latched-failure check as the other ingest paths.
 		for i := 0; i < len(entries); i += 2 {
-			if err := s.Store.Put(tok, entries[i].Path, entries[i].Data); err != nil {
+			if err := s.storePut(r.Context(), tok, entries[i].Path, entries[i].Data); err != nil {
 				s.releaseAdmit(len(sigs))
 				http.Error(w, err.Error(), storeStatus(err))
 				return
 			}
 		}
 		for i := 1; i < len(entries); i += 2 {
-			s.Store.PutInternal(entries[i].Path, nil)
+			s.storePutInternal(r.Context(), entries[i].Path, nil)
 		}
 		if err := s.storeErr(); err != nil {
 			s.releaseAdmit(len(sigs))
@@ -811,6 +905,13 @@ func (s *Server) modelUpdater() {
 func (s *Server) retrain(j updateJob) {
 	user, signature := j.user, j.signature
 	started := s.clock().Now()
+	// The retrain span parents under the ingest request's server span
+	// (carried across the queue in j.trace), so a trace's causal tree shows
+	// the model update the ingest triggered, with its duration.
+	sp := s.tele.tracer.StartRemote(j.trace, "retrain", "tuner")
+	sp.Annotate("%s/%s", user, signature)
+	status := "ok"
+	defer func() { sp.Finish(status) }()
 	var traces []flighting.Trace
 	prefix := fmt.Sprintf("index/%s/%s/", user, signature)
 	for _, idx := range s.Store.List(prefix) {
@@ -835,8 +936,12 @@ func (s *Server) retrain(j updateJob) {
 		traces = append(traces, ts...)
 	}
 	if len(traces) < 4 {
+		status = "skipped"
 		return // not enough data yet; the client keeps using the baseline
 	}
+	sp.Annotate("%d traces", len(traces))
+	// Score the serving model's residuals before replacing it.
+	s.observeDrift(j.trace, user, signature, traces)
 	x := make([][]float64, len(traces))
 	y := make([]float64, len(traces))
 	for i, t := range traces {
@@ -850,11 +955,13 @@ func (s *Server) retrain(j updateJob) {
 	kr := ml.NewKernelRidge()
 	kr.Alpha = 0.3
 	if err := kr.Fit(x, y); err != nil {
+		status = "error"
 		s.logfCtx(j.trace, "backend: retrain %s/%s: %v", user, signature, err)
 		return
 	}
 	blob, err := ml.Marshal(kr)
 	if err != nil {
+		status = "error"
 		s.logfCtx(j.trace, "backend: marshal %s/%s: %v", user, signature, err)
 		return
 	}

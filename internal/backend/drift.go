@@ -1,0 +1,88 @@
+package backend
+
+import (
+	"math"
+
+	"github.com/rockhopper-db/rockhopper/internal/flighting"
+	"github.com/rockhopper-db/rockhopper/internal/flightrec"
+	"github.com/rockhopper-db/rockhopper/internal/ml"
+	"github.com/rockhopper-db/rockhopper/internal/monitor"
+	"github.com/rockhopper-db/rockhopper/internal/store"
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
+	"github.com/rockhopper-db/rockhopper/internal/tuners"
+)
+
+// observeDrift feeds a signature's Page-Hinkley detector the residuals of
+// the currently-serving model against training traces the detector has not
+// yet consumed, then publishes the rockhopper_signature_drift_* gauges. It
+// runs BEFORE the retrain fits a replacement model, so the residual stream
+// measures how far reality moved away from the model that was actually
+// serving predictions — retraining afterwards does not erase the evidence.
+// Fed only from the single updater goroutine; driftMu is held across the
+// whole pass because DriftState may read a detector concurrently.
+func (s *Server) observeDrift(sc telemetry.SpanContext, user, signature string, traces []flighting.Trace) {
+	key := user + "\x00" + signature
+	s.driftMu.Lock()
+	defer s.driftMu.Unlock()
+	det := s.drift[key]
+	if det == nil {
+		det = &monitor.DriftDetector{}
+		s.drift[key] = det
+	}
+	fed := s.driftFed[key]
+	publish := func() {
+		s.driftFed[key] = len(traces)
+		state := 0.0
+		if det.Drifting() {
+			state = 1
+		}
+		//rocklint:allow metriccardinality -- drift gauges share the model store's user/signature label set, blessed for model gauges in DESIGN.md §8
+		s.tele.driftScore.With(user, signature).Set(det.Score())
+		//rocklint:allow metriccardinality -- same §8 model-gauge blessing as the drift score
+		s.tele.driftState.With(user, signature).Set(state)
+	}
+	if fed >= len(traces) {
+		publish()
+		return
+	}
+	// Residuals only make sense against a model that was serving; before the
+	// first fit there is nothing to drift from, so those traces are skipped
+	// (marked consumed) rather than scored against a later model.
+	blob, err := s.Store.GetInternal(store.ModelPath(user, signature))
+	if err != nil {
+		publish()
+		return
+	}
+	model, err := ml.Unmarshal(blob)
+	if err != nil {
+		s.logfCtx(sc, "backend: drift check %s/%s: stored model unreadable: %v", user, signature, err)
+		publish()
+		return
+	}
+	wasDrifting := det.Drifting()
+	for _, t := range traces[fed:] {
+		pred := model.Predict(tuners.ConfigFeatures(s.Space, nil, t.Config, t.DataSize))
+		det.Observe(math.Log1p(t.TimeMs) - pred)
+	}
+	publish()
+	if !wasDrifting && det.Drifting() {
+		s.logfCtx(sc, "backend: model drift detected for %s/%s (score %.3f over %d residuals)",
+			user, signature, det.Score(), det.Samples())
+		s.flightRec.Eventf(flightrec.LevelWarn, "updater", sc,
+			"model drift detected for %s/%s (score %.3f over %d residuals)",
+			user, signature, det.Score(), det.Samples())
+	}
+}
+
+// DriftState reports a signature's drift detector state and score — the
+// programmatic twin of the rockhopper_signature_drift_* gauges, used by
+// tests and by the Manager's guardrail-trip attribution.
+func (s *Server) DriftState(user, signature string) (drifting bool, score float64) {
+	s.driftMu.Lock()
+	defer s.driftMu.Unlock()
+	det := s.drift[user+"\x00"+signature]
+	if det == nil {
+		return false, 0
+	}
+	return det.Drifting(), det.Score()
+}

@@ -1,0 +1,152 @@
+package backend
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+
+	"github.com/rockhopper-db/rockhopper/internal/flighting"
+	"github.com/rockhopper-db/rockhopper/internal/noise"
+	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/stats"
+	"github.com/rockhopper-db/rockhopper/internal/store"
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
+	"github.com/rockhopper-db/rockhopper/internal/workloads"
+)
+
+// recurringBatch runs one fixed, recurring config set (a production
+// signature re-executes the same tuner-proposed neighborhood run after run)
+// with fresh execution noise per runSeed. Against a recurring workload the
+// serving model interpolates, so residuals measure noise and drift — not
+// the generalization error that random unseen configs would inject.
+func recurringBatch(n int, runSeed uint64) []flighting.Trace {
+	space := sparksim.QuerySpace()
+	e := sparksim.NewEngine(space)
+	q := workloads.NewGenerator(7).Query(workloads.TPCDS, 2)
+	cfgRNG := stats.NewRNG(99)
+	cfgs := make([]sparksim.Config, n)
+	for i := range cfgs {
+		cfgs[i] = space.Random(cfgRNG)
+	}
+	r := stats.NewRNG(runSeed)
+	out := make([]flighting.Trace, 0, n)
+	for i := 0; i < n; i++ {
+		o := e.Run(q, cfgs[i], 1, r, noise.Low)
+		out = append(out, flighting.Trace{QueryID: "s", Config: o.Config, DataSize: o.DataSize, TimeMs: o.Time})
+	}
+	return out
+}
+
+// postDriftBatch ships one explicit trace batch for u/s under the given job ID
+// and waits for the retrain it triggers.
+func postDriftBatch(t *testing.T, srv *Server, hs string, jobID string, traces []flighting.Trace) {
+	t.Helper()
+	tok := srv.Store.Sign("events/", store.PermWrite, srv.TokenTTL)
+	var buf bytes.Buffer
+	if err := flighting.WriteTraces(&buf, traces); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", hs+"/api/events?user=u&signature=s&job_id="+jobID, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(SASTokenHeader, tok)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+	srv.Flush()
+}
+
+// driftGauges scrapes the signature's drift state and score series.
+func driftGauges(t *testing.T, url string) (state, score float64) {
+	t.Helper()
+	fams := scrape(t, url)
+	for _, name := range []string{"rockhopper_signature_drift_state", "rockhopper_signature_drift_score"} {
+		fam, ok := telemetry.Find(fams, name)
+		if !ok {
+			t.Fatalf("%s missing from scrape", name)
+		}
+		for _, s := range fam.Series {
+			if s.Labels["user"] != "u" || s.Labels["signature"] != "s" {
+				continue
+			}
+			if name == "rockhopper_signature_drift_state" {
+				state = s.Value
+			} else {
+				score = s.Value
+			}
+		}
+	}
+	return state, score
+}
+
+// TestDriftGaugeFlipsOnCostShift is the end-to-end tuning-health drill: a
+// stationary signature must hold rockhopper_signature_drift_state at 0
+// through repeated retrains (zero false positives), and an injected
+// simulator cost shift — every run 60% slower than the serving model's
+// world — must flip the state gauge within 20 shifted runs.
+func TestDriftGaugeFlipsOnCostShift(t *testing.T) {
+	srv, hs := newServer(t)
+
+	// Batch A fits the first serving model; there is no model to score
+	// against yet, so its traces are consumed unscored.
+	postDriftBatch(t, srv, hs.URL, "ja", recurringBatch(8, 1))
+
+	// Batch B is drawn from the same stationary workload: its residuals
+	// against the batch-A model are the detector's baseline. No drift.
+	postDriftBatch(t, srv, hs.URL, "jb", recurringBatch(8, 2))
+	if drifting, score := srv.DriftState("u", "s"); drifting {
+		t.Fatalf("stationary signature reports drift (score %.3f) — false positive", score)
+	}
+	if state, _ := driftGauges(t, hs.URL); state != 0 {
+		t.Fatalf("stationary drift_state gauge = %v, want 0", state)
+	}
+
+	// Batch C injects the cost shift: the same configs now run 60% slower
+	// than the world the serving model was fit on.
+	shifted := recurringBatch(16, 3)
+	if len(shifted) > 20 {
+		t.Fatalf("drill uses %d shifted runs, acceptance bound is 20", len(shifted))
+	}
+	for i := range shifted {
+		shifted[i].TimeMs *= 1.6
+	}
+	postDriftBatch(t, srv, hs.URL, "jc", shifted)
+
+	drifting, score := srv.DriftState("u", "s")
+	if !drifting {
+		t.Fatalf("injected 1.6x cost shift did not trip drift within %d runs (score %.3f)", len(shifted), score)
+	}
+	if score <= 0 {
+		t.Errorf("tripped detector exports score %.3f, want > 0", score)
+	}
+	state, gscore := driftGauges(t, hs.URL)
+	if state != 1 {
+		t.Errorf("drift_state gauge = %v, want 1 after the shift", state)
+	}
+	if gscore != score {
+		t.Errorf("drift_score gauge = %v, DriftState score = %v — must agree", gscore, score)
+	}
+}
+
+// TestDriftStationarySignaturesStayClean retrains one signature repeatedly
+// on fresh draws from an unchanged workload — the detector sees a long
+// residual stream and must never trip.
+func TestDriftStationarySignaturesStayClean(t *testing.T) {
+	srv, hs := newServer(t)
+	jobs := []string{"j0", "j1", "j2", "j3", "j4"}
+	for i, j := range jobs {
+		postDriftBatch(t, srv, hs.URL, j, recurringBatch(8, uint64(10+i)))
+		if drifting, score := srv.DriftState("u", "s"); drifting {
+			t.Fatalf("stationary retrain %d tripped drift (score %.3f)", i+1, score)
+		}
+	}
+	if state, _ := driftGauges(t, hs.URL); state != 0 {
+		t.Fatalf("stationary drift_state gauge = %v, want 0", state)
+	}
+}

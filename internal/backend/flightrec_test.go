@@ -1,0 +1,92 @@
+package backend
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/rockhopper-db/rockhopper/internal/flightrec"
+)
+
+// TestFlightRecorderSLOBreachDump forces an SLO breach (an objective of 1ns
+// makes every request a breach) and walks the whole black-box path: the
+// breach event lands in the live ring served at /api/flightrec, the ring
+// snapshots itself to the data dir exactly once, and the snapshot replays
+// from disk into a readable timeline.
+func TestFlightRecorderSLOBreachDump(t *testing.T) {
+	srv, hs := newServer(t)
+	dir := t.TempDir()
+	base := time.Unix(1700000000, 0)
+	n := 0
+	// Injected clock: the recorder stamps events without the wall clock.
+	clock := func() time.Time {
+		n++
+		return base.Add(time.Duration(n) * 100 * time.Millisecond)
+	}
+	srv.NodeName = "n1"
+	srv.SLOLatency = time.Nanosecond
+	srv.SetFlightRecorder(flightrec.New(64, "n1", dir, clock))
+
+	// Any instrumented request now breaches the 1ns objective (health and
+	// metrics are uninstrumented by design, so probe an API endpoint).
+	resp, err := http.Get(hs.URL + "/api/object?path=models/u/x.model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Live ring over HTTP.
+	fr, err := http.Get(hs.URL + "/api/flightrec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Body.Close()
+	var live flightrec.Snapshot
+	if err := json.NewDecoder(fr.Body).Decode(&live); err != nil {
+		t.Fatalf("/api/flightrec payload: %v", err)
+	}
+	if live.Node != "n1" || live.Reason != "live" {
+		t.Fatalf("live snapshot header = %q/%q", live.Node, live.Reason)
+	}
+	breach := false
+	for _, ev := range live.Events {
+		if ev.Level == flightrec.LevelWarn && strings.Contains(ev.Message, "SLO breach") {
+			breach = true
+		}
+	}
+	if !breach {
+		t.Fatalf("live ring lost the breach event: %+v", live.Events)
+	}
+
+	// The breach dumped the ring once; the snapshot replays readably.
+	matches, err := filepath.Glob(filepath.Join(dir, "flightrec-slo_breach-*.json"))
+	if err != nil || len(matches) != 1 {
+		files, _ := os.ReadDir(dir)
+		t.Fatalf("want exactly 1 slo_breach snapshot, got %v (%d files in dir)", matches, len(files))
+	}
+	snap, err := flightrec.Load(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	flightrec.Render(&out, snap)
+	text := out.String()
+	if !strings.Contains(text, "reason=slo_breach") || !strings.Contains(text, "SLO breach: get_object took") {
+		t.Errorf("replayed timeline unreadable:\n%s", text)
+	}
+
+	// A second breach must not re-dump: the first snapshot is the evidence.
+	resp, err = http.Get(hs.URL + "/api/object?path=models/u/x.model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	matches, _ = filepath.Glob(filepath.Join(dir, "flightrec-slo_breach-*.json"))
+	if len(matches) != 1 {
+		t.Fatalf("second breach re-dumped: %v", matches)
+	}
+}

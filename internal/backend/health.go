@@ -3,9 +3,11 @@ package backend
 import (
 	"context"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
+	"github.com/rockhopper-db/rockhopper/internal/flightrec"
 	"github.com/rockhopper-db/rockhopper/internal/telemetry"
 )
 
@@ -153,8 +155,10 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 }
 
 // instrument wraps a handler with the server's request deadline, honors an
-// inbound X-Rockhopper-Trace identity (context carriage + span ring), and
-// feeds the per-endpoint accounting behind /api/health and /metrics.
+// inbound X-Rockhopper-Trace identity (minting this node's server child
+// span under it, per the propagation contract: the header's span ID is the
+// parent), and feeds the per-endpoint accounting behind /api/health and
+// /metrics, plus the flight recorder and SLO check.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		ctx := r.Context()
@@ -163,7 +167,12 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 			ctx, cancel = context.WithTimeout(ctx, s.RequestTimeout)
 		}
 		defer cancel()
-		sc, traced := telemetry.ParseTraceHeader(r.Header.Get(telemetry.TraceHeader))
+		inbound, traced := telemetry.ParseTraceHeader(r.Header.Get(telemetry.TraceHeader))
+		sc := inbound
+		sp := s.tele.tracer.StartRemote(inbound, name, "server")
+		if sp != nil {
+			sc = sp.Context()
+		}
 		if traced {
 			ctx = telemetry.WithSpan(ctx, sc)
 		}
@@ -171,11 +180,22 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(rec, r.WithContext(ctx))
 		now := s.clock().Now()
-		s.observe(name, rec.code, string(rec.errBody), ctx.Err() != nil, now.Sub(start), now, sc)
-		if traced {
-			s.recordSpan(sc, name, start, now.Sub(start), rec.code)
-			if rec.code >= 400 {
-				s.logfCtx(sc, "backend: %s -> %d: %s", name, rec.code, rec.errBody)
+		dur := now.Sub(start)
+		s.observe(name, rec.code, string(rec.errBody), ctx.Err() != nil, dur, now, sc)
+		sp.Finish(strconv.Itoa(rec.code))
+		if traced && rec.code >= 400 {
+			s.logfCtx(sc, "backend: %s -> %d: %s", name, rec.code, rec.errBody)
+		}
+		if rec.code >= 500 {
+			s.flightRec.Eventf(flightrec.LevelError, "backend", sc, "%s -> %d: %s", name, rec.code, rec.errBody)
+		}
+		if s.SLOLatency > 0 && dur > s.SLOLatency {
+			s.flightRec.Eventf(flightrec.LevelWarn, "backend", sc,
+				"SLO breach: %s took %s (objective %s, status %d)", name, dur, s.SLOLatency, rec.code)
+			if path, err := s.flightRec.Dump("slo_breach"); err != nil {
+				s.logfCtx(sc, "backend: flight-recorder dump failed: %v", err)
+			} else if path != "" {
+				s.logfCtx(sc, "backend: SLO breach on %s; flight recorder dumped to %s", name, path)
 			}
 		}
 	}

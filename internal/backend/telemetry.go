@@ -3,14 +3,16 @@ package backend
 import (
 	"encoding/json"
 	"net/http"
-	"strconv"
 	"time"
 
+	"github.com/rockhopper-db/rockhopper/internal/stats"
 	"github.com/rockhopper-db/rockhopper/internal/telemetry"
 )
 
-// spanRingSize bounds the in-memory span buffer behind GET /api/trace.
-const spanRingSize = 256
+// DefaultTraceRingSpans bounds the in-memory span buffer behind
+// GET /api/trace when Server.TraceRingSpans is unset (autotuned -trace-ring
+// overrides it).
+const DefaultTraceRingSpans = 256
 
 // backendTelemetry is the server's bound instrument set. It is built once in
 // New (against a per-server registry) or rebound by SetMetrics before
@@ -34,7 +36,13 @@ type backendTelemetry struct {
 	tenantShed          *telemetry.CounterVec   // {tenant, reason}
 	tenantIngestSeconds *telemetry.HistogramVec // {tenant}
 
-	spans *telemetry.SpanRing
+	// Tuning-health series: Page-Hinkley drift score and binary state per
+	// model, fed by the retrain loop's residual stream.
+	driftScore *telemetry.GaugeVec // {user, signature}
+	driftState *telemetry.GaugeVec // {user, signature}
+
+	spans  *telemetry.SpanRing
+	tracer *telemetry.Tracer
 }
 
 // SetMetrics rebinds the server's instruments onto reg — daemons pass
@@ -72,8 +80,32 @@ func (s *Server) bindTelemetry(reg *telemetry.Registry) {
 			"Best observed execution time (ms) across a signature's training traces.", "user", "signature"),
 		misrouted: reg.Counter("rockhopper_fleet_misrouted_total",
 			"Ingest requests bounced with 421 because another node owns the signature.", "endpoint"),
-		spans: telemetry.NewSpanRing(spanRingSize),
+		driftScore: reg.Gauge("rockhopper_signature_drift_score",
+			"Page-Hinkley drift score over a model's prediction residuals (0 = on-model).", "user", "signature"),
+		driftState: reg.Gauge("rockhopper_signature_drift_state",
+			"1 while a signature's drift detector has tripped, 0 while the model tracks reality.", "user", "signature"),
 	}
+	ringSize := s.TraceRingSpans
+	if ringSize <= 0 {
+		ringSize = DefaultTraceRingSpans
+	}
+	// Derive the span-ID stream from the seed AND the node identity: fleet
+	// nodes are built from one shared Seed, and two nodes minting the same
+	// ID sequence would collide in trace assembly (dedup by span ID eats
+	// the follower's spans). Rebinding re-derives the stream; SetMetrics is
+	// documented pre-traffic, so no live trace straddles the reset.
+	h := uint64(14695981039346656037)
+	for _, b := range []byte(s.NodeName) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	s.traceRNG = stats.NewRNG(s.traceSeed ^ h)
+	t.spans = telemetry.NewSpanRing(ringSize)
+	evicted := reg.Counter("rockhopper_trace_spans_evicted_total",
+		"Spans overwritten in the trace ring before a gather read them — raise -trace-ring if this grows under fleet load.").With()
+	t.spans.OnEvict(evicted.Inc)
+	t.tracer = telemetry.NewTracer(t.spans, s.NodeName,
+		func() time.Time { return s.clock().Now() }, s.traceIDs())
 	reg.GaugeFunc("rockhopper_updater_queue_depth",
 		"Model Updater jobs enqueued but not yet processed.", func() float64 {
 			s.mu.Lock()
@@ -128,26 +160,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTrace serves the span ring, oldest first — the poor man's trace
-// viewer for correlating a client call with backend work.
+// viewer for correlating a client call with backend work. ?trace=<16 hex>
+// narrows the dump to one trace's fragments, which is what rockmon -trace
+// gathers from every node before assembling the cross-node tree.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	spans := s.tele.spans.Snapshot()
+	if want := r.URL.Query().Get("trace"); want != "" {
+		filtered := make([]telemetry.Span, 0, len(spans))
+		for _, sp := range spans {
+			if sp.TraceID == want {
+				filtered = append(filtered, sp)
+			}
+		}
+		spans = filtered
+	}
 	if spans == nil {
 		spans = []telemetry.Span{}
 	}
 	writeJSON(w, spans)
 }
 
-// recordSpan appends one finished request span to the ring.
-func (s *Server) recordSpan(sc telemetry.SpanContext, name string, start time.Time, dur time.Duration, code int) {
-	s.tele.spans.Record(telemetry.Span{
-		TraceID:    sc.TraceHex(),
-		SpanID:     sc.SpanHex(),
-		Name:       name,
-		StartUnix:  start.UnixNano(),
-		DurationMS: float64(dur) / float64(time.Millisecond),
-		Status:     strconv.Itoa(code),
-	})
-}
+// Tracer exposes the server's span tracer so co-located components (the
+// durable store's WAL path, the fleet replicator and promotion replay)
+// record into the same ring the daemon serves at /api/trace.
+func (s *Server) Tracer() *telemetry.Tracer { return s.tele.tracer }
 
 func (s *Server) maxPending() int {
 	if s.MaxPendingUpdates > 0 {

@@ -147,7 +147,10 @@ func TestTracePropagation(t *testing.T) {
 		t.Errorf("traced request missing from span ring: %+v", spans)
 	}
 
-	if !strings.Contains(logs.String(), "[trace "+header+"] backend: retrained u/s") {
+	// The retrain logs under the request's trace with the server's own child
+	// span (same trace half, freshly minted span half).
+	if !strings.Contains(logs.String(), "[trace 00000000000000ab-") ||
+		!strings.Contains(logs.String(), "backend: retrained u/s") {
 		t.Errorf("retrain log line lost the trace identity:\n%s", logs.String())
 	}
 }
@@ -286,8 +289,14 @@ func TestLatencyExemplarLinksTraceToBucket(t *testing.T) {
 			continue
 		}
 		if s.Exemplar != nil {
-			if s.Exemplar.TraceID != sc.TraceHex() || s.Exemplar.SpanID != sc.SpanHex() {
-				t.Fatalf("exemplar identity = %+v, want %s-%s", s.Exemplar, sc.TraceHex(), sc.SpanHex())
+			// The exemplar carries the server's own child span: same trace
+			// as the inbound header, but a freshly minted span ID parented
+			// under it (the propagation contract).
+			if s.Exemplar.TraceID != sc.TraceHex() {
+				t.Fatalf("exemplar trace = %+v, want trace %s", s.Exemplar, sc.TraceHex())
+			}
+			if s.Exemplar.SpanID == sc.SpanHex() || s.Exemplar.SpanID == "" {
+				t.Fatalf("exemplar span = %q, want a fresh server child span, not the inbound %s", s.Exemplar.SpanID, sc.SpanHex())
 			}
 			return
 		}

@@ -80,6 +80,12 @@ type Client struct {
 	// into; nil discards them. Set it before the first call — instruments
 	// bind lazily once and later changes are ignored.
 	Metrics *telemetry.Registry
+	// Tracer records a root span per logical call the client originates
+	// (callers that pass an already-traced context keep their own spans);
+	// nil records nothing. The root identity is still minted from the
+	// call's jitter stream, so enabling tracing never shifts the
+	// retry-jitter draw sequence — the tracer only adopts it.
+	Tracer *telemetry.Tracer
 
 	mu       sync.Mutex
 	tokens   map[string]cachedToken
@@ -185,8 +191,10 @@ func (c *Client) do(ctx context.Context, kind, op string, want int, build func(c
 	// attempt of this logical call shares one X-Rockhopper-Trace value.
 	rng := c.splitRNG()
 	sc := telemetry.SpanFrom(ctx)
+	var sp *telemetry.ActiveSpan
 	if !sc.Valid() {
 		sc = telemetry.Mint(rng)
+		sp = c.Tracer.Adopt(sc, 0, op, "client")
 	}
 	ctx = telemetry.WithSpan(ctx, sc)
 	br := c.Breaker
@@ -221,6 +229,7 @@ func (c *Client) do(ctx context.Context, kind, op string, want int, build func(c
 	err := resilience.Retry(ctx, p, c.clock(), rng, attempt)
 	tele.latency.With(kind).Observe(c.clock().Now().Sub(start).Seconds())
 	tele.calls.With(kind, callOutcome(err)).Inc()
+	sp.Finish(callOutcome(err))
 	return err
 }
 

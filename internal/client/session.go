@@ -29,6 +29,7 @@ type Session struct {
 	dash    *monitor.Dashboard
 	embed   []float64
 	iter    int
+	tripped bool
 }
 
 // NewSession opens a tuning session. plan supplies the query signature and
@@ -73,6 +74,18 @@ func (s *Session) Complete(ctx context.Context, o sparksim.Observation, stages [
 	s.iter++
 	s.learner.Observe(o)
 	s.dash.Record(o, stages)
+	// Guardrail-trip attribution: on the revert edge, record whether the
+	// signature's drift detector had already flagged the model — a tripped
+	// guardrail under drift is the model's fault, one without is workload
+	// variance the tuner mis-stepped into.
+	if !s.tripped && s.learner.Disabled() {
+		s.tripped = true
+		cause := "stationary"
+		if s.dash.Drifting() {
+			cause = "drift"
+		}
+		s.Client.tele().trips.With(cause).Inc()
+	}
 	return s.Client.PostEvents(ctx, s.User, s.Signature, s.JobID, []flighting.Trace{{
 		QueryID:   s.Signature,
 		Embedding: s.embed,

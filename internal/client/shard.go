@@ -32,6 +32,7 @@ import (
 	"github.com/rockhopper-db/rockhopper/internal/ml"
 	"github.com/rockhopper-db/rockhopper/internal/resilience"
 	"github.com/rockhopper-db/rockhopper/internal/sparksim"
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
 )
 
 // ShardRouterOptions parameterizes NewShardRouter. Peers, Replicas,
@@ -50,6 +51,10 @@ type ShardRouterOptions struct {
 	// Configure customizes each lazily built per-node Client (HTTP
 	// transport, clock, metrics, retry policy); nil keeps defaults.
 	Configure func(id string, c *Client)
+	// Tracer records the router's client_send root span and one child span
+	// per fleet hop (owner attempt, 421 redirect follow, failover walk);
+	// nil records nothing.
+	Tracer *telemetry.Tracer
 }
 
 // ShardRouter routes per-signature calls to the owning fleet node.
@@ -60,6 +65,7 @@ type ShardRouter struct {
 	ids           map[string]string // base URL -> node ID
 	clusterSecret string
 	configure     func(id string, c *Client)
+	tracer        *telemetry.Tracer
 
 	mu      sync.Mutex
 	clients map[string]*Client
@@ -82,6 +88,7 @@ func NewShardRouter(opts ShardRouterOptions) *ShardRouter {
 		ids:           byURL,
 		clusterSecret: opts.ClusterSecret,
 		configure:     opts.Configure,
+		tracer:        opts.Tracer,
 		clients:       make(map[string]*Client),
 	}
 }
@@ -147,23 +154,42 @@ func (r *ShardRouter) Do(ctx context.Context, signature string, call func(ctx co
 	if id == "" {
 		return fmt.Errorf("client: no live fleet node owns %q", signature)
 	}
+	// The router is the trace origin for fleet calls it starts itself: a
+	// client_send root covers the whole routed call, and each hop (owner
+	// attempt, redirect follow, failover walk) gets its own child span so
+	// the assembled tree shows exactly which nodes the call touched.
+	var root *telemetry.ActiveSpan
+	if !telemetry.SpanFrom(ctx).Valid() {
+		ctx, root = r.tracer.StartRoot(ctx, "client_send", "client")
+	}
+	finish := func(err error) error {
+		if err == nil {
+			root.Finish("ok")
+		} else {
+			root.Finish("error")
+		}
+		return err
+	}
 	tried := make(map[string]bool)
 	var lastErr error
 	for hops := 0; hops <= len(r.urls); hops++ {
 		tried[id] = true
-		err := call(ctx, r.client(id))
+		hopCtx, hop := r.tracer.Start(ctx, "hop:"+id, "client")
+		err := call(hopCtx, r.client(id))
 		if err == nil {
-			return nil
+			hop.Finish("ok")
+			return finish(nil)
 		}
+		hop.Finish("error")
 		lastErr = err
 		if ctx.Err() != nil {
-			return err
+			return finish(err)
 		}
 		if next, ok := r.redirectTarget(err); ok {
 			if next == id {
 				// A node redirecting to itself is a routing disagreement
 				// that following cannot fix.
-				return fmt.Errorf("client: self-redirect for %q: %w", signature, err)
+				return finish(fmt.Errorf("client: self-redirect for %q: %w", signature, err))
 			}
 			// The server's redirect is authoritative: the fleet says next
 			// is the live owner, so it overrides the local ring AND any
@@ -174,7 +200,7 @@ func (r *ShardRouter) Do(ctx context.Context, signature string, call func(ctx co
 			continue
 		}
 		if !transientFleet(err) {
-			return err
+			return finish(err)
 		}
 		r.topo.MarkDead(id)
 		next := r.topo.Owner(signature)
@@ -183,7 +209,7 @@ func (r *ShardRouter) Do(ctx context.Context, signature string, call func(ctx co
 		}
 		id = next
 	}
-	return fmt.Errorf("client: fleet routes exhausted for %q: %w", signature, lastErr)
+	return finish(fmt.Errorf("client: fleet routes exhausted for %q: %w", signature, lastErr))
 }
 
 // PostEvents ingests traces for one signature at its owning node.

@@ -23,6 +23,7 @@ type clientTelemetry struct {
 	latency     *telemetry.HistogramVec // {call}
 	transitions *telemetry.CounterVec   // {to}
 	fallbacks   *telemetry.CounterVec   // {reason}
+	trips       *telemetry.CounterVec   // {cause}
 }
 
 // tele lazily binds the instruments against c.Metrics on first use (set
@@ -44,6 +45,8 @@ func (c *Client) tele() *clientTelemetry {
 				"Circuit breaker state entries by target state.", "to"),
 			fallbacks: reg.Counter("rockhopper_client_fallbacks_total",
 				"RemoteSelector falls back to the local selector, by reason.", "reason"),
+			trips: reg.Counter("rockhopper_guardrail_trips_attributed_total",
+				"Guardrail reverts by attributed cause: drift (the signature's model had drifted off observed costs when the guardrail fired) or stationary.", "cause"),
 		}
 		// Count breaker transitions unless the caller claimed the hook.
 		if c.Breaker != nil && c.Breaker.OnTransition == nil {

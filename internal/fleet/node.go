@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"github.com/rockhopper-db/rockhopper/internal/backend"
+	"github.com/rockhopper-db/rockhopper/internal/flightrec"
 	"github.com/rockhopper-db/rockhopper/internal/resilience"
 	"github.com/rockhopper-db/rockhopper/internal/sparksim"
 	"github.com/rockhopper-db/rockhopper/internal/store"
@@ -97,6 +98,16 @@ type NodeOptions struct {
 	// HeartbeatFailures is the consecutive-miss threshold; 0 means
 	// DefaultHeartbeatFailures.
 	HeartbeatFailures int
+
+	// TraceRingSpans sizes the backend's span ring (autotuned -trace-ring);
+	// <= 0 means the backend default.
+	TraceRingSpans int
+	// SLOLatency is the per-request latency objective passed to the
+	// backend; a breach dumps the flight recorder. <= 0 disables the check.
+	SLOLatency time.Duration
+	// FlightRecorder is the node's black-box event ring; nil disables it.
+	// The node dumps it on a durable-store crash latch and on promotion.
+	FlightRecorder *flightrec.Recorder
 }
 
 // Node is one fleet member. Construct with NewNode, mount Handler, then
@@ -117,6 +128,7 @@ type Node struct {
 	replicas map[string]*store.DurableStore // ownerID -> replica store
 	repl     *Replicator
 	backend  *backend.Server
+	flight   *flightrec.Recorder
 
 	ownershipMoves telemetry.Counter
 
@@ -156,6 +168,7 @@ func NewNode(opts NodeOptions) (*Node, error) {
 		hbFailures:    opts.HeartbeatFailures,
 		replicas:      make(map[string]*store.DurableStore),
 		promoted:      make(map[string]bool),
+		flight:        opts.FlightRecorder,
 		ownershipMoves: opts.Metrics.Counter("rockhopper_fleet_ownership_moves_total",
 			"Shard ownership moves (node deaths absorbed by a follower).").With(),
 	}
@@ -174,7 +187,8 @@ func NewNode(opts NodeOptions) (*Node, error) {
 		Logger:           opts.Logger,
 		Hooks:            opts.Hooks,
 		Metrics:          opts.Metrics,
-		OnAppend:         func(seq uint64, frame []byte) { n.repl.Observe(seq, frame) },
+		OnAppend:         func(seq uint64, frame []byte, sc telemetry.SpanContext) { n.repl.Observe(seq, frame, sc) },
+		OnDown:           n.storeCrashed,
 	})
 	if err != nil {
 		return nil, err
@@ -234,16 +248,43 @@ func NewNode(opts NodeOptions) (*Node, error) {
 	}
 
 	b := backend.New(opts.Space, primary, opts.ClusterSecret, opts.Seed)
+	// Identity and ring sizing must land before SetMetrics: bindTelemetry
+	// bakes both into the tracer it constructs.
+	b.NodeName = opts.ID
+	b.TraceRingSpans = opts.TraceRingSpans
+	b.SLOLatency = opts.SLOLatency
 	if opts.Clock != nil {
 		b.SetClock(opts.Clock)
 	}
 	if opts.Metrics != nil {
 		b.SetMetrics(opts.Metrics)
 	}
+	b.SetFlightRecorder(opts.FlightRecorder)
 	b.Logger = opts.Logger
 	b.SetFleet(n)
 	n.backend = b
+	// Every co-located component records into the backend's span ring: the
+	// primary's WAL commits, the follower stores' replicated applies, and
+	// the replicator's ship/wait pipeline all join one /api/trace surface.
+	primary.SetTracer(b.Tracer())
+	for _, rs := range n.replicas {
+		rs.SetTracer(b.Tracer())
+	}
+	n.repl.SetTracer(b.Tracer())
 	return n, nil
+}
+
+// storeCrashed is the primary store's OnDown observer: the node's black box
+// dumps itself the moment durability latches, preserving the events that
+// led up to the crash. Called under the store lock; the recorder never
+// calls back into the store.
+func (n *Node) storeCrashed(err error) {
+	n.flight.Eventf(flightrec.LevelError, "store", telemetry.SpanContext{}, "durable store latched down: %v", err)
+	if path, derr := n.flight.Dump("store_crash_latch"); derr != nil {
+		n.logf("fleet: flight-recorder dump failed: %v", derr)
+	} else if path != "" {
+		n.logf("fleet: store crash latch; flight recorder dumped to %s", path)
+	}
 }
 
 // pathSafe makes a node ID usable as a directory segment.
@@ -387,21 +428,39 @@ func (n *Node) Promote(dead string) {
 	if n.promoted[dead] {
 		return
 	}
+	// The replay is a deliberate trace origin: a promote_replay root span
+	// with each absorb chunk's WAL append as a child, so rockmon -trace can
+	// reconstruct what failover actually replayed and how long it took.
+	//rocklint:allow ctxflow -- promotion is a node-lifetime ownership change: a cancelled heartbeat or request context must NOT abort a half-absorbed shard, so the replay deliberately detaches from the trigger's context
+	ctx, sp := n.backend.Tracer().StartRoot(context.Background(), "promote_replay", "fleet")
+	sp.Annotate("absorbing %s", dead)
+	status := "ok"
+	defer func() { sp.Finish(status) }()
 	export := rs.Export()
+	total := len(export)
 	for len(export) > 0 {
 		c := promoteChunk
 		if c > len(export) {
 			c = len(export)
 		}
 		//rocklint:allow deadlockcycle -- promotion absorb is deliberately exclusive: n.mu serializes Promote so a dead owner's replica is folded in exactly once, and the chunked fsync-bounded batches keep each critical section short
-		if err := n.primary.PutBatchAt(export[:c]); err != nil {
+		if err := n.primary.PutBatchAtCtx(ctx, export[:c]); err != nil {
 			n.logf("fleet: absorb of %s halted: %v", dead, err)
+			status = "error"
 			return // not marked promoted; the next Promote retries
 		}
 		export = export[c:]
 	}
 	n.promoted[dead] = true
-	n.logf("fleet: absorbed %d object(s) from dead node %s", len(rs.Export()), dead)
+	sp.Annotate("%d object(s)", total)
+	n.logf("fleet: absorbed %d object(s) from dead node %s", total, dead)
+	n.flight.Eventf(flightrec.LevelWarn, "fleet", sp.Context(),
+		"promoted over dead node %s (%d object(s) absorbed)", dead, total)
+	if path, err := n.flight.Dump("promotion"); err != nil {
+		n.logf("fleet: flight-recorder dump failed: %v", err)
+	} else if path != "" {
+		n.logf("fleet: promotion over %s; flight recorder dumped to %s", dead, path)
+	}
 }
 
 func (n *Node) logf(format string, args ...any) {
@@ -459,7 +518,9 @@ func (n *Node) replicaFor(w http.ResponseWriter, r *http.Request) (*store.Durabl
 
 // handleReplicate applies shipped WAL frames to the owner's replica store.
 // A sequence gap answers 409 with the replica's current sequence so the
-// owner falls back to snapshot catch-up.
+// owner falls back to snapshot catch-up. An inbound trace identity (set by
+// the owner's replicate span) parents this node's fleet_replicate span, so
+// the apply and its fsync join the owner's cross-node tree.
 func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	rs, ok := n.replicaFor(w, r)
 	if !ok {
@@ -470,7 +531,18 @@ func (n *Node) handleReplicate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	seq, err := rs.ApplyReplicated(frames)
+	inbound, _ := telemetry.ParseTraceHeader(r.Header.Get(telemetry.TraceHeader))
+	sp := n.backend.Tracer().StartRemote(inbound, "fleet_replicate", "server")
+	ctx := r.Context()
+	if sp != nil {
+		ctx = telemetry.WithSpan(ctx, sp.Context())
+	}
+	seq, err := rs.ApplyReplicatedCtx(ctx, frames)
+	if err != nil {
+		sp.Finish("error")
+	} else {
+		sp.Finish("ok")
+	}
 	if err != nil {
 		if errors.Is(err, store.ErrReplicaGap) {
 			w.Header().Set("Content-Type", "application/json")
@@ -564,6 +636,9 @@ func (p *httpPeer) post(ctx context.Context, method, path string, body []byte) (
 		return 0, err
 	}
 	req.Header.Set(backend.ClusterTokenHeader, p.secret)
+	if sc := telemetry.SpanFrom(ctx); sc.Valid() {
+		req.Header.Set(telemetry.TraceHeader, sc.String())
+	}
 	resp, err := p.client.Do(req)
 	if err != nil {
 		return 0, err
@@ -596,7 +671,7 @@ type StorePeer struct {
 
 // Replicate implements Peer.
 func (p StorePeer) Replicate(ctx context.Context, frames []byte) (uint64, error) {
-	seq, err := p.Store.ApplyReplicated(frames)
+	seq, err := p.Store.ApplyReplicatedCtx(ctx, frames)
 	if errors.Is(err, store.ErrReplicaGap) {
 		return seq, fmt.Errorf("%w: %v", ErrPeerGap, err)
 	}

@@ -63,6 +63,10 @@ type ReplicatorOptions struct {
 	// RetryDelay is the pause after a failed ship before retrying; 0 means
 	// DefaultRetryDelay.
 	RetryDelay time.Duration
+	// Tracer mints the replicate/replication_wait spans of the shipping
+	// path; nil records nothing. SetTracer installs one later when the
+	// tracer is built after the replicator (the node does this).
+	Tracer *telemetry.Tracer
 }
 
 // Replication tuning defaults.
@@ -76,7 +80,12 @@ type peerState struct {
 	id   string
 	peer Peer
 
-	buf      []byte // pending verbatim frames (guarded by Replicator.mu)
+	buf []byte // pending verbatim frames (guarded by Replicator.mu)
+	// sc is the trace identity of the most recent traced request whose
+	// frame is in buf (guarded by Replicator.mu). The next ship parents its
+	// replicate span under it, so cross-node log shipping stays inside the
+	// request's causal tree; untraced frames leave it zero.
+	sc       telemetry.SpanContext
 	needSnap bool   // frame continuity lost; snapshot before more frames
 	snapGen  uint64 // bumped on every continuity loss; guards stale snapshots
 	dropped  bool   // peer removed from the ack set; ship goroutine exits
@@ -95,6 +104,7 @@ type Replicator struct {
 	retryDelay time.Duration
 
 	waitSeconds telemetry.Histogram
+	tracer      *telemetry.Tracer // guarded by mu; read once per ship pass
 	// metricsFor binds one peer's instruments; set once by NewReplicator,
 	// closing over the options registry.
 	metricsFor func(id string) (telemetry.Gauge, telemetry.Counter, telemetry.Counter)
@@ -116,6 +126,7 @@ func NewReplicator(src Source, opts ReplicatorOptions) *Replicator {
 		clock:      opts.Clock,
 		maxBuffer:  opts.MaxBuffer,
 		retryDelay: opts.RetryDelay,
+		tracer:     opts.Tracer,
 		waitSeconds: opts.Metrics.Histogram("rockhopper_fleet_replication_wait_seconds",
 			"Time requests spend blocked on follower acknowledgement.", nil).With(),
 	}
@@ -145,6 +156,14 @@ func NewReplicator(src Source, opts ReplicatorOptions) *Replicator {
 		return lag, shipped, catchups
 	}
 	return r
+}
+
+// SetTracer installs the span tracer for the shipping path — the node
+// wires the backend's tracer in after both exist. Call before Start.
+func (r *Replicator) SetTracer(tr *telemetry.Tracer) {
+	r.mu.Lock()
+	r.tracer = tr
+	r.mu.Unlock()
 }
 
 // AddPeer registers a follower before Start. New frames begin buffering
@@ -226,8 +245,10 @@ func (r *Replicator) Stop() {
 // Observe is the store's OnAppend tap: it is called under the store lock,
 // so it only copies the frame into each peer buffer and signals the
 // shipping goroutines. A buffer past MaxBuffer is dropped whole and the
-// peer falls back to snapshot catch-up.
-func (r *Replicator) Observe(seq uint64, frame []byte) {
+// peer falls back to snapshot catch-up. sc is the appending request's trace
+// identity (zero for untraced work); the latest traced one rides with the
+// buffer so the ship carries causal parentage across the fleet.
+func (r *Replicator) Observe(seq uint64, frame []byte, sc telemetry.SpanContext) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.lastSeq = seq
@@ -236,16 +257,30 @@ func (r *Replicator) Observe(seq uint64, frame []byte) {
 			ps.buf = nil
 			ps.needSnap = true
 			ps.snapGen++
+			ps.sc = telemetry.SpanContext{}
 			continue
 		}
 		ps.buf = append(ps.buf, frame...)
+		if sc.Valid() {
+			ps.sc = sc
+		}
 	}
 	r.cond.Broadcast()
 }
 
+// peerWait pairs one straggling follower with the replication_wait span
+// timing how long a request blocked on its acknowledgement.
+type peerWait struct {
+	ps *peerState
+	sp *telemetry.ActiveSpan
+}
+
 // WaitReplicated blocks until every peer has acknowledged seq (or ctx
 // expires / the replicator stops). With no peers it returns immediately:
-// a single-node fleet degenerates to local durability.
+// a single-node fleet degenerates to local durability. A traced ctx gets
+// one replication_wait:<peer> child span per follower still short of seq,
+// finished the moment that follower's ack covers it — the tree then shows
+// which peer the request actually waited on, and for how long.
 func (r *Replicator) WaitReplicated(ctx context.Context, seq uint64) error {
 	start := r.clock.Now()
 	defer func() { r.waitSeconds.Observe(r.clock.Now().Sub(start).Seconds()) }()
@@ -253,14 +288,41 @@ func (r *Replicator) WaitReplicated(ctx context.Context, seq uint64) error {
 	defer unregister()
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	var waits []peerWait
+	if sc := telemetry.SpanFrom(ctx); sc.Valid() && r.tracer != nil {
+		for _, ps := range r.peers {
+			if ps.acked < seq {
+				sp := r.tracer.StartRemote(sc, "replication_wait:"+ps.id, "fleet")
+				sp.Annotate("seq %d", seq)
+				waits = append(waits, peerWait{ps: ps, sp: sp})
+			}
+		}
+	}
+	// Finish is idempotent, so settling the stragglers on every exit path
+	// (and per-peer as acks land) records each span exactly once.
+	settle := func(status string) {
+		for _, w := range waits {
+			w.sp.Finish(status)
+		}
+	}
 	for {
+		for _, w := range waits {
+			if w.ps.dropped {
+				w.sp.Finish("dropped")
+			} else if w.ps.acked >= seq {
+				w.sp.Finish("ok")
+			}
+		}
 		if r.minAckedLocked() >= seq {
+			settle("ok")
 			return nil
 		}
 		if r.stopped {
+			settle("stopped")
 			return ErrReplicatorStopped
 		}
 		if err := ctx.Err(); err != nil {
+			settle("timeout")
 			return fmt.Errorf("fleet: replication wait for seq %d: %w", seq, err)
 		}
 		r.cond.Wait()
@@ -309,9 +371,12 @@ func (r *Replicator) ship(ctx context.Context, ps *peerState) {
 			return
 		}
 		needSnap := ps.needSnap
+		tracer := r.tracer
 		var buf []byte
+		var sc telemetry.SpanContext
 		if !needSnap {
 			buf, ps.buf = ps.buf, nil
+			sc, ps.sc = ps.sc, telemetry.SpanContext{}
 		}
 		r.mu.Unlock()
 
@@ -319,21 +384,37 @@ func (r *Replicator) ship(ctx context.Context, ps *peerState) {
 			r.shipSnapshot(ctx, ps)
 			continue
 		}
-		seq, err := ps.peer.Replicate(ctx, buf)
+		// The replicate span parents under the traced request that appended
+		// into this batch; its context rides the ship call's trace header so
+		// the follower's apply work joins the same tree.
+		shipCtx := ctx
+		sp := tracer.StartRemote(sc, "replicate:"+ps.id, "fleet")
+		if sp != nil {
+			sp.Annotate("%d byte(s)", len(buf))
+			shipCtx = telemetry.WithSpan(ctx, sp.Context())
+		}
+		seq, err := ps.peer.Replicate(shipCtx, buf)
 		r.mu.Lock()
 		switch {
 		case err == nil:
+			sp.Finish("ok")
 			ps.shipped.Add(float64(bytes.Count(buf, []byte{'\n'})))
 			r.ackLocked(ps, seq)
 			r.mu.Unlock()
 		case errors.Is(err, ErrPeerGap):
+			sp.Finish("gap")
 			ps.needSnap = true
 			ps.snapGen++
 			r.mu.Unlock()
 		default:
+			sp.Finish("error")
 			// Transient transport failure: put the frames back in front of
-			// anything buffered meanwhile and retry after a pause.
+			// anything buffered meanwhile and retry after a pause; the trace
+			// identity goes back with them unless a newer one arrived.
 			ps.buf = append(buf, ps.buf...)
+			if sc.Valid() && !ps.sc.Valid() {
+				ps.sc = sc
+			}
 			r.mu.Unlock()
 			if r.clock.Sleep(ctx, r.retryDelay) != nil {
 				return

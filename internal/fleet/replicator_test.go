@@ -24,7 +24,7 @@ func openReplicated(t *testing.T, opts ReplicatorOptions) (*store.DurableStore, 
 	t.Helper()
 	var repl *Replicator
 	owner, err := store.OpenDurable(t.TempDir(), testSecret, store.DurableOptions{
-		OnAppend: func(seq uint64, frame []byte) { repl.Observe(seq, frame) },
+		OnAppend: func(seq uint64, frame []byte, sc telemetry.SpanContext) { repl.Observe(seq, frame, sc) },
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,151 @@
+package flightrec
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
+)
+
+// fakeClock is an advancing injected clock; the recorder never reads wall
+// time.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time { return c.t }
+func (c *fakeClock) tick(d time.Duration) {
+	c.t = c.t.Add(d)
+}
+
+func newTestRecorder(t *testing.T, n int) (*Recorder, *fakeClock, string) {
+	t.Helper()
+	dir := t.TempDir()
+	clock := &fakeClock{t: time.Unix(1700000000, 0)}
+	rec := New(n, "node-a", dir, clock.now)
+	if rec == nil {
+		t.Fatal("New returned nil for a valid config")
+	}
+	return rec, clock, dir
+}
+
+// TestFlightrecRingBounds: the ring retains exactly the last n events,
+// oldest first, with a total order that survives a frozen clock.
+func TestFlightrecRingBounds(t *testing.T) {
+	rec, _, _ := newTestRecorder(t, 4)
+	for i := 0; i < 7; i++ {
+		rec.Eventf(LevelInfo, "store", telemetry.SpanContext{}, "event %d", i)
+	}
+	evs := rec.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := uint64(4 + i); ev.Seq != want {
+			t.Errorf("event %d seq = %d, want %d (oldest-first, last 4 retained)", i, ev.Seq, want)
+		}
+	}
+	if evs[3].Message != "event 6" {
+		t.Errorf("newest retained = %q, want event 6", evs[3].Message)
+	}
+}
+
+// TestFlightrecDumpLoadRenderTimeline is the black-box drill: record a
+// breach's prelude, dump on the trigger, and replay the snapshot from disk
+// into a readable timeline with offsets, levels, and trace correlation.
+func TestFlightrecDumpLoadRenderTimeline(t *testing.T) {
+	rec, clock, dir := newTestRecorder(t, 16)
+	sc := telemetry.SpanContext{TraceID: 0xab, SpanID: 0xcd}
+	rec.Eventf(LevelInfo, "backend", telemetry.SpanContext{}, "ingest accepted 8 traces")
+	clock.tick(250 * time.Millisecond)
+	rec.Eventf(LevelWarn, "backend", sc, "request exceeded SLO latency (1.2s)")
+	clock.tick(50 * time.Millisecond)
+	rec.Eventf(LevelError, "store", sc, "wal fsync failed: disk full")
+
+	var dumped []string
+	rec.OnDump(func(reason, path string) { dumped = append(dumped, reason+" "+path) })
+	path, err := rec.Dump("slo_breach")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "flightrec-slo_breach-001.json"); path != want {
+		t.Fatalf("dump path = %q, want %q", path, want)
+	}
+	if len(dumped) != 1 || !strings.HasPrefix(dumped[0], "slo_breach ") {
+		t.Fatalf("OnDump callback saw %v", dumped)
+	}
+
+	snap, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Node != "node-a" || snap.Reason != "slo_breach" || len(snap.Events) != 3 {
+		t.Fatalf("snapshot = node %q reason %q %d events", snap.Node, snap.Reason, len(snap.Events))
+	}
+
+	var out strings.Builder
+	Render(&out, snap)
+	text := out.String()
+	for _, want := range []string{
+		"flight recorder: node=node-a reason=slo_breach events=3",
+		"     0.000s info  backend", // first event anchors the timeline
+		"     0.250s warn  backend  trace=00000000000000ab request exceeded SLO latency",
+		"     0.300s error store    trace=00000000000000ab wal fsync failed: disk full",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("timeline missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestFlightrecDumpOncePerReason: the first trigger per reason is the
+// evidence; repeats must not churn disk. Distinct reasons get distinct,
+// monotonically numbered files.
+func TestFlightrecDumpOncePerReason(t *testing.T) {
+	rec, _, dir := newTestRecorder(t, 8)
+	rec.Eventf(LevelWarn, "backend", telemetry.SpanContext{}, "breach")
+	p1, err := rec.Dump("slo_breach")
+	if err != nil || p1 == "" {
+		t.Fatalf("first dump: %q, %v", p1, err)
+	}
+	p2, err := rec.Dump("slo_breach")
+	if err != nil || p2 != "" {
+		t.Fatalf("repeat dump: %q, %v — want suppressed", p2, err)
+	}
+	p3, err := rec.Dump("promotion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "flightrec-promotion-002.json"); p3 != want {
+		t.Fatalf("second reason path = %q, want %q", p3, want)
+	}
+	files, _ := os.ReadDir(dir)
+	if len(files) != 2 {
+		t.Fatalf("data dir has %d snapshots, want 2", len(files))
+	}
+}
+
+// TestFlightrecDisabledDir: an empty dir keeps the live ring but never
+// writes; a nil recorder discards everything without branching call sites.
+func TestFlightrecDisabledDir(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	rec := New(4, "n", "", clock.now)
+	rec.Eventf(LevelError, "store", telemetry.SpanContext{}, "crash")
+	if path, err := rec.Dump("store_crash_latch"); err != nil || path != "" {
+		t.Fatalf("disabled dump = %q, %v", path, err)
+	}
+	if len(rec.Events()) != 1 {
+		t.Fatal("empty dir must keep the live ring")
+	}
+
+	var nilRec *Recorder
+	nilRec.Eventf(LevelInfo, "x", telemetry.SpanContext{}, "discarded")
+	nilRec.OnDump(func(string, string) {})
+	if path, err := nilRec.Dump("r"); err != nil || path != "" {
+		t.Fatalf("nil recorder dump = %q, %v", path, err)
+	}
+	if nilRec.Events() != nil {
+		t.Fatal("nil recorder returned events")
+	}
+}

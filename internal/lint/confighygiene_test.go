@@ -18,8 +18,8 @@ import (
 // fixture matrix to be revisited.
 func TestDefaultRulesComplete(t *testing.T) {
 	rules := DefaultRules()
-	if len(rules) != 10 {
-		t.Fatalf("DefaultRules() has %d rules, want 10 — update DESIGN.md §6/§11, README, and the CI fixture matrix alongside this number", len(rules))
+	if len(rules) != 11 {
+		t.Fatalf("DefaultRules() has %d rules, want 11 — update DESIGN.md §6/§11, README, and the CI fixture matrix alongside this number", len(rules))
 	}
 	seen := make(map[string]bool)
 	for _, r := range rules {

@@ -209,6 +209,15 @@ func DefaultRules() []Rule {
 			// the checker's field rule cannot see that closed set.
 			"(*" + module + "/internal/tuners.BO).Name",
 		}},
+		// A started span that is never finished silently drops a node from
+		// the cross-node causal tree — the fleet drill then fails with an
+		// orphaned subtree and no hint of which hop lost it.
+		SpanFinish{Starters: []string{
+			"(*" + module + "/internal/telemetry.Tracer).Start",
+			"(*" + module + "/internal/telemetry.Tracer).StartRoot",
+			"(*" + module + "/internal/telemetry.Tracer).StartRemote",
+			"(*" + module + "/internal/telemetry.Tracer).Adopt",
+		}},
 		// The durability contract (a nil return means the WAL record is on
 		// disk) and the session upload path both turn a dropped error into
 		// silently lost data.

@@ -400,6 +400,21 @@ func TestMetricCardinalityBlessing(t *testing.T) {
 	}
 }
 
+func TestSpanFinishFixture(t *testing.T) {
+	rule := SpanFinish{Starters: []string{
+		"(*fixture/spanfinish.Tracer).Start",
+		"(*fixture/spanfinish.Tracer).StartRemote",
+	}}
+	diags := runFixture(t, "spanfinish", rule)
+	sup := suppressed(diags)
+	if len(sup) != 1 {
+		t.Fatalf("want 1 suppressed spanfinish finding, got %d", len(sup))
+	}
+	if want := "flight recorder snapshots it mid-flight"; !strings.Contains(sup[0].SuppressReason, want) {
+		t.Errorf("suppress reason = %q, want it to contain %q", sup[0].SuppressReason, want)
+	}
+}
+
 func TestUnusedResultFixture(t *testing.T) {
 	rule := UnusedResult{Funcs: []string{
 		"(*fixture/unusedresult.Store).Put",

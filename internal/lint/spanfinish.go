@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanFinish flags started trace spans that are never finished. A span that
+// is minted but not finished never reaches the span ring, so the causal tree
+// rockmon -trace assembles is silently missing a node — the cross-node drill
+// in CI then reports an orphaned subtree with no hint of which hop dropped
+// it. The rule binds the span variable assigned from a watched starter call
+// (the last left-hand identifier, matching both the (ctx, span) and the
+// span-only return shapes) and requires a discharging use somewhere in the
+// enclosing file:
+//
+//   - a <span>.Finish(...) call — plain, deferred, or inside any function
+//     literal (the `defer func() { sp.Finish(status) }()` idiom);
+//   - an ownership hand-off: the span stored into a composite literal or
+//     another variable, passed as a call argument, returned, or sent on a
+//     channel. Whoever receives it owns the Finish.
+//
+// Receiver-position uses (sp.Annotate, sp.Context) do not discharge: they
+// read the span without recording it. Assigning the result to the blank
+// identifier is an immediate finding — that span can never be finished.
+type SpanFinish struct {
+	// Starters are the watched span-minting calls as types.Func.FullName
+	// strings, e.g. "(*path/to/telemetry.Tracer).StartRemote". The span is
+	// the call's last result.
+	Starters []string
+}
+
+// Name implements Rule.
+func (SpanFinish) Name() string { return "spanfinish" }
+
+// Doc implements Rule.
+func (SpanFinish) Doc() string {
+	return "a started span must be finished on every path (defer or explicit) or handed off to an owner"
+}
+
+// IncludeTests implements Rule. A test that starts spans and never finishes
+// them asserts against a ring the spans never reached.
+func (SpanFinish) IncludeTests() bool { return true }
+
+// Check implements Rule.
+func (r SpanFinish) Check(pass *Pass) {
+	watched := make(map[string]bool, len(r.Starters))
+	for _, name := range r.Starters {
+		watched[name] = true
+	}
+	for _, f := range pass.Files {
+		r.checkFile(pass, f, watched)
+	}
+}
+
+// spanVar is one tracked span binding: where the starter call minted it and
+// which callee did so (for the diagnostic).
+type spanVar struct {
+	pos    token.Pos
+	callee string
+}
+
+func (r SpanFinish) checkFile(pass *Pass, f *ast.File, watched map[string]bool) {
+	// Pass 1: bind span variables from starter-call assignments. Blank
+	// bindings are reported immediately — nothing can ever finish them.
+	tracked := make(map[*types.Var]spanVar)
+	ast.Inspect(f, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || !watched[fn.FullName()] {
+			return true
+		}
+		// The span is the last result, so the last LHS identifier in both
+		// the `ctx, sp :=` and the `sp :=` shapes.
+		id, ok := assign.Lhs[len(assign.Lhs)-1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(), "span from %s is assigned to _ and can never be finished", fn.FullName())
+			return true
+		}
+		v := identVar(pass, id)
+		if v == nil {
+			return true
+		}
+		if _, seen := tracked[v]; !seen {
+			tracked[v] = spanVar{pos: call.Pos(), callee: fn.FullName()}
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return
+	}
+
+	// Pass 2: hunt discharging uses anywhere in the file — deferred closures
+	// and helper literals live in the same file as the starter, so a
+	// file-wide scan sees the `defer func() { sp.Finish(status) }()` idiom
+	// without any closure-capture analysis.
+	discharged := make(map[*types.Var]bool)
+	mark := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if v := identVar(pass, id); v != nil {
+				if _, yes := tracked[v]; yes {
+					discharged[v] = true
+				}
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			// sp.Finish(...) discharges; any other method on sp does not.
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Finish" {
+				mark(sel.X)
+			}
+			// Passing the span (or its address) to a call hands it off.
+			for _, arg := range x.Args {
+				if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+					arg = u.X
+				}
+				mark(arg)
+			}
+		case *ast.CompositeLit:
+			// Stored into a struct/slice/map literal: the holder owns it.
+			for _, el := range x.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				mark(el)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				mark(res)
+			}
+		case *ast.SendStmt:
+			mark(x.Value)
+		case *ast.AssignStmt:
+			// Re-homing the span (field store, second variable) hands it
+			// off — but the defining assignment itself is not a use.
+			if call, ok := singleCall(x); ok {
+				if fn := calleeFunc(pass, call); fn != nil && watched[fn.FullName()] {
+					return true
+				}
+			}
+			for _, rhs := range x.Rhs {
+				mark(rhs)
+			}
+		}
+		return true
+	})
+
+	for v, sv := range tracked {
+		if !discharged[v] {
+			pass.Reportf(sv.pos, "span %s started by %s is never finished; call %s.Finish on every path (defer works) or hand the span off to an owner", v.Name(), sv.callee, v.Name())
+		}
+	}
+}
+
+// identVar resolves an identifier to its variable object, whether the
+// identifier defines it (`sp := ...`) or re-uses it (`sp = ...`).
+func identVar(pass *Pass, id *ast.Ident) *types.Var {
+	if v, ok := pass.Pkg.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := pass.Pkg.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// singleCall returns the assignment's sole RHS call expression, if that is
+// its shape.
+func singleCall(assign *ast.AssignStmt) (*ast.CallExpr, bool) {
+	if len(assign.Rhs) != 1 {
+		return nil, false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	return call, ok
+}

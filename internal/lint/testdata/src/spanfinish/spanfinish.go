@@ -1,0 +1,83 @@
+// Package spanfinish seeds started-but-never-finished spans for the
+// spanfinish rule: leaked spans, blank bindings, and the discharging shapes
+// (direct, deferred, deferred closure, and ownership hand-offs) that must
+// stay clean.
+package spanfinish
+
+type Ctx struct{}
+
+type Span struct{}
+
+func (*Span) Finish(status string)                        {}
+func (*Span) Annotate(format string, args ...interface{}) {}
+func (*Span) Context() Ctx                                { return Ctx{} }
+
+type Tracer struct{}
+
+func (*Tracer) Start(ctx Ctx, name, kind string) (Ctx, *Span) { return ctx, nil }
+func (*Tracer) StartRemote(sc Ctx, name, kind string) *Span   { return nil }
+
+// holder mirrors the replicator's peerWait: a struct that takes ownership of
+// an in-flight span and finishes it later.
+type holder struct {
+	sp *Span
+}
+
+func leaks(tr *Tracer, ctx Ctx) {
+	sp := tr.StartRemote(ctx, "wal_append", "store") // want "span sp started by ..fixture/spanfinish.Tracer..StartRemote is never finished"
+	sp.Annotate("seq %d", 7)
+	_, child := tr.Start(ctx, "hop", "client") // want "span child started by ..fixture/spanfinish.Tracer..Start is never finished"
+	child.Annotate("leaked")
+	_, _ = tr.Start(ctx, "blank", "client") // want "span from ..fixture/spanfinish.Tracer..Start is assigned to _ and can never be finished"
+}
+
+func finishes(tr *Tracer, ctx Ctx) {
+	// Direct finish on the happy path.
+	sp := tr.StartRemote(ctx, "wal_fsync", "store")
+	sp.Finish("ok")
+
+	// Deferred finish.
+	_, root := tr.Start(ctx, "client_send", "client")
+	defer root.Finish("ok")
+
+	// The status-capturing closure idiom: Finish lives inside a deferred
+	// function literal, not on the defer statement itself.
+	late := tr.StartRemote(ctx, "replica_apply", "store")
+	status := "ok"
+	defer func() { late.Finish(status) }()
+
+	// Reassignment into the same variable: both mints share the object, one
+	// Finish use discharges it (the loop body finishes each iteration).
+	var hop *Span
+	_, hop = tr.Start(ctx, "hop:a", "client")
+	hop.Finish("ok")
+}
+
+func handsOff(tr *Tracer, ctx Ctx, sink chan *Span) []holder {
+	// Stored into a composite literal: the holder owns the Finish.
+	kept := tr.StartRemote(ctx, "replication_wait", "fleet")
+	hs := []holder{{sp: kept}}
+
+	// Passed to a callee: ownership transfers with the argument.
+	given := tr.StartRemote(ctx, "retrain", "backend")
+	settle(given)
+
+	// Sent on a channel: the receiver finishes it.
+	shipped := tr.StartRemote(ctx, "ship", "fleet")
+	sink <- shipped
+
+	// Returned via a second variable: re-homing is a hand-off too.
+	moved := tr.StartRemote(ctx, "promote_replay", "fleet")
+	var out *Span
+	out = moved
+	_ = out
+	return hs
+}
+
+func settle(sp *Span) { sp.Finish("ok") }
+
+func waived(tr *Tracer, ctx Ctx) {
+	//rocklint:allow spanfinish -- fixture: crash-path span deliberately left open so the flight recorder snapshots it mid-flight
+	open := tr.StartRemote(ctx, "crash", "store")
+	open.Annotate("left open on purpose")
+}

@@ -1,0 +1,101 @@
+package monitor
+
+import "math"
+
+// DriftDetector is a two-sided Page-Hinkley change detector over a stream
+// of model-prediction residuals (observed minus predicted cost, in the
+// model's log space). Page-Hinkley accumulates how far each residual sits
+// from the stream's running mean beyond a tolerance Delta; when the
+// cumulative excursion since its best value exceeds Lambda, the mean of the
+// residual stream has shifted — the model no longer tracks the workload —
+// and the detector trips. It is pure arithmetic over the values it is fed:
+// no clock, no RNG, no goroutines, so it is deterministic and trivially
+// rocklint-clean. Not safe for concurrent use; callers serialize (the
+// backend feeds it from the single updater goroutine).
+type DriftDetector struct {
+	// Delta is the tolerated per-sample deviation from the running mean —
+	// noise below it never accumulates. <= 0 means DefaultDriftDelta.
+	Delta float64
+	// Lambda is the cumulative-excursion threshold at which the detector
+	// trips. <= 0 means DefaultDriftLambda.
+	Lambda float64
+	// MinSamples is the number of residuals required before the detector
+	// may trip, so a model's first noisy samples cannot false-positive.
+	// <= 0 means DefaultDriftMinSamples.
+	MinSamples int
+
+	n    int
+	mean float64
+	up   float64 // cumulative (x - mean - delta); tracks upward mean shifts
+	upMn float64 // running minimum of up
+	dn   float64 // cumulative (x - mean + delta); tracks downward shifts
+	dnMx float64 // running maximum of dn
+
+	tripped bool
+}
+
+// Default Page-Hinkley parameters, sized for log1p(ms) residuals: the
+// simulator's run-to-run noise lands well under 0.05 in log space, while a
+// real cost shift (data growth, plan change) contributes ~log(shift) per
+// sample — a sustained 30% shift trips in a handful of retrain feeds.
+const (
+	DefaultDriftDelta      = 0.05
+	DefaultDriftLambda     = 0.60
+	DefaultDriftMinSamples = 8
+)
+
+func (d *DriftDetector) delta() float64 {
+	if d.Delta > 0 {
+		return d.Delta
+	}
+	return DefaultDriftDelta
+}
+
+func (d *DriftDetector) lambda() float64 {
+	if d.Lambda > 0 {
+		return d.Lambda
+	}
+	return DefaultDriftLambda
+}
+
+func (d *DriftDetector) minSamples() int {
+	if d.MinSamples > 0 {
+		return d.MinSamples
+	}
+	return DefaultDriftMinSamples
+}
+
+// Observe feeds one residual and reports the detector's state after it.
+// Once tripped the detector latches until Reset — a drifted model stays
+// flagged until someone (or the retrain loop) decides it is healthy again.
+func (d *DriftDetector) Observe(residual float64) bool {
+	d.n++
+	d.mean += (residual - d.mean) / float64(d.n)
+	d.up += residual - d.mean - d.delta()
+	d.upMn = math.Min(d.upMn, d.up)
+	d.dn += residual - d.mean + d.delta()
+	d.dnMx = math.Max(d.dnMx, d.dn)
+	if d.n >= d.minSamples() && d.Score() > d.lambda() {
+		d.tripped = true
+	}
+	return d.tripped
+}
+
+// Score is the current cumulative excursion — max of the upward and
+// downward Page-Hinkley statistics, 0 when the stream sits on its mean.
+func (d *DriftDetector) Score() float64 {
+	return math.Max(d.up-d.upMn, d.dnMx-d.dn)
+}
+
+// Drifting reports whether the detector has tripped.
+func (d *DriftDetector) Drifting() bool { return d.tripped }
+
+// Samples is the number of residuals observed since the last Reset.
+func (d *DriftDetector) Samples() int { return d.n }
+
+// Reset returns the detector to its initial state, keeping its tuning.
+func (d *DriftDetector) Reset() {
+	d.n, d.mean = 0, 0
+	d.up, d.upMn, d.dn, d.dnMx = 0, 0, 0, 0
+	d.tripped = false
+}

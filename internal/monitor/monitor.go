@@ -41,12 +41,28 @@ type Dashboard struct {
 	Space     *sparksim.Space
 	Signature string
 	events    []Event
+	drift     DriftDetector
 }
 
 // New returns an empty dashboard.
 func New(space *sparksim.Space, signature string) *Dashboard {
 	return &Dashboard{Space: space, Signature: signature}
 }
+
+// ObserveResidual feeds the signature's drift detector one
+// observed-vs-predicted cost pair (both in ms; compared in log space, the
+// surrogate's native scale) and reports the drift state after it. Callers
+// with no model prediction simply don't feed the detector.
+func (d *Dashboard) ObserveResidual(observedMs, predictedMs float64) bool {
+	return d.drift.Observe(math.Log1p(observedMs) - math.Log1p(predictedMs))
+}
+
+// Drifting reports whether the signature's model has drifted off the
+// observed costs (Page-Hinkley detector tripped).
+func (d *Dashboard) Drifting() bool { return d.drift.Drifting() }
+
+// DriftScore is the detector's current cumulative excursion.
+func (d *Dashboard) DriftScore() float64 { return d.drift.Score() }
 
 // Record adds an execution; stages may be nil when the stage breakdown is
 // unavailable (e.g. real clusters exposing only aggregate metrics).
@@ -209,6 +225,13 @@ func (d *Dashboard) Report(w io.Writer) {
 			verdict = "regressing"
 		}
 		fmt.Fprintf(w, "trend: %+.3f%%/iteration (%s)\n", slope*100, verdict)
+	}
+	if d.drift.Samples() > 0 {
+		state := "stable"
+		if d.drift.Drifting() {
+			state = "DRIFTING"
+		}
+		fmt.Fprintf(w, "model drift: %s (score %.3f over %d residuals)\n", state, d.drift.Score(), d.drift.Samples())
 	}
 	n := len(d.events) / 4
 	if n >= 2 {

@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"github.com/rockhopper-db/rockhopper/internal/resilience"
+
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
 )
 
 // The crash matrix drives a fixed mutation trace into a durable store,
@@ -55,7 +57,7 @@ func applyOp(d *DurableStore, op traceOp) error {
 	if op.del {
 		return d.Delete(op.path)
 	}
-	return d.put(op.path, []byte(op.data))
+	return d.put(op.path, []byte(op.data), telemetry.SpanContext{})
 }
 
 func mirrorOp(ref *Store, op traceOp) {
@@ -84,7 +86,7 @@ func runCrashTrace(t *testing.T, dir string, hooks func(CrashPoint) error, compa
 				t.Fatalf("op %d failed with %v; want ErrCrashed", acked, err)
 			}
 			// A dead store must stay dead: no later mutation may sneak in.
-			if err := d.put("models/u/late.model", []byte("x")); !errors.Is(err, ErrCrashed) {
+			if err := d.put("models/u/late.model", []byte("x"), telemetry.SpanContext{}); !errors.Is(err, ErrCrashed) {
 				t.Fatalf("post-crash put = %v; want ErrCrashed", err)
 			}
 			return ref, acked
@@ -107,7 +109,7 @@ func reopenAndCompare(t *testing.T, dir string, ref *Store, label string) {
 	}
 	// Recovery must leave a writable log behind: the next mutation appends
 	// cleanly past any truncated tail.
-	if err := re.put("probe/after-recovery", []byte("ok")); err != nil {
+	if err := re.put("probe/after-recovery", []byte("ok"), telemetry.SpanContext{}); err != nil {
 		t.Fatalf("%s: store not writable after recovery: %v", label, err)
 	}
 }
@@ -201,7 +203,7 @@ func TestCrashThenRecoverThenCrashAgain(t *testing.T) {
 	ref.SetClock(clock.Now)
 	re := mustOpen(t, dir, DurableOptions{Clock: clock, CompactEvery: -1, Hooks: fireAt(CrashPostRename, 1)})
 	clock.Advance(time.Minute)
-	if err := re.put("models/u/second-life.model", []byte("v2")); err != nil {
+	if err := re.put("models/u/second-life.model", []byte("v2"), telemetry.SpanContext{}); err != nil {
 		t.Fatal(err)
 	}
 	ref.PutInternal("models/u/second-life.model", []byte("v2"))

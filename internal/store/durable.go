@@ -17,6 +17,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
@@ -108,9 +109,16 @@ type DurableOptions struct {
 	// tap the fleet replicator hangs off. It is called under the store lock
 	// immediately after the frame is on disk; the frame slice (trailing
 	// newline included) is only valid for the duration of the call, so the
-	// observer must copy it and must not call back into the store. Nil
-	// disables the tap.
-	OnAppend func(seq uint64, frame []byte)
+	// observer must copy it and must not call back into the store. sc is
+	// the trace identity of the request that caused the frame (zero for
+	// untraced work), so log shipping can carry causal parentage to the
+	// followers. Nil disables the tap.
+	OnAppend func(seq uint64, frame []byte, sc telemetry.SpanContext)
+	// OnDown observes the transition into the latched-down state with its
+	// cause — the flight recorder's crash-latch trigger. It is called once,
+	// under the store lock (it must not call back into the store), and not
+	// on a clean Close. Nil disables it.
+	OnDown func(err error)
 }
 
 // DefaultCompactEvery is the record-count compaction threshold.
@@ -126,7 +134,14 @@ type DurableStore struct {
 	clock    resilience.Clock
 	logger   *log.Logger
 	hooks    func(CrashPoint) error
-	onAppend func(seq uint64, frame []byte)
+	onAppend func(seq uint64, frame []byte, sc telemetry.SpanContext)
+	onDown   func(err error)
+
+	// tracer mints the wal_append/wal_fsync spans of the commit path (nil
+	// records nothing). Installed by SetTracer before traffic; it shares
+	// the daemon's span ring so the WAL work shows up under the request's
+	// causal tree at /api/trace.
+	tracer *telemetry.Tracer
 
 	interval     time.Duration
 	compactEvery int
@@ -166,6 +181,7 @@ func OpenDurable(dir string, secret []byte, opts DurableOptions) (*DurableStore,
 		logger:       opts.Logger,
 		hooks:        opts.Hooks,
 		onAppend:     opts.OnAppend,
+		onDown:       opts.OnDown,
 		interval:     opts.SnapshotInterval,
 		compactEvery: opts.CompactEvery,
 		noSync:       opts.NoSync,
@@ -257,6 +273,27 @@ func (d *DurableStore) Err() error {
 	return d.down
 }
 
+// SetTracer installs the span tracer for the WAL commit path. Call before
+// the store sees traced traffic (the daemon wires the backend's tracer in
+// right after constructing both).
+func (d *DurableStore) SetTracer(tr *telemetry.Tracer) {
+	d.mu.Lock()
+	d.tracer = tr
+	d.mu.Unlock()
+}
+
+// latchLocked records why the store now refuses mutations and fires the
+// OnDown observer exactly once. Callers hold d.mu.
+func (d *DurableStore) latchLocked(err error) error {
+	d.down = err
+	if d.onDown != nil {
+		fn := d.onDown
+		d.onDown = nil
+		fn(err)
+	}
+	return d.down
+}
+
 // crashLocked consults the injector at one crash point; a non-nil hook
 // error kills the store.
 func (d *DurableStore) crashLocked(p CrashPoint) error {
@@ -264,16 +301,18 @@ func (d *DurableStore) crashLocked(p CrashPoint) error {
 		return nil
 	}
 	if err := d.hooks(p); err != nil {
-		d.down = fmt.Errorf("%w: injected crash at %s: %v", ErrCrashed, p, err)
-		return d.down
+		return d.latchLocked(fmt.Errorf("%w: injected crash at %s: %v", ErrCrashed, p, err))
 	}
 	return nil
 }
 
 // appendLocked writes one record to the WAL. On success the record is
 // durable and the sequence counter advances; on any failure the store goes
-// down, because a half-written log must not accept further appends.
-func (d *DurableStore) appendLocked(rec walRecord) error {
+// down, because a half-written log must not accept further appends. sc is
+// the causing request's trace identity (zero for untraced work): it parents
+// the wal_append/wal_fsync spans and rides the OnAppend tap so log shipping
+// stays inside the same causal tree.
+func (d *DurableStore) appendLocked(rec walRecord, sc telemetry.SpanContext) error {
 	// Render into the store-owned buffer (mu is held): after warmup the
 	// append path allocates nothing for framing.
 	d.lineBuf = appendWALRecord(d.lineBuf[:0], rec)
@@ -283,7 +322,12 @@ func (d *DurableStore) appendLocked(rec walRecord) error {
 		// write rather than pinning megabytes for the common tiny records.
 		d.lineBuf = nil
 	}
+	sp := d.tracer.StartRemote(sc, "wal_append", "store")
+	sp.Annotate("seq %d (%d bytes)", rec.Seq, len(line))
+	status := "ok"
+	defer func() { sp.Finish(status) }()
 	if err := d.crashLocked(CrashPreWrite); err != nil {
+		status = "error"
 		return err
 	}
 	if d.hooks != nil {
@@ -293,33 +337,36 @@ func (d *DurableStore) appendLocked(rec walRecord) error {
 			if _, werr := d.wal.Write(line[:len(line)/2]); werr == nil {
 				d.wal.Sync()
 			}
-			d.down = fmt.Errorf("%w: injected crash at %s: %v", ErrCrashed, CrashMidRecord, herr)
-			return d.down
+			status = "error"
+			return d.latchLocked(fmt.Errorf("%w: injected crash at %s: %v", ErrCrashed, CrashMidRecord, herr))
 		}
 	}
 	if _, err := d.wal.Write(line); err != nil {
-		d.down = fmt.Errorf("%w: WAL append: %v", ErrCrashed, err)
-		return d.down
+		status = "error"
+		return d.latchLocked(fmt.Errorf("%w: WAL append: %v", ErrCrashed, err))
 	}
 	if !d.noSync {
+		fsp := d.tracer.StartRemote(sp.Context(), "wal_fsync", "store")
 		start := d.clock.Now()
 		if err := d.wal.Sync(); err != nil {
-			d.down = fmt.Errorf("%w: WAL sync: %v", ErrCrashed, err)
-			return d.down
+			fsp.Finish("error")
+			status = "error"
+			return d.latchLocked(fmt.Errorf("%w: WAL sync: %v", ErrCrashed, err))
 		}
 		d.fsyncSeconds.Observe(d.clock.Now().Sub(start).Seconds())
+		fsp.Finish("ok")
 	}
 	d.seq = rec.Seq
 	d.walCount++
 	d.walAppends.Inc()
 	if d.onAppend != nil {
-		d.onAppend(rec.Seq, line)
+		d.onAppend(rec.Seq, line, sc)
 	}
 	return nil
 }
 
-// put logs and applies one write.
-func (d *DurableStore) put(p string, data []byte) error {
+// put logs and applies one write under the caller's trace identity.
+func (d *DurableStore) put(p string, data []byte, sc telemetry.SpanContext) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.down != nil {
@@ -327,7 +374,7 @@ func (d *DurableStore) put(p string, data []byte) error {
 	}
 	rec := walRecord{Seq: d.seq + 1, Op: opPut, Path: p, Data: data, Created: d.clock.Now().UnixNano()}
 	//rocklint:allow deadlockcycle -- fsync-before-ack under d.mu IS the §7 WAL serialization point: the ack may not outrun the disk, so the write path blocks by design
-	if err := d.appendLocked(rec); err != nil {
+	if err := d.appendLocked(rec, sc); err != nil {
 		return err
 	}
 	d.mem.putAt(p, data, time.Unix(0, rec.Created))
@@ -353,7 +400,16 @@ func (d *DurableStore) Put(tok, p string, data []byte) error {
 	if err := d.mem.Verify(tok, p, PermWrite); err != nil {
 		return err
 	}
-	return d.put(p, data)
+	return d.put(p, data, telemetry.SpanContext{})
+}
+
+// PutCtx is Put carrying the request's trace identity, so the WAL append
+// and fsync surface as child spans of the caller's span.
+func (d *DurableStore) PutCtx(ctx context.Context, tok, p string, data []byte) error {
+	if err := d.mem.Verify(tok, p, PermWrite); err != nil {
+		return err
+	}
+	return d.put(p, data, telemetry.SpanFrom(ctx))
 }
 
 // Get reads an object after verifying the read token.
@@ -364,7 +420,14 @@ func (d *DurableStore) Get(tok, p string) ([]byte, error) { return d.mem.Get(tok
 // reports it and every later mutation fails fast rather than silently
 // diverging from the log.
 func (d *DurableStore) PutInternal(p string, data []byte) {
-	if err := d.put(p, data); err != nil {
+	if err := d.put(p, data, telemetry.SpanContext{}); err != nil {
+		d.logf("store: durable PutInternal %s: %v", p, err)
+	}
+}
+
+// PutInternalCtx is PutInternal carrying the request's trace identity.
+func (d *DurableStore) PutInternalCtx(ctx context.Context, p string, data []byte) {
+	if err := d.put(p, data, telemetry.SpanFrom(ctx)); err != nil {
 		d.logf("store: durable PutInternal %s: %v", p, err)
 	}
 }
@@ -378,6 +441,16 @@ func (d *DurableStore) GetInternal(p string) ([]byte, error) { return d.mem.GetI
 // record all-or-nothing, so a crash can never surface a partial batch: the
 // batched ingest endpoint relies on this for event-file + index atomicity.
 func (d *DurableStore) PutBatch(entries []BatchEntry) error {
+	return d.putBatch(entries, telemetry.SpanContext{})
+}
+
+// PutBatchCtx is PutBatch carrying the request's trace identity: the batch
+// ingest's single WAL append + fsync land in the request's causal tree.
+func (d *DurableStore) PutBatchCtx(ctx context.Context, entries []BatchEntry) error {
+	return d.putBatch(entries, telemetry.SpanFrom(ctx))
+}
+
+func (d *DurableStore) putBatch(entries []BatchEntry, sc telemetry.SpanContext) error {
 	if len(entries) == 0 {
 		return nil
 	}
@@ -395,7 +468,7 @@ func (d *DurableStore) PutBatch(entries []BatchEntry) error {
 		es[i] = snapEntry{Path: e.Path, Data: e.Data, Created: created}
 	}
 	//rocklint:allow deadlockcycle -- fsync-before-ack under d.mu IS the §7 WAL serialization point: the ack may not outrun the disk, so the write path blocks by design
-	if err := d.appendLocked(walRecord{Seq: d.seq + 1, Op: opBatch, Entries: es}); err != nil {
+	if err := d.appendLocked(walRecord{Seq: d.seq + 1, Op: opBatch, Entries: es}, sc); err != nil {
 		return err
 	}
 	for _, e := range es {
@@ -421,7 +494,7 @@ func (d *DurableStore) Delete(p string) error {
 		return d.down
 	}
 	//rocklint:allow deadlockcycle -- fsync-before-ack under d.mu IS the §7 WAL serialization point: the ack may not outrun the disk, so the write path blocks by design
-	if err := d.appendLocked(walRecord{Seq: d.seq + 1, Op: opDel, Path: p}); err != nil {
+	if err := d.appendLocked(walRecord{Seq: d.seq + 1, Op: opDel, Path: p}, telemetry.SpanContext{}); err != nil {
 		return err
 	}
 	d.mem.Delete(p)
@@ -447,7 +520,7 @@ func (d *DurableStore) CleanupOlderThan(retention time.Duration) int {
 		return 0
 	}
 	//rocklint:allow deadlockcycle -- fsync-before-ack under d.mu IS the §7 WAL serialization point: the ack may not outrun the disk, so the write path blocks by design
-	if err := d.appendLocked(walRecord{Seq: d.seq + 1, Op: opSweep, Paths: reaped}); err != nil {
+	if err := d.appendLocked(walRecord{Seq: d.seq + 1, Op: opSweep, Paths: reaped}, telemetry.SpanContext{}); err != nil {
 		d.logf("store: retention sweep of %d file(s) not logged: %v", len(reaped), err)
 		return 0
 	}

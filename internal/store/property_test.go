@@ -8,6 +8,8 @@ import (
 
 	"github.com/rockhopper-db/rockhopper/internal/resilience"
 	"github.com/rockhopper-db/rockhopper/internal/stats"
+
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
 )
 
 // TestPropertyReplayEquivalence is the replay-equivalence property: for a
@@ -64,7 +66,7 @@ func runEquivalenceTrial(t *testing.T, r *stats.RNG, seed uint64, trial int) {
 		switch r.Intn(10) {
 		case 0, 1, 2, 3, 4, 5:
 			data := []byte(fmt.Sprintf("v-%d-%d", i, r.Uint64()))
-			for _, err := range []error{walOnly.put(p, data), mixed.put(p, data)} {
+			for _, err := range []error{walOnly.put(p, data, telemetry.SpanContext{}), mixed.put(p, data, telemetry.SpanContext{})} {
 				if err != nil {
 					t.Fatalf("%s: %v", label("put", i), err)
 				}
@@ -104,7 +106,7 @@ func runEquivalenceTrial(t *testing.T, r *stats.RNG, seed uint64, trial int) {
 	// The recovered stores must keep accepting and agreeing on mutations.
 	clock.Advance(time.Minute)
 	post := []byte(fmt.Sprintf("post-%d-%d", seed, trial))
-	for _, err := range []error{reWAL.put(paths[0], post), reMix.put(paths[0], post)} {
+	for _, err := range []error{reWAL.put(paths[0], post, telemetry.SpanContext{}), reMix.put(paths[0], post, telemetry.SpanContext{})} {
 		if err != nil {
 			t.Fatalf("%s: %v", label("post-reopen put", nops), err)
 		}

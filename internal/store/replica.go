@@ -16,11 +16,14 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"time"
+
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
 )
 
 // ErrReplicaGap marks a replicated frame batch that skips past the
@@ -74,6 +77,17 @@ func (d *DurableStore) Export() []Entry {
 // The returned sequence is the follower's post-apply sequence number; it is
 // valid even when an error is returned.
 func (d *DurableStore) ApplyReplicated(frames []byte) (uint64, error) {
+	return d.applyReplicated(frames, telemetry.SpanContext{})
+}
+
+// ApplyReplicatedCtx is ApplyReplicated carrying the shipping request's
+// trace identity, so the follower's apply + fsync surface as child spans of
+// the owner's replicate span in the cross-node tree.
+func (d *DurableStore) ApplyReplicatedCtx(ctx context.Context, frames []byte) (uint64, error) {
+	return d.applyReplicated(frames, telemetry.SpanFrom(ctx))
+}
+
+func (d *DurableStore) applyReplicated(frames []byte, sc telemetry.SpanContext) (uint64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.down != nil {
@@ -109,18 +123,25 @@ func (d *DurableStore) ApplyReplicated(frames []byte) (uint64, error) {
 	if len(accepted) == 0 {
 		return d.seq, nil
 	}
+	sp := d.tracer.StartRemote(sc, "replica_apply", "store")
+	sp.Annotate("%d frame(s) through seq %d", len(accepted), accepted[len(accepted)-1].Seq)
+	status := "ok"
+	defer func() { sp.Finish(status) }()
 	if _, err := d.wal.Write(buf); err != nil {
-		d.down = fmt.Errorf("%w: replicated WAL append: %v", ErrCrashed, err)
-		return d.seq, d.down
+		status = "error"
+		return d.seq, d.latchLocked(fmt.Errorf("%w: replicated WAL append: %v", ErrCrashed, err))
 	}
 	if !d.noSync {
+		fsp := d.tracer.StartRemote(sp.Context(), "wal_fsync", "store")
 		start := d.clock.Now()
 		//rocklint:allow deadlockcycle -- fsync-before-ack under d.mu IS the §7 WAL serialization point: the ack may not outrun the disk, so the write path blocks by design
 		if err := d.wal.Sync(); err != nil {
-			d.down = fmt.Errorf("%w: replicated WAL sync: %v", ErrCrashed, err)
-			return d.seq, d.down
+			fsp.Finish("error")
+			status = "error"
+			return d.seq, d.latchLocked(fmt.Errorf("%w: replicated WAL sync: %v", ErrCrashed, err))
 		}
 		d.fsyncSeconds.Observe(d.clock.Now().Sub(start).Seconds())
+		fsp.Finish("ok")
 	}
 	for _, rec := range accepted {
 		d.applyLocked(rec)
@@ -213,6 +234,17 @@ func (d *DurableStore) InstallSnapshot(image []byte) (uint64, error) {
 // absorb a follower store's Export into the survivor's primary without
 // resetting retention clocks; re-absorbing the same entries is idempotent.
 func (d *DurableStore) PutBatchAt(entries []Entry) error {
+	return d.putBatchAt(entries, telemetry.SpanContext{})
+}
+
+// PutBatchAtCtx is PutBatchAt carrying the caller's trace identity — the
+// promote path passes its promote_replay root span so each absorb chunk's
+// WAL append lands in the promotion's causal tree.
+func (d *DurableStore) PutBatchAtCtx(ctx context.Context, entries []Entry) error {
+	return d.putBatchAt(entries, telemetry.SpanFrom(ctx))
+}
+
+func (d *DurableStore) putBatchAt(entries []Entry, sc telemetry.SpanContext) error {
 	if len(entries) == 0 {
 		return nil
 	}
@@ -229,7 +261,7 @@ func (d *DurableStore) PutBatchAt(entries []Entry) error {
 		es[i] = snapEntry{Path: e.Path, Data: e.Data, Created: e.Created.UnixNano()}
 	}
 	//rocklint:allow deadlockcycle -- fsync-before-ack under d.mu IS the §7 WAL serialization point: the ack may not outrun the disk, so the write path blocks by design
-	if err := d.appendLocked(walRecord{Seq: d.seq + 1, Op: opBatch, Entries: es}); err != nil {
+	if err := d.appendLocked(walRecord{Seq: d.seq + 1, Op: opBatch, Entries: es}, sc); err != nil {
 		return err
 	}
 	for _, e := range es {

@@ -9,6 +9,8 @@ import (
 
 	"github.com/rockhopper-db/rockhopper/internal/resilience"
 	"github.com/rockhopper-db/rockhopper/internal/stats"
+
+	"github.com/rockhopper-db/rockhopper/internal/telemetry"
 )
 
 // frameTap collects OnAppend frames the way the fleet replicator does:
@@ -17,7 +19,7 @@ type frameTap struct {
 	frames [][]byte
 }
 
-func (ft *frameTap) observe(seq uint64, frame []byte) {
+func (ft *frameTap) observe(seq uint64, frame []byte, sc telemetry.SpanContext) {
 	ft.frames = append(ft.frames, append([]byte(nil), frame...))
 }
 
@@ -244,7 +246,7 @@ func runTwoNodeTrial(t *testing.T, r *stats.RNG, seed uint64, trial int) {
 		p := paths[r.Intn(len(paths))]
 		switch r.Intn(10) {
 		case 0, 1, 2, 3, 4, 5:
-			if err := owner.put(p, []byte(fmt.Sprintf("v-%d-%d", i, r.Uint64()))); err != nil {
+			if err := owner.put(p, []byte(fmt.Sprintf("v-%d-%d", i, r.Uint64())), telemetry.SpanContext{}); err != nil {
 				t.Fatalf("%s: %v", label("put"), err)
 			}
 		case 6:

@@ -94,23 +94,36 @@ func SpanFrom(ctx context.Context) SpanContext {
 
 // Span is one finished unit of work recorded in a SpanRing. Timestamps come
 // from the recorder's injected clock; the ring itself never reads time.
+//
+// ParentID links the span into its trace's causal tree: empty means a root
+// (the client send), otherwise it names the span that caused this one — on
+// the same node via context carriage, or on another node via the span half
+// of the X-Rockhopper-Trace header (the propagation contract: the header's
+// span ID IS the parent of every span the receiver mints for that request).
 type Span struct {
 	TraceID    string  `json:"trace_id"`
 	SpanID     string  `json:"span_id"`
+	ParentID   string  `json:"parent_id,omitempty"`
 	Name       string  `json:"name"`
+	Kind       string  `json:"kind,omitempty"`
+	Node       string  `json:"node,omitempty"`
 	StartUnix  int64   `json:"start_unix_nano"`
 	DurationMS float64 `json:"duration_ms"`
 	Status     string  `json:"status"`
+	// Annotations are bounded free-text notes (seq numbers, byte counts,
+	// peer IDs) — never metric labels, so cardinality rules don't apply.
+	Annotations []string `json:"annotations,omitempty"`
 }
 
 // SpanRing is a bounded in-memory buffer of recently finished spans, served
 // at /api/trace for correlation without external infrastructure. A nil ring
 // discards records, so span capture is optional at every call site.
 type SpanRing struct {
-	mu   sync.Mutex
-	buf  []Span
-	next int
-	full bool
+	mu      sync.Mutex
+	buf     []Span
+	next    int
+	full    bool
+	onEvict func()
 }
 
 // NewSpanRing returns a ring retaining the last n spans (n <= 0 yields a
@@ -122,18 +135,36 @@ func NewSpanRing(n int) *SpanRing {
 	return &SpanRing{buf: make([]Span, n)}
 }
 
+// OnEvict installs a callback invoked once per span overwritten before it
+// was ever read — the hook behind rockhopper_trace_spans_evicted_total, so
+// silent span loss at fleet load is visible on a scrape. Install before the
+// ring sees traffic; the callback runs outside the ring lock.
+func (r *SpanRing) OnEvict(fn func()) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.onEvict = fn
+	r.mu.Unlock()
+}
+
 // Record appends one span, evicting the oldest when full.
 func (r *SpanRing) Record(s Span) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
+	evicted := r.full
+	fn := r.onEvict
 	r.buf[r.next] = s
 	r.next = (r.next + 1) % len(r.buf)
 	if r.next == 0 {
 		r.full = true
 	}
 	r.mu.Unlock()
+	if evicted && fn != nil {
+		fn()
+	}
 }
 
 // Snapshot returns the retained spans, oldest first.

@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// propRNG is a deterministic xorshift64* stream — the property trials need
+// reproducible randomness without touching the global RNG.
+type propRNG struct{ s uint64 }
+
+func (r *propRNG) Uint64() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s * 0x2545f4914f6cdd1d
+}
+
+func (r *propRNG) intn(n int) int { return int(r.Uint64() % uint64(n)) }
+
+// TestTraceHeaderRoundTripProperty: any valid span context must survive the
+// wire (render → parse) exactly, and malformed headers must degrade to
+// "untraced" rather than fail.
+func TestTraceHeaderRoundTripProperty(t *testing.T) {
+	rng := &propRNG{s: 1}
+	for i := 0; i < 2000; i++ {
+		sc := Mint(rng)
+		got, ok := ParseTraceHeader(sc.String())
+		if !ok || got != sc {
+			t.Fatalf("round-trip %d: %v -> %q -> %v ok=%v", i, sc, sc.String(), got, ok)
+		}
+	}
+	for _, bad := range []string{"", "-", "abc", "00000000000000ab", "00000000000000ab-xyz",
+		"00000000000000ab-00000000000000", "0000000000000000-00000000000000cd"} {
+		if sc, ok := ParseTraceHeader(bad); ok {
+			t.Errorf("ParseTraceHeader(%q) = %v, ok — want untraced", bad, sc)
+		}
+	}
+}
+
+// TestTraceTreeRoundTripProperty is the propagation-contract property test:
+// random causal trees are built across three simulated nodes — every hop
+// rendered through the X-Rockhopper-Trace wire form and re-parsed, exactly
+// as an HTTP boundary would — then each node's ring is serialized through
+// the /api/trace JSON shape, gathered in arbitrary order (with one fragment
+// duplicated, as a double-scrape would), and reassembled. Every parent/child
+// link must survive, and the result must be a single connected tree.
+func TestTraceTreeRoundTripProperty(t *testing.T) {
+	rng := &propRNG{s: 0xfeed}
+	for trial := 0; trial < 40; trial++ {
+		now := time.Unix(1700000000, 0)
+		clock := func() time.Time { return now }
+		nodes := []string{"a", "b", "c"}
+		rings := make([]*SpanRing, len(nodes))
+		tracers := make([]*Tracer, len(nodes))
+		for i, id := range nodes {
+			rings[i] = NewSpanRing(256)
+			tracers[i] = NewTracer(rings[i], id, clock, &propRNG{s: rng.Uint64() | 1})
+		}
+
+		// Grow a random tree. Each non-root span crosses a simulated HTTP
+		// boundary: the parent's identity is rendered to the header wire form,
+		// re-parsed, and handed to a randomly-chosen node's StartRemote.
+		type liveSpan struct {
+			sc   SpanContext
+			span *ActiveSpan
+		}
+		_, root := tracers[0].StartRoot(t.Context(), "client_send", "client")
+		if root == nil {
+			t.Fatal("StartRoot returned nil span")
+		}
+		live := []liveSpan{{root.Context(), root}}
+		wantParent := map[string]string{root.Context().SpanHex(): ""}
+		total := 1 + rng.intn(30)
+		for i := 1; i < total; i++ {
+			parent := live[rng.intn(len(live))]
+			tr := tracers[rng.intn(len(tracers))]
+			wire := parent.sc.String()
+			sc, ok := ParseTraceHeader(wire)
+			if !ok || sc != parent.sc {
+				t.Fatalf("trial %d: header round-trip corrupted %v -> %q -> %v", trial, parent.sc, wire, sc)
+			}
+			sp := tr.StartRemote(sc, fmt.Sprintf("span%d", i), "server")
+			if sp == nil {
+				t.Fatalf("trial %d: StartRemote rejected a valid context", trial)
+			}
+			if rng.intn(2) == 0 {
+				sp.Annotate("hop %d", i)
+			}
+			live = append(live, liveSpan{sp.Context(), sp})
+			wantParent[sp.Context().SpanHex()] = parent.sc.SpanHex()
+		}
+		for _, ls := range live {
+			now = now.Add(time.Duration(1+rng.intn(5)) * time.Millisecond)
+			ls.span.Finish("ok")
+		}
+
+		// Gather: serialize each ring through the /api/trace JSON wire form,
+		// concatenated in a rotated order with one fragment duplicated.
+		var gathered []Span
+		start := rng.intn(len(rings))
+		for i := 0; i <= len(rings); i++ { // <= duplicates the first fragment
+			snap := rings[(start+i)%len(rings)].Snapshot()
+			blob, err := json.Marshal(snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back []Span
+			if err := json.Unmarshal(blob, &back); err != nil {
+				t.Fatalf("trial %d: /api/trace round-trip: %v", trial, err)
+			}
+			gathered = append(gathered, back...)
+		}
+
+		tree := AssembleTrace(root.Context().TraceHex(), gathered)
+		if !tree.Connected() || tree.Synthesized {
+			t.Fatalf("trial %d: tree not connected: roots=%d orphans=%d synthesized=%v",
+				trial, len(tree.Roots), len(tree.Orphans), tree.Synthesized)
+		}
+		got := tree.Spans()
+		if len(got) != total {
+			t.Fatalf("trial %d: assembled %d spans, created %d", trial, len(got), total)
+		}
+		for _, s := range got {
+			if want, ok := wantParent[s.SpanID]; !ok {
+				t.Fatalf("trial %d: span %s was never created", trial, s.SpanID)
+			} else if s.ParentID != want {
+				t.Fatalf("trial %d: span %s parent = %q, want %q", trial, s.SpanID, s.ParentID, want)
+			}
+			if s.Status != "ok" || s.DurationMS <= 0 {
+				t.Fatalf("trial %d: span %s lost status/duration: %+v", trial, s.SpanID, s)
+			}
+		}
+	}
+}
+
+// TestAssembleSynthesizedRoot: a trace initiated outside the fleet (curl —
+// no recorded client span) must still assemble: the shared missing parent
+// becomes a synthesized client_send root, and disagreeing parents stay
+// orphans so broken propagation cannot masquerade as a connected tree.
+func TestAssembleSynthesizedRoot(t *testing.T) {
+	spans := []Span{
+		{TraceID: "t1", SpanID: "s1", ParentID: "p0", Name: "events"},
+		{TraceID: "t1", SpanID: "s2", ParentID: "s1", Name: "wal_append"},
+		{TraceID: "t1", SpanID: "s3", ParentID: "p0", Name: "hop"},
+	}
+	tree := AssembleTrace("t1", spans)
+	if !tree.Connected() || !tree.Synthesized {
+		t.Fatalf("connected=%v synthesized=%v, want both", tree.Connected(), tree.Synthesized)
+	}
+	if got := tree.Roots[0].Span; got.Name != "client_send" || got.SpanID != "p0" || got.Status != "remote" {
+		t.Fatalf("synthesized root = %+v", got)
+	}
+
+	// Two distinct missing parents: no synthesis, orphans surface.
+	broken := append(spans[:2:2], Span{TraceID: "t1", SpanID: "s4", ParentID: "px", Name: "stray"})
+	tree = AssembleTrace("t1", broken)
+	if tree.Connected() || tree.Synthesized {
+		t.Fatalf("disagreeing parents assembled: %+v", tree)
+	}
+}

@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// TraceNode is one span plus its causal children in an assembled trace.
+type TraceNode struct {
+	Span     Span
+	Children []*TraceNode
+}
+
+// TraceTree is the result of assembling one trace's span fragments,
+// gathered from any number of node rings, into a causal tree.
+type TraceTree struct {
+	// Roots are the tree tops, normally exactly one: the client send.
+	Roots []*TraceNode
+	// Orphans are spans whose parent is neither present nor the shared
+	// synthesized root — broken propagation, and a drill failure.
+	Orphans []Span
+	// Synthesized reports that the root was not among the gathered spans
+	// (the client was outside the fleet — e.g. curl — so its send span was
+	// never recorded) and a placeholder root was invented from the one
+	// parent ID every top-level span agreed on.
+	Synthesized bool
+}
+
+// Spans returns every span in the tree in depth-first render order.
+func (t TraceTree) Spans() []Span {
+	var out []Span
+	var walk func(n *TraceNode)
+	walk = func(n *TraceNode) {
+		out = append(out, n.Span)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	return out
+}
+
+// Connected reports whether the fragments assembled into a single tree with
+// no orphans — the acceptance gate for the fleet drill.
+func (t TraceTree) Connected() bool {
+	return len(t.Roots) == 1 && len(t.Orphans) == 0
+}
+
+// AssembleTrace joins span fragments (from any mix of node rings) for one
+// trace ID into a causal tree. Spans from other traces are ignored;
+// duplicate span IDs keep the first occurrence (a gather may read the same
+// ring twice). When no recorded root exists but every unparented span
+// agrees on one remote parent ID, that ID is synthesized as the root — the
+// client-send placeholder for traces initiated outside the fleet.
+func AssembleTrace(traceID string, spans []Span) TraceTree {
+	byID := make(map[string]*TraceNode)
+	var ordered []*TraceNode
+	for _, s := range spans {
+		if s.TraceID != traceID || s.SpanID == "" {
+			continue
+		}
+		if _, dup := byID[s.SpanID]; dup {
+			continue
+		}
+		n := &TraceNode{Span: s}
+		byID[s.SpanID] = n
+		ordered = append(ordered, n)
+	}
+
+	var tree TraceTree
+	var unresolved []*TraceNode // parented, but parent not gathered
+	for _, n := range ordered {
+		switch {
+		case n.Span.ParentID == "":
+			tree.Roots = append(tree.Roots, n)
+		case byID[n.Span.ParentID] != nil:
+			p := byID[n.Span.ParentID]
+			p.Children = append(p.Children, n)
+		default:
+			unresolved = append(unresolved, n)
+		}
+	}
+
+	// No recorded root: if every unresolved span names the same missing
+	// parent, that parent is the unrecorded client send — synthesize it.
+	if len(tree.Roots) == 0 && len(unresolved) > 0 {
+		parent := unresolved[0].Span.ParentID
+		same := true
+		for _, n := range unresolved[1:] {
+			if n.Span.ParentID != parent {
+				same = false
+				break
+			}
+		}
+		if same {
+			root := &TraceNode{Span: Span{
+				TraceID: traceID,
+				SpanID:  parent,
+				Name:    "client_send",
+				Kind:    "client",
+				Status:  "remote",
+			}}
+			root.Children = unresolved
+			tree.Roots = []*TraceNode{root}
+			tree.Synthesized = true
+			unresolved = nil
+		}
+	}
+	for _, n := range unresolved {
+		tree.Orphans = append(tree.Orphans, n.Span)
+	}
+
+	sortNodes(tree.Roots)
+	for _, n := range ordered {
+		sortNodes(n.Children)
+	}
+	return tree
+}
+
+// sortNodes orders siblings by start time, then name, then span ID — a
+// total order, so renders are deterministic even for zero-duration spans
+// stamped by a fake clock.
+func sortNodes(ns []*TraceNode) {
+	sort.Slice(ns, func(i, j int) bool {
+		a, b := ns[i].Span, ns[j].Span
+		if a.StartUnix != b.StartUnix {
+			return a.StartUnix < b.StartUnix
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.SpanID < b.SpanID
+	})
+}
+
+// RenderTree writes the assembled trace as an indented causal tree with
+// timings — the rockmon -trace output.
+func RenderTree(w io.Writer, tree TraceTree) {
+	var walk func(n *TraceNode, prefix string, last bool)
+	walk = func(n *TraceNode, prefix string, last bool) {
+		branch, childPrefix := prefix+"├─ ", prefix+"│  "
+		if last {
+			branch, childPrefix = prefix+"└─ ", prefix+"   "
+		}
+		if prefix == "" && !last {
+			branch, childPrefix = "", ""
+		}
+		fmt.Fprintf(w, "%s%s\n", branch, renderSpan(n.Span))
+		for i, c := range n.Children {
+			walk(c, childPrefix, i == len(n.Children)-1)
+		}
+	}
+	for _, r := range tree.Roots {
+		walk(r, "", false)
+	}
+	for _, o := range tree.Orphans {
+		fmt.Fprintf(w, "ORPHAN %s\n", renderSpan(o))
+	}
+}
+
+func renderSpan(s Span) string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	if s.Kind != "" {
+		fmt.Fprintf(&b, " [%s]", s.Kind)
+	}
+	if s.Node != "" {
+		fmt.Fprintf(&b, " @%s", s.Node)
+	}
+	if s.Status == "remote" {
+		b.WriteString(" (unrecorded remote parent)")
+	} else {
+		fmt.Fprintf(&b, " %.3fms status=%s", s.DurationMS, s.Status)
+	}
+	if len(s.Annotations) > 0 {
+		fmt.Fprintf(&b, " {%s}", strings.Join(s.Annotations, "; "))
+	}
+	fmt.Fprintf(&b, " span=%s", s.SpanID)
+	if s.ParentID != "" {
+		fmt.Fprintf(&b, " parent=%s", s.ParentID)
+	}
+	return b.String()
+}
